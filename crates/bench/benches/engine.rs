@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the evolutionary engine: patch
+//! application, mutation sampling and full fitness evaluations (the unit
+//! of work the GA performs thousands of times per run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gevo_engine::{Evaluator, MutationSpace, MutationWeights, Patch, Workload};
+use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
+use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let v1 = AdeptWorkload::new(AdeptConfig::scaled(Version::V1));
+    let space = MutationSpace::new(v1.kernels(), MutationWeights::default());
+
+    g.bench_function("mutation_sampling", |bencher| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        bencher.iter(|| black_box(space.sample(&mut rng)));
+    });
+
+    g.bench_function("patch_apply_16_edits", |bencher| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut p = Patch::empty();
+        for _ in 0..16 {
+            space.mutate(&mut p, &mut rng);
+        }
+        bencher.iter(|| black_box(p.apply(v1.kernels())));
+    });
+
+    g.bench_function("fitness_eval_adept_v1", |bencher| {
+        bencher.iter(|| {
+            // Bypass the memo cache: evaluate through the workload.
+            black_box(v1.evaluate(v1.kernels(), 0))
+        });
+    });
+
+    let v0 = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+    g.bench_function("fitness_eval_adept_v0", |bencher| {
+        bencher.iter(|| black_box(v0.evaluate(v0.kernels(), 0)));
+    });
+
+    let sc = SimcovWorkload::new(SimcovConfig::scaled());
+    g.sample_size(20);
+    g.bench_function("fitness_eval_simcov", |bencher| {
+        bencher.iter(|| black_box(sc.evaluate(sc.kernels(), 0)));
+    });
+
+    g.bench_function("cached_eval_adept_v1", |bencher| {
+        let ev = Evaluator::new(&v1);
+        let _ = ev.evaluate(&Patch::empty());
+        bencher.iter(|| black_box(ev.evaluate(&Patch::empty())));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

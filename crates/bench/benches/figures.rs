@@ -1,0 +1,50 @@
+//! Criterion wrappers around the figure-defining measurements: baseline
+//! vs. optimized simulated runtimes for each workload. `cargo bench`
+//! therefore re-derives the speedups behind Figures 4 and 5; the
+//! richer harness binaries (`cargo run -p gevo-bench --bin fig4` etc.)
+//! print the paper-style tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gevo_engine::Workload;
+use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
+use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Figure 4 ingredients: ADEPT V0/V1 baseline vs curated-optimized.
+    let v0 = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+    let (v0_opt, _) = v0.curated_patch().apply(v0.kernels());
+    g.bench_function("fig4_adept_v0_baseline", |b| {
+        b.iter(|| black_box(v0.evaluate(v0.kernels(), 0)));
+    });
+    g.bench_function("fig4_adept_v0_optimized", |b| {
+        b.iter(|| black_box(v0.evaluate(&v0_opt, 0)));
+    });
+
+    let v1 = AdeptWorkload::new(AdeptConfig::scaled(Version::V1));
+    let (v1_opt, _) = v1.curated_patch().apply(v1.kernels());
+    g.bench_function("fig4_adept_v1_baseline", |b| {
+        b.iter(|| black_box(v1.evaluate(v1.kernels(), 0)));
+    });
+    g.bench_function("fig4_adept_v1_optimized", |b| {
+        b.iter(|| black_box(v1.evaluate(&v1_opt, 0)));
+    });
+
+    // Figure 5 ingredients: SIMCoV baseline vs curated-optimized.
+    let sc = SimcovWorkload::new(SimcovConfig::scaled());
+    let (sc_opt, _) = sc.curated_patch().apply(sc.kernels());
+    g.bench_function("fig5_simcov_baseline", |b| {
+        b.iter(|| black_box(sc.evaluate(sc.kernels(), 0)));
+    });
+    g.bench_function("fig5_simcov_optimized", |b| {
+        b.iter(|| black_box(sc.evaluate(&sc_opt, 0)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the SIMT simulator: host-side throughput
+//! of the substrate every fitness evaluation rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gevo_gpu::{Gpu, GpuSpec, LaunchConfig};
+use gevo_ir::{AddrSpace, IntBinOp, Kernel, KernelBuilder, Operand, Special};
+use std::hint::black_box;
+
+/// A compute-heavy kernel: per-thread arithmetic loop.
+fn alu_kernel(reps: i32) -> Kernel {
+    let mut b = KernelBuilder::new("alu");
+    let out = b.param_ptr("out", AddrSpace::Global);
+    let tid = b.special_i32(Special::ThreadId);
+    let x = b.mov(Operand::ImmI32(1));
+    let i = b.mov(Operand::ImmI32(0));
+    let hdr = b.new_block("h");
+    let body = b.new_block("b");
+    let exit = b.new_block("e");
+    b.br(hdr);
+    b.switch_to(hdr);
+    let c = b.icmp_lt(i.into(), Operand::ImmI32(reps));
+    b.cond_br(c.into(), body, exit);
+    b.switch_to(body);
+    b.ibin_to(x, IntBinOp::Mul, x.into(), Operand::ImmI32(3));
+    b.ibin_to(x, IntBinOp::Add, x.into(), tid.into());
+    b.ibin_to(i, IntBinOp::Add, i.into(), Operand::ImmI32(1));
+    b.br(hdr);
+    b.switch_to(exit);
+    let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+    b.store_global_i32(addr.into(), x.into());
+    b.ret();
+    b.finish()
+}
+
+/// A memory-heavy kernel: strided global loads.
+fn mem_kernel(reps: i32) -> Kernel {
+    let mut b = KernelBuilder::new("mem");
+    let data = b.param_ptr("data", AddrSpace::Global);
+    let out = b.param_ptr("out", AddrSpace::Global);
+    let tid = b.special_i32(Special::ThreadId);
+    let acc = b.mov(Operand::ImmI32(0));
+    let i = b.mov(Operand::ImmI32(0));
+    let hdr = b.new_block("h");
+    let body = b.new_block("b");
+    let exit = b.new_block("e");
+    b.br(hdr);
+    b.switch_to(hdr);
+    let c = b.icmp_lt(i.into(), Operand::ImmI32(reps));
+    b.cond_br(c.into(), body, exit);
+    b.switch_to(body);
+    let mix = b.mul(i.into(), Operand::ImmI32(97));
+    let idx = b.add(mix.into(), tid.into());
+    let addr = b.index_addr(Operand::Param(data), idx.into(), 4);
+    let v = b.load_global_i32(addr.into());
+    b.ibin_to(acc, IntBinOp::Add, acc.into(), v.into());
+    b.ibin_to(i, IntBinOp::Add, i.into(), Operand::ImmI32(1));
+    b.br(hdr);
+    b.switch_to(exit);
+    let oaddr = b.index_addr(Operand::Param(out), tid.into(), 4);
+    b.store_global_i32(oaddr.into(), acc.into());
+    b.ret();
+    b.finish()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let spec = GpuSpec::p100();
+
+    let alu = alu_kernel(200);
+    g.bench_function("alu_kernel_4x256", |bencher| {
+        bencher.iter(|| {
+            let mut gpu = Gpu::new(spec.clone());
+            let out = gpu.mem_mut().alloc(4 * 256 * 4).unwrap();
+            black_box(
+                gpu.launch(&alu, LaunchConfig::new(4, 256), &[out.into()])
+                    .unwrap(),
+            )
+        });
+    });
+
+    let mem = mem_kernel(64);
+    g.bench_function("mem_kernel_4x256", |bencher| {
+        bencher.iter(|| {
+            let mut gpu = Gpu::new(spec.clone());
+            let data = gpu.mem_mut().alloc(1 << 20).unwrap();
+            let out = gpu.mem_mut().alloc(4 * 256 * 4).unwrap();
+            black_box(
+                gpu.launch(&mem, LaunchConfig::new(4, 256), &[data.into(), out.into()])
+                    .unwrap(),
+            )
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! §IV "Generality": performance portability of discovered optimizations.
+//!
+//! The paper evaluates the P100-optimized ADEPT-V0 on the V100 and finds
+//! it retains ~99% of the gain of a V100-native optimization; SIMCoV
+//! behaves similarly, while parts of the ADEPT-V1 patch are
+//! architecture-dependent (§VI-B's ballot_sync edit matters only on
+//! Volta).
+
+use gevo_bench::{adept_on, row, scaled_table1_specs, simcov_on, speedup_of};
+use gevo_engine::Patch;
+use gevo_workloads::adept::Version;
+
+fn main() {
+    println!("Generality: curated patches evaluated across GPUs");
+    println!();
+    let specs = scaled_table1_specs();
+
+    row(&["workload".into(), "P100".into(), "1080Ti".into(), "V100".into()]);
+    let rows: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "adept-v0",
+            specs
+                .iter()
+                .map(|s| {
+                    let w = adept_on(Version::V0, s);
+                    speedup_of(&w, &w.curated_patch())
+                })
+                .collect(),
+        ),
+        (
+            "adept-v1",
+            specs
+                .iter()
+                .map(|s| {
+                    let w = adept_on(Version::V1, s);
+                    speedup_of(&w, &w.curated_patch())
+                })
+                .collect(),
+        ),
+        (
+            "simcov",
+            specs
+                .iter()
+                .map(|s| {
+                    let w = simcov_on(s);
+                    speedup_of(&w, &w.curated_patch())
+                })
+                .collect(),
+        ),
+    ];
+    for (label, patches) in rows {
+        row(&[
+            label.into(),
+            format!("{:.2}x", patches[0]),
+            format!("{:.2}x", patches[1]),
+            format!("{:.2}x", patches[2]),
+        ]);
+    }
+    println!();
+
+    // §VI-B: the ballot_sync deletion is architecture-dependent.
+    println!("ballot_sync removal (ADEPT-V1, both kernels), per GPU:");
+    for spec in &specs {
+        let w = adept_on(Version::V1, spec);
+        let p = Patch::from_edits(vec![
+            w.edit("v1:k0:del_ballot"),
+            w.edit("v1:k1:del_ballot"),
+        ]);
+        let s = speedup_of(&w, &p);
+        println!(
+            "  {:<7}: {:+.2}% (paper: ~4% on V100, ~0% on P100)",
+            spec.name,
+            (s - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!("Shape to check: the same patch wins everywhere (portability), but");
+    println!("the ballot edit only pays on the Volta-class part.");
+}

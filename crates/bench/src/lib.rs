@@ -1,0 +1,131 @@
+//! Shared plumbing for the table/figure harnesses (see DESIGN.md §5 for
+//! the experiment index and EXPERIMENTS.md for recorded outputs).
+//!
+//! Each harness binary regenerates one table or figure of the paper's
+//! evaluation. Budgets are scaled for laptops by default and can be
+//! raised through environment variables:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `GEVO_POP` | GA population | harness-specific |
+//! | `GEVO_GENS` | GA generations | harness-specific |
+//! | `GEVO_RUNS` | repeated runs (Fig. 6) | 10 |
+//! | `GEVO_SEED` | base RNG seed | 1 |
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+#![allow(clippy::missing_panics_doc)]
+#![allow(clippy::cast_precision_loss)]
+
+use gevo_engine::{Evaluator, GaConfig, Patch, Workload};
+use gevo_gpu::GpuSpec;
+use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
+use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};
+
+/// Reads an environment override.
+#[must_use]
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` environment override.
+#[must_use]
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The GA budget used by the figure harnesses, honoring env overrides.
+#[must_use]
+pub fn harness_ga(pop: usize, gens: usize) -> GaConfig {
+    GaConfig {
+        population: env_usize("GEVO_POP", pop),
+        generations: env_usize("GEVO_GENS", gens),
+        seed: env_u64("GEVO_SEED", 1),
+        threads: std::thread::available_parallelism().map_or(4, usize::from),
+        ..GaConfig::scaled()
+    }
+}
+
+/// The three evaluation GPUs, scaled for search (8-lane warps, small
+/// arenas) while keeping each spec's cost structure (DESIGN.md §4.4).
+#[must_use]
+pub fn scaled_table1_specs() -> Vec<GpuSpec> {
+    GpuSpec::table1()
+        .into_iter()
+        .map(|s| {
+            let mut sc = s.scaled(8);
+            sc.device_mem_bytes = 1 << 20;
+            // Keep the marketing name for table rows.
+            sc.name = sc.name.trim_end_matches("-scaled").to_string();
+            sc
+        })
+        .collect()
+}
+
+/// ADEPT on a given scaled spec.
+#[must_use]
+pub fn adept_on(version: Version, spec: &GpuSpec) -> AdeptWorkload {
+    AdeptWorkload::new(AdeptConfig::scaled(version).with_spec(spec.clone()))
+}
+
+/// SIMCoV on a given scaled spec.
+#[must_use]
+pub fn simcov_on(spec: &GpuSpec) -> SimcovWorkload {
+    SimcovWorkload::new(SimcovConfig::scaled().with_spec(spec.clone()))
+}
+
+/// Speedup of a patch on a workload (panics if the patch is invalid —
+/// harnesses only evaluate known-good patches this way).
+#[must_use]
+pub fn speedup_of(w: &dyn Workload, patch: &Patch) -> f64 {
+    let ev = Evaluator::new(w);
+    ev.speedup(patch).expect("harness patch must be valid")
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a horizontal bar for quick visual comparison.
+#[must_use]
+pub fn bar(value: f64, scale: f64) -> String {
+    let n = (value * scale).round().max(0.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    "#".repeat((n as usize).min(120))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_overrides_parse() {
+        std::env::set_var("GEVO_TEST_X", "17");
+        assert_eq!(env_usize("GEVO_TEST_X", 3), 17);
+        assert_eq!(env_usize("GEVO_TEST_MISSING", 3), 3);
+        std::env::set_var("GEVO_TEST_BAD", "zzz");
+        assert_eq!(env_usize("GEVO_TEST_BAD", 5), 5);
+    }
+
+    #[test]
+    fn scaled_specs_keep_names_and_families() {
+        let specs = scaled_table1_specs();
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["P100", "1080Ti", "V100"]);
+        assert!(specs.iter().all(|s| s.warp_size == 8));
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(2.0, 3.0), "######");
+        assert_eq!(bar(0.0, 3.0), "");
+    }
+}

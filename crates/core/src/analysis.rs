@@ -1,0 +1,609 @@
+//! The paper's Section V analysis pipeline.
+//!
+//! 1. [`minimize_weak_edits`] — Algorithm 1: iteratively drop edits whose
+//!    marginal contribution, in the context of all remaining edits, is
+//!    below 1%.
+//! 2. [`split_independent`] — Algorithm 2: an edit is *independent* when
+//!    its solo improvement matches its marginal contribution in the full
+//!    set; everything else is *epistatic*.
+//! 3. [`subset_analysis`] — exhaustively evaluate all 2^n subsets of the
+//!    epistatic set (§V-C; the paper notes this is feasible because n
+//!    stays small — we cap at 20 as it does).
+//! 4. [`dependency_graph`] — recover "edit j requires edit i" relations
+//!    and the epistatic subgroups of Fig. 7.
+
+use crate::edit::{Edit, Patch};
+use crate::fitness::Evaluator;
+use serde::{Deserialize, Serialize};
+
+/// Result of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinimizeReport {
+    /// Edits kept (order preserved from the input patch).
+    pub kept: Patch,
+    /// Edits removed as weak.
+    pub removed: Vec<Edit>,
+    /// Cycles of the full input patch.
+    pub fitness_full: f64,
+    /// Cycles of the minimized patch.
+    pub fitness_minimized: f64,
+    /// Speedup of the full patch over pristine.
+    pub speedup_full: f64,
+    /// Speedup of the minimized patch over pristine.
+    pub speedup_minimized: f64,
+}
+
+/// Algorithm 1: identify and remove weak edits.
+///
+/// `threshold` is the paper's 1% (0.01). The comparison uses runtimes the
+/// way the paper's pseudo-code does: edit `e` is weak when removing it
+/// from the current context changes performance by less than the
+/// threshold. Edits whose removal *breaks* the program are load-bearing
+/// and always kept.
+///
+/// # Panics
+/// Panics if the input patch itself fails evaluation (callers minimize
+/// *valid* best individuals).
+#[must_use]
+pub fn minimize_weak_edits(
+    evaluator: &Evaluator<'_>,
+    patch: &Patch,
+    threshold: f64,
+) -> MinimizeReport {
+    let baseline = evaluator.baseline();
+    let fitness_full = evaluator
+        .fitness(patch)
+        .expect("minimization requires a valid patch");
+    // Evolved genomes routinely contain *duplicate* edits (the paper's
+    // 1394-edit individuals certainly did), so weakness is decided per
+    // edit *occurrence*, by index — removing one copy of a duplicated
+    // edit must not silently remove its siblings.
+    let all: Vec<Edit> = patch.edits().to_vec();
+    let mut weak_idx: Vec<usize> = Vec::new();
+    for i in 0..all.len() {
+        let ctx: Patch = all
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !weak_idx.contains(j))
+            .map(|(_, e)| *e)
+            .collect();
+        let without: Patch = all
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i && !weak_idx.contains(j))
+            .map(|(_, e)| *e)
+            .collect();
+        let (Some(f_ctx), Some(f_without)) =
+            (evaluator.fitness(&ctx), evaluator.fitness(&without))
+        else {
+            // Removing this occurrence (or evaluating the context) fails:
+            // load-bearing.
+            continue;
+        };
+        // Performance contribution of the edit in context: how much
+        // slower the program gets when it is removed.
+        let contribution = (f_without - f_ctx) / f_ctx;
+        if contribution < threshold {
+            weak_idx.push(i);
+        }
+    }
+    let removed: Vec<Edit> = weak_idx.iter().map(|&i| all[i]).collect();
+    let kept: Patch = all
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| !weak_idx.contains(j))
+        .map(|(_, e)| *e)
+        .collect();
+    let fitness_minimized = evaluator
+        .fitness(&kept)
+        .expect("dropping weak edits keeps the patch valid");
+    MinimizeReport {
+        speedup_full: baseline / fitness_full,
+        speedup_minimized: baseline / fitness_minimized,
+        kept,
+        removed,
+        fitness_full,
+        fitness_minimized,
+    }
+}
+
+/// Result of Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitReport {
+    /// Edits whose solo and in-context contributions agree.
+    pub independent: Vec<Edit>,
+    /// The rest: interdependent (epistatic) edits.
+    pub epistatic: Vec<Edit>,
+    /// Speedup of the independent set applied alone.
+    pub speedup_independent: f64,
+    /// Speedup of the epistatic set applied alone.
+    pub speedup_epistatic: f64,
+}
+
+/// Algorithm 2: separate independent from epistatic edits.
+///
+/// The paper checks that "the run-time from the above two tests agrees":
+/// the edit's solo improvement (`f(∅) − f(e)`, its PerfIncr) versus its
+/// marginal contribution inside the remaining set
+/// (`f(S−Indep−e) − f(S−Indep)`, its PerfDecr). An independent edit saves
+/// the same cycles alone as in context. We compare the two *cycle deltas*
+/// and call them agreeing when they differ by less than
+/// `tolerance × f(∅)` (the paper's "≃" with 1% default) — comparing
+/// absolute deltas rather than the pseudo-code's mixed-denominator
+/// percentages keeps the test meaningful for large edits, where the two
+/// denominators differ substantially.
+#[must_use]
+pub fn split_independent(
+    evaluator: &Evaluator<'_>,
+    patch: &Patch,
+    tolerance: f64,
+) -> SplitReport {
+    let f_empty = evaluator.baseline();
+    // Exact duplicate occurrences are analyzed as a single edit (their
+    // subset algebra is ill-defined otherwise).
+    let mut unique: Vec<Edit> = Vec::new();
+    for e in patch.edits() {
+        if !unique.contains(e) {
+            unique.push(*e);
+        }
+    }
+    let patch = &Patch::from_edits(unique);
+    let mut independent: Vec<Edit> = Vec::new();
+    for e in patch.edits() {
+        let solo = patch.subset(&[*e]);
+        // S − Indep − e
+        let mut drop = independent.clone();
+        drop.push(*e);
+        let rest_minus_e = patch.without_all(&drop);
+        let rest = patch.without_all(&independent);
+
+        // Line 3-4: both must run without failure.
+        let (Some(f_solo), Some(f_rest_minus_e), Some(f_rest)) = (
+            evaluator.fitness(&solo),
+            evaluator.fitness(&rest_minus_e),
+            evaluator.fitness(&rest),
+        ) else {
+            continue;
+        };
+        // Line 5: PerfIncr — cycles the edit saves alone.
+        let perf_incr = f_empty - f_solo;
+        // Line 6: PerfDecr — cycles the edit saves in context.
+        let perf_decr = f_rest_minus_e - f_rest;
+        // Line 7: if PerfIncr ≃ PerfDecr, e is independent.
+        if (perf_incr - perf_decr).abs() <= tolerance * f_empty {
+            independent.push(*e);
+        }
+    }
+    let epistatic: Vec<Edit> = patch
+        .edits()
+        .iter()
+        .filter(|e| !independent.contains(e))
+        .copied()
+        .collect();
+    let speedup_of = |edits: &[Edit]| {
+        evaluator
+            .fitness(&patch.subset(edits))
+            .map_or(f64::NAN, |f| f_empty / f)
+    };
+    SplitReport {
+        speedup_independent: speedup_of(&independent),
+        speedup_epistatic: speedup_of(&epistatic),
+        independent,
+        epistatic,
+    }
+}
+
+/// Outcome of applying one subset of the epistatic set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SubsetOutcome {
+    /// The variant failed validation — the orange "Exec failed" regions of
+    /// Fig. 7 (e.g. edit 8 alone).
+    Failed,
+    /// The variant passed; speedup over pristine (1.0 = no change).
+    Speedup(f64),
+}
+
+impl SubsetOutcome {
+    /// The speedup if the subset passed.
+    #[must_use]
+    pub fn speedup(&self) -> Option<f64> {
+        match self {
+            SubsetOutcome::Failed => None,
+            SubsetOutcome::Speedup(s) => Some(*s),
+        }
+    }
+}
+
+/// Exhaustive subset evaluation of an epistatic edit set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubsetTable {
+    /// The edits, fixing bit positions: bit `i` of a mask refers to
+    /// `edits[i]`.
+    pub edits: Vec<Edit>,
+    /// Outcome per subset; index = bitmask over `edits`.
+    pub outcomes: Vec<SubsetOutcome>,
+}
+
+/// Maximum epistatic-set size for exhaustive analysis (2^20 evaluations);
+/// the paper notes the same scalability limit ("will not scale well
+/// beyond the roughly twenty edits we considered").
+pub const MAX_SUBSET_EDITS: usize = 20;
+
+impl SubsetTable {
+    /// Outcome of a specific subset given as edit list.
+    #[must_use]
+    pub fn outcome_of(&self, subset: &[Edit]) -> Option<SubsetOutcome> {
+        let mut mask = 0usize;
+        for e in subset {
+            let bit = self.edits.iter().position(|x| x == e)?;
+            mask |= 1 << bit;
+        }
+        self.outcomes.get(mask).copied()
+    }
+
+    /// The best-performing subset (mask, speedup).
+    #[must_use]
+    pub fn best(&self) -> Option<(usize, f64)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(m, o)| o.speedup().map(|s| (m, s)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("speedups are not NaN"))
+    }
+
+    /// Decodes a mask into its edits.
+    #[must_use]
+    pub fn decode(&self, mask: usize) -> Vec<Edit> {
+        self.edits
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, e)| *e)
+            .collect()
+    }
+}
+
+/// Evaluates every subset of `edits` (§V-C).
+///
+/// # Panics
+/// Panics if `edits` exceeds [`MAX_SUBSET_EDITS`].
+#[must_use]
+pub fn subset_analysis(evaluator: &Evaluator<'_>, base: &Patch, edits: &[Edit]) -> SubsetTable {
+    assert!(
+        edits.len() <= MAX_SUBSET_EDITS,
+        "exhaustive subset analysis capped at {MAX_SUBSET_EDITS} edits (got {})",
+        edits.len()
+    );
+    let baseline = evaluator.baseline();
+    let n = edits.len();
+    let outcomes = (0..(1usize << n))
+        .map(|mask| {
+            let subset: Vec<Edit> = edits
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, e)| *e)
+                .collect();
+            match evaluator.fitness(&base.subset(&subset)) {
+                Some(f) => SubsetOutcome::Speedup(baseline / f),
+                None => SubsetOutcome::Failed,
+            }
+        })
+        .collect();
+    SubsetTable {
+        edits: edits.to_vec(),
+        outcomes,
+    }
+}
+
+/// The Fig. 7 dependency structure recovered from a subset table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpistasisGraph {
+    /// The edits (bit order matches the table).
+    pub edits: Vec<Edit>,
+    /// `requires[j]` = indices of edits that appear in *every* minimal
+    /// valid, improving subset containing `j` (the black dependency lines
+    /// of Fig. 7).
+    pub requires: Vec<Vec<usize>>,
+    /// Edits that fail when applied alone (orange in Fig. 7).
+    pub fails_alone: Vec<bool>,
+    /// Connected components under the mutual-requirement relation — the
+    /// paper's "independent epistatic subgroups".
+    pub subgroups: Vec<Vec<usize>>,
+    /// Best speedup achieved by any subset of each subgroup.
+    pub subgroup_speedup: Vec<f64>,
+}
+
+/// Derives the dependency graph from an exhaustive subset table.
+///
+/// An edit `j` *requires* edit `i` when every minimal valid subset
+/// containing `j` that improves on the empty subset also contains `i`.
+#[must_use]
+pub fn dependency_graph(table: &SubsetTable) -> EpistasisGraph {
+    let n = table.edits.len();
+    let full_masks = 1usize << n;
+    let is_improving = |mask: usize| -> bool {
+        match table.outcomes[mask] {
+            SubsetOutcome::Failed => false,
+            SubsetOutcome::Speedup(s) => s > 1.001,
+        }
+    };
+    let is_valid = |mask: usize| !matches!(table.outcomes[mask], SubsetOutcome::Failed);
+
+    let mut requires: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut fails_alone = vec![false; n];
+    for j in 0..n {
+        fails_alone[j] = !is_valid(1 << j);
+        // Minimal improving subsets containing j.
+        let mut minimal: Vec<usize> = Vec::new();
+        for mask in 0..full_masks {
+            if mask & (1 << j) == 0 || !is_improving(mask) {
+                continue;
+            }
+            // minimal: no strict improving subset containing j.
+            let mut is_minimal = true;
+            for k in 0..n {
+                if k != j && mask & (1 << k) != 0 && is_improving(mask & !(1 << k)) {
+                    is_minimal = false;
+                    break;
+                }
+            }
+            if is_minimal {
+                minimal.push(mask);
+            }
+        }
+        if minimal.is_empty() {
+            continue;
+        }
+        let common = minimal.iter().fold(usize::MAX, |acc, m| acc & m) & !(1 << j);
+        for i in 0..n {
+            if common & (1 << i) != 0 {
+                requires[j].push(i);
+            }
+        }
+    }
+
+    // Subgroups: connected components of the undirected requirement graph.
+    let mut comp = vec![usize::MAX; n];
+    let mut next_comp = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = next_comp;
+        while let Some(u) = stack.pop() {
+            for v in 0..n {
+                let connected = requires[u].contains(&v) || requires[v].contains(&u);
+                if connected && comp[v] == usize::MAX {
+                    comp[v] = next_comp;
+                    stack.push(v);
+                }
+            }
+        }
+        next_comp += 1;
+    }
+    let mut subgroups: Vec<Vec<usize>> = vec![Vec::new(); next_comp];
+    for (i, &c) in comp.iter().enumerate() {
+        subgroups[c].push(i);
+    }
+
+    // Best speedup per subgroup over subsets drawn only from that group.
+    let subgroup_speedup = subgroups
+        .iter()
+        .map(|members| {
+            let group_mask: usize = members.iter().map(|&i| 1 << i).sum();
+            (0..full_masks)
+                .filter(|m| m & !group_mask == 0)
+                .filter_map(|m| table.outcomes[m].speedup())
+                .fold(1.0f64, f64::max)
+        })
+        .collect();
+
+    EpistasisGraph {
+        edits: table.edits.clone(),
+        requires,
+        fails_alone,
+        subgroups,
+        subgroup_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::{EvalOutcome, Workload};
+    use gevo_gpu::LaunchStats;
+    use gevo_ir::{AddrSpace, InstId, Kernel, KernelBuilder, Operand, Special};
+
+    /// A synthetic workload with a *designed* epistatic landscape over
+    /// five marker instructions (deletions d0..d4):
+    ///   d0: independent, −100 cycles whenever applied
+    ///   d1: weak, −2 cycles
+    ///   d2: "enabler" — alone −5; enables d3/d4
+    ///   d3: fails alone; with d2 −150
+    ///   d4: fails alone; with d2 −80; with d2+d3 −260 total
+    struct Synthetic {
+        kernels: Vec<Kernel>,
+        markers: Vec<InstId>,
+    }
+
+    impl Synthetic {
+        fn new() -> Synthetic {
+            let mut b = KernelBuilder::new("syn»");
+            let out = b.param_ptr("out", AddrSpace::Global);
+            let tid = b.special_i32(Special::ThreadId);
+            let mut markers = Vec::new();
+            for i in 0..5 {
+                markers.push(b.peek_next_id());
+                let _ = b.add(tid.into(), Operand::ImmI32(i));
+            }
+            let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+            b.store_global_i32(addr.into(), tid.into());
+            b.ret();
+            Synthetic {
+                kernels: vec![b.finish()],
+                markers,
+            }
+        }
+
+        fn deletes(&self) -> Vec<Edit> {
+            self.markers
+                .iter()
+                .map(|m| Edit::Delete { kernel: 0, target: *m })
+                .collect()
+        }
+    }
+
+    impl Workload for Synthetic {
+        fn name(&self) -> &str {
+            "synthetic"
+        }
+        fn kernels(&self) -> &[Kernel] {
+            &self.kernels
+        }
+        fn evaluate(&self, kernels: &[Kernel], _seed: u64) -> EvalOutcome {
+            let k = &kernels[0];
+            let gone: Vec<bool> = self
+                .markers
+                .iter()
+                .map(|m| k.locate(*m).is_none())
+                .collect();
+            // d3/d4 without their enabler d2: broken program.
+            if (gone[3] || gone[4]) && !gone[2] {
+                return EvalOutcome::fail("dependent edit applied without enabler");
+            }
+            let mut cycles = 1000.0;
+            if gone[0] {
+                cycles -= 100.0;
+            }
+            if gone[1] {
+                cycles -= 2.0;
+            }
+            if gone[2] {
+                cycles -= 5.0;
+            }
+            if gone[3] {
+                cycles -= 150.0;
+            }
+            if gone[4] {
+                cycles -= if gone[3] { 105.0 } else { 80.0 };
+            }
+            EvalOutcome::pass(cycles, LaunchStats::default())
+        }
+    }
+
+    #[test]
+    fn minimize_drops_weak_keeps_strong() {
+        let w = Synthetic::new();
+        let ev = Evaluator::new(&w);
+        let full = Patch::from_edits(w.deletes());
+        let report = minimize_weak_edits(&ev, &full, 0.01);
+        let d = w.deletes();
+        // d1 (−2 cycles on ~700) is weak; everything else is ≥ ~0.7%...
+        // d2 alone is −5 on ~645 ≈ 0.8% < 1% BUT removing d2 breaks
+        // d3/d4 ⇒ load-bearing ⇒ kept.
+        assert!(report.removed.contains(&d[1]), "weak edit dropped");
+        assert!(report.kept.edits().contains(&d[0]));
+        assert!(report.kept.edits().contains(&d[2]), "enabler kept");
+        assert!(report.kept.edits().contains(&d[3]));
+        assert!(report.kept.edits().contains(&d[4]));
+        assert!(report.speedup_minimized > 1.3);
+        // Minimal performance loss (paper: 28.9% → 28%).
+        assert!(report.speedup_full - report.speedup_minimized < 0.02);
+    }
+
+    #[test]
+    fn split_finds_independent_and_epistatic() {
+        let w = Synthetic::new();
+        let ev = Evaluator::new(&w);
+        let d = w.deletes();
+        let minimized = Patch::from_edits(vec![d[0], d[2], d[3], d[4]]);
+        let split = split_independent(&ev, &minimized, 0.01);
+        assert!(split.independent.contains(&d[0]), "d0 is independent");
+        assert!(split.epistatic.contains(&d[3]), "d3 depends on d2");
+        assert!(split.epistatic.contains(&d[4]), "d4 depends on d2");
+        // The epistatic cluster carries most of the improvement.
+        assert!(split.speedup_epistatic > split.speedup_independent);
+    }
+
+    #[test]
+    fn subset_table_marks_failures_and_best() {
+        let w = Synthetic::new();
+        let ev = Evaluator::new(&w);
+        let d = w.deletes();
+        let epistatic = vec![d[2], d[3], d[4]];
+        let base = Patch::from_edits(epistatic.clone());
+        let table = subset_analysis(&ev, &base, &epistatic);
+        assert_eq!(table.outcomes.len(), 8);
+        // {d3} alone fails (bit 1 of [d2,d3,d4]).
+        assert_eq!(table.outcomes[0b010], SubsetOutcome::Failed);
+        assert_eq!(table.outcomes[0b100], SubsetOutcome::Failed);
+        // {} is exactly 1.0.
+        assert_eq!(table.outcomes[0], SubsetOutcome::Speedup(1.0));
+        // Full set is the best subset.
+        let (best_mask, best_speedup) = table.best().unwrap();
+        assert_eq!(best_mask, 0b111);
+        assert!(best_speedup > 1.3);
+        // outcome_of round-trips.
+        assert_eq!(
+            table.outcome_of(&[d[2], d[3]]).unwrap(),
+            table.outcomes[0b011]
+        );
+    }
+
+    #[test]
+    fn dependency_graph_recovers_structure() {
+        let w = Synthetic::new();
+        let ev = Evaluator::new(&w);
+        let d = w.deletes();
+        let epistatic = vec![d[2], d[3], d[4]];
+        let base = Patch::from_edits(epistatic.clone());
+        let table = subset_analysis(&ev, &base, &epistatic);
+        let graph = dependency_graph(&table);
+        // Bit order: 0=d2, 1=d3, 2=d4.
+        assert!(!graph.fails_alone[0], "enabler d2 runs alone");
+        assert!(graph.fails_alone[1], "d3 fails alone");
+        assert!(graph.fails_alone[2], "d4 fails alone");
+        assert!(graph.requires[1].contains(&0), "d3 requires d2");
+        assert!(graph.requires[2].contains(&0), "d4 requires d2");
+        // One subgroup containing all three.
+        assert_eq!(graph.subgroups.len(), 1);
+        assert_eq!(graph.subgroups[0].len(), 3);
+        assert!(graph.subgroup_speedup[0] > 1.3);
+    }
+
+    #[test]
+    fn dependency_graph_separates_unrelated_groups() {
+        let w = Synthetic::new();
+        let ev = Evaluator::new(&w);
+        let d = w.deletes();
+        // d0 is unrelated to the (d2,d3) cluster.
+        let edits = vec![d[0], d[2], d[3]];
+        let base = Patch::from_edits(edits.clone());
+        let table = subset_analysis(&ev, &base, &edits);
+        let graph = dependency_graph(&table);
+        // d0 forms its own subgroup.
+        let g_of_d0 = graph
+            .subgroups
+            .iter()
+            .position(|g| g.contains(&0))
+            .unwrap();
+        assert_eq!(graph.subgroups[g_of_d0], vec![0]);
+        assert_eq!(graph.subgroups.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn subset_analysis_caps_size() {
+        let w = Synthetic::new();
+        let ev = Evaluator::new(&w);
+        let edits: Vec<Edit> = (0..21)
+            .map(|i| Edit::Delete {
+                kernel: 0,
+                target: InstId(i),
+            })
+            .collect();
+        let _ = subset_analysis(&ev, &Patch::from_edits(edits.clone()), &edits);
+    }
+}

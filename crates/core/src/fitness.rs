@@ -1,0 +1,306 @@
+//! Workload abstraction and fitness evaluation.
+//!
+//! The paper's fitness function (§III-E): kernel execution time averaged
+//! over the test set; individuals failing any test are invalid and
+//! excluded from selection. Here "execution time" is the simulator's
+//! modeled cycles.
+
+use crate::edit::Patch;
+use gevo_gpu::LaunchStats;
+use gevo_ir::Kernel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The outcome of evaluating one program variant on the full test set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalOutcome {
+    /// Mean kernel cycles across test cases; `None` when any test failed
+    /// (wrong output, fault, timeout, verification error).
+    pub fitness: Option<f64>,
+    /// Human-readable reason for failure, when failed.
+    pub failure: Option<String>,
+    /// Aggregated launch statistics for the (passing) evaluation.
+    pub stats: Option<LaunchStats>,
+}
+
+impl EvalOutcome {
+    /// A passing outcome.
+    #[must_use]
+    pub fn pass(cycles: f64, stats: LaunchStats) -> EvalOutcome {
+        EvalOutcome {
+            fitness: Some(cycles),
+            failure: None,
+            stats: Some(stats),
+        }
+    }
+
+    /// A failing outcome with a reason.
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> EvalOutcome {
+        EvalOutcome {
+            fitness: None,
+            failure: Some(reason.into()),
+            stats: None,
+        }
+    }
+
+    /// True if every test passed.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.fitness.is_some()
+    }
+}
+
+/// A program under optimization: pristine kernels plus the machinery to
+/// score a variant against the test set.
+///
+/// Implementations live in `gevo-workloads` (ADEPT-V0/V1, SIMCoV); the
+/// engine is generic over this trait.
+pub trait Workload: Sync {
+    /// Identifier used in reports.
+    fn name(&self) -> &str;
+
+    /// The pristine kernels (the genome's reference frame). Order is
+    /// significant: [`crate::Edit::kernel`] indexes this slice.
+    fn kernels(&self) -> &[Kernel];
+
+    /// Runs the variant on every test case and scores it. `eval_seed`
+    /// perturbs scheduler interleaving for stochastic workloads
+    /// (paper §II-C2); deterministic workloads may ignore it.
+    fn evaluate(&self, kernels: &[Kernel], eval_seed: u64) -> EvalOutcome;
+}
+
+/// Memoizing evaluator: maps patches to outcomes through a workload,
+/// caching by patch content hash. The analysis algorithms (§V) re-evaluate
+/// heavily overlapping subsets; the cache keeps that tractable.
+pub struct Evaluator<'w> {
+    workload: &'w dyn Workload,
+    cache: Mutex<HashMap<u64, EvalOutcome>>,
+    evals: AtomicUsize,
+    cache_hits: AtomicUsize,
+    eval_seed: AtomicU64,
+}
+
+impl<'w> Evaluator<'w> {
+    /// Wraps a workload.
+    #[must_use]
+    pub fn new(workload: &'w dyn Workload) -> Evaluator<'w> {
+        Evaluator {
+            workload,
+            cache: Mutex::new(HashMap::new()),
+            evals: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            eval_seed: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped workload.
+    #[must_use]
+    pub fn workload(&self) -> &dyn Workload {
+        self.workload
+    }
+
+    /// Sets the scheduler seed used for subsequent evaluations (and clears
+    /// the cache, since outcomes may differ).
+    pub fn set_eval_seed(&self, seed: u64) {
+        self.eval_seed.store(seed, Ordering::Relaxed);
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    /// Evaluates a patch (cached).
+    pub fn evaluate(&self, patch: &Patch) -> EvalOutcome {
+        let key = patch.content_hash();
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let (kernels, _) = patch.apply(self.workload.kernels());
+        let outcome = self
+            .workload
+            .evaluate(&kernels, self.eval_seed.load(Ordering::Relaxed));
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, outcome.clone());
+        outcome
+    }
+
+    /// Mean cycles of the variant, `None` if invalid.
+    pub fn fitness(&self, patch: &Patch) -> Option<f64> {
+        self.evaluate(patch).fitness
+    }
+
+    /// Cycles of the unmodified program.
+    ///
+    /// # Panics
+    /// Panics if the pristine program fails its own tests — that is a
+    /// workload bug, not an evolutionary outcome.
+    pub fn baseline(&self) -> f64 {
+        self.fitness(&Patch::empty())
+            .expect("pristine program must pass its own test set")
+    }
+
+    /// Speedup of the variant over the pristine program (>1 is faster),
+    /// `None` if invalid.
+    pub fn speedup(&self, patch: &Patch) -> Option<f64> {
+        let base = self.baseline();
+        self.fitness(patch).map(|f| base / f)
+    }
+
+    /// Evaluations actually performed (cache misses).
+    #[must_use]
+    pub fn evals_performed(&self) -> usize {
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits served.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Evaluates many patches in parallel with `threads` workers,
+    /// preserving order. Results are cached like single evaluations.
+    pub fn evaluate_batch(&self, patches: &[Patch], threads: usize) -> Vec<EvalOutcome> {
+        if threads <= 1 || patches.len() <= 1 {
+            return patches.iter().map(|p| self.evaluate(p)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<EvalOutcome>>> =
+            patches.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(patches.len()) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= patches.len() {
+                        break;
+                    }
+                    let out = self.evaluate(&patches[i]);
+                    *results[i].lock().expect("result slot") = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot lock").expect("worker filled slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::Edit;
+    use gevo_ir::{AddrSpace, KernelBuilder, Operand, Special};
+
+    /// A stub workload: fitness = 1000 - 10×(applied deletions), variants
+    /// deleting the store "fail".
+    struct Stub {
+        kernels: Vec<Kernel>,
+        store_id: gevo_ir::InstId,
+    }
+
+    impl Stub {
+        fn new() -> Stub {
+            let mut b = KernelBuilder::new("stub");
+            let out = b.param_ptr("out", AddrSpace::Global);
+            let tid = b.special_i32(Special::ThreadId);
+            let a = b.add(tid.into(), Operand::ImmI32(1));
+            let c = b.add(a.into(), Operand::ImmI32(2));
+            let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+            let store_probe = b.peek_next_id();
+            b.store_global_i32(addr.into(), c.into());
+            b.ret();
+            Stub {
+                kernels: vec![b.finish()],
+                store_id: store_probe,
+            }
+        }
+    }
+
+    impl Workload for Stub {
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn kernels(&self) -> &[Kernel] {
+            &self.kernels
+        }
+        fn evaluate(&self, kernels: &[Kernel], _seed: u64) -> EvalOutcome {
+            let k = &kernels[0];
+            if k.locate(self.store_id).is_none() {
+                return EvalOutcome::fail("output never written");
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let fitness = 900.0 + 10.0 * k.inst_count() as f64;
+            EvalOutcome::pass(fitness, LaunchStats::default())
+        }
+    }
+
+    #[test]
+    fn baseline_and_speedup() {
+        let w = Stub::new();
+        let ev = Evaluator::new(&w);
+        let base = ev.baseline();
+        let del = Edit::Delete {
+            kernel: 0,
+            target: w.kernels[0].inst_ids()[1],
+        };
+        let p = Patch::from_edits(vec![del]);
+        let s = ev.speedup(&p).unwrap();
+        assert!(s > 1.0, "deleting an instruction speeds the stub up");
+        assert!(ev.fitness(&p).unwrap() < base);
+    }
+
+    #[test]
+    fn failures_are_invalid() {
+        let w = Stub::new();
+        let ev = Evaluator::new(&w);
+        let p = Patch::from_edits(vec![Edit::Delete {
+            kernel: 0,
+            target: w.store_id,
+        }]);
+        let out = ev.evaluate(&p);
+        assert!(!out.is_valid());
+        assert!(out.failure.unwrap().contains("never written"));
+        assert_eq!(ev.speedup(&p), None);
+    }
+
+    #[test]
+    fn cache_avoids_reevaluation() {
+        let w = Stub::new();
+        let ev = Evaluator::new(&w);
+        let p = Patch::empty();
+        let _ = ev.evaluate(&p);
+        let _ = ev.evaluate(&p);
+        let _ = ev.evaluate(&p);
+        assert_eq!(ev.evals_performed(), 1);
+        assert_eq!(ev.cache_hits(), 2);
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let w = Stub::new();
+        let ids = w.kernels[0].inst_ids();
+        let patches: Vec<Patch> = ids
+            .iter()
+            .map(|id| Patch::from_edits(vec![Edit::Delete { kernel: 0, target: *id }]))
+            .collect();
+        let serial = Evaluator::new(&w);
+        let expected: Vec<EvalOutcome> = patches.iter().map(|p| serial.evaluate(p)).collect();
+        let parallel = Evaluator::new(&w);
+        let got = parallel.evaluate_batch(&patches, 4);
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn seed_change_clears_cache() {
+        let w = Stub::new();
+        let ev = Evaluator::new(&w);
+        let _ = ev.evaluate(&Patch::empty());
+        ev.set_eval_seed(99);
+        let _ = ev.evaluate(&Patch::empty());
+        assert_eq!(ev.evals_performed(), 2);
+    }
+}

@@ -1,0 +1,472 @@
+//! The generational GA loop (paper §III-E).
+//!
+//! Defaults mirror the paper's specification: population 256, four elites,
+//! 80% crossover probability, 30% mutation probability per individual per
+//! generation, fitness = mean kernel cycles over the test set, failing
+//! individuals excluded from selection. The harnesses run scaled-down
+//! budgets (DESIGN.md §4.4); every knob is on [`GaConfig`].
+
+use crate::edit::{Edit, Patch};
+use crate::fitness::{Evaluator, Workload};
+use crate::mutation::{crossover_one_point, MutationSpace, MutationWeights};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Individuals per generation (paper: 256).
+    pub population: usize,
+    /// Best individuals copied unchanged into the next generation
+    /// (paper: 4).
+    pub elitism: usize,
+    /// Probability an offspring is produced by crossover (paper: 0.8).
+    pub crossover_p: f64,
+    /// Probability an individual receives a new mutation per generation
+    /// (paper: 0.3).
+    pub mutation_p: f64,
+    /// Generation budget (paper: ~300 for ADEPT, ~130 for SIMCoV).
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Master seed: the whole run is a deterministic function of it.
+    pub seed: u64,
+    /// Worker threads for fitness evaluation.
+    pub threads: usize,
+    /// Hard cap on genome length (guards against unbounded bloat).
+    pub max_patch_len: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 256,
+            elitism: 4,
+            crossover_p: 0.8,
+            mutation_p: 0.3,
+            generations: 300,
+            tournament: 3,
+            seed: 0,
+            threads: 1,
+            max_patch_len: 4096,
+        }
+    }
+}
+
+impl GaConfig {
+    /// A laptop-scale configuration used by the examples and harnesses.
+    #[must_use]
+    pub fn scaled() -> GaConfig {
+        GaConfig {
+            population: 32,
+            elitism: 4,
+            crossover_p: 0.8,
+            mutation_p: 0.9,
+            generations: 40,
+            tournament: 3,
+            seed: 0,
+            threads: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            max_patch_len: 512,
+        }
+    }
+
+    /// Same config with a different seed (for Fig. 6's ten repeated runs).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> GaConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One individual: genome plus cached fitness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Individual {
+    /// The genome.
+    pub patch: Patch,
+    /// Mean cycles; `None` = failed validation.
+    pub fitness: Option<f64>,
+}
+
+/// Per-generation record for trajectory figures (Fig. 6, Fig. 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationRecord {
+    /// Generation index (0-based).
+    pub gen: usize,
+    /// Best (lowest) valid fitness this generation.
+    pub best_fitness: f64,
+    /// Speedup of the best individual over the pristine program.
+    pub best_speedup: f64,
+    /// The best individual's genome.
+    pub best_patch: Patch,
+    /// Valid individuals this generation.
+    pub valid: usize,
+}
+
+/// Everything recorded during a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct History {
+    /// Cycles of the pristine program.
+    pub baseline: f64,
+    /// One record per generation.
+    pub records: Vec<GenerationRecord>,
+    /// Generation at which each edit first appeared in the *best*
+    /// individual — the discovery sequence behind Fig. 8.
+    pub first_seen_in_best: HashMap<Edit, usize>,
+}
+
+impl History {
+    /// Discovery generation of an edit (in the best individual), if ever.
+    #[must_use]
+    pub fn discovered_at(&self, e: &Edit) -> Option<usize> {
+        self.first_seen_in_best.get(e).copied()
+    }
+
+    /// The paper's Fig. 8 staircase: for each of `edits`, the generation it
+    /// entered the best individual, sorted by that generation.
+    #[must_use]
+    pub fn discovery_sequence(&self, edits: &[Edit]) -> Vec<(Edit, usize)> {
+        let mut seq: Vec<(Edit, usize)> = edits
+            .iter()
+            .filter_map(|e| self.discovered_at(e).map(|g| (*e, g)))
+            .collect();
+        seq.sort_by_key(|(_, g)| *g);
+        seq
+    }
+}
+
+/// The result of one GA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaResult {
+    /// The best individual over the whole run.
+    pub best: Individual,
+    /// Speedup of `best` over the pristine program.
+    pub speedup: f64,
+    /// Full trajectory.
+    pub history: History,
+    /// Fitness evaluations actually performed (cache misses).
+    pub evals: usize,
+}
+
+/// Runs the GA on a workload.
+///
+/// # Panics
+/// Panics if the pristine program fails its own test set (workload bug).
+#[must_use]
+pub fn run_ga(workload: &dyn Workload, cfg: &GaConfig) -> GaResult {
+    run_ga_with_weights(workload, cfg, MutationWeights::default())
+}
+
+/// [`run_ga`] with explicit mutation-operator weights.
+///
+/// # Panics
+/// Panics if the pristine program fails its own test set (workload bug).
+#[must_use]
+pub fn run_ga_with_weights(
+    workload: &dyn Workload,
+    cfg: &GaConfig,
+    weights: MutationWeights,
+) -> GaResult {
+    let evaluator = Evaluator::new(workload);
+    let baseline = evaluator.baseline();
+    let space = MutationSpace::new(workload.kernels(), weights);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Initial population: the pristine program plus single-edit mutants.
+    let mut population: Vec<Individual> = Vec::with_capacity(cfg.population);
+    population.push(Individual {
+        patch: Patch::empty(),
+        fitness: Some(baseline),
+    });
+    while population.len() < cfg.population {
+        let mut p = Patch::empty();
+        space.mutate(&mut p, &mut rng);
+        population.push(Individual {
+            patch: p,
+            fitness: None,
+        });
+    }
+
+    let mut history = History {
+        baseline,
+        records: Vec::with_capacity(cfg.generations),
+        first_seen_in_best: HashMap::new(),
+    };
+    let mut best_overall = Individual {
+        patch: Patch::empty(),
+        fitness: Some(baseline),
+    };
+
+    for gen in 0..cfg.generations {
+        // Evaluate everyone (cached + parallel).
+        let patches: Vec<Patch> = population.iter().map(|i| i.patch.clone()).collect();
+        let outcomes = evaluator.evaluate_batch(&patches, cfg.threads);
+        for (ind, out) in population.iter_mut().zip(&outcomes) {
+            ind.fitness = out.fitness;
+        }
+
+        // Rank valid individuals (lower cycles = better).
+        let mut ranked: Vec<usize> = (0..population.len())
+            .filter(|&i| population[i].fitness.is_some())
+            .collect();
+        ranked.sort_by(|&a, &b| {
+            population[a]
+                .fitness
+                .partial_cmp(&population[b].fitness)
+                .expect("valid fitness is never NaN")
+        });
+
+        let gen_best = ranked.first().map(|&i| population[i].clone());
+        if let Some(gb) = &gen_best {
+            let f = gb.fitness.expect("ranked individuals are valid");
+            if f < best_overall.fitness.expect("baseline valid") {
+                best_overall = gb.clone();
+            }
+            for e in gb.patch.edits() {
+                history.first_seen_in_best.entry(*e).or_insert(gen);
+            }
+            history.records.push(GenerationRecord {
+                gen,
+                best_fitness: f,
+                best_speedup: baseline / f,
+                best_patch: gb.patch.clone(),
+                valid: ranked.len(),
+            });
+        } else {
+            history.records.push(GenerationRecord {
+                gen,
+                best_fitness: baseline,
+                best_speedup: 1.0,
+                best_patch: Patch::empty(),
+                valid: 0,
+            });
+        }
+
+        if gen + 1 == cfg.generations {
+            break;
+        }
+
+        // Next generation: elites + offspring.
+        let mut next: Vec<Individual> = ranked
+            .iter()
+            .take(cfg.elitism)
+            .map(|&i| population[i].clone())
+            .collect();
+        if next.is_empty() {
+            next.push(Individual {
+                patch: Patch::empty(),
+                fitness: Some(baseline),
+            });
+        }
+        while next.len() < cfg.population {
+            let parent_a = tournament(&population, &ranked, cfg.tournament, &mut rng);
+            let mut child = if rng.gen_bool(cfg.crossover_p) && ranked.len() >= 2 {
+                let parent_b = tournament(&population, &ranked, cfg.tournament, &mut rng);
+                crossover_one_point(&parent_a.patch, &parent_b.patch, &mut rng)
+            } else {
+                parent_a.patch.clone()
+            };
+            if rng.gen_bool(cfg.mutation_p) {
+                space.mutate(&mut child, &mut rng);
+            }
+            if child.len() > cfg.max_patch_len {
+                let edits = child.edits()[child.len() - cfg.max_patch_len..].to_vec();
+                child = Patch::from_edits(edits);
+            }
+            next.push(Individual {
+                patch: child,
+                fitness: None,
+            });
+        }
+        population = next;
+    }
+
+    let speedup = baseline
+        / best_overall
+            .fitness
+            .expect("best individual is always valid");
+    GaResult {
+        best: best_overall,
+        speedup,
+        history,
+        evals: evaluator.evals_performed(),
+    }
+}
+
+/// Tournament selection over the valid individuals; falls back to a
+/// random (possibly invalid) individual when nothing is valid yet.
+fn tournament<'p, R: Rng>(
+    population: &'p [Individual],
+    ranked: &[usize],
+    k: usize,
+    rng: &mut R,
+) -> &'p Individual {
+    if ranked.is_empty() {
+        return population.choose(rng).expect("population non-empty");
+    }
+    let mut best: Option<usize> = None;
+    for _ in 0..k.max(1) {
+        let cand = *ranked.choose(rng).expect("ranked non-empty");
+        best = Some(match best {
+            None => cand,
+            Some(cur) => {
+                if population[cand].fitness < population[cur].fitness {
+                    cand
+                } else {
+                    cur
+                }
+            }
+        });
+    }
+    &population[best.expect("at least one round ran")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::EvalOutcome;
+    use gevo_gpu::LaunchStats;
+    use gevo_ir::{AddrSpace, Kernel, KernelBuilder, Operand, Special};
+
+    /// Toy workload with a known optimum: fitness = 100 + 10 per
+    /// remaining deletable instruction; the store must survive.
+    struct Toy {
+        kernels: Vec<Kernel>,
+        store_id: gevo_ir::InstId,
+    }
+
+    impl Toy {
+        fn new() -> Toy {
+            let mut b = KernelBuilder::new("toy");
+            let out = b.param_ptr("out", AddrSpace::Global);
+            let tid = b.special_i32(Special::ThreadId);
+            // Dead code the GA should learn to delete.
+            let mut acc = b.mov(Operand::ImmI32(0));
+            for _ in 0..6 {
+                acc = b.add(acc.into(), Operand::ImmI32(1));
+            }
+            let _ = acc;
+            let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+            let store_probe = b.peek_next_id();
+            b.store_global_i32(addr.into(), tid.into());
+            b.ret();
+            Toy {
+                kernels: vec![b.finish()],
+                store_id: store_probe,
+            }
+        }
+    }
+
+    impl Workload for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn kernels(&self) -> &[Kernel] {
+            &self.kernels
+        }
+        fn evaluate(&self, kernels: &[Kernel], _seed: u64) -> EvalOutcome {
+            let k = &kernels[0];
+            if k.locate(self.store_id).is_none() {
+                return EvalOutcome::fail("store deleted");
+            }
+            // Verify like the simulator would.
+            if gevo_ir::verify::verify(k).is_err() {
+                return EvalOutcome::fail("verification");
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let f = 100.0 + 10.0 * k.inst_count() as f64;
+            EvalOutcome::pass(f, LaunchStats::default())
+        }
+    }
+
+    fn quick_cfg(seed: u64) -> GaConfig {
+        GaConfig {
+            population: 24,
+            elitism: 2,
+            crossover_p: 0.8,
+            mutation_p: 0.9,
+            generations: 30,
+            tournament: 3,
+            seed,
+            threads: 1,
+            max_patch_len: 64,
+        }
+    }
+
+    #[test]
+    fn ga_improves_toy_workload() {
+        let toy = Toy::new();
+        let res = run_ga(&toy, &quick_cfg(1));
+        assert!(
+            res.speedup > 1.2,
+            "GA should delete dead code: speedup {}",
+            res.speedup
+        );
+        assert!(res.best.fitness.unwrap() < res.history.baseline);
+        assert_eq!(res.history.records.len(), 30);
+    }
+
+    #[test]
+    fn ga_is_deterministic_per_seed() {
+        let toy = Toy::new();
+        let a = run_ga(&toy, &quick_cfg(7));
+        let b = run_ga(&toy, &quick_cfg(7));
+        assert_eq!(a.best.patch, b.best.patch);
+        assert_eq!(a.speedup, b.speedup);
+        let c = run_ga(&toy, &quick_cfg(8));
+        // Different seeds explore differently (fitness may coincide, the
+        // trajectory rarely does).
+        assert!(
+            a.history.records != c.history.records || a.best.patch != c.best.patch,
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn best_fitness_is_monotone_nonincreasing() {
+        let toy = Toy::new();
+        let res = run_ga(&toy, &quick_cfg(3));
+        let mut last = f64::INFINITY;
+        for r in &res.history.records {
+            assert!(
+                r.best_fitness <= last + 1e-9,
+                "elitism keeps the best: gen {} went {} -> {}",
+                r.gen,
+                last,
+                r.best_fitness
+            );
+            last = r.best_fitness;
+        }
+    }
+
+    #[test]
+    fn first_seen_tracks_best_individual_edits() {
+        let toy = Toy::new();
+        let res = run_ga(&toy, &quick_cfg(5));
+        for e in res.best.patch.edits() {
+            assert!(
+                res.history.discovered_at(e).is_some(),
+                "every edit of the final best was first seen at some generation"
+            );
+        }
+        let seq = res.history.discovery_sequence(res.best.patch.edits());
+        let gens: Vec<usize> = seq.iter().map(|(_, g)| *g).collect();
+        let mut sorted = gens.clone();
+        sorted.sort_unstable();
+        assert_eq!(gens, sorted, "discovery sequence is sorted");
+    }
+
+    #[test]
+    fn invalid_heavy_population_recovers() {
+        // Even when most mutants fail, the GA keeps the baseline and
+        // reports a valid best individual.
+        let toy = Toy::new();
+        let mut cfg = quick_cfg(9);
+        cfg.generations = 5;
+        let res = run_ga(&toy, &cfg);
+        assert!(res.best.fitness.is_some());
+        assert!(res.speedup >= 1.0);
+    }
+}

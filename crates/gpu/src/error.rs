@@ -1,0 +1,117 @@
+//! Execution failures.
+//!
+//! Every failure a mutated kernel can provoke is a *value* of
+//! [`ExecError`], never a panic: the evolutionary engine scores failing
+//! variants as invalid individuals (paper §III-E: "Individuals that fail
+//! one or more test cases are not part of the calculation").
+
+use gevo_ir::Ty;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a kernel launch failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecError {
+    /// Global-memory access outside the device arena (or below the null
+    /// guard) — the simulated segmentation fault of the paper's Fig. 10(b).
+    GlobalFault {
+        /// Offending byte address.
+        addr: i64,
+        /// Access width.
+        bytes: u64,
+    },
+    /// Global access outside any live allocation while the GPU is in
+    /// strict (cuda-memcheck-like) bounds mode.
+    StrictFault {
+        /// Offending byte address.
+        addr: i64,
+    },
+    /// Shared-memory access outside the block's static allocation.
+    SharedFault {
+        /// Offending byte offset.
+        addr: i64,
+        /// The block's shared size.
+        shared_bytes: u32,
+    },
+    /// Misaligned memory access.
+    Misaligned {
+        /// Offending byte address.
+        addr: i64,
+        /// Required alignment.
+        align: u64,
+    },
+    /// A barrier was executed by a warp whose divergence stack was not
+    /// empty, or some warps can no longer reach the barrier.
+    BarrierDivergence,
+    /// Block deadlocked: no warp can make progress.
+    Deadlock,
+    /// The per-block step budget was exhausted (mutation-induced infinite
+    /// loop).
+    StepLimit,
+    /// A register or operand held a value of the wrong type at use.
+    TypeMismatch {
+        /// What the instruction required.
+        expected: Ty,
+        /// What it found.
+        found: Ty,
+    },
+    /// The launch configuration is invalid for the spec (too many threads
+    /// per block, shared memory oversubscription, zero-sized launch).
+    BadLaunch(String),
+    /// Kernel failed static verification before launch.
+    Verify(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::GlobalFault { addr, bytes } => {
+                write!(f, "global memory fault at {addr} ({bytes}-byte access)")
+            }
+            ExecError::StrictFault { addr } => {
+                write!(f, "strict-mode fault: {addr} is outside every live buffer")
+            }
+            ExecError::SharedFault { addr, shared_bytes } => {
+                write!(f, "shared memory fault at offset {addr} (block has {shared_bytes} bytes)")
+            }
+            ExecError::Misaligned { addr, align } => {
+                write!(f, "misaligned {align}-byte access at {addr}")
+            }
+            ExecError::BarrierDivergence => write!(f, "barrier reached in divergent control flow"),
+            ExecError::Deadlock => write!(f, "block deadlocked at a barrier"),
+            ExecError::StepLimit => write!(f, "step limit exhausted (infinite loop?)"),
+            ExecError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ExecError::BadLaunch(msg) => write!(f, "invalid launch: {msg}"),
+            ExecError::Verify(msg) => write!(f, "verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ExecError::GlobalFault { addr: 1024, bytes: 4 };
+        assert!(e.to_string().contains("1024"));
+        let e = ExecError::TypeMismatch {
+            expected: Ty::I32,
+            found: Ty::F32,
+        };
+        assert!(e.to_string().contains("i32"));
+        assert!(e.to_string().contains("f32"));
+    }
+
+    #[test]
+    fn errors_are_values_not_panics() {
+        // Compile-time statement of intent: ExecError is Clone + Eq so the
+        // engine can dedupe and count failure modes.
+        fn assert_traits<T: Clone + PartialEq + Send + Sync>() {}
+        assert_traits::<ExecError>();
+    }
+}

@@ -1,0 +1,1166 @@
+//! The SIMT executor and timing model.
+//!
+//! Execution is warp-lock-step with an explicit divergence stack that
+//! reconverges at the branch block's immediate post-dominator — the
+//! textbook SIMT mechanism that makes the paper's §VI-A analysis ("branch
+//! divergence forces every thread in the warp to run through both if and
+//! else regions") literal in this simulator.
+//!
+//! Timing is a two-bound roofline per block: the *latency* bound is the
+//! slowest warp's accumulated instruction latencies (with barriers
+//! synchronizing warp clocks), and the *throughput* bound is total issue
+//! work divided by the SM's issue width. Block times sum per SM;
+//! the launch takes the slowest SM plus a fixed launch overhead.
+
+use crate::error::ExecError;
+use crate::launch::{KernelArg, LaunchConfig, LaunchStats};
+use crate::mem::DeviceMemory;
+use crate::spec::GpuSpec;
+use crate::value::Value;
+use gevo_ir::{
+    rng, AddrSpace, Cfg, CmpPred, FloatBinOp, InstId, Instr, IntBinOp, Kernel, MemTy, Op, Operand,
+    ParamTy, Special, TermKind, Ty,
+};
+
+/// Sentinel for "reconverges at thread exit".
+const EXIT: u32 = u32::MAX;
+
+/// Maximum supported warp width (masks are stored in `u64`, lane indices
+/// reported through `i32` ballots cap at 32).
+pub const MAX_WARP: u32 = 32;
+
+/// A simulated GPU: one spec plus its device memory and L2 state.
+#[derive(Debug)]
+pub struct Gpu {
+    spec: GpuSpec,
+    mem: DeviceMemory,
+    l2: L2State,
+}
+
+impl Gpu {
+    /// Creates a device with the spec's memory arena.
+    #[must_use]
+    pub fn new(spec: GpuSpec) -> Gpu {
+        assert!(
+            spec.warp_size >= 2 && spec.warp_size <= MAX_WARP,
+            "warp_size must be in 2..={MAX_WARP}"
+        );
+        let mem = DeviceMemory::new(spec.device_mem_bytes);
+        let l2 = L2State::new(&spec);
+        Gpu { spec, mem, l2 }
+    }
+
+    /// Creates a device with an explicit arena size (e.g. sized so a
+    /// buffer can be placed flush against the top; see
+    /// [`DeviceMemory::alloc_at_end`]).
+    #[must_use]
+    pub fn with_arena(spec: GpuSpec, arena_bytes: u64) -> Gpu {
+        let mut spec = spec;
+        spec.device_mem_bytes = arena_bytes;
+        Gpu::new(spec)
+    }
+
+    /// The device's spec.
+    #[must_use]
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Device memory (for host-side setup).
+    #[must_use]
+    pub fn mem(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Device memory, mutably (for host-side setup).
+    pub fn mem_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.mem
+    }
+
+    /// Launches a kernel and runs it to completion.
+    ///
+    /// # Errors
+    /// Any [`ExecError`] the kernel provokes; the device memory may be
+    /// partially written when an error is returned, exactly like a real
+    /// device after an asynchronous fault.
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<LaunchStats, ExecError> {
+        self.validate_launch(kernel, cfg, args)?;
+        gevo_ir::verify::verify(kernel).map_err(|e| ExecError::Verify(e.to_string()))?;
+        let cfgraph = Cfg::build(kernel);
+        let params: Vec<Value> = args.iter().map(KernelArg::value).collect();
+
+        let mut stats = LaunchStats {
+            blocks: cfg.grid,
+            warps_per_block: cfg.block.div_ceil(self.spec.warp_size),
+            ..LaunchStats::default()
+        };
+        let mut sm_cycles = vec![0u64; self.spec.sm_count as usize];
+        for block_idx in 0..cfg.grid {
+            let block_cycles = {
+                // Device-wide L2 cache and DRAM row state persist across
+                // blocks AND launches (real devices do not flush L2
+                // between kernels).
+                let mut exec = BlockExec::new(
+                    &self.spec,
+                    &mut self.mem,
+                    kernel,
+                    &cfgraph,
+                    &params,
+                    cfg,
+                    block_idx,
+                    &mut stats,
+                    &mut self.l2,
+                );
+                exec.run()?
+            };
+            let sm = (block_idx % self.spec.sm_count) as usize;
+            sm_cycles[sm] += block_cycles;
+        }
+        stats.cycles = self.spec.costs.launch_overhead
+            + sm_cycles.iter().copied().max().unwrap_or(0);
+        Ok(stats)
+    }
+
+    fn validate_launch(
+        &self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<(), ExecError> {
+        if cfg.grid == 0 || cfg.block == 0 {
+            return Err(ExecError::BadLaunch("zero-sized launch".into()));
+        }
+        if cfg.block > self.spec.max_threads_per_block {
+            return Err(ExecError::BadLaunch(format!(
+                "{} threads/block exceeds the spec's {}",
+                cfg.block, self.spec.max_threads_per_block
+            )));
+        }
+        if kernel.shared_bytes > self.spec.shared_mem_per_block {
+            return Err(ExecError::BadLaunch(format!(
+                "kernel declares {} shared bytes, spec allows {}",
+                kernel.shared_bytes, self.spec.shared_mem_per_block
+            )));
+        }
+        if args.len() != kernel.params.len() {
+            return Err(ExecError::BadLaunch(format!(
+                "kernel takes {} params, launch passed {}",
+                kernel.params.len(),
+                args.len()
+            )));
+        }
+        for (i, (a, p)) in args.iter().zip(&kernel.params).enumerate() {
+            let ok = match (a, p.ty) {
+                (KernelArg::I32(_), ParamTy::Val(Ty::I32))
+                | (KernelArg::I64(_), ParamTy::Val(Ty::I64))
+                | (KernelArg::F32(_), ParamTy::Val(Ty::F32))
+                | (KernelArg::Buf(_), ParamTy::Ptr(_))
+                | (KernelArg::I64(_), ParamTy::Ptr(_)) => true,
+                _ => false,
+            };
+            if !ok {
+                return Err(ExecError::BadLaunch(format!(
+                    "argument {i} does not match parameter type {}",
+                    p.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpState {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    /// Block at which the two paths rejoin (`EXIT` = thread exit).
+    reconv: u32,
+    else_target: u32,
+    else_mask: u64,
+    merged: u64,
+    else_done: bool,
+}
+
+#[derive(Debug)]
+struct Warp {
+    warp_idx: u32,
+    active: u64,
+    exited: u64,
+    block: u32,
+    ip: usize,
+    stack: Vec<Frame>,
+    /// Register file, reg-major: `regs[reg * lanes + lane]`.
+    regs: Vec<Value>,
+    cycles: u64,
+    state: WarpState,
+}
+
+/// Device-wide memory-system state that persists across blocks and
+/// launches: L2 tags and the open DRAM row.
+#[derive(Debug)]
+struct L2State {
+    /// Direct-mapped cache tags, one entry per line slot.
+    cache: Vec<u64>,
+    /// Open DRAM row.
+    open_row: u64,
+}
+
+impl L2State {
+    fn new(spec: &GpuSpec) -> L2State {
+        L2State {
+            cache: vec![u64::MAX; usize::try_from(spec.cache_lines).expect("cache size")],
+            open_row: u64::MAX,
+        }
+    }
+}
+
+/// Execution context for a single thread block.
+struct BlockExec<'a> {
+    spec: &'a GpuSpec,
+    mem: &'a mut DeviceMemory,
+    kernel: &'a Kernel,
+    cfg: &'a Cfg,
+    params: &'a [Value],
+    launch: LaunchConfig,
+    block_idx: u32,
+    stats: &'a mut LaunchStats,
+    shared: Vec<u8>,
+    l2: &'a mut L2State,
+    warps: Vec<Warp>,
+    steps: u64,
+    /// Total issue slots consumed (throughput bound).
+    issue: u64,
+    lanes: u32,
+}
+
+impl<'a> BlockExec<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        spec: &'a GpuSpec,
+        mem: &'a mut DeviceMemory,
+        kernel: &'a Kernel,
+        cfg: &'a Cfg,
+        params: &'a [Value],
+        launch: LaunchConfig,
+        block_idx: u32,
+        stats: &'a mut LaunchStats,
+        l2: &'a mut L2State,
+    ) -> BlockExec<'a> {
+        let lanes = spec.warp_size;
+        let n_threads = launch.block;
+        let n_warps = n_threads.div_ceil(lanes);
+        let n_regs = kernel.reg_count();
+        let warps = (0..n_warps)
+            .map(|w| {
+                let live = (n_threads - w * lanes).min(lanes);
+                let full_mask = if live == 64 { u64::MAX } else { (1u64 << live) - 1 };
+                let mut regs = Vec::with_capacity(n_regs * lanes as usize);
+                for r in 0..n_regs {
+                    let ty = kernel.reg_ty(gevo_ir::Reg(u32::try_from(r).expect("reg idx")));
+                    for _ in 0..lanes {
+                        regs.push(Value::sentinel(ty));
+                    }
+                }
+                Warp {
+                    warp_idx: w,
+                    active: full_mask,
+                    exited: 0,
+                    block: 0,
+                    ip: 0,
+                    stack: Vec::new(),
+                    regs,
+                    cycles: 0,
+                    state: WarpState::Running,
+                }
+            })
+            .collect();
+        // Shared memory starts as recognizable garbage: reads before writes
+        // are deterministically wrong, never luckily zero.
+        let shared = vec![0xDBu8; kernel.shared_bytes as usize];
+        BlockExec {
+            spec,
+            mem,
+            kernel,
+            cfg,
+            params,
+            launch,
+            block_idx,
+            stats,
+            shared,
+            l2,
+            warps,
+            steps: 0,
+            issue: 0,
+            lanes,
+        }
+    }
+
+    /// Deterministic warp issue order for this block. Seed 0 is the
+    /// natural ascending order (deterministic baseline used for fitness);
+    /// other seeds permute the order, surfacing the claim-order races of
+    /// racy kernels (paper §II-C2).
+    fn warp_order(&self) -> Vec<usize> {
+        let n = self.warps.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        if self.launch.sched_seed == 0 {
+            return order;
+        }
+        let mut state = self
+            .launch
+            .sched_seed
+            .wrapping_add(u64::from(self.block_idx).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Fisher-Yates with a SplitMix-style generator.
+        for i in (1..n).rev() {
+            state = rng::mix64(state, i as u64);
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        order
+    }
+
+    fn run(&mut self) -> Result<u64, ExecError> {
+        let order = self.warp_order();
+        loop {
+            for &wi in &order {
+                if self.warps[wi].state == WarpState::Running {
+                    self.run_warp(wi)?;
+                }
+            }
+            let live: Vec<usize> = (0..self.warps.len())
+                .filter(|&i| self.warps[i].state != WarpState::Done)
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            if live.iter().all(|&i| self.warps[i].state == WarpState::AtBarrier) {
+                // Barrier release: synchronize clocks.
+                let arrive = live.iter().map(|&i| self.warps[i].cycles).max().unwrap_or(0);
+                let cost = self.spec.costs.barrier
+                    + self.spec.costs.barrier_per_warp * live.len() as u64;
+                for &i in &live {
+                    self.warps[i].cycles = arrive + cost;
+                    self.warps[i].state = WarpState::Running;
+                }
+                self.stats.barriers += 1;
+                self.issue += live.len() as u64;
+                continue;
+            }
+            // Some warps are at a barrier, none are runnable, not all done.
+            return Err(ExecError::Deadlock);
+        }
+        let latency = self.warps.iter().map(|w| w.cycles).max().unwrap_or(0);
+        let throughput = self.issue.div_ceil(self.spec.costs.issue_width.max(1));
+        Ok(latency.max(throughput))
+    }
+
+    /// Runs one warp until it blocks at a barrier, finishes, or faults.
+    fn run_warp(&mut self, wi: usize) -> Result<(), ExecError> {
+        loop {
+            self.steps += 1;
+            if self.steps > self.spec.step_limit {
+                return Err(ExecError::StepLimit);
+            }
+            let (block, ip) = {
+                let w = &self.warps[wi];
+                (w.block as usize, w.ip)
+            };
+            let blk = &self.kernel.blocks[block];
+            if ip < blk.instrs.len() {
+                let inst = &blk.instrs[ip];
+                let hit_barrier = self.exec_inst(wi, inst)?;
+                self.warps[wi].ip += 1;
+                if hit_barrier {
+                    return Ok(());
+                }
+            } else {
+                // Terminator.
+                let term = blk.term.kind;
+                self.exec_terminator(wi, term)?;
+                if self.warps[wi].state != WarpState::Running {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    // ---- control flow -------------------------------------------------
+
+    fn exec_terminator(&mut self, wi: usize, term: TermKind) -> Result<(), ExecError> {
+        self.stats.instructions += 1;
+        self.issue += 1;
+        self.warps[wi].cycles += self.spec.costs.alu;
+        match term {
+            TermKind::Br(t) => {
+                self.enter_block(wi, t.0);
+                Ok(())
+            }
+            TermKind::Ret => {
+                let w = &mut self.warps[wi];
+                w.exited |= w.active;
+                w.active = 0;
+                if w.stack.is_empty() {
+                    w.state = WarpState::Done;
+                    Ok(())
+                } else {
+                    let t = w.stack.last().expect("nonempty").reconv;
+                    self.enter_block(wi, t);
+                    Ok(())
+                }
+            }
+            TermKind::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let cur_block = self.warps[wi].block as usize;
+                let mut tmask = 0u64;
+                let mut fmask = 0u64;
+                let active = self.warps[wi].active;
+                for lane in 0..self.lanes {
+                    if active & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let v = self.read_operand(wi, lane, &cond)?;
+                    let b = v.as_bool().ok_or(ExecError::TypeMismatch {
+                        expected: Ty::Bool,
+                        found: v.ty(),
+                    })?;
+                    if b {
+                        tmask |= 1 << lane;
+                    } else {
+                        fmask |= 1 << lane;
+                    }
+                }
+                if fmask == 0 {
+                    self.enter_block(wi, if_true.0);
+                } else if tmask == 0 {
+                    self.enter_block(wi, if_false.0);
+                } else {
+                    // Divergence: serialize then-path first, else-path at
+                    // reconvergence (paper §VI-A's lock-step serialization).
+                    self.stats.divergent_branches += 1;
+                    self.warps[wi].cycles += self.spec.costs.divergence;
+                    let reconv = self
+                        .cfg
+                        .reconvergence(gevo_ir::BlockId(u32::try_from(cur_block).expect("block")))
+                        .map_or(EXIT, |b| b.0);
+                    let w = &mut self.warps[wi];
+                    w.stack.push(Frame {
+                        reconv,
+                        else_target: if_false.0,
+                        else_mask: fmask,
+                        merged: tmask | fmask,
+                        else_done: false,
+                    });
+                    w.active = tmask;
+                    self.enter_block(wi, if_true.0);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Transfers a warp to block `t`, unwinding/flipping divergence frames
+    /// whose reconvergence point is reached.
+    fn enter_block(&mut self, wi: usize, target: u32) {
+        let w = &mut self.warps[wi];
+        let mut t = target;
+        loop {
+            // Resolve frames whose reconvergence is `t`.
+            while let Some(top) = w.stack.last_mut() {
+                if t == top.reconv {
+                    if top.else_done {
+                        w.active = top.merged & !w.exited;
+                        w.stack.pop();
+                    } else {
+                        top.else_done = true;
+                        w.active = top.else_mask & !w.exited;
+                        t = top.else_target;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if t == EXIT {
+                // Lanes arriving here have finished the kernel.
+                w.exited |= w.active;
+                w.active = 0;
+            }
+            if w.active != 0 {
+                w.block = t;
+                w.ip = 0;
+                return;
+            }
+            // This path has no live lanes: skip to the innermost pending
+            // reconvergence, or finish the warp.
+            match w.stack.last() {
+                Some(top) => t = top.reconv,
+                None => {
+                    w.state = WarpState::Done;
+                    return;
+                }
+            }
+        }
+    }
+
+    // ---- operand & register access -------------------------------------
+
+    #[inline]
+    fn read_operand(&self, wi: usize, lane: u32, op: &Operand) -> Result<Value, ExecError> {
+        let w = &self.warps[wi];
+        Ok(match op {
+            Operand::Reg(r) => w.regs[r.0 as usize * self.lanes as usize + lane as usize],
+            Operand::ImmI32(v) => Value::I32(*v),
+            Operand::ImmI64(v) => Value::I64(*v),
+            Operand::ImmF32(v) => Value::F32(v.value()),
+            Operand::ImmBool(v) => Value::Bool(*v),
+            Operand::Special(s) => Value::I32(self.special(wi, lane, *s)),
+            Operand::Param(p) => self.params[*p as usize],
+        })
+    }
+
+    #[inline]
+    fn special(&self, wi: usize, lane: u32, s: Special) -> i32 {
+        let w = &self.warps[wi];
+        #[allow(clippy::cast_possible_wrap)]
+        match s {
+            Special::ThreadId => (w.warp_idx * self.lanes + lane) as i32,
+            Special::BlockId => self.block_idx as i32,
+            Special::BlockDim => self.launch.block as i32,
+            Special::GridDim => self.launch.grid as i32,
+            Special::LaneId => lane as i32,
+            Special::WarpId => w.warp_idx as i32,
+            Special::WarpSize => self.lanes as i32,
+        }
+    }
+
+    #[inline]
+    fn write_reg(&mut self, wi: usize, lane: u32, reg: gevo_ir::Reg, v: Value) {
+        let idx = reg.0 as usize * self.lanes as usize + lane as usize;
+        self.warps[wi].regs[idx] = v;
+    }
+
+    // ---- instruction execution -------------------------------------------
+
+    /// Executes one instruction for all active lanes. Returns `true` if it
+    /// was a barrier (the warp must yield).
+    fn exec_inst(&mut self, wi: usize, inst: &Instr) -> Result<bool, ExecError> {
+        self.stats.instructions += 1;
+        let active = self.warps[wi].active;
+        match inst.op {
+            Op::SyncThreads => {
+                if !self.warps[wi].stack.is_empty() {
+                    return Err(ExecError::BarrierDivergence);
+                }
+                self.warps[wi].state = WarpState::AtBarrier;
+                return Ok(true);
+            }
+            Op::Load { space, ty } => self.exec_mem_load(wi, inst, space, ty, active)?,
+            Op::Store { space, ty } => self.exec_mem_store(wi, inst, space, ty, active)?,
+            Op::AtomicAdd { space } => self.exec_atomic(wi, inst, space, active, AtomicKind::Add)?,
+            Op::AtomicMax { space } => self.exec_atomic(wi, inst, space, active, AtomicKind::Max)?,
+            Op::AtomicCas { space } => self.exec_atomic(wi, inst, space, active, AtomicKind::Cas)?,
+            Op::ShflSync | Op::ShflUpSync => self.exec_shfl(wi, inst, active)?,
+            Op::BallotSync => {
+                let mut mask = 0i32;
+                for lane in 0..self.lanes {
+                    if active & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let v = self.read_operand(wi, lane, &inst.args[0])?;
+                    let b = v.as_bool().ok_or(ExecError::TypeMismatch {
+                        expected: Ty::Bool,
+                        found: v.ty(),
+                    })?;
+                    if b {
+                        mask |= 1 << lane;
+                    }
+                }
+                let dst = inst.dst.expect("ballot has dst");
+                for lane in 0..self.lanes {
+                    if active & (1 << lane) != 0 {
+                        self.write_reg(wi, lane, dst, Value::I32(mask));
+                    }
+                }
+                self.stats.ballots += 1;
+                self.warps[wi].cycles += self.spec.costs.ballot;
+                self.issue += 1;
+            }
+            Op::ActiveMask => {
+                #[allow(clippy::cast_possible_wrap)]
+                let mask = Value::I32(active as i32);
+                let dst = inst.dst.expect("activemask has dst");
+                for lane in 0..self.lanes {
+                    if active & (1 << lane) != 0 {
+                        self.write_reg(wi, lane, dst, mask);
+                    }
+                }
+                self.warps[wi].cycles += self.spec.costs.activemask;
+                self.issue += 1;
+            }
+            _ => self.exec_scalar(wi, inst, active)?,
+        }
+        Ok(false)
+    }
+
+    /// Plain per-lane compute ops.
+    fn exec_scalar(&mut self, wi: usize, inst: &Instr, active: u64) -> Result<(), ExecError> {
+        let dst = inst.dst;
+        for lane in 0..self.lanes {
+            if active & (1 << lane) == 0 {
+                continue;
+            }
+            let result = self.eval_scalar(wi, lane, inst)?;
+            if let Some(d) = dst {
+                self.write_reg(wi, lane, d, result);
+            }
+        }
+        let cost = match inst.op {
+            Op::IBin(IntBinOp::Mul) => self.spec.costs.imul,
+            Op::IBin(IntBinOp::Div | IntBinOp::Rem) => self.spec.costs.idiv,
+            Op::IBin(_) => self.spec.costs.alu,
+            Op::FBin(FloatBinOp::Div) => self.spec.costs.fdiv,
+            Op::FBin(_) => self.spec.costs.falu,
+            Op::RngNext => self.spec.costs.rng,
+            _ => self.spec.costs.alu,
+        };
+        self.stats.alu_instructions += 1;
+        self.warps[wi].cycles += cost;
+        self.issue += 1;
+        Ok(())
+    }
+
+    fn eval_scalar(&self, wi: usize, lane: u32, inst: &Instr) -> Result<Value, ExecError> {
+        let a0 = |i: usize| self.read_operand(wi, lane, &inst.args[i]);
+        Ok(match inst.op {
+            Op::IBin(op) => eval_ibin(op, a0(0)?, a0(1)?)?,
+            Op::FBin(op) => {
+                let x = expect_f32(a0(0)?)?;
+                let y = expect_f32(a0(1)?)?;
+                Value::F32(match op {
+                    FloatBinOp::Add => x + y,
+                    FloatBinOp::Sub => x - y,
+                    FloatBinOp::Mul => x * y,
+                    FloatBinOp::Div => x / y,
+                    FloatBinOp::Min => x.min(y),
+                    FloatBinOp::Max => x.max(y),
+                })
+            }
+            Op::Icmp(pred) => {
+                let (x, y) = (a0(0)?, a0(1)?);
+                Value::Bool(eval_icmp(pred, x, y)?)
+            }
+            Op::Fcmp(pred) => {
+                let x = expect_f32(a0(0)?)?;
+                let y = expect_f32(a0(1)?)?;
+                Value::Bool(match x.partial_cmp(&y) {
+                    Some(ord) => pred.eval(ord),
+                    None => pred == CmpPred::Ne, // NaN: only `ne` holds
+                })
+            }
+            Op::Select => {
+                let c = expect_bool(a0(0)?)?;
+                if c {
+                    a0(1)?
+                } else {
+                    a0(2)?
+                }
+            }
+            Op::Mov => a0(0)?,
+            Op::Not => match a0(0)? {
+                Value::I32(v) => Value::I32(!v),
+                Value::I64(v) => Value::I64(!v),
+                Value::Bool(v) => Value::Bool(!v),
+                v @ Value::F32(_) => {
+                    return Err(ExecError::TypeMismatch {
+                        expected: Ty::I32,
+                        found: v.ty(),
+                    })
+                }
+            },
+            Op::Neg => match a0(0)? {
+                Value::I32(v) => Value::I32(v.wrapping_neg()),
+                Value::I64(v) => Value::I64(v.wrapping_neg()),
+                v => {
+                    return Err(ExecError::TypeMismatch {
+                        expected: Ty::I32,
+                        found: v.ty(),
+                    })
+                }
+            },
+            Op::FNeg => Value::F32(-expect_f32(a0(0)?)?),
+            Op::Sext => Value::I64(i64::from(expect_i32(a0(0)?)?)),
+            Op::Trunc => {
+                #[allow(clippy::cast_possible_truncation)]
+                Value::I32(expect_i64(a0(0)?)? as i32)
+            }
+            #[allow(clippy::cast_precision_loss)]
+            Op::SiToFp => Value::F32(expect_i32(a0(0)?)? as f32),
+            #[allow(clippy::cast_possible_truncation)]
+            Op::FpToSi => Value::I32(expect_f32(a0(0)?)? as i32),
+            Op::ZextBool => Value::I32(i32::from(expect_bool(a0(0)?)?)),
+            Op::RngNext => {
+                let s = expect_i64(a0(0)?)?;
+                let c = expect_i64(a0(1)?)?;
+                Value::I32(rng::mix_to_u31(s, c))
+            }
+            _ => unreachable!("non-scalar op routed to exec_scalar: {:?}", inst.op),
+        })
+    }
+
+    // ---- memory ---------------------------------------------------------
+
+    fn exec_mem_load(
+        &mut self,
+        wi: usize,
+        inst: &Instr,
+        space: AddrSpace,
+        ty: MemTy,
+        active: u64,
+    ) -> Result<(), ExecError> {
+        let dst = inst.dst.expect("load has dst");
+        let mut addrs: [i64; MAX_WARP as usize] = [0; MAX_WARP as usize];
+        for lane in 0..self.lanes {
+            if active & (1 << lane) == 0 {
+                continue;
+            }
+            let a = expect_i64(self.read_operand(wi, lane, &inst.args[0])?)?;
+            addrs[lane as usize] = a;
+            let v = match space {
+                AddrSpace::Global => self.mem.load(a, ty)?,
+                AddrSpace::Shared => self.shared_load(a, ty)?,
+            };
+            self.write_reg(wi, lane, dst, v);
+        }
+        self.charge_mem(wi, space, active, &addrs, false);
+        Ok(())
+    }
+
+    fn exec_mem_store(
+        &mut self,
+        wi: usize,
+        inst: &Instr,
+        space: AddrSpace,
+        ty: MemTy,
+        active: u64,
+    ) -> Result<(), ExecError> {
+        let mut addrs: [i64; MAX_WARP as usize] = [0; MAX_WARP as usize];
+        for lane in 0..self.lanes {
+            if active & (1 << lane) == 0 {
+                continue;
+            }
+            let a = expect_i64(self.read_operand(wi, lane, &inst.args[0])?)?;
+            let v = self.read_operand(wi, lane, &inst.args[1])?;
+            if v.ty() != ty.value_ty() {
+                return Err(ExecError::TypeMismatch {
+                    expected: ty.value_ty(),
+                    found: v.ty(),
+                });
+            }
+            addrs[lane as usize] = a;
+            match space {
+                AddrSpace::Global => self.mem.store(a, v)?,
+                AddrSpace::Shared => self.shared_store(a, v)?,
+            }
+        }
+        self.charge_mem(wi, space, active, &addrs, true);
+        Ok(())
+    }
+
+    /// Timing for one warp-level memory access. Loads stall the warp for
+    /// the full latency; stores are fire-and-forget (write-buffered) and
+    /// charge only issue cost — but still update cache and row-buffer
+    /// state, which is what makes the paper's §VI-E dead-write effect
+    /// reproducible.
+    fn charge_mem(
+        &mut self,
+        wi: usize,
+        space: AddrSpace,
+        active: u64,
+        addrs: &[i64; MAX_WARP as usize],
+        is_store: bool,
+    ) {
+        let n_active = active.count_ones();
+        if n_active == 0 {
+            self.issue += 1;
+            return;
+        }
+        match space {
+            AddrSpace::Shared => {
+                self.stats.shared_accesses += 1;
+                // Scalarized fast path: a single-lane-0 store uses the
+                // uniform datapath (DESIGN.md §3.2; stands in for the
+                // paper's unexplained edit-5 scheduling effect).
+                if is_store && n_active == 1 && active & 1 == 1 {
+                    self.warps[wi].cycles += self.spec.costs.shared_scalar;
+                    self.issue += 1;
+                    return;
+                }
+                // Bank conflicts: ways = max distinct words mapping to one
+                // bank; identical addresses broadcast.
+                let banks = self.spec.shared_banks as usize;
+                let mut per_bank: Vec<Vec<i64>> = vec![Vec::new(); banks];
+                for lane in 0..self.lanes {
+                    if active & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let word = addrs[lane as usize] / 4;
+                    let bank = (word.unsigned_abs() as usize) % banks;
+                    if !per_bank[bank].contains(&word) {
+                        per_bank[bank].push(word);
+                    }
+                }
+                let ways = per_bank.iter().map(Vec::len).max().unwrap_or(1).max(1) as u64;
+                self.stats.shared_conflicts += ways - 1;
+                let base = if is_store {
+                    self.spec.costs.shared_store
+                } else {
+                    self.spec.costs.shared
+                };
+                self.warps[wi].cycles += base + (ways - 1) * self.spec.costs.shared_conflict;
+                self.issue += ways;
+            }
+            AddrSpace::Global => {
+                self.stats.global_accesses += 1;
+                // Coalescing: one transaction per distinct segment.
+                // (Aligned accesses of <= 8 bytes never straddle a
+                // segment, so the base address determines it.)
+                let seg_size = self.spec.coalesce_bytes;
+                let mut segments: Vec<u64> = Vec::new();
+                for lane in 0..self.lanes {
+                    if active & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let seg = addrs[lane as usize].unsigned_abs() / seg_size;
+                    if !segments.contains(&seg) {
+                        segments.push(seg);
+                    }
+                }
+                let mut worst = 0u64;
+                for &seg in &segments {
+                    let line = seg; // segment == cache-line granularity
+                    let slot = (line % self.spec.cache_lines) as usize;
+                    let lat = if self.l2.cache[slot] == line {
+                        self.stats.cache_hits += 1;
+                        self.spec.costs.global_hit
+                    } else {
+                        self.l2.cache[slot] = line;
+                        self.stats.cache_misses += 1;
+                        let row = seg * seg_size / self.spec.dram_row_bytes;
+                        if row == self.l2.open_row {
+                            self.stats.row_hits += 1;
+                            self.spec.costs.global_row_hit
+                        } else {
+                            self.l2.open_row = row;
+                            self.stats.row_misses += 1;
+                            self.spec.costs.global_row_miss
+                        }
+                    };
+                    worst = worst.max(lat);
+                }
+                let nseg = segments.len() as u64;
+                self.stats.global_segments += nseg;
+                let stall = if is_store {
+                    self.spec.costs.global_store
+                } else {
+                    worst
+                };
+                self.warps[wi].cycles += stall + (nseg - 1) * self.spec.costs.global_segment;
+                self.issue += nseg * 2;
+            }
+        }
+    }
+
+    fn shared_load(&self, addr: i64, ty: MemTy) -> Result<Value, ExecError> {
+        let a = self.shared_check(addr, ty.size())?;
+        Ok(match ty {
+            MemTy::I32 => Value::I32(i32::from_le_bytes(
+                self.shared[a..a + 4].try_into().expect("4 bytes"),
+            )),
+            MemTy::I64 => Value::I64(i64::from_le_bytes(
+                self.shared[a..a + 8].try_into().expect("8 bytes"),
+            )),
+            MemTy::F32 => Value::F32(f32::from_le_bytes(
+                self.shared[a..a + 4].try_into().expect("4 bytes"),
+            )),
+        })
+    }
+
+    fn shared_store(&mut self, addr: i64, v: Value) -> Result<(), ExecError> {
+        match v {
+            Value::I32(x) => {
+                let a = self.shared_check(addr, 4)?;
+                self.shared[a..a + 4].copy_from_slice(&x.to_le_bytes());
+            }
+            Value::I64(x) => {
+                let a = self.shared_check(addr, 8)?;
+                self.shared[a..a + 8].copy_from_slice(&x.to_le_bytes());
+            }
+            Value::F32(x) => {
+                let a = self.shared_check(addr, 4)?;
+                self.shared[a..a + 4].copy_from_slice(&x.to_le_bytes());
+            }
+            Value::Bool(_) => {
+                return Err(ExecError::TypeMismatch {
+                    expected: Ty::I32,
+                    found: Ty::Bool,
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn shared_check(&self, addr: i64, bytes: u64) -> Result<usize, ExecError> {
+        if addr < 0 || addr.unsigned_abs() + bytes > u64::from(self.kernel.shared_bytes) {
+            return Err(ExecError::SharedFault {
+                addr,
+                shared_bytes: self.kernel.shared_bytes,
+            });
+        }
+        if addr.unsigned_abs() % bytes != 0 {
+            return Err(ExecError::Misaligned { addr, align: bytes });
+        }
+        Ok(usize::try_from(addr).expect("checked shared offset"))
+    }
+
+    // ---- atomics ----------------------------------------------------------
+
+    fn exec_atomic(
+        &mut self,
+        wi: usize,
+        inst: &Instr,
+        space: AddrSpace,
+        active: u64,
+        kind: AtomicKind,
+    ) -> Result<(), ExecError> {
+        let dst = inst.dst.expect("atomic has dst");
+        let n_active = active.count_ones() as u64;
+        // Lanes execute the atomic in lane order — the deterministic
+        // serialization a real device performs in unspecified order.
+        for lane in 0..self.lanes {
+            if active & (1 << lane) == 0 {
+                continue;
+            }
+            let addr = expect_i64(self.read_operand(wi, lane, &inst.args[0])?)?;
+            let old = match space {
+                AddrSpace::Global => expect_i32(self.mem.load(addr, MemTy::I32)?)?,
+                AddrSpace::Shared => expect_i32(self.shared_load(addr, MemTy::I32)?)?,
+            };
+            let new = match kind {
+                AtomicKind::Add => {
+                    let v = expect_i32(self.read_operand(wi, lane, &inst.args[1])?)?;
+                    old.wrapping_add(v)
+                }
+                AtomicKind::Max => {
+                    let v = expect_i32(self.read_operand(wi, lane, &inst.args[1])?)?;
+                    old.max(v)
+                }
+                AtomicKind::Cas => {
+                    let expected = expect_i32(self.read_operand(wi, lane, &inst.args[1])?)?;
+                    let newv = expect_i32(self.read_operand(wi, lane, &inst.args[2])?)?;
+                    if old == expected {
+                        newv
+                    } else {
+                        old
+                    }
+                }
+            };
+            match space {
+                AddrSpace::Global => self.mem.store(addr, Value::I32(new))?,
+                AddrSpace::Shared => self.shared_store(addr, Value::I32(new))?,
+            }
+            self.write_reg(wi, lane, dst, Value::I32(old));
+            self.stats.atomics += 1;
+        }
+        let base = match space {
+            AddrSpace::Global => self.spec.costs.atomic_global,
+            AddrSpace::Shared => self.spec.costs.atomic_shared,
+        };
+        self.warps[wi].cycles += base + n_active.saturating_sub(1) * (base / 8).max(1);
+        self.issue += n_active.max(1);
+        Ok(())
+    }
+
+    // ---- shuffles -----------------------------------------------------------
+
+    fn exec_shfl(&mut self, wi: usize, inst: &Instr, active: u64) -> Result<(), ExecError> {
+        let dst = inst.dst.expect("shfl has dst");
+        // Snapshot the value operand for every lane *before* any write:
+        // shuffles read other lanes' registers, including stale values in
+        // inactive lanes (the classic warp-synchronous hazard).
+        let mut snapshot: [Value; MAX_WARP as usize] = [Value::I32(0); MAX_WARP as usize];
+        for lane in 0..self.lanes {
+            snapshot[lane as usize] = self.read_operand(wi, lane, &inst.args[0])?;
+        }
+        for lane in 0..self.lanes {
+            if active & (1 << lane) == 0 {
+                continue;
+            }
+            let sel = expect_i32(self.read_operand(wi, lane, &inst.args[1])?)?;
+            let src = match inst.op {
+                Op::ShflSync => {
+                    // Out-of-range source: own value (CUDA semantics).
+                    if sel < 0 || sel >= i32::try_from(self.lanes).expect("lanes") {
+                        i64::from(lane)
+                    } else {
+                        i64::from(sel)
+                    }
+                }
+                Op::ShflUpSync => {
+                    // Out-of-warp source lanes (including the garbage
+                    // deltas mutated code produces) read the lane's own
+                    // value, like CUDA's undefined-delta behaviour made
+                    // deterministic.
+                    let s = i64::from(lane) - i64::from(sel);
+                    if s < 0 || s >= i64::from(self.lanes) {
+                        i64::from(lane)
+                    } else {
+                        s
+                    }
+                }
+                _ => unreachable!("non-shfl op in exec_shfl"),
+            };
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let v = snapshot[src as usize];
+            self.write_reg(wi, lane, dst, v);
+        }
+        self.stats.shfls += 1;
+        self.warps[wi].cycles += self.spec.costs.shfl;
+        self.issue += 1;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AtomicKind {
+    Add,
+    Max,
+    Cas,
+}
+
+// ---- typed value helpers -----------------------------------------------
+
+fn expect_i32(v: Value) -> Result<i32, ExecError> {
+    v.as_i32().ok_or(ExecError::TypeMismatch {
+        expected: Ty::I32,
+        found: v.ty(),
+    })
+}
+
+fn expect_i64(v: Value) -> Result<i64, ExecError> {
+    v.as_i64().ok_or(ExecError::TypeMismatch {
+        expected: Ty::I64,
+        found: v.ty(),
+    })
+}
+
+fn expect_f32(v: Value) -> Result<f32, ExecError> {
+    v.as_f32().ok_or(ExecError::TypeMismatch {
+        expected: Ty::F32,
+        found: v.ty(),
+    })
+}
+
+fn expect_bool(v: Value) -> Result<bool, ExecError> {
+    v.as_bool().ok_or(ExecError::TypeMismatch {
+        expected: Ty::Bool,
+        found: v.ty(),
+    })
+}
+
+fn eval_icmp(pred: CmpPred, x: Value, y: Value) -> Result<bool, ExecError> {
+    match (x, y) {
+        (Value::I32(a), Value::I32(b)) => Ok(pred.eval(a.cmp(&b))),
+        (Value::I64(a), Value::I64(b)) => Ok(pred.eval(a.cmp(&b))),
+        _ => Err(ExecError::TypeMismatch {
+            expected: x.ty(),
+            found: y.ty(),
+        }),
+    }
+}
+
+fn eval_ibin(op: IntBinOp, x: Value, y: Value) -> Result<Value, ExecError> {
+    match (x, y) {
+        (Value::I32(a), Value::I32(b)) => Ok(Value::I32(ibin_i32(op, a, b))),
+        (Value::I64(a), Value::I64(b)) => Ok(Value::I64(ibin_i64(op, a, b))),
+        (Value::Bool(a), Value::Bool(b)) if op.is_logical() => Ok(Value::Bool(match op {
+            IntBinOp::And => a && b,
+            IntBinOp::Or => a || b,
+            IntBinOp::Xor => a ^ b,
+            _ => unreachable!("checked is_logical"),
+        })),
+        _ => Err(ExecError::TypeMismatch {
+            expected: x.ty(),
+            found: y.ty(),
+        }),
+    }
+}
+
+fn ibin_i32(op: IntBinOp, a: i32, b: i32) -> i32 {
+    match op {
+        IntBinOp::Add => a.wrapping_add(b),
+        IntBinOp::Sub => a.wrapping_sub(b),
+        IntBinOp::Mul => a.wrapping_mul(b),
+        // GPUs do not trap on divide-by-zero; the simulator makes the
+        // garbage deterministic (0), same for MIN/-1 overflow.
+        IntBinOp::Div => a.checked_div(b).unwrap_or(0),
+        IntBinOp::Rem => a.checked_rem(b).unwrap_or(0),
+        IntBinOp::Min => a.min(b),
+        IntBinOp::Max => a.max(b),
+        IntBinOp::And => a & b,
+        IntBinOp::Or => a | b,
+        IntBinOp::Xor => a ^ b,
+        IntBinOp::Shl => a.wrapping_shl(b as u32),
+        IntBinOp::AShr => a.wrapping_shr(b as u32),
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+        IntBinOp::LShr => ((a as u32).wrapping_shr(b as u32)) as i32,
+    }
+}
+
+fn ibin_i64(op: IntBinOp, a: i64, b: i64) -> i64 {
+    match op {
+        IntBinOp::Add => a.wrapping_add(b),
+        IntBinOp::Sub => a.wrapping_sub(b),
+        IntBinOp::Mul => a.wrapping_mul(b),
+        IntBinOp::Div => a.checked_div(b).unwrap_or(0),
+        IntBinOp::Rem => a.checked_rem(b).unwrap_or(0),
+        IntBinOp::Min => a.min(b),
+        IntBinOp::Max => a.max(b),
+        IntBinOp::And => a & b,
+        IntBinOp::Or => a | b,
+        IntBinOp::Xor => a ^ b,
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        IntBinOp::Shl => a.wrapping_shl(b as u32),
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        IntBinOp::AShr => a.wrapping_shr(b as u32),
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        IntBinOp::LShr => ((a as u64).wrapping_shr(b as u32)) as i64,
+    }
+}
+
+/// Identify an instruction for diagnostics (kernel + id).
+#[must_use]
+pub fn describe_inst(kernel: &Kernel, id: InstId) -> String {
+    match kernel.locate(id) {
+        Some(pos) => {
+            let inst = kernel.inst_at(pos).expect("located");
+            let tag = kernel.loc_str(inst.loc);
+            if tag.is_empty() {
+                format!("{}:{}", kernel.name, id)
+            } else {
+                format!("{}:{} @{}", kernel.name, id, tag)
+            }
+        }
+        None => format!("{}:{} (terminator or deleted)", kernel.name, id),
+    }
+}

@@ -1,0 +1,677 @@
+//! Ergonomic construction of kernels.
+//!
+//! [`KernelBuilder`] is how the workload crates write their GPU kernels
+//! "in CUDA" — it plays the role of the Clang CUDA frontend in the paper's
+//! Figure 1 pipeline. The builder panics on misuse (type mismatches,
+//! unterminated blocks): a malformed *hand-written* kernel is a programming
+//! error, unlike malformed *mutated* kernels, which are handled gracefully
+//! by the verifier and the simulator.
+
+use crate::inst::{
+    BlockId, FloatBinOp, InstId, Instr, IntBinOp, LocId, Op, Operand, Reg, Special, TermKind,
+    Terminator, LOC_NONE,
+};
+use crate::kernel::{Block, Kernel, Param};
+use crate::types::{AddrSpace, CmpPred, MemTy, ParamTy, Ty};
+
+/// Incrementally builds a [`Kernel`].
+///
+/// # Examples
+///
+/// ```
+/// use gevo_ir::{KernelBuilder, AddrSpace, Special, Operand};
+///
+/// let mut b = KernelBuilder::new("scale");
+/// let data = b.param_ptr("data", AddrSpace::Global);
+/// let n = b.param_i32("n");
+/// let tid = b.global_thread_id();
+/// let in_range = b.icmp_lt(tid.into(), Operand::Param(n));
+/// let body = b.new_block("body");
+/// let exit = b.new_block("exit");
+/// b.cond_br(in_range.into(), body, exit);
+///
+/// b.switch_to(body);
+/// let addr = b.index_addr(Operand::Param(data), tid.into(), 4);
+/// let v = b.load(AddrSpace::Global, gevo_ir::MemTy::I32, addr.into());
+/// let doubled = b.add(v.into(), v.into());
+/// b.store(AddrSpace::Global, gevo_ir::MemTy::I32, addr.into(), doubled.into());
+/// b.br(exit);
+///
+/// b.switch_to(exit);
+/// b.ret();
+/// let kernel = b.finish();
+/// assert_eq!(kernel.blocks.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+    /// Blocks under construction: instruction lists plus optional terminator.
+    building: Vec<(String, Vec<Instr>, Option<Terminator>)>,
+    current: usize,
+    cur_loc: LocId,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel with an empty entry block selected.
+    #[must_use]
+    pub fn new(name: &str) -> KernelBuilder {
+        KernelBuilder {
+            kernel: Kernel::empty(name),
+            building: vec![("entry".to_string(), Vec::new(), None)],
+            current: 0,
+            cur_loc: LOC_NONE,
+        }
+    }
+
+    /// Declares the kernel's shared-memory footprint in bytes.
+    pub fn shared_bytes(&mut self, bytes: u32) {
+        self.kernel.shared_bytes = bytes;
+    }
+
+    /// Sets the source tag attached to subsequently emitted instructions;
+    /// this is the reproduction's analog of the paper's Clang debug-info
+    /// instrumentation (§III-A).
+    pub fn loc(&mut self, tag: &str) {
+        self.cur_loc = self.kernel.intern_loc(tag);
+    }
+
+    // ----- parameters --------------------------------------------------
+
+    /// Declares a pointer parameter; returns its index for `Operand::Param`.
+    pub fn param_ptr(&mut self, name: &str, space: AddrSpace) -> u16 {
+        self.push_param(name, ParamTy::Ptr(space))
+    }
+
+    /// Declares an `i32` scalar parameter.
+    pub fn param_i32(&mut self, name: &str) -> u16 {
+        self.push_param(name, ParamTy::Val(Ty::I32))
+    }
+
+    /// Declares an `i64` scalar parameter.
+    pub fn param_i64(&mut self, name: &str) -> u16 {
+        self.push_param(name, ParamTy::Val(Ty::I64))
+    }
+
+    /// Declares an `f32` scalar parameter.
+    pub fn param_f32(&mut self, name: &str) -> u16 {
+        self.push_param(name, ParamTy::Val(Ty::F32))
+    }
+
+    fn push_param(&mut self, name: &str, ty: ParamTy) -> u16 {
+        let idx = u16::try_from(self.kernel.params.len()).expect("param count overflow");
+        self.kernel.params.push(Param {
+            name: name.to_string(),
+            ty,
+        });
+        idx
+    }
+
+    // ----- blocks -------------------------------------------------------
+
+    /// Creates (but does not select) a new block; usable as a forward
+    /// branch target.
+    pub fn new_block(&mut self, name: &str) -> BlockId {
+        let id = BlockId(u32::try_from(self.building.len()).expect("block count overflow"));
+        self.building.push((name.to_string(), Vec::new(), None));
+        id
+    }
+
+    /// Selects the block subsequent instructions are appended to.
+    ///
+    /// # Panics
+    /// Panics if the block is already terminated.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            self.building[block.index()].2.is_none(),
+            "switch_to: block {} already terminated",
+            block
+        );
+        self.current = block.index();
+    }
+
+    /// The currently selected block.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        BlockId(u32::try_from(self.current).expect("block index overflow"))
+    }
+
+    // ----- generic emission ----------------------------------------------
+
+    /// Emits an instruction with a fresh destination register of type
+    /// `dst_ty` (or no destination for store/barrier ops).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or if the current block is terminated.
+    pub fn emit(&mut self, op: Op, args: Vec<Operand>, dst_ty: Option<Ty>) -> Option<Reg> {
+        assert_eq!(args.len(), op.arity(), "{}: arity mismatch", op.mnemonic());
+        assert_eq!(
+            op.has_dst(),
+            dst_ty.is_some(),
+            "{}: destination presence mismatch",
+            op.mnemonic()
+        );
+        let dst = dst_ty.map(|t| self.kernel.alloc_reg(t));
+        self.push_inst(dst, op, args);
+        dst
+    }
+
+    /// Emits an instruction writing an existing register (register-machine
+    /// re-assignment, used for loop induction variables).
+    ///
+    /// # Panics
+    /// Panics if the register's type does not match what the op produces
+    /// (checked for ops with statically known result types).
+    pub fn emit_to(&mut self, dst: Reg, op: Op, args: Vec<Operand>) {
+        assert_eq!(args.len(), op.arity(), "{}: arity mismatch", op.mnemonic());
+        assert!(op.has_dst(), "{}: op has no destination", op.mnemonic());
+        self.push_inst(Some(dst), op, args);
+    }
+
+    fn push_inst(&mut self, dst: Option<Reg>, op: Op, args: Vec<Operand>) {
+        let id = self.kernel.fresh_inst_id();
+        let loc = self.cur_loc;
+        let blk = &mut self.building[self.current];
+        assert!(
+            blk.2.is_none(),
+            "emitting into terminated block {}",
+            blk.0
+        );
+        blk.1.push(Instr { id, dst, op, args, loc });
+    }
+
+    fn arg_ty(&self, a: &Operand) -> Ty {
+        self.kernel.operand_ty(a)
+    }
+
+    // ----- moves & specials ----------------------------------------------
+
+    /// Copies an operand into a fresh register of the same type.
+    pub fn mov(&mut self, a: Operand) -> Reg {
+        let ty = self.arg_ty(&a);
+        self.emit(Op::Mov, vec![a], Some(ty)).expect("mov has dst")
+    }
+
+    /// Copies an operand into an existing register.
+    pub fn mov_to(&mut self, dst: Reg, a: Operand) {
+        self.emit_to(dst, Op::Mov, vec![a]);
+    }
+
+    /// Materializes a special register into an `i32` register.
+    pub fn special_i32(&mut self, s: Special) -> Reg {
+        self.mov(Operand::Special(s))
+    }
+
+    /// `blockIdx.x * blockDim.x + threadIdx.x` — the ubiquitous global
+    /// thread index, emitted as three instructions.
+    pub fn global_thread_id(&mut self) -> Reg {
+        let mul = self.mul(
+            Operand::Special(Special::BlockId),
+            Operand::Special(Special::BlockDim),
+        );
+        self.add(mul.into(), Operand::Special(Special::ThreadId))
+    }
+
+    // ----- integer/float arithmetic ---------------------------------------
+
+    /// Emits an integer binary op; operand types must match.
+    pub fn ibin(&mut self, op: IntBinOp, a: Operand, b: Operand) -> Reg {
+        let ta = self.arg_ty(&a);
+        let tb = self.arg_ty(&b);
+        assert_eq!(ta, tb, "ibin {op}: operand types differ ({ta} vs {tb})");
+        assert!(
+            matches!(ta, Ty::I32 | Ty::I64) || (ta == Ty::Bool && op.is_logical()),
+            "ibin {op}: invalid operand type {ta}"
+        );
+        self.emit(Op::IBin(op), vec![a, b], Some(ta)).expect("ibin has dst")
+    }
+
+    /// Integer binary op writing an existing register.
+    pub fn ibin_to(&mut self, dst: Reg, op: IntBinOp, a: Operand, b: Operand) {
+        let ta = self.arg_ty(&a);
+        assert_eq!(
+            self.kernel.reg_ty(dst),
+            ta,
+            "ibin_to {op}: dst type mismatch"
+        );
+        self.emit_to(dst, Op::IBin(op), vec![a, b]);
+    }
+
+    /// Emits a float binary op.
+    pub fn fbin(&mut self, op: FloatBinOp, a: Operand, b: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&a), Ty::F32, "fbin {op}: lhs not f32");
+        assert_eq!(self.arg_ty(&b), Ty::F32, "fbin {op}: rhs not f32");
+        self.emit(Op::FBin(op), vec![a, b], Some(Ty::F32)).expect("fbin has dst")
+    }
+
+    /// Float binary op writing an existing register.
+    pub fn fbin_to(&mut self, dst: Reg, op: FloatBinOp, a: Operand, b: Operand) {
+        assert_eq!(self.kernel.reg_ty(dst), Ty::F32, "fbin_to {op}: dst not f32");
+        self.emit_to(dst, Op::FBin(op), vec![a, b]);
+    }
+
+    /// Wrapping add (`i32`/`i64` inferred from operands).
+    pub fn add(&mut self, a: Operand, b: Operand) -> Reg {
+        self.ibin(IntBinOp::Add, a, b)
+    }
+
+    /// Wrapping subtract.
+    pub fn sub(&mut self, a: Operand, b: Operand) -> Reg {
+        self.ibin(IntBinOp::Sub, a, b)
+    }
+
+    /// Wrapping multiply.
+    pub fn mul(&mut self, a: Operand, b: Operand) -> Reg {
+        self.ibin(IntBinOp::Mul, a, b)
+    }
+
+    /// Signed divide (x/0 = 0).
+    pub fn div(&mut self, a: Operand, b: Operand) -> Reg {
+        self.ibin(IntBinOp::Div, a, b)
+    }
+
+    /// Signed remainder (x%0 = 0).
+    pub fn rem(&mut self, a: Operand, b: Operand) -> Reg {
+        self.ibin(IntBinOp::Rem, a, b)
+    }
+
+    /// Signed minimum.
+    pub fn min(&mut self, a: Operand, b: Operand) -> Reg {
+        self.ibin(IntBinOp::Min, a, b)
+    }
+
+    /// Signed maximum.
+    pub fn max(&mut self, a: Operand, b: Operand) -> Reg {
+        self.ibin(IntBinOp::Max, a, b)
+    }
+
+    /// Bitwise/logical AND.
+    pub fn and(&mut self, a: Operand, b: Operand) -> Reg {
+        self.ibin(IntBinOp::And, a, b)
+    }
+
+    /// Bitwise/logical OR.
+    pub fn or(&mut self, a: Operand, b: Operand) -> Reg {
+        self.ibin(IntBinOp::Or, a, b)
+    }
+
+    /// Convenience `i64` add (asserts both operands are `i64`).
+    pub fn add_i64(&mut self, a: Operand, b: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&a), Ty::I64);
+        self.ibin(IntBinOp::Add, a, b)
+    }
+
+    /// Convenience `i64` multiply.
+    pub fn mul_i64(&mut self, a: Operand, b: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&a), Ty::I64);
+        self.ibin(IntBinOp::Mul, a, b)
+    }
+
+    // ----- comparisons, select, unary --------------------------------------
+
+    /// Integer compare producing a `b1` register.
+    pub fn icmp(&mut self, pred: CmpPred, a: Operand, b: Operand) -> Reg {
+        let ta = self.arg_ty(&a);
+        assert_eq!(ta, self.arg_ty(&b), "icmp {pred}: operand types differ");
+        assert!(matches!(ta, Ty::I32 | Ty::I64), "icmp {pred}: not integer");
+        self.emit(Op::Icmp(pred), vec![a, b], Some(Ty::Bool)).expect("icmp has dst")
+    }
+
+    /// `icmp lt` sugar.
+    pub fn icmp_lt(&mut self, a: Operand, b: Operand) -> Reg {
+        self.icmp(CmpPred::Lt, a, b)
+    }
+
+    /// `icmp eq` sugar.
+    pub fn icmp_eq(&mut self, a: Operand, b: Operand) -> Reg {
+        self.icmp(CmpPred::Eq, a, b)
+    }
+
+    /// `icmp ge` sugar.
+    pub fn icmp_ge(&mut self, a: Operand, b: Operand) -> Reg {
+        self.icmp(CmpPred::Ge, a, b)
+    }
+
+    /// Float compare producing a `b1` register.
+    pub fn fcmp(&mut self, pred: CmpPred, a: Operand, b: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&a), Ty::F32);
+        assert_eq!(self.arg_ty(&b), Ty::F32);
+        self.emit(Op::Fcmp(pred), vec![a, b], Some(Ty::Bool)).expect("fcmp has dst")
+    }
+
+    /// Ternary select; result type follows the true-arm.
+    pub fn select(&mut self, cond: Operand, t: Operand, f: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&cond), Ty::Bool, "select: cond not b1");
+        let tt = self.arg_ty(&t);
+        assert_eq!(tt, self.arg_ty(&f), "select: arm types differ");
+        self.emit(Op::Select, vec![cond, t, f], Some(tt)).expect("select has dst")
+    }
+
+    /// Select writing an existing register.
+    pub fn select_to(&mut self, dst: Reg, cond: Operand, t: Operand, f: Operand) {
+        self.emit_to(dst, Op::Select, vec![cond, t, f]);
+    }
+
+    /// Logical/bitwise NOT.
+    pub fn not(&mut self, a: Operand) -> Reg {
+        let ty = self.arg_ty(&a);
+        self.emit(Op::Not, vec![a], Some(ty)).expect("not has dst")
+    }
+
+    /// Sign-extend `i32` → `i64`.
+    pub fn sext(&mut self, a: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&a), Ty::I32, "sext: operand not i32");
+        self.emit(Op::Sext, vec![a], Some(Ty::I64)).expect("sext has dst")
+    }
+
+    /// Truncate `i64` → `i32`.
+    pub fn trunc(&mut self, a: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&a), Ty::I64, "trunc: operand not i64");
+        self.emit(Op::Trunc, vec![a], Some(Ty::I32)).expect("trunc has dst")
+    }
+
+    /// Signed `i32` → `f32`.
+    pub fn sitofp(&mut self, a: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&a), Ty::I32, "sitofp: operand not i32");
+        self.emit(Op::SiToFp, vec![a], Some(Ty::F32)).expect("sitofp has dst")
+    }
+
+    /// `f32` → signed `i32`.
+    pub fn fptosi(&mut self, a: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&a), Ty::F32, "fptosi: operand not f32");
+        self.emit(Op::FpToSi, vec![a], Some(Ty::I32)).expect("fptosi has dst")
+    }
+
+    /// Zero-extend `b1` → `i32`.
+    pub fn zext_bool(&mut self, a: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&a), Ty::Bool, "zext: operand not b1");
+        self.emit(Op::ZextBool, vec![a], Some(Ty::I32)).expect("zext has dst")
+    }
+
+    // ----- memory -----------------------------------------------------------
+
+    /// Byte address `base + index * elem_size`; `index` may be `i32`
+    /// (sign-extended) or `i64`.
+    pub fn index_addr(&mut self, base: Operand, index: Operand, elem_size: i64) -> Reg {
+        let idx64 = match self.arg_ty(&index) {
+            Ty::I32 => self.sext(index).into(),
+            Ty::I64 => index,
+            other => panic!("index_addr: index has type {other}"),
+        };
+        let scaled = self.mul_i64(idx64, Operand::ImmI64(elem_size));
+        assert_eq!(self.arg_ty(&base), Ty::I64, "index_addr: base not i64");
+        self.add_i64(base, scaled.into())
+    }
+
+    /// Typed load.
+    pub fn load(&mut self, space: AddrSpace, ty: MemTy, addr: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&addr), Ty::I64, "load: addr not i64");
+        self.emit(Op::Load { space, ty }, vec![addr], Some(ty.value_ty()))
+            .expect("load has dst")
+    }
+
+    /// Typed load into an existing register.
+    pub fn load_to(&mut self, dst: Reg, space: AddrSpace, ty: MemTy, addr: Operand) {
+        self.emit_to(dst, Op::Load { space, ty }, vec![addr]);
+    }
+
+    /// Typed store.
+    pub fn store(&mut self, space: AddrSpace, ty: MemTy, addr: Operand, val: Operand) {
+        assert_eq!(self.arg_ty(&addr), Ty::I64, "store: addr not i64");
+        assert_eq!(self.arg_ty(&val), ty.value_ty(), "store: value type mismatch");
+        self.emit(Op::Store { space, ty }, vec![addr, val], None);
+    }
+
+    /// `ld.global.i32` sugar.
+    pub fn load_global_i32(&mut self, addr: Operand) -> Reg {
+        self.load(AddrSpace::Global, MemTy::I32, addr)
+    }
+
+    /// `st.global.i32` sugar.
+    pub fn store_global_i32(&mut self, addr: Operand, val: Operand) {
+        self.store(AddrSpace::Global, MemTy::I32, addr, val);
+    }
+
+    /// `ld.shared.i32` sugar.
+    pub fn load_shared_i32(&mut self, addr: Operand) -> Reg {
+        self.load(AddrSpace::Shared, MemTy::I32, addr)
+    }
+
+    /// `st.shared.i32` sugar.
+    pub fn store_shared_i32(&mut self, addr: Operand, val: Operand) {
+        self.store(AddrSpace::Shared, MemTy::I32, addr, val);
+    }
+
+    /// Atomic fetch-add (`i32`), returning the old value.
+    pub fn atomic_add(&mut self, space: AddrSpace, addr: Operand, val: Operand) -> Reg {
+        self.emit(Op::AtomicAdd { space }, vec![addr, val], Some(Ty::I32))
+            .expect("atomic has dst")
+    }
+
+    /// Atomic fetch-max (`i32`), returning the old value.
+    pub fn atomic_max(&mut self, space: AddrSpace, addr: Operand, val: Operand) -> Reg {
+        self.emit(Op::AtomicMax { space }, vec![addr, val], Some(Ty::I32))
+            .expect("atomic has dst")
+    }
+
+    /// Atomic compare-and-swap (`i32`), returning the old value.
+    pub fn atomic_cas(
+        &mut self,
+        space: AddrSpace,
+        addr: Operand,
+        expected: Operand,
+        new: Operand,
+    ) -> Reg {
+        self.emit(Op::AtomicCas { space }, vec![addr, expected, new], Some(Ty::I32))
+            .expect("atomic has dst")
+    }
+
+    // ----- warp & block primitives --------------------------------------------
+
+    /// `__shfl_sync`: read `val` from lane `src_lane`.
+    pub fn shfl(&mut self, val: Operand, src_lane: Operand) -> Reg {
+        let ty = self.arg_ty(&val);
+        self.emit(Op::ShflSync, vec![val, src_lane], Some(ty)).expect("shfl has dst")
+    }
+
+    /// `__shfl_up_sync`: read `val` from the lane `delta` below.
+    pub fn shfl_up(&mut self, val: Operand, delta: Operand) -> Reg {
+        let ty = self.arg_ty(&val);
+        self.emit(Op::ShflUpSync, vec![val, delta], Some(ty)).expect("shfl has dst")
+    }
+
+    /// `__ballot_sync` over the active mask.
+    pub fn ballot(&mut self, pred: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&pred), Ty::Bool, "ballot: pred not b1");
+        self.emit(Op::BallotSync, vec![pred], Some(Ty::I32)).expect("ballot has dst")
+    }
+
+    /// `__activemask()`.
+    pub fn activemask(&mut self) -> Reg {
+        self.emit(Op::ActiveMask, vec![], Some(Ty::I32)).expect("activemask has dst")
+    }
+
+    /// `__syncthreads()`.
+    pub fn sync_threads(&mut self) {
+        self.emit(Op::SyncThreads, vec![], None);
+    }
+
+    /// Counter-based RNG draw (see [`Op::RngNext`]).
+    pub fn rng_next(&mut self, seed: Operand, counter: Operand) -> Reg {
+        assert_eq!(self.arg_ty(&seed), Ty::I64, "rng: seed not i64");
+        assert_eq!(self.arg_ty(&counter), Ty::I64, "rng: counter not i64");
+        self.emit(Op::RngNext, vec![seed, counter], Some(Ty::I32)).expect("rng has dst")
+    }
+
+    // ----- terminators ------------------------------------------------------------
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(TermKind::Br(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: Operand, if_true: BlockId, if_false: BlockId) {
+        assert_eq!(self.arg_ty(&cond), Ty::Bool, "cond_br: cond not b1");
+        self.terminate(TermKind::CondBr {
+            cond,
+            if_true,
+            if_false,
+        });
+    }
+
+    /// Terminates the current block with a thread exit.
+    pub fn ret(&mut self) {
+        self.terminate(TermKind::Ret);
+    }
+
+    fn terminate(&mut self, kind: TermKind) {
+        let id = self.kernel.fresh_inst_id();
+        let loc = self.cur_loc;
+        let blk = &mut self.building[self.current];
+        assert!(blk.2.is_none(), "block {} terminated twice", blk.0);
+        blk.2 = Some(Terminator { id, kind, loc });
+    }
+
+    // ----- finish ----------------------------------------------------------------
+
+    /// Consumes the builder and produces the kernel.
+    ///
+    /// # Panics
+    /// Panics if any block lacks a terminator or a branch targets a
+    /// nonexistent block.
+    #[must_use]
+    pub fn finish(self) -> Kernel {
+        let mut kernel = self.kernel;
+        let n_blocks = self.building.len();
+        for (name, instrs, term) in self.building {
+            let term = term.unwrap_or_else(|| panic!("block {name} missing terminator"));
+            for succ in term.successors() {
+                assert!(
+                    succ.index() < n_blocks,
+                    "block {name} branches to nonexistent {succ}"
+                );
+            }
+            kernel.push_block(Block { name, instrs, term });
+        }
+        kernel
+    }
+
+    /// Read-only view of the kernel under construction (register types,
+    /// params) — used by workload code to introspect while building.
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Allocates an uninitialized register of the given type (for
+    /// loop-carried values written by `*_to` methods).
+    pub fn fresh_reg(&mut self, ty: Ty) -> Reg {
+        self.kernel.alloc_reg(ty)
+    }
+
+    /// The ID the *next* emitted instruction will receive; workloads use
+    /// this to record the IDs of their annotated inefficiency sites.
+    #[must_use]
+    pub fn peek_next_id(&self) -> InstId {
+        InstId(self.kernel.inst_id_bound())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_kernel() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param_ptr("out", AddrSpace::Global);
+        let tid = b.special_i32(Special::ThreadId);
+        let addr = b.index_addr(Operand::Param(p), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let k = b.finish();
+        assert_eq!(k.blocks.len(), 1);
+        assert_eq!(k.name, "k");
+        // mov + sext + mul + add + store
+        assert_eq!(k.inst_count(), 5);
+        assert!(matches!(k.blocks[0].term.kind, TermKind::Ret));
+    }
+
+    #[test]
+    fn loop_with_reassignment() {
+        let mut b = KernelBuilder::new("loop");
+        let n = b.param_i32("n");
+        let i = b.mov(Operand::ImmI32(0));
+        let hdr = b.new_block("hdr");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.br(hdr);
+        b.switch_to(hdr);
+        let c = b.icmp_lt(i.into(), Operand::Param(n));
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        b.ibin_to(i, IntBinOp::Add, i.into(), Operand::ImmI32(1));
+        b.br(hdr);
+        b.switch_to(exit);
+        b.ret();
+        let k = b.finish();
+        assert_eq!(k.blocks.len(), 4);
+        // Induction variable written by two instructions (mov + add).
+        let writes = k
+            .iter_insts()
+            .filter(|(_, inst)| inst.dst == Some(i))
+            .count();
+        assert_eq!(writes, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing terminator")]
+    fn unterminated_block_panics() {
+        let mut b = KernelBuilder::new("bad");
+        let _ = b.new_block("orphan");
+        b.ret();
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminate_panics() {
+        let mut b = KernelBuilder::new("bad");
+        b.ret();
+        b.ret();
+    }
+
+    #[test]
+    #[should_panic(expected = "operand types differ")]
+    fn type_mismatch_panics() {
+        let mut b = KernelBuilder::new("bad");
+        let x = b.mov(Operand::ImmI32(1));
+        let y = b.mov(Operand::ImmI64(1));
+        let _ = b.add(x.into(), y.into());
+    }
+
+    #[test]
+    fn loc_tags_attach() {
+        let mut b = KernelBuilder::new("k");
+        b.loc("site_x");
+        let r = b.mov(Operand::ImmI32(1));
+        b.loc("site_y");
+        let _ = b.add(r.into(), Operand::ImmI32(2));
+        b.ret();
+        let k = b.finish();
+        let tags: Vec<&str> = k
+            .iter_insts()
+            .map(|(_, inst)| k.loc_str(inst.loc))
+            .collect();
+        assert_eq!(tags, vec!["site_x", "site_y"]);
+    }
+
+    #[test]
+    fn global_thread_id_shape() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.global_thread_id();
+        b.ret();
+        let k = b.finish();
+        assert_eq!(k.inst_count(), 2); // mul + add
+    }
+}

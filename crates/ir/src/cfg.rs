@@ -1,0 +1,252 @@
+//! Control-flow-graph analyses.
+//!
+//! The simulator reconverges divergent warps at the *immediate
+//! post-dominator* of the branch block, the textbook SIMT reconvergence
+//! policy. Because evolutionary edits never change CFG shape (DESIGN.md
+//! §4.2), these analyses are computed once per kernel and reused across
+//! every variant.
+
+use crate::inst::BlockId;
+use crate::kernel::Kernel;
+
+/// Precomputed CFG facts for one kernel.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Immediate post-dominator per block; `None` for blocks that reach
+    /// exit without a unique post-dominator (i.e. `Ret` blocks, which
+    /// post-dominate themselves only) or unreachable blocks.
+    pub ipostdom: Vec<Option<BlockId>>,
+}
+
+impl Cfg {
+    /// Computes successors, predecessors and immediate post-dominators.
+    #[must_use]
+    pub fn build(kernel: &Kernel) -> Cfg {
+        let n = kernel.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, b) in kernel.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                succs[i].push(s);
+                preds[s.index()].push(BlockId(u32::try_from(i).expect("block idx")));
+            }
+        }
+        let ipostdom = compute_ipostdom(n, &succs);
+        Cfg {
+            succs,
+            preds,
+            ipostdom,
+        }
+    }
+
+    /// The reconvergence point for a divergent branch in `block`: its
+    /// immediate post-dominator.
+    #[must_use]
+    pub fn reconvergence(&self, block: BlockId) -> Option<BlockId> {
+        self.ipostdom[block.index()]
+    }
+}
+
+/// Immediate post-dominators via the classic iterative dataflow algorithm
+/// (Cooper–Harvey–Kennedy on the reverse CFG, with a virtual exit node
+/// that every `Ret` block feeds).
+fn compute_ipostdom(n: usize, succs: &[Vec<BlockId>]) -> Vec<Option<BlockId>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // Virtual exit = index n. Blocks with no successors connect to it.
+    let exit = n;
+    let total = n + 1;
+    let mut rsuccs: Vec<Vec<usize>> = vec![Vec::new(); total]; // successors incl. exit
+    for (i, ss) in succs.iter().enumerate() {
+        if ss.is_empty() {
+            rsuccs[i].push(exit);
+        } else {
+            rsuccs[i].extend(ss.iter().map(|b| b.index()));
+        }
+    }
+    // Postorder of the *reverse* CFG from exit == reverse postorder on the
+    // forward CFG toward exit. We need an ordering of nodes by
+    // post-dominance processing: compute a postorder DFS on the forward
+    // graph from the entry and process in that order, iterating to fixpoint.
+    // Simplicity over asymptotics: kernels here have tens of blocks.
+    let mut idom: Vec<Option<usize>> = vec![None; total];
+    idom[exit] = Some(exit);
+
+    // Order: any order works for correctness with iteration-to-fixpoint.
+    let order: Vec<usize> = (0..n).collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().rev() {
+            // New idom = intersection of post-doms of all successors that
+            // already have one.
+            let mut new_idom: Option<usize> = None;
+            for &s in &rsuccs[b] {
+                if idom[s].is_some() {
+                    new_idom = Some(match new_idom {
+                        None => s,
+                        Some(cur) => intersect(&idom, cur, s, total),
+                    });
+                }
+            }
+            if let Some(ni) = new_idom {
+                if idom[b] != Some(ni) {
+                    idom[b] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    (0..n)
+        .map(|b| match idom[b] {
+            Some(d) if d < n => Some(BlockId(u32::try_from(d).expect("block idx"))),
+            _ => None, // post-dominated only by the virtual exit
+        })
+        .collect()
+}
+
+/// Walk two candidate post-dominators up the tree until they meet.
+/// `depth` guards against malformed inputs.
+fn intersect(idom: &[Option<usize>], a: usize, b: usize, depth: usize) -> usize {
+    // Rank nodes by repeatedly following idom toward the exit; the exit is
+    // its own idom. To compare, compute each node's distance to exit.
+    let dist = |mut x: usize| -> usize {
+        let mut d = 0;
+        for _ in 0..=depth {
+            match idom[x] {
+                Some(p) if p != x => {
+                    x = p;
+                    d += 1;
+                }
+                _ => break,
+            }
+        }
+        d
+    };
+    let (mut x, mut y) = (a, b);
+    let (mut dx, mut dy) = (dist(x), dist(y));
+    while x != y {
+        while dx > dy {
+            x = idom[x].expect("ranked node has idom");
+            dx -= 1;
+        }
+        while dy > dx {
+            y = idom[y].expect("ranked node has idom");
+            dy -= 1;
+        }
+        if x != y {
+            x = idom[x].expect("ranked node has idom");
+            y = idom[y].expect("ranked node has idom");
+            dx = dx.saturating_sub(1);
+            dy = dy.saturating_sub(1);
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::inst::Operand;
+
+    /// entry → (then|else) → join → ret
+    fn diamond() -> Kernel {
+        let mut b = KernelBuilder::new("diamond");
+        let c = b.icmp_eq(Operand::ImmI32(1), Operand::ImmI32(1));
+        let t = b.new_block("then");
+        let e = b.new_block("else");
+        let j = b.new_block("join");
+        b.cond_br(c.into(), t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_reconverges_at_join() {
+        let k = diamond();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.reconvergence(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn ret_block_has_no_reconvergence() {
+        let k = diamond();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.reconvergence(BlockId(3)), None);
+    }
+
+    /// entry → hdr; hdr → (body|exit); body → hdr; exit → ret.
+    #[test]
+    fn loop_postdominators() {
+        let mut b = KernelBuilder::new("loop");
+        let n = b.param_i32("n");
+        let i = b.mov(Operand::ImmI32(0));
+        let hdr = b.new_block("hdr");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.br(hdr);
+        b.switch_to(hdr);
+        let c = b.icmp_lt(i.into(), Operand::Param(n));
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        b.ibin_to(i, crate::inst::IntBinOp::Add, i.into(), Operand::ImmI32(1));
+        b.br(hdr);
+        b.switch_to(exit);
+        b.ret();
+        let k = b.finish();
+        let cfg = Cfg::build(&k);
+        // The loop header's divergence reconverges at the exit block.
+        assert_eq!(cfg.reconvergence(hdr), Some(exit));
+        // Entry's ipostdom is the header.
+        assert_eq!(cfg.reconvergence(BlockId(0)), Some(hdr));
+        // Body's ipostdom is the header (it always flows back there).
+        assert_eq!(cfg.reconvergence(body), Some(hdr));
+    }
+
+    /// Nested diamonds: reconvergence of outer branch skips inner join.
+    #[test]
+    fn nested_diamonds() {
+        let mut b = KernelBuilder::new("nested");
+        let c0 = b.icmp_eq(Operand::ImmI32(0), Operand::ImmI32(0));
+        let t0 = b.new_block("t0");
+        let e0 = b.new_block("e0");
+        let j0 = b.new_block("j0");
+        let t1 = b.new_block("t1");
+        let e1 = b.new_block("e1");
+        let j1 = b.new_block("j1");
+        b.cond_br(c0.into(), t0, e0);
+        // outer then contains an inner diamond
+        b.switch_to(t0);
+        let c1 = b.icmp_eq(Operand::ImmI32(1), Operand::ImmI32(1));
+        b.cond_br(c1.into(), t1, e1);
+        b.switch_to(t1);
+        b.br(j1);
+        b.switch_to(e1);
+        b.br(j1);
+        b.switch_to(j1);
+        b.br(j0);
+        b.switch_to(e0);
+        b.br(j0);
+        b.switch_to(j0);
+        b.ret();
+        let k = b.finish();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.reconvergence(BlockId(0)), Some(j0));
+        assert_eq!(cfg.reconvergence(t0), Some(j1));
+    }
+}

@@ -1,0 +1,97 @@
+//! Human-readable kernel listings (PTX-flavored).
+
+use crate::inst::TermKind;
+use crate::kernel::Kernel;
+use std::fmt;
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".kernel {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", p.name, p.ty)?;
+        }
+        writeln!(f, ") .shared {} {{", self.shared_bytes)?;
+        for (bi, block) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{bi}: ; {}", block.name)?;
+            for inst in &block.instrs {
+                write!(f, "  ")?;
+                if let Some(d) = inst.dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "{}", inst.op.mnemonic())?;
+                for (ai, a) in inst.args.iter().enumerate() {
+                    if ai == 0 {
+                        write!(f, " ")?;
+                    } else {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                let tag = self.loc_str(inst.loc);
+                if tag.is_empty() {
+                    writeln!(f, "  ;; {}", inst.id)?;
+                } else {
+                    writeln!(f, "  ;; {} @{}", inst.id, tag)?;
+                }
+            }
+            match block.term.kind {
+                TermKind::Br(t) => writeln!(f, "  br {t}  ;; {}", block.term.id)?,
+                TermKind::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                } => writeln!(
+                    f,
+                    "  br {cond}, {if_true}, {if_false}  ;; {}",
+                    block.term.id
+                )?,
+                TermKind::Ret => writeln!(f, "  ret  ;; {}", block.term.id)?,
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::KernelBuilder;
+    use crate::inst::{Operand, Special};
+    use crate::types::AddrSpace;
+
+    #[test]
+    fn listing_contains_key_elements() {
+        let mut b = KernelBuilder::new("show");
+        let p = b.param_ptr("out", AddrSpace::Global);
+        b.loc("write_site");
+        let tid = b.special_i32(Special::ThreadId);
+        let addr = b.index_addr(Operand::Param(p), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let k = b.finish();
+        let s = k.to_string();
+        assert!(s.contains(".kernel show"), "header: {s}");
+        assert!(s.contains("st.global.i32"), "store mnemonic: {s}");
+        assert!(s.contains("@write_site"), "source tag: {s}");
+        assert!(s.contains("ret"), "terminator: {s}");
+    }
+
+    #[test]
+    fn cond_br_prints_both_targets() {
+        let mut b = KernelBuilder::new("cb");
+        let c = b.icmp_eq(Operand::ImmI32(0), Operand::ImmI32(0));
+        let t = b.new_block("t");
+        let f = b.new_block("f");
+        b.cond_br(c.into(), t, f);
+        b.switch_to(t);
+        b.ret();
+        b.switch_to(f);
+        b.ret();
+        let k = b.finish();
+        let s = k.to_string();
+        assert!(s.contains("bb1"), "{s}");
+        assert!(s.contains("bb2"), "{s}");
+    }
+}

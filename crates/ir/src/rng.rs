@@ -1,0 +1,103 @@
+//! Counter-based pseudo-random mixing shared between device kernels and
+//! CPU reference models.
+//!
+//! SIMCoV's fitness validation (paper §II-C2, §III-C) requires the GPU
+//! simulation and its ground-truth oracle to draw *identical* random
+//! streams when the seed is fixed. Both sides therefore call this one
+//! function: kernels via the [`crate::Op::RngNext`] instruction (executed
+//! by the simulator), oracles directly.
+//!
+//! The mixer is a strengthened SplitMix64 finalizer over the pair
+//! `(seed, counter)` — statistically solid for simulation purposes and,
+//! critically, stateless: a thread's draw depends only on its logical
+//! coordinates, never on scheduling order.
+
+/// Mixes two 64-bit values into 64 well-scrambled bits.
+#[must_use]
+pub fn mix64(seed: u64, counter: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(counter)
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes to a non-negative `i32` (31 uniform bits) — the value produced by
+/// the `rng.next` instruction.
+#[must_use]
+pub fn mix_to_u31(seed: i64, counter: i64) -> i32 {
+    // Cast-preserving: the device op operates on i64 operands.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let bits = (mix64(seed as u64, counter as u64) >> 33) as u32;
+    #[allow(clippy::cast_possible_wrap)]
+    {
+        (bits & 0x7FFF_FFFF) as i32
+    }
+}
+
+/// A draw in `[0, 1)` derived from the same stream, used by CPU oracles
+/// for probability thresholds.
+#[must_use]
+pub fn mix_to_unit_f64(seed: i64, counter: i64) -> f64 {
+    f64::from(mix_to_u31(seed, counter)) / (f64::from(0x4000_0000i32) * 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(mix64(42, 7), mix64(42, 7));
+        assert_eq!(mix_to_u31(42, 7), mix_to_u31(42, 7));
+    }
+
+    #[test]
+    fn nonnegative() {
+        for c in 0..1000 {
+            assert!(mix_to_u31(12345, c) >= 0);
+        }
+    }
+
+    #[test]
+    fn counter_sensitivity() {
+        // Adjacent counters should produce different values almost surely.
+        let distinct = (0..100)
+            .map(|c| mix_to_u31(1, c))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 95, "only {} distinct draws", distinct.len());
+    }
+
+    #[test]
+    fn seed_sensitivity() {
+        assert_ne!(mix_to_u31(1, 0), mix_to_u31(2, 0));
+    }
+
+    #[test]
+    fn unit_interval() {
+        for c in 0..1000 {
+            let v = mix_to_unit_f64(9, c);
+            assert!((0.0..1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        // Crude uniformity check: bucket 10k draws into deciles.
+        let mut buckets = [0usize; 10];
+        for c in 0..10_000 {
+            let v = mix_to_unit_f64(777, c);
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let b = (v * 10.0) as usize;
+            buckets[b.min(9)] += 1;
+        }
+        for (i, &count) in buckets.iter().enumerate() {
+            assert!(
+                (800..1200).contains(&count),
+                "decile {i} has {count} draws"
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Post-mutation cleanup passes.
+//!
+//! GEVO hands mutated LLVM-IR back to the LLVM pipeline, which runs its
+//! standard optimizations before PTX codegen — so when an edit re-routes a
+//! branch condition, the now-unreferenced comparison chain is removed by
+//! dead-code elimination. That matters for reproducing §VI-D: the paper
+//! counts "31% of the kernel instructions" as boundary logic that the
+//! boundary-check edits eliminate; without DCE, replacing the branch
+//! condition would leave the comparison chain executing.
+//!
+//! [`dce`] is the equivalent pass here. It is deliberately conservative,
+//! mirroring what LLVM can prove about GPU code:
+//!
+//! * loads are **kept** (they may fault; LLVM needs dereferenceability
+//!   proofs it does not have),
+//! * warp intrinsics (`shfl`, `ballot`, `activemask`) are **kept**
+//!   (convergent operations),
+//! * stores, atomics and barriers are obviously kept,
+//! * pure arithmetic whose result is never referenced is removed,
+//!   transitively.
+
+use crate::inst::{Op, Operand, TermKind};
+use crate::kernel::Kernel;
+
+/// True for ops LLVM would treat as trivially dead when unused.
+fn is_pure(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::IBin(_)
+            | Op::FBin(_)
+            | Op::Icmp(_)
+            | Op::Fcmp(_)
+            | Op::Select
+            | Op::Mov
+            | Op::Not
+            | Op::Neg
+            | Op::FNeg
+            | Op::Sext
+            | Op::Trunc
+            | Op::SiToFp
+            | Op::FpToSi
+            | Op::ZextBool
+            | Op::RngNext
+    )
+}
+
+/// Removes pure instructions whose destination register is never read,
+/// iterating to a fixpoint. Returns the number of instructions removed.
+pub fn dce(kernel: &mut Kernel) -> usize {
+    let mut removed_total = 0;
+    loop {
+        // Global use-set over registers (conservative for the register
+        // machine: any read anywhere keeps every writer alive).
+        let mut used = vec![false; kernel.reg_count()];
+        for block in &kernel.blocks {
+            for inst in &block.instrs {
+                for a in &inst.args {
+                    if let Operand::Reg(r) = a {
+                        used[r.0 as usize] = true;
+                    }
+                }
+            }
+            if let TermKind::CondBr { cond, .. } = block.term.kind {
+                if let Operand::Reg(r) = cond {
+                    used[r.0 as usize] = true;
+                }
+            }
+        }
+        let mut removed_this_round = 0;
+        for block in &mut kernel.blocks {
+            block.instrs.retain(|inst| {
+                let dead = is_pure(&inst.op)
+                    && inst
+                        .dst
+                        .is_some_and(|d| !used[d.0 as usize]);
+                if dead {
+                    removed_this_round += 1;
+                }
+                !dead
+            });
+        }
+        if removed_this_round == 0 {
+            return removed_total;
+        }
+        removed_total += removed_this_round;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::inst::Special;
+    use crate::types::AddrSpace;
+
+    #[test]
+    fn removes_transitively_dead_chain() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let tid = b.special_i32(Special::ThreadId);
+        // Dead chain: x -> y -> z, never stored.
+        let x = b.add(tid.into(), Operand::ImmI32(1));
+        let y = b.mul(x.into(), Operand::ImmI32(3));
+        let _z = b.sub(y.into(), Operand::ImmI32(2));
+        // Live path.
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let mut k = b.finish();
+        let before = k.inst_count();
+        let removed = dce(&mut k);
+        assert_eq!(removed, 3, "the whole chain dies");
+        assert_eq!(k.inst_count(), before - 3);
+        assert!(crate::verify::verify(&k).is_ok());
+    }
+
+    #[test]
+    fn keeps_loads_stores_and_convergent_ops() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let tid = b.special_i32(Special::ThreadId);
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        let _unused_load = b.load_global_i32(addr.into());
+        let pred = b.icmp_eq(tid.into(), Operand::ImmI32(0));
+        let _unused_ballot = b.ballot(pred.into());
+        let _unused_mask = b.activemask();
+        let _unused_shfl = b.shfl_up(tid.into(), Operand::ImmI32(1));
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let mut k = b.finish();
+        let before = k.inst_count();
+        let removed = dce(&mut k);
+        assert_eq!(removed, 0, "side-effecting/convergent ops survive");
+        assert_eq!(k.inst_count(), before);
+    }
+
+    #[test]
+    fn branch_condition_keeps_its_chain_until_replaced() {
+        let mut b = KernelBuilder::new("k");
+        let n = b.param_i32("n");
+        let tid = b.special_i32(Special::ThreadId);
+        let a = b.add(tid.into(), Operand::ImmI32(1));
+        let c = b.icmp_lt(a.into(), Operand::Param(n));
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        b.cond_br(c.into(), t, e);
+        b.switch_to(t);
+        b.ret();
+        b.switch_to(e);
+        b.ret();
+        let mut k = b.finish();
+        let before = k.inst_count();
+        assert_eq!(dce(&mut k), 0, "condition chain is live");
+        assert_eq!(k.inst_count(), before);
+
+        // Replace the condition (what a GEVO CondReplace edit does) — now
+        // the chain dies, like LLVM DCE after the paper's edits 8/10.
+        if let TermKind::CondBr { cond, .. } = &mut k.blocks[0].term.kind {
+            *cond = Operand::ImmBool(true);
+        }
+        let removed = dce(&mut k);
+        assert_eq!(removed, 3, "icmp + add + the tid mov feeding them die");
+    }
+
+    #[test]
+    fn loop_carried_registers_survive() {
+        let mut b = KernelBuilder::new("loop");
+        let n = b.param_i32("n");
+        let i = b.mov(Operand::ImmI32(0));
+        let hdr = b.new_block("hdr");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.br(hdr);
+        b.switch_to(hdr);
+        let c = b.icmp_lt(i.into(), Operand::Param(n));
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        b.ibin_to(i, crate::inst::IntBinOp::Add, i.into(), Operand::ImmI32(1));
+        b.br(hdr);
+        b.switch_to(exit);
+        b.ret();
+        let mut k = b.finish();
+        assert_eq!(dce(&mut k), 0, "induction updates are live");
+    }
+}

@@ -1,0 +1,312 @@
+//! ADEPT-V0: the original, pre-hand-tuning GPU port (paper §III-B).
+//!
+//! One forward kernel, one alignment per thread block, one scoring-matrix
+//! column per thread (paper Fig. 3), anti-diagonal wavefront, neighbor
+//! exchange through shared memory only. It carries the inefficiencies the
+//! paper's analysis localizes:
+//!
+//! * **the §VI-C bottleneck**: every anti-diagonal iteration, *every*
+//!   thread redundantly re-initializes the whole shared exchange region
+//!   (`init_sweeps` passes), followed by an extra barrier — "GPU threads
+//!   block each other to initialize the same memory region over and over,
+//!   creating the significant performance bottleneck";
+//! * a loop-invariant reload of the thread's `b`-base from global memory
+//!   every iteration;
+//! * a dead diagnostic store to a scratch buffer every iteration.
+//!
+//! Each inefficiency site's [`InstId`]s are reported in [`V0Sites`] so
+//! harnesses can construct the curated optimization edits (DESIGN.md
+//! §4.5) and check what the GA discovered against them.
+
+use gevo_ir::{
+    AddrSpace, CmpPred, InstId, Kernel, KernelBuilder, MemTy, Operand, Special,
+};
+
+use crate::sw_cpu::score;
+
+/// Annotated inefficiency sites in the V0 kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct V0Sites {
+    /// Terminator of the redundant init loop's header: replacing the
+    /// condition with `false` skips the §VI-C bottleneck entirely.
+    pub init_branch: InstId,
+    /// The init loop's shared store (partial fix: delete just the store).
+    pub init_store: InstId,
+    /// The barrier that follows the init loop (deletable once the init is
+    /// gone; deleting it *alone* corrupts the exchange protocol).
+    pub init_sync: InstId,
+    /// Loop-invariant reload of the thread's `b` base.
+    pub reload_sb: InstId,
+    /// Dead diagnostic store.
+    pub dead_store: InstId,
+}
+
+/// Shared-memory word layout for a block of `t` threads:
+/// `[0,t)` exchange H, `[t,2t)` exchange H−2, `[2t,3t)` reduction scores,
+/// `[3t,4t)` reduction rows.
+pub(crate) const V0_ARRAYS: u32 = 4;
+
+/// Builds the V0 forward kernel for blocks of `block_threads` threads.
+///
+/// `init_sweeps` controls how many times the redundant init loop sweeps
+/// the exchange region per iteration (the paper's "over and over").
+#[must_use]
+pub fn build_v0(block_threads: u32, init_sweeps: u32) -> (Kernel, V0Sites) {
+    let t = i64::from(block_threads);
+    let mut b = KernelBuilder::new("adept_v0_fwd");
+    b.shared_bytes(V0_ARRAYS * block_threads * 4);
+
+    let p_seq_a = b.param_ptr("seq_a", AddrSpace::Global);
+    let p_seq_b = b.param_ptr("seq_b", AddrSpace::Global);
+    let p_offs_a = b.param_ptr("offs_a", AddrSpace::Global);
+    let p_offs_b = b.param_ptr("offs_b", AddrSpace::Global);
+    let p_lens_a = b.param_ptr("lens_a", AddrSpace::Global);
+    let p_lens_b = b.param_ptr("lens_b", AddrSpace::Global);
+    let p_out = b.param_ptr("out", AddrSpace::Global);
+    let p_scratch = b.param_ptr("scratch", AddrSpace::Global);
+
+    b.loc("entry");
+    let tid = b.special_i32(Special::ThreadId);
+    let bid = b.special_i32(Special::BlockId);
+    let load_meta = |b: &mut KernelBuilder, ptr: u16, idx: Operand| {
+        let addr = b.index_addr(Operand::Param(ptr), idx, 4);
+        b.load_global_i32(addr.into())
+    };
+    let off_a = load_meta(&mut b, p_offs_a, bid.into());
+    let off_b = load_meta(&mut b, p_offs_b, bid.into());
+    let m = load_meta(&mut b, p_lens_a, bid.into());
+    let n = load_meta(&mut b, p_lens_b, bid.into());
+    let is_valid = b.icmp_lt(tid.into(), n.into());
+
+    // Clamped per-thread base of `b` (threads ≥ n read a dummy base).
+    let n_minus1 = b.sub(n.into(), Operand::ImmI32(1));
+    let nm1_clamped = b.max(n_minus1.into(), Operand::ImmI32(0));
+    let jj = b.min(tid.into(), nm1_clamped.into());
+    let sb_idx = b.add(off_b.into(), jj.into());
+    let sb_addr = b.index_addr(Operand::Param(p_seq_b), sb_idx.into(), 4);
+    let sb = b.load_global_i32(sb_addr.into());
+
+    // DP state.
+    let prev_h = b.mov(Operand::ImmI32(0));
+    let prev_hh = b.mov(Operand::ImmI32(0));
+    let best_s = b.mov(Operand::ImmI32(0));
+    let best_i = b.mov(Operand::ImmI32(-1));
+    let diag = b.mov(Operand::ImmI32(0));
+    let m_plus_n = b.add(m.into(), n.into());
+    let total = b.sub(m_plus_n.into(), Operand::ImmI32(1));
+
+    // Shared addresses (precomputed; word stride t per array).
+    let ex_h_addr = b.index_addr(Operand::ImmI64(0), tid.into(), 4);
+    let ex_hh_addr = b.index_addr(Operand::ImmI64(t * 4), tid.into(), 4);
+    let tid_m1 = b.sub(tid.into(), Operand::ImmI32(1));
+    let nbi = b.max(tid_m1.into(), Operand::ImmI32(0));
+    let nb_h_addr = b.index_addr(Operand::ImmI64(0), nbi.into(), 4);
+    let nb_hh_addr = b.index_addr(Operand::ImmI64(t * 4), nbi.into(), 4);
+    let red_s_addr = b.index_addr(Operand::ImmI64(2 * t * 4), tid.into(), 4);
+    let red_i_addr = b.index_addr(Operand::ImmI64(3 * t * 4), tid.into(), 4);
+    let gtid = b.global_thread_id();
+    let scratch_addr = b.index_addr(Operand::Param(p_scratch), gtid.into(), 4);
+    let init_w = b.fresh_reg(gevo_ir::Ty::I32);
+
+    let diag_hdr = b.new_block("diag_hdr");
+    let dbody = b.new_block("dbody");
+    let init_hdr = b.new_block("init_hdr");
+    let init_body = b.new_block("init_body");
+    let init_done = b.new_block("init_done");
+    let comp = b.new_block("comp");
+    let skip = b.new_block("skip");
+    let after = b.new_block("after");
+    let red_start = b.new_block("red_start");
+    let red_hdr = b.new_block("red_hdr");
+    let red_body = b.new_block("red_body");
+    let red_done = b.new_block("red_done");
+    let done = b.new_block("done");
+
+    b.br(diag_hdr);
+
+    // ---- wavefront loop ------------------------------------------------
+    b.switch_to(diag_hdr);
+    let more = b.icmp_lt(diag.into(), total.into());
+    b.cond_br(more.into(), dbody, after);
+
+    b.switch_to(dbody);
+    b.loc("v0_init_loop");
+    b.mov_to(init_w, Operand::ImmI32(0));
+    b.br(init_hdr);
+
+    b.switch_to(init_hdr);
+    #[allow(clippy::cast_possible_wrap)]
+    let init_bound = Operand::ImmI32((2 * block_threads * init_sweeps) as i32);
+    let init_more = b.icmp_lt(init_w.into(), init_bound);
+    let init_branch = b.peek_next_id();
+    b.cond_br(init_more.into(), init_body, init_done);
+
+    b.switch_to(init_body);
+    // Redundant zeroing of the whole exchange region by *every* thread,
+    // with a modulo in the hot loop for good measure (§VI-C: "vastly
+    // inefficient").
+    #[allow(clippy::cast_possible_wrap)]
+    let wrap = Operand::ImmI32((2 * block_threads) as i32);
+    let wi = b.rem(init_w.into(), wrap);
+    let waddr = b.index_addr(Operand::ImmI64(0), wi.into(), 4);
+    let init_store = b.peek_next_id();
+    b.store_shared_i32(waddr.into(), Operand::ImmI32(0));
+    b.ibin_to(init_w, gevo_ir::IntBinOp::Add, init_w.into(), Operand::ImmI32(1));
+    b.br(init_hdr);
+
+    b.switch_to(init_done);
+    let init_sync = b.peek_next_id();
+    b.sync_threads();
+
+    b.loc("v0_publish");
+    b.store_shared_i32(ex_h_addr.into(), prev_h.into());
+    b.store_shared_i32(ex_hh_addr.into(), prev_hh.into());
+    b.sync_threads();
+    let nb_h = b.load_shared_i32(nb_h_addr.into());
+    let nb_hh = b.load_shared_i32(nb_hh_addr.into());
+
+    b.loc("v0_reload");
+    let reload_sb = b.peek_next_id();
+    b.load_to(sb, AddrSpace::Global, MemTy::I32, sb_addr.into());
+
+    b.loc("v0_dead_store");
+    let dead_store = b.peek_next_id();
+    b.store_global_i32(scratch_addr.into(), prev_h.into());
+
+    b.loc("v0_guard");
+    let i = b.sub(diag.into(), tid.into());
+    let ge0 = b.icmp_ge(i.into(), Operand::ImmI32(0));
+    let ltm = b.icmp_lt(i.into(), m.into());
+    let in_range = b.and(ge0.into(), ltm.into());
+    let active = b.and(is_valid.into(), in_range.into());
+    b.cond_br(active.into(), comp, skip);
+
+    b.switch_to(comp);
+    b.loc("v0_cell");
+    let sa_idx = b.add(off_a.into(), i.into());
+    let sa_addr = b.index_addr(Operand::Param(p_seq_a), sa_idx.into(), 4);
+    let sa = b.load_global_i32(sa_addr.into());
+    let eq = b.icmp_eq(sa.into(), sb.into());
+    let sc = b.select(
+        eq.into(),
+        Operand::ImmI32(score::MATCH),
+        Operand::ImmI32(score::MISMATCH),
+    );
+    let j0 = b.icmp_eq(tid.into(), Operand::ImmI32(0));
+    let i0 = b.icmp_eq(i.into(), Operand::ImmI32(0));
+    let d0 = b.or(j0.into(), i0.into());
+    let dh = b.select(d0.into(), Operand::ImmI32(0), nb_hh.into());
+    let lh = b.select(j0.into(), Operand::ImmI32(0), nb_h.into());
+    let uh = b.select(i0.into(), Operand::ImmI32(0), prev_h.into());
+    let h_diag = b.add(dh.into(), sc.into());
+    let h_left = b.add(lh.into(), Operand::ImmI32(score::GAP));
+    let h_up = b.add(uh.into(), Operand::ImmI32(score::GAP));
+    let h1 = b.max(h_diag.into(), h_left.into());
+    let h2 = b.max(h1.into(), h_up.into());
+    let h = b.max(h2.into(), Operand::ImmI32(0));
+    let better = b.icmp(CmpPred::Gt, h.into(), best_s.into());
+    b.select_to(best_s, better.into(), h.into(), best_s.into());
+    b.select_to(best_i, better.into(), i.into(), best_i.into());
+    b.mov_to(prev_hh, prev_h.into());
+    b.mov_to(prev_h, h.into());
+    b.br(skip);
+
+    b.switch_to(skip);
+    b.loc("v0_step");
+    b.sync_threads();
+    b.ibin_to(diag, gevo_ir::IntBinOp::Add, diag.into(), Operand::ImmI32(1));
+    b.br(diag_hdr);
+
+    // ---- final reduction (thread 0 scans per-column bests) -------------
+    b.switch_to(after);
+    b.loc("v0_reduce");
+    b.store_shared_i32(red_s_addr.into(), best_s.into());
+    b.store_shared_i32(red_i_addr.into(), best_i.into());
+    b.sync_threads();
+    let t0 = b.icmp_eq(tid.into(), Operand::ImmI32(0));
+    b.cond_br(t0.into(), red_start, done);
+
+    b.switch_to(red_start);
+    let bs = b.mov(Operand::ImmI32(0));
+    let bi = b.mov(Operand::ImmI32(-1));
+    let bj = b.mov(Operand::ImmI32(-1));
+    let col = b.mov(Operand::ImmI32(0));
+    b.br(red_hdr);
+
+    b.switch_to(red_hdr);
+    let red_more = b.icmp_lt(col.into(), n.into());
+    b.cond_br(red_more.into(), red_body, red_done);
+
+    b.switch_to(red_body);
+    let rs_addr = b.index_addr(Operand::ImmI64(2 * t * 4), col.into(), 4);
+    let ri_addr = b.index_addr(Operand::ImmI64(3 * t * 4), col.into(), 4);
+    let s = b.load_shared_i32(rs_addr.into());
+    let ii = b.load_shared_i32(ri_addr.into());
+    let sgt = b.icmp(CmpPred::Gt, s.into(), bs.into());
+    let s_eq = b.icmp_eq(s.into(), bs.into());
+    let ilt = b.icmp_lt(ii.into(), bi.into());
+    let tie = b.and(s_eq.into(), ilt.into());
+    let better2 = b.or(sgt.into(), tie.into());
+    b.select_to(bs, better2.into(), s.into(), bs.into());
+    b.select_to(bi, better2.into(), ii.into(), bi.into());
+    b.select_to(bj, better2.into(), col.into(), bj.into());
+    b.ibin_to(col, gevo_ir::IntBinOp::Add, col.into(), Operand::ImmI32(1));
+    b.br(red_hdr);
+
+    b.switch_to(red_done);
+    let out_idx = b.mul(bid.into(), Operand::ImmI32(4));
+    let out0 = b.index_addr(Operand::Param(p_out), out_idx.into(), 4);
+    b.store_global_i32(out0.into(), bs.into());
+    let out1 = b.add_i64(out0.into(), Operand::ImmI64(4));
+    b.store_global_i32(out1.into(), bi.into());
+    let out2 = b.add_i64(out0.into(), Operand::ImmI64(8));
+    b.store_global_i32(out2.into(), bj.into());
+    b.br(done);
+
+    b.switch_to(done);
+    b.ret();
+
+    (
+        b.finish(),
+        V0Sites {
+            init_branch,
+            init_store,
+            init_sync,
+            reload_sb,
+            dead_store,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v0_kernel_verifies() {
+        let (k, _) = build_v0(32, 4);
+        assert!(gevo_ir::verify::verify(&k).is_ok(), "{k}");
+    }
+
+    #[test]
+    fn v0_sites_resolve() {
+        let (k, sites) = build_v0(32, 4);
+        // Body sites are body instructions; branch site is a terminator.
+        assert!(k.locate(sites.init_store).is_some());
+        assert!(k.locate(sites.init_sync).is_some());
+        assert!(k.locate(sites.reload_sb).is_some());
+        assert!(k.locate(sites.dead_store).is_some());
+        assert!(k.terminator(sites.init_branch).is_some());
+    }
+
+    #[test]
+    fn v0_shape() {
+        let (k, _) = build_v0(64, 4);
+        // Comparable in spirit to the paper's "423 lines / 1097 LLVM-IR
+        // instructions" single kernel: substantial, single-kernel, with a
+        // mix of memory and control structure.
+        assert!(k.inst_count() > 60, "V0 has {} instructions", k.inst_count());
+        assert!(k.blocks.len() >= 10);
+        assert_eq!(k.shared_bytes, 4 * 64 * 4);
+    }
+}

@@ -1,0 +1,519 @@
+//! ADEPT-V1: the expert hand-tuned version (paper §III-B).
+//!
+//! Two kernels (forward + reverse, "623 lines / 1707 LLVM-IR
+//! instructions"), mirroring the paper's Fig. 9 structure around data
+//! exchange:
+//!
+//! * intra-warp neighbor exchange through **warp shuffles** (private
+//!   registers);
+//! * cross-warp handoff through small `sh_prev_*` shared arrays written
+//!   by the **last lane** of each warp;
+//! * `local_*` shared arrays maintained **only in the contraction phase**
+//!   (`diag >= maxSize`), which consumers use in that phase;
+//! * conservative `activemask` + `ballot_sync` guards before the
+//!   register-exchange region (§VI-B).
+//!
+//! The paper's epistatic edits live at exactly these sites:
+//!
+//! | paper edit | site | curated edit |
+//! |---|---|---|
+//! | 5 | `if (lane == last)` publish of `sh_prev_*` | cond → `lane == 0` |
+//! | 6 | `if (diag >= maxSize)` publish of `local_*` | cond → `is_valid` |
+//! | 8 | `if (diag >= maxSize)` consumer of the left value | cond → the line-14 guard (`active`) |
+//! | 10 | `if (diag >= maxSize)` consumer of the diagonal value | cond → `active` |
+//!
+//! The reverse kernel repeats the same structure; its enabler/consumer
+//! pair is the paper's second epistatic subgroup (edits 0 and 11).
+
+use gevo_ir::{
+    AddrSpace, CmpPred, InstId, Kernel, KernelBuilder, Operand, Reg, Special,
+};
+
+use crate::sw_cpu::score;
+
+/// Which pass the kernel computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Forward: align `a` vs `b`, report best score + end positions.
+    Forward,
+    /// Reverse: align the reversed prefixes ending at the forward end
+    /// positions (read from the forward kernel's output buffer).
+    Reverse,
+}
+
+/// Annotated sites in one V1 kernel (forward or reverse).
+#[derive(Debug, Clone, Copy)]
+pub struct V1Sites {
+    /// Terminator of the `lane == last` publish (paper edit 5 site).
+    pub publish_sh_cond: InstId,
+    /// Terminator of the `diag >= maxSize` local publish (edit 6 site).
+    pub publish_local_cond: InstId,
+    /// Terminator of the left-value consumer switch (edit 8 site).
+    pub use_left_cond: InstId,
+    /// Terminator of the diagonal-value consumer switch (edit 10 site).
+    pub use_diag_cond: InstId,
+    /// `lane == 0` register (edit 5's replacement operand).
+    pub lane0_bool: Reg,
+    /// The line-14 guard register (edits 8/10's replacement operand).
+    pub active_bool: Reg,
+    /// `tid < n` register (edit 6's replacement operand).
+    pub valid_bool: Reg,
+    /// Deletable `ballot_sync` (paper §VI-B).
+    pub ballot: InstId,
+    /// Deletable `activemask`.
+    pub activemask: InstId,
+    /// Deletable redundant integer division.
+    pub recompute: InstId,
+    /// Deletable dead shared store.
+    pub dead_store: InstId,
+    /// Deletable dead shared load.
+    pub dead_load: InstId,
+    /// Deletable dead warp shuffle.
+    pub dead_shfl: InstId,
+}
+
+/// Shared-word arrays per block of `t` threads: sh_prev_H, sh_prev_HH,
+/// local_H, local_HH, red_score, red_row.
+pub(crate) const V1_ARRAYS: u32 = 6;
+
+/// Builds a V1 kernel (forward or reverse) for blocks of `block_threads`.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build_v1(block_threads: u32, dir: Dir) -> (Kernel, V1Sites) {
+    let t = i64::from(block_threads);
+    let name = match dir {
+        Dir::Forward => "adept_v1_fwd",
+        Dir::Reverse => "adept_v1_rev",
+    };
+    let mut b = KernelBuilder::new(name);
+    b.shared_bytes(V1_ARRAYS * block_threads * 4);
+
+    let p_seq_a = b.param_ptr("seq_a", AddrSpace::Global);
+    let p_seq_b = b.param_ptr("seq_b", AddrSpace::Global);
+    let p_offs_a = b.param_ptr("offs_a", AddrSpace::Global);
+    let p_offs_b = b.param_ptr("offs_b", AddrSpace::Global);
+    let p_lens_a = b.param_ptr("lens_a", AddrSpace::Global);
+    let p_lens_b = b.param_ptr("lens_b", AddrSpace::Global);
+    let p_fwd = match dir {
+        Dir::Forward => None,
+        Dir::Reverse => Some(b.param_ptr("fwd_out", AddrSpace::Global)),
+    };
+    let p_out = b.param_ptr("out", AddrSpace::Global);
+    let p_scratch = b.param_ptr("scratch", AddrSpace::Global);
+
+    b.loc("entry");
+    let tid = b.special_i32(Special::ThreadId);
+    let bid = b.special_i32(Special::BlockId);
+    let lane = b.special_i32(Special::LaneId);
+    let warp = b.special_i32(Special::WarpId);
+    let load_meta = |b: &mut KernelBuilder, ptr: u16, idx: Operand| {
+        let addr = b.index_addr(Operand::Param(ptr), idx, 4);
+        b.load_global_i32(addr.into())
+    };
+    let off_a = load_meta(&mut b, p_offs_a, bid.into());
+    let off_b = load_meta(&mut b, p_offs_b, bid.into());
+    let len_a = load_meta(&mut b, p_lens_a, bid.into());
+    let len_b = load_meta(&mut b, p_lens_b, bid.into());
+
+    // Effective dimensions and element index bases.
+    // Forward: m = len_a, n = len_b, element (i, j) = (off_a+i, off_b+j).
+    // Reverse: m = end_a+1, n = end_b+1 from the forward output;
+    //          element (i, j) = (off_a + end_a − i, off_b + end_b − j).
+    let (m, n, ea, eb) = match dir {
+        Dir::Forward => (len_a, len_b, None, None),
+        Dir::Reverse => {
+            let fwd = p_fwd.expect("reverse kernel has fwd_out");
+            let fwd_idx = b.mul(bid.into(), Operand::ImmI32(4));
+            let fwd0 = b.index_addr(Operand::Param(fwd), fwd_idx.into(), 4);
+            let ea_addr = b.add_i64(fwd0.into(), Operand::ImmI64(4));
+            let eb_addr = b.add_i64(fwd0.into(), Operand::ImmI64(8));
+            let ea_raw = b.load_global_i32(ea_addr.into());
+            let eb_raw = b.load_global_i32(eb_addr.into());
+            let ea = b.max(ea_raw.into(), Operand::ImmI32(-1));
+            let eb = b.max(eb_raw.into(), Operand::ImmI32(-1));
+            let m = b.add(ea.into(), Operand::ImmI32(1));
+            let n = b.add(eb.into(), Operand::ImmI32(1));
+            (m, n, Some(ea), Some(eb))
+        }
+    };
+
+    let is_valid = b.icmp_lt(tid.into(), n.into());
+
+    // Per-thread `b` element (clamped for idle threads).
+    let n_minus1 = b.sub(n.into(), Operand::ImmI32(1));
+    let nm1c = b.max(n_minus1.into(), Operand::ImmI32(0));
+    let jj = b.min(tid.into(), nm1c.into());
+    let b_elem_idx = match dir {
+        Dir::Forward => b.add(off_b.into(), jj.into()),
+        Dir::Reverse => {
+            let ebc = b.max(eb.expect("reverse").into(), Operand::ImmI32(0));
+            let rel = b.sub(ebc.into(), jj.into());
+            b.add(off_b.into(), rel.into())
+        }
+    };
+    let sb_addr = b.index_addr(Operand::Param(p_seq_b), b_elem_idx.into(), 4);
+    let sb = b.load_global_i32(sb_addr.into());
+
+    // Warp-structure predicates (the Fig. 9 conditions).
+    let lane0 = b.icmp_eq(lane.into(), Operand::ImmI32(0));
+    let wsz_m1 = b.sub(Operand::Special(Special::WarpSize), Operand::ImmI32(1));
+    let lane_last = b.icmp_eq(lane.into(), wsz_m1.into());
+    let warp_ne0 = b.icmp(CmpPred::Ne, warp.into(), Operand::ImmI32(0));
+
+    // DP state.
+    let prev_h = b.mov(Operand::ImmI32(0));
+    let prev_hh = b.mov(Operand::ImmI32(0));
+    let best_s = b.mov(Operand::ImmI32(0));
+    let best_i = b.mov(Operand::ImmI32(-1));
+    let diag = b.mov(Operand::ImmI32(0));
+    let m_plus_n = b.add(m.into(), n.into());
+    let total = b.sub(m_plus_n.into(), Operand::ImmI32(1));
+    // The `diag >= maxSize` phase switch of Fig. 9. In this launch
+    // configuration the developers size maxSize so the scratchpad
+    // fallback never engages (`maxSize = m + n` > any diagonal): the
+    // hand-tuned code always exchanges through registers + the sh_prev
+    // warp handoff. GEVO's edits 6/8/10 turn the scratchpad path on for
+    // every thread, eliminating the divergent register exchange — the
+    // paper's §VI-A finding.
+    let max_size = b.mov(m_plus_n.into());
+
+    // Shared addresses, hoisted (this is hand-tuned code).
+    let sh_h_pub = b.index_addr(Operand::ImmI64(0), warp.into(), 4);
+    let sh_hh_pub = b.index_addr(Operand::ImmI64(t * 4), warp.into(), 4);
+    let warp_m1 = b.sub(warp.into(), Operand::ImmI32(1));
+    let warp_m1c = b.max(warp_m1.into(), Operand::ImmI32(0));
+    let sh_h_nb = b.index_addr(Operand::ImmI64(0), warp_m1c.into(), 4);
+    let sh_hh_nb = b.index_addr(Operand::ImmI64(t * 4), warp_m1c.into(), 4);
+    let loc_h_pub = b.index_addr(Operand::ImmI64(2 * t * 4), tid.into(), 4);
+    let loc_hh_pub = b.index_addr(Operand::ImmI64(3 * t * 4), tid.into(), 4);
+    let tid_m1 = b.sub(tid.into(), Operand::ImmI32(1));
+    let nbi = b.max(tid_m1.into(), Operand::ImmI32(0));
+    let loc_h_nb = b.index_addr(Operand::ImmI64(2 * t * 4), nbi.into(), 4);
+    let loc_hh_nb = b.index_addr(Operand::ImmI64(3 * t * 4), nbi.into(), 4);
+    let red_s_addr = b.index_addr(Operand::ImmI64(4 * t * 4), tid.into(), 4);
+    let red_i_addr = b.index_addr(Operand::ImmI64(5 * t * 4), tid.into(), 4);
+    let gtid = b.global_thread_id();
+    let scratch_addr = b.index_addr(Operand::Param(p_scratch), gtid.into(), 4);
+    let _ = scratch_addr; // kept for pool richness; V1's dead store is shared
+
+    // Exchange result registers (written on all arms).
+    let nb_h = b.fresh_reg(gevo_ir::Ty::I32);
+    let nb_hh = b.fresh_reg(gevo_ir::Ty::I32);
+
+    let diag_hdr = b.new_block("diag_hdr");
+    let dbody = b.new_block("dbody");
+    let pub_a = b.new_block("pub_a");
+    let a_done = b.new_block("a_done");
+    let pub_b = b.new_block("pub_b");
+    let b_done = b.new_block("b_done");
+    let comp = b.new_block("comp");
+    let c_loc = b.new_block("c_loc");
+    let c_reg = b.new_block("c_reg");
+    let c_sh = b.new_block("c_sh");
+    let c_shfl = b.new_block("c_shfl");
+    let c_join = b.new_block("c_join");
+    let d_loc = b.new_block("d_loc");
+    let d_reg = b.new_block("d_reg");
+    let d_sh = b.new_block("d_sh");
+    let d_shfl = b.new_block("d_shfl");
+    let d_join = b.new_block("d_join");
+    let skip = b.new_block("skip");
+    let after = b.new_block("after");
+    let red_start = b.new_block("red_start");
+    let red_hdr = b.new_block("red_hdr");
+    let red_body = b.new_block("red_body");
+    let red_done = b.new_block("red_done");
+    let done = b.new_block("done");
+
+    b.br(diag_hdr);
+
+    b.switch_to(diag_hdr);
+    let more = b.icmp_lt(diag.into(), total.into());
+    b.cond_br(more.into(), dbody, after);
+
+    b.switch_to(dbody);
+    b.loc("v1_phase");
+    let diag_ge_max = b.icmp_ge(diag.into(), max_size.into());
+
+    // Region A: cross-warp publish by the last lane (edit 5 site).
+    b.loc("v1_publish_sh");
+    let publish_sh_cond = b.peek_next_id();
+    b.cond_br(lane_last.into(), pub_a, a_done);
+    b.switch_to(pub_a);
+    b.store_shared_i32(sh_h_pub.into(), prev_h.into());
+    b.store_shared_i32(sh_hh_pub.into(), prev_hh.into());
+    b.br(a_done);
+
+    // Region B: contraction-phase local publish (edit 6 site).
+    b.switch_to(a_done);
+    b.loc("v1_publish_local");
+    let publish_local_cond = b.peek_next_id();
+    b.cond_br(diag_ge_max.into(), pub_b, b_done);
+    b.switch_to(pub_b);
+    b.store_shared_i32(loc_h_pub.into(), prev_h.into());
+    b.store_shared_i32(loc_hh_pub.into(), prev_hh.into());
+    b.br(b_done);
+
+    b.switch_to(b_done);
+    b.sync_threads();
+
+    // Conservative warp-sync guards before register exchange (§VI-B).
+    b.loc("v1_warp_guards");
+    let activemask = b.peek_next_id();
+    let _am = b.activemask();
+    let ballot = b.peek_next_id();
+    let _bl = b.ballot(is_valid.into());
+
+    // Small redundancies the paper's independent edits delete. The
+    // recompute chain ends in a spill store so the backend cannot remove
+    // it from the *pristine* kernel; deleting the spill lets DCE clean up
+    // the division, exactly like a single GEVO edit plus LLVM cleanup.
+    b.loc("v1_recompute");
+    let rdiv = b.div(tid.into(), Operand::Special(Special::WarpSize));
+    let recompute = b.peek_next_id();
+    b.store_shared_i32(red_i_addr.into(), rdiv.into());
+    b.loc("v1_dead_store");
+    let dead_store = b.peek_next_id();
+    b.store_shared_i32(red_s_addr.into(), best_i.into());
+    b.loc("v1_dead_load");
+    let dead_load = b.peek_next_id();
+    let _junk = b.load_shared_i32(red_s_addr.into());
+    b.loc("v1_dead_shfl");
+    let dead_shfl = b.peek_next_id();
+    let _jshfl = b.shfl_up(prev_h.into(), Operand::ImmI32(1));
+
+    // The line-14 guard (paper Fig. 9).
+    b.loc("v1_guard");
+    let i = b.sub(diag.into(), tid.into());
+    let ge0 = b.icmp_ge(i.into(), Operand::ImmI32(0));
+    let ltm = b.icmp_lt(i.into(), m.into());
+    let in_range = b.and(ge0.into(), ltm.into());
+    let active = b.and(is_valid.into(), in_range.into());
+    b.cond_br(active.into(), comp, skip);
+
+    // Region C: left-value consumer (edit 8 site).
+    b.switch_to(comp);
+    b.loc("v1_exchange_left");
+    let use_left_cond = b.peek_next_id();
+    b.cond_br(diag_ge_max.into(), c_loc, c_reg);
+
+    b.switch_to(c_loc);
+    b.load_to(nb_h, AddrSpace::Shared, gevo_ir::MemTy::I32, loc_h_nb.into());
+    b.br(c_join);
+
+    b.switch_to(c_reg);
+    let cross = b.and(warp_ne0.into(), lane0.into());
+    b.cond_br(cross.into(), c_sh, c_shfl);
+    b.switch_to(c_sh);
+    b.load_to(nb_h, AddrSpace::Shared, gevo_ir::MemTy::I32, sh_h_nb.into());
+    b.br(c_join);
+    b.switch_to(c_shfl);
+    // Shuffle arm: the boundary bookkeeping real warp-exchange code does
+    // (source-lane math, in-warp check, first-column fallback).
+    let up = b.shfl_up(prev_h.into(), Operand::ImmI32(1));
+    let src_lane = b.sub(lane.into(), Operand::ImmI32(1));
+    let src_ok = b.icmp_ge(src_lane.into(), Operand::ImmI32(0));
+    let col0 = b.icmp_eq(tid.into(), Operand::ImmI32(0));
+    let in_warp = b.and(src_ok.into(), warp_ne0.into());
+    let usable = b.or(in_warp.into(), src_ok.into());
+    let _ = col0;
+    let guarded = b.select(usable.into(), up.into(), Operand::ImmI32(0));
+    b.mov_to(nb_h, guarded.into());
+    b.br(c_join);
+
+    // Region D: diagonal-value consumer (edit 10 site).
+    b.switch_to(c_join);
+    b.loc("v1_exchange_diag");
+    let use_diag_cond = b.peek_next_id();
+    b.cond_br(diag_ge_max.into(), d_loc, d_reg);
+
+    b.switch_to(d_loc);
+    b.load_to(nb_hh, AddrSpace::Shared, gevo_ir::MemTy::I32, loc_hh_nb.into());
+    b.br(d_join);
+
+    b.switch_to(d_reg);
+    let cross2 = b.and(warp_ne0.into(), lane0.into());
+    b.cond_br(cross2.into(), d_sh, d_shfl);
+    b.switch_to(d_sh);
+    b.load_to(nb_hh, AddrSpace::Shared, gevo_ir::MemTy::I32, sh_hh_nb.into());
+    b.br(d_join);
+    b.switch_to(d_shfl);
+    let up2 = b.shfl_up(prev_hh.into(), Operand::ImmI32(1));
+    let src_lane2 = b.sub(lane.into(), Operand::ImmI32(1));
+    let src_ok2 = b.icmp_ge(src_lane2.into(), Operand::ImmI32(0));
+    let in_warp2 = b.and(src_ok2.into(), warp_ne0.into());
+    let usable2 = b.or(in_warp2.into(), src_ok2.into());
+    let guarded2 = b.select(usable2.into(), up2.into(), Operand::ImmI32(0));
+    b.mov_to(nb_hh, guarded2.into());
+    b.br(d_join);
+
+    // Cell computation (identical recurrence to V0 / the CPU oracle).
+    b.switch_to(d_join);
+    b.loc("v1_cell");
+    let a_elem_idx = match dir {
+        Dir::Forward => b.add(off_a.into(), i.into()),
+        Dir::Reverse => {
+            let eac = b.max(ea.expect("reverse").into(), Operand::ImmI32(0));
+            let rel = b.sub(eac.into(), i.into());
+            b.add(off_a.into(), rel.into())
+        }
+    };
+    let sa_addr = b.index_addr(Operand::Param(p_seq_a), a_elem_idx.into(), 4);
+    let sa = b.load_global_i32(sa_addr.into());
+    let eq = b.icmp_eq(sa.into(), sb.into());
+    let sc = b.select(
+        eq.into(),
+        Operand::ImmI32(score::MATCH),
+        Operand::ImmI32(score::MISMATCH),
+    );
+    let j0 = b.icmp_eq(tid.into(), Operand::ImmI32(0));
+    let i0 = b.icmp_eq(i.into(), Operand::ImmI32(0));
+    let d0 = b.or(j0.into(), i0.into());
+    let dh = b.select(d0.into(), Operand::ImmI32(0), nb_hh.into());
+    let lh = b.select(j0.into(), Operand::ImmI32(0), nb_h.into());
+    let uh = b.select(i0.into(), Operand::ImmI32(0), prev_h.into());
+    let h_diag = b.add(dh.into(), sc.into());
+    let h_left = b.add(lh.into(), Operand::ImmI32(score::GAP));
+    let h_up = b.add(uh.into(), Operand::ImmI32(score::GAP));
+    let h1 = b.max(h_diag.into(), h_left.into());
+    let h2 = b.max(h1.into(), h_up.into());
+    let h = b.max(h2.into(), Operand::ImmI32(0));
+    let better = b.icmp(CmpPred::Gt, h.into(), best_s.into());
+    b.select_to(best_s, better.into(), h.into(), best_s.into());
+    b.select_to(best_i, better.into(), i.into(), best_i.into());
+    b.mov_to(prev_hh, prev_h.into());
+    b.mov_to(prev_h, h.into());
+    b.br(skip);
+
+    b.switch_to(skip);
+    b.loc("v1_step");
+    b.sync_threads();
+    b.ibin_to(diag, gevo_ir::IntBinOp::Add, diag.into(), Operand::ImmI32(1));
+    b.br(diag_hdr);
+
+    // Reduction: identical scheme to V0.
+    b.switch_to(after);
+    b.loc("v1_reduce");
+    b.store_shared_i32(red_s_addr.into(), best_s.into());
+    b.store_shared_i32(red_i_addr.into(), best_i.into());
+    b.sync_threads();
+    let t0 = b.icmp_eq(tid.into(), Operand::ImmI32(0));
+    b.cond_br(t0.into(), red_start, done);
+
+    b.switch_to(red_start);
+    let bs = b.mov(Operand::ImmI32(0));
+    let bi = b.mov(Operand::ImmI32(-1));
+    let bj = b.mov(Operand::ImmI32(-1));
+    let col = b.mov(Operand::ImmI32(0));
+    b.br(red_hdr);
+
+    b.switch_to(red_hdr);
+    let red_more = b.icmp_lt(col.into(), n.into());
+    b.cond_br(red_more.into(), red_body, red_done);
+
+    b.switch_to(red_body);
+    let rs_addr = b.index_addr(Operand::ImmI64(4 * t * 4), col.into(), 4);
+    let ri_addr = b.index_addr(Operand::ImmI64(5 * t * 4), col.into(), 4);
+    let s = b.load_shared_i32(rs_addr.into());
+    let ii = b.load_shared_i32(ri_addr.into());
+    let sgt = b.icmp(CmpPred::Gt, s.into(), bs.into());
+    let s_eq = b.icmp_eq(s.into(), bs.into());
+    let ilt = b.icmp_lt(ii.into(), bi.into());
+    let tie = b.and(s_eq.into(), ilt.into());
+    let better2 = b.or(sgt.into(), tie.into());
+    b.select_to(bs, better2.into(), s.into(), bs.into());
+    b.select_to(bi, better2.into(), ii.into(), bi.into());
+    b.select_to(bj, better2.into(), col.into(), bj.into());
+    b.ibin_to(col, gevo_ir::IntBinOp::Add, col.into(), Operand::ImmI32(1));
+    b.br(red_hdr);
+
+    b.switch_to(red_done);
+    let out_idx = b.mul(bid.into(), Operand::ImmI32(4));
+    let out0 = b.index_addr(Operand::Param(p_out), out_idx.into(), 4);
+    b.store_global_i32(out0.into(), bs.into());
+    let out1 = b.add_i64(out0.into(), Operand::ImmI64(4));
+    b.store_global_i32(out1.into(), bi.into());
+    let out2 = b.add_i64(out0.into(), Operand::ImmI64(8));
+    b.store_global_i32(out2.into(), bj.into());
+    b.br(done);
+
+    b.switch_to(done);
+    b.ret();
+
+    (
+        b.finish(),
+        V1Sites {
+            publish_sh_cond,
+            publish_local_cond,
+            use_left_cond,
+            use_diag_cond,
+            lane0_bool: lane0,
+            active_bool: active,
+            valid_bool: is_valid,
+            ballot,
+            activemask,
+            recompute,
+            dead_store,
+            dead_load,
+            dead_shfl,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_kernels_verify() {
+        for dir in [Dir::Forward, Dir::Reverse] {
+            let (k, _) = build_v1(32, dir);
+            assert!(gevo_ir::verify::verify(&k).is_ok(), "{dir:?}: {k}");
+        }
+    }
+
+    #[test]
+    fn v1_sites_resolve() {
+        let (k, s) = build_v1(32, Dir::Forward);
+        for term in [
+            s.publish_sh_cond,
+            s.publish_local_cond,
+            s.use_left_cond,
+            s.use_diag_cond,
+        ] {
+            assert!(k.terminator(term).is_some(), "site {term} is a terminator");
+            assert!(matches!(
+                k.terminator(term).unwrap().kind,
+                gevo_ir::TermKind::CondBr { .. }
+            ));
+        }
+        for inst in [
+            s.ballot,
+            s.activemask,
+            s.recompute,
+            s.dead_store,
+            s.dead_load,
+            s.dead_shfl,
+        ] {
+            assert!(k.locate(inst).is_some(), "site {inst} is a body instruction");
+        }
+    }
+
+    #[test]
+    fn v1_is_larger_than_v0() {
+        // Paper: V1 has ~1.6x the IR instructions of V0 across two kernels.
+        let (v0, _) = crate::adept::v0::build_v0(32, 4);
+        let (f, _) = build_v1(32, Dir::Forward);
+        let (r, _) = build_v1(32, Dir::Reverse);
+        assert!(f.inst_count() + r.inst_count() > v0.inst_count());
+    }
+
+    #[test]
+    fn v1_uses_warp_intrinsics() {
+        let (k, _) = build_v1(32, Dir::Forward);
+        let has = |pred: fn(&gevo_ir::Op) -> bool| k.iter_insts().any(|(_, i)| pred(&i.op));
+        assert!(has(|op| matches!(op, gevo_ir::Op::ShflUpSync)));
+        assert!(has(|op| matches!(op, gevo_ir::Op::BallotSync)));
+        assert!(has(|op| matches!(op, gevo_ir::Op::ActiveMask)));
+    }
+}

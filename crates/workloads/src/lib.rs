@@ -1,0 +1,27 @@
+//! # gevo-workloads
+//!
+//! The two scientific applications of the IISWC'22 GEVO paper, rebuilt on
+//! the gevo stack (see DESIGN.md §2 for the substitution table):
+//!
+//! * [`adept`] — the ADEPT Smith-Waterman GPU alignment library, in its
+//!   naive (`V0`) and hand-tuned (`V1`) versions, with the paper's §VI
+//!   inefficiency sites annotated for curated-edit ablations;
+//! * [`simcov`] — the SIMCoV SARS-CoV-2 lung-infection simulation: eight
+//!   grid kernels, a CPU reference model sharing the device RNG, and the
+//!   paper's per-value mean/variance fuzzy validation;
+//! * [`sw_cpu`] — the alignment oracle (paper Fig. 2 scoring);
+//! * [`seqgen`] — seeded DNA test-data generation.
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+#![allow(clippy::missing_panics_doc)]
+
+pub mod adept;
+pub mod seqgen;
+pub mod simcov;
+pub mod sw_cpu;
+
+pub use adept::{AdeptConfig, AdeptWorkload, Version};
+pub use seqgen::{SeqGen, SeqPair};
+pub use sw_cpu::Alignment;

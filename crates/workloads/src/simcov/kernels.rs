@@ -1,0 +1,704 @@
+//! The eight SIMCoV GPU kernels (paper §II-C: "1197 lines of code from 8
+//! GPU kernels").
+//!
+//! Per simulation step the host launches, in order:
+//!
+//! 1. `extravasate` — T cells enter tissue where inflammatory signal is
+//!    high (probabilistic, counter-based RNG);
+//! 2. `tcell_move` — each T cell picks a random direction and claims its
+//!    destination with an atomic CAS (the racy part of §II-C2);
+//! 3. `tcell_commit` — claimed moves materialize, lifetimes decrement;
+//! 4. `epi_update` — epithelial state machine (healthy → infected →
+//!    expressing → apoptotic → dead; T-cell binding triggers apoptosis);
+//! 5. `virion_diffuse` — 8-neighbor diffusion with **boundary checks**
+//!    (the §VI-D hot-spot) plus production/decay/clearance;
+//! 6. `chem_diffuse` — same stencil for the inflammatory signal;
+//! 7. `commit_swap` — double-buffer copies, claim-buffer reset;
+//! 8. `reduce_stats` — atomic tallies (virion total, infected, dead,
+//!    T-cell count).
+//!
+//! The grid side `G` is baked into each kernel as an immediate, exactly
+//! like a templated CUDA kernel instantiation; kernels built for
+//! different `G` have identical instruction IDs, so an evolved patch
+//! transfers from the small fitness grid to the large held-out grid
+//! (paper Fig. 10's 2500×2500 validation).
+
+use gevo_ir::{
+    AddrSpace, CmpPred, InstId, Kernel, KernelBuilder, MemTy, Operand, Reg,
+};
+
+use super::SimcovParams;
+
+/// The 8 neighbor offsets, in the fixed order both the kernels and the
+/// CPU reference use (N, S, W, E, NW, NE, SW, SE).
+pub const NEIGHBORS: [(i32, i32); 8] = [
+    (0, -1),
+    (0, 1),
+    (-1, 0),
+    (1, 0),
+    (-1, -1),
+    (1, -1),
+    (-1, 1),
+    (1, 1),
+];
+
+/// Grid memory layout for the diffused fields (`vir`, `chem` and their
+/// double buffers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Dense `G×G` arrays; diffusion kernels carry explicit boundary
+    /// checks (the paper's original code, Fig. 10(a)).
+    Checked,
+    /// `(G+2)×(G+2)` arrays with a zero border; no boundary checks
+    /// (the paper's manual fix, Fig. 10(c), worth ~14%).
+    Padded,
+}
+
+impl Layout {
+    /// Physical row stride of the diffused fields.
+    #[must_use]
+    pub fn stride(self, g: i32) -> i32 {
+        match self {
+            Layout::Checked => g,
+            Layout::Padded => g + 2,
+        }
+    }
+
+    /// Physical linear index of logical cell `(row, col)`.
+    #[must_use]
+    pub fn phys(self, g: i32, row: i32, col: i32) -> i32 {
+        match self {
+            Layout::Checked => row * g + col,
+            Layout::Padded => (row + 1) * (g + 2) + (col + 1),
+        }
+    }
+
+    /// Physical array length in elements.
+    #[must_use]
+    pub fn field_len(self, g: i32) -> usize {
+        let side = match self {
+            Layout::Checked => g,
+            Layout::Padded => g + 2,
+        };
+        usize::try_from(side * side).expect("grid fits usize")
+    }
+}
+
+/// Annotated sites across the SIMCoV kernels.
+#[derive(Debug, Clone, Default)]
+pub struct SimcovSites {
+    /// Boundary-check branch terminators in `virion_diffuse` (8 of them).
+    pub vdiff_bounds: Vec<InstId>,
+    /// Boundary-check branch terminators in `chem_diffuse` (8 of them).
+    pub cdiff_bounds: Vec<InstId>,
+    /// Deletable dead store in `virion_diffuse` that keeps a duplicated
+    /// RNG draw alive (DCE removes the draw once the store is gone).
+    pub vdiff_dup_rng_store: Option<InstId>,
+    /// Deletable dead diagnostic store in `tcell_move`.
+    pub move_dead_store: Option<InstId>,
+    /// Deletable spill store keeping a redundant division alive in
+    /// `chem_diffuse`.
+    pub cdiff_recompute_store: Option<InstId>,
+}
+
+/// Emits the common prologue: global thread id, the `gtid < cells` guard
+/// (branching to a dedicated exit block), and row/column. Returns
+/// `(gtid, row, col, exit_block)` with the builder positioned in the body.
+fn prologue(b: &mut KernelBuilder, g: i32) -> (Reg, Reg, Reg, gevo_ir::BlockId) {
+    let gtid = b.global_thread_id();
+    let cells = Operand::ImmI32(g * g);
+    let ok = b.icmp_lt(gtid.into(), cells);
+    let body = b.new_block("body");
+    let exit = b.new_block("exit");
+    b.cond_br(ok.into(), body, exit);
+    b.switch_to(exit);
+    b.ret();
+    b.switch_to(body);
+    let row = b.div(gtid.into(), Operand::ImmI32(g));
+    let col = b.rem(gtid.into(), Operand::ImmI32(g));
+    (gtid, row, col, exit)
+}
+
+fn f32_addr(b: &mut KernelBuilder, base: u16, idx: Operand) -> Reg {
+    b.index_addr(Operand::Param(base), idx, 4)
+}
+
+/// Physical element index of logical `(row, col)` in a diffused field.
+fn field_idx(b: &mut KernelBuilder, layout: Layout, g: i32, row: Reg, col: Reg) -> Reg {
+    match layout {
+        Layout::Checked => {
+            let lin = b.mul(row.into(), Operand::ImmI32(g));
+            b.add(lin.into(), col.into())
+        }
+        Layout::Padded => {
+            let r1 = b.add(row.into(), Operand::ImmI32(1));
+            let lin = b.mul(r1.into(), Operand::ImmI32(g + 2));
+            let lc = b.add(lin.into(), col.into());
+            b.add(lc.into(), Operand::ImmI32(1))
+        }
+    }
+}
+
+/// RNG counter for draw-site `k` of cell `c` at step `step`:
+/// `(step * draws_per_step + k) * cells + c`, matching the CPU reference.
+fn rng_counter(b: &mut KernelBuilder, g: i32, step: u16, k: i32, c: Reg) -> Reg {
+    let cells = i64::from(g) * i64::from(g);
+    let step64 = b.sext(Operand::Param(step));
+    let scaled = b.mul_i64(step64.into(), Operand::ImmI64(2 * cells));
+    let k_off = b.add_i64(scaled.into(), Operand::ImmI64(i64::from(k) * cells));
+    let c64 = b.sext(c.into());
+    b.add_i64(k_off.into(), c64.into())
+}
+
+/// Kernel 1: T-cell extravasation.
+#[must_use]
+pub fn build_extravasate(g: i32, p: &SimcovParams, layout: Layout) -> Kernel {
+    let mut b = KernelBuilder::new("simcov_extravasate");
+    let chem = b.param_ptr("chem", AddrSpace::Global);
+    let tcell = b.param_ptr("tcell", AddrSpace::Global);
+    let tlife = b.param_ptr("tlife", AddrSpace::Global);
+    let step = b.param_i32("step");
+    let seed = b.param_i64("seed");
+
+    b.loc("extravasate");
+    let (gtid, row, col, exit) = prologue(&mut b, g);
+    let t_addr = f32_addr(&mut b, tcell, gtid.into());
+    let t = b.load_global_i32(t_addr.into());
+    let empty = b.icmp_eq(t.into(), Operand::ImmI32(0));
+    let ch_idx = field_idx(&mut b, layout, g, row, col);
+    let c_addr = f32_addr(&mut b, chem, ch_idx.into());
+    let ch = b.load(AddrSpace::Global, MemTy::F32, c_addr.into());
+    let hot = b.fcmp(CmpPred::Gt, ch.into(), Operand::f32(p.chem_threshold));
+    let eligible = b.and(empty.into(), hot.into());
+    let draw_blk = b.new_block("draw");
+    b.cond_br(eligible.into(), draw_blk, exit);
+
+    b.switch_to(draw_blk);
+    let ctr = rng_counter(&mut b, g, step, 0, gtid);
+    let r = b.rng_next(Operand::Param(seed), ctr.into());
+    let lucky = b.icmp_lt(r.into(), Operand::ImmI32(p.p_extravasate_q31));
+    let spawn_blk = b.new_block("spawn");
+    b.cond_br(lucky.into(), spawn_blk, exit);
+
+    b.switch_to(spawn_blk);
+    b.store_global_i32(t_addr.into(), Operand::ImmI32(1));
+    let l_addr = f32_addr(&mut b, tlife, gtid.into());
+    b.store_global_i32(l_addr.into(), Operand::ImmI32(p.tcell_life));
+    b.br(exit);
+    b.finish()
+}
+
+/// Kernel 2: T-cell random movement with CAS claims. Returns the kernel
+/// plus the dead-store site.
+#[must_use]
+pub fn build_tcell_move(g: i32, _p: &SimcovParams) -> (Kernel, InstId) {
+    let mut b = KernelBuilder::new("simcov_tcell_move");
+    let tcell = b.param_ptr("tcell", AddrSpace::Global);
+    let tnext = b.param_ptr("tnext", AddrSpace::Global);
+    let scratch = b.param_ptr("scratch", AddrSpace::Global);
+    let step = b.param_i32("step");
+    let seed = b.param_i64("seed");
+
+    b.loc("tcell_move");
+    let (gtid, row, col, exit) = prologue(&mut b, g);
+    let t_addr = f32_addr(&mut b, tcell, gtid.into());
+    let t = b.load_global_i32(t_addr.into());
+    let present = b.icmp_eq(t.into(), Operand::ImmI32(1));
+    let act = b.new_block("act");
+    b.cond_br(present.into(), act, exit);
+
+    b.switch_to(act);
+    let ctr = rng_counter(&mut b, g, step, 1, gtid);
+    let r = b.rng_next(Operand::Param(seed), ctr.into());
+    let d = b.rem(r.into(), Operand::ImmI32(5));
+    // Direction decode without branches: 0 stay, 1 N, 2 S, 3 W, 4 E.
+    let is1 = b.icmp_eq(d.into(), Operand::ImmI32(1));
+    let is2 = b.icmp_eq(d.into(), Operand::ImmI32(2));
+    let is3 = b.icmp_eq(d.into(), Operand::ImmI32(3));
+    let is4 = b.icmp_eq(d.into(), Operand::ImmI32(4));
+    let dy34 = b.select(is3.into(), Operand::ImmI32(0), Operand::ImmI32(0));
+    let dy2 = b.select(is2.into(), Operand::ImmI32(1), dy34.into());
+    let dy = b.select(is1.into(), Operand::ImmI32(-1), dy2.into());
+    let dx4 = b.select(is4.into(), Operand::ImmI32(1), Operand::ImmI32(0));
+    let dx3 = b.select(is3.into(), Operand::ImmI32(-1), dx4.into());
+    let dx = b.select(is1.into(), Operand::ImmI32(0), dx3.into());
+    // Dead diagnostic store (deletable independent edit).
+    b.loc("move_dead_store");
+    let s_addr = f32_addr(&mut b, scratch, gtid.into());
+    let dead_store = b.peek_next_id();
+    b.store_global_i32(s_addr.into(), d.into());
+    b.loc("tcell_move");
+
+    let nr = b.add(row.into(), dy.into());
+    let nc = b.add(col.into(), dx.into());
+    let r_ok1 = b.icmp_ge(nr.into(), Operand::ImmI32(0));
+    let r_ok2 = b.icmp_lt(nr.into(), Operand::ImmI32(g));
+    let c_ok1 = b.icmp_ge(nc.into(), Operand::ImmI32(0));
+    let c_ok2 = b.icmp_lt(nc.into(), Operand::ImmI32(g));
+    let ok_a = b.and(r_ok1.into(), r_ok2.into());
+    let ok_b = b.and(c_ok1.into(), c_ok2.into());
+    let ok = b.and(ok_a.into(), ok_b.into());
+    let n_lin = b.mul(nr.into(), Operand::ImmI32(g));
+    let n_idx = b.add(n_lin.into(), nc.into());
+    let dest = b.select(ok.into(), n_idx.into(), gtid.into());
+
+    let claim_val = b.add(gtid.into(), Operand::ImmI32(1));
+    let d_addr = f32_addr(&mut b, tnext, dest.into());
+    let old = b.atomic_cas(
+        AddrSpace::Global,
+        d_addr.into(),
+        Operand::ImmI32(0),
+        claim_val.into(),
+    );
+    let won = b.icmp_eq(old.into(), Operand::ImmI32(0));
+    let moved_away = b.icmp(CmpPred::Ne, dest.into(), gtid.into());
+    let lost = b.not(won.into());
+    let need_fallback = b.and(lost.into(), moved_away.into());
+    let fb = b.new_block("fallback");
+    b.cond_br(need_fallback.into(), fb, exit);
+
+    b.switch_to(fb);
+    // Stay in place if someone else claimed the destination first.
+    let own_addr = f32_addr(&mut b, tnext, gtid.into());
+    let _old2 = b.atomic_cas(
+        AddrSpace::Global,
+        own_addr.into(),
+        Operand::ImmI32(0),
+        claim_val.into(),
+    );
+    b.br(exit);
+    (b.finish(), dead_store)
+}
+
+/// Kernel 3: materialize claims, decrement lifetimes.
+#[must_use]
+pub fn build_tcell_commit(g: i32, _p: &SimcovParams) -> Kernel {
+    let mut b = KernelBuilder::new("simcov_tcell_commit");
+    let tnext = b.param_ptr("tnext", AddrSpace::Global);
+    let tlife = b.param_ptr("tlife", AddrSpace::Global);
+    let tnew = b.param_ptr("tnew", AddrSpace::Global);
+    let lnew = b.param_ptr("lnew", AddrSpace::Global);
+
+    b.loc("tcell_commit");
+    let (gtid, _row, _col, exit) = prologue(&mut b, g);
+    let n_addr = f32_addr(&mut b, tnext, gtid.into());
+    let claim = b.load_global_i32(n_addr.into());
+    let has = b.icmp(CmpPred::Gt, claim.into(), Operand::ImmI32(0));
+    let src_raw = b.sub(claim.into(), Operand::ImmI32(1));
+    let src = b.max(src_raw.into(), Operand::ImmI32(0));
+    let l_addr = f32_addr(&mut b, tlife, src.into());
+    let l_old = b.load_global_i32(l_addr.into());
+    let l_dec = b.sub(l_old.into(), Operand::ImmI32(1));
+    let alive_l = b.icmp(CmpPred::Gt, l_dec.into(), Operand::ImmI32(0));
+    let alive = b.and(has.into(), alive_l.into());
+    let t_out = b.zext_bool(alive.into());
+    let l_capped = b.max(l_dec.into(), Operand::ImmI32(0));
+    let l_out = b.select(alive.into(), l_capped.into(), Operand::ImmI32(0));
+    let tn_addr = f32_addr(&mut b, tnew, gtid.into());
+    b.store_global_i32(tn_addr.into(), t_out.into());
+    let ln_addr = f32_addr(&mut b, lnew, gtid.into());
+    b.store_global_i32(ln_addr.into(), l_out.into());
+    b.br(exit);
+    b.finish()
+}
+
+/// Kernel 4: epithelial state machine.
+#[must_use]
+pub fn build_epi_update(g: i32, p: &SimcovParams, layout: Layout) -> Kernel {
+    let mut b = KernelBuilder::new("simcov_epi_update");
+    let epi = b.param_ptr("epi", AddrSpace::Global);
+    let timer = b.param_ptr("timer", AddrSpace::Global);
+    let vir = b.param_ptr("vir", AddrSpace::Global);
+    let tnew = b.param_ptr("tnew", AddrSpace::Global);
+
+    b.loc("epi_update");
+    let (gtid, row, col, exit) = prologue(&mut b, g);
+    let e_addr = f32_addr(&mut b, epi, gtid.into());
+    let t_addr = f32_addr(&mut b, timer, gtid.into());
+    let v_idx = field_idx(&mut b, layout, g, row, col);
+    let v_addr = f32_addr(&mut b, vir, v_idx.into());
+    let tc_addr = f32_addr(&mut b, tnew, gtid.into());
+    let e = b.load_global_i32(e_addr.into());
+    let tm = b.load_global_i32(t_addr.into());
+    let v = b.load(AddrSpace::Global, MemTy::F32, v_addr.into());
+    let tc = b.load_global_i32(tc_addr.into());
+
+    // healthy -> infected on viral load.
+    let healthy = b.icmp_eq(e.into(), Operand::ImmI32(0));
+    let viral = b.fcmp(CmpPred::Gt, v.into(), Operand::f32(p.infect_threshold));
+    let infect = b.and(healthy.into(), viral.into());
+    // T-cell binding: infected/expressing -> apoptotic.
+    let is_inf = b.icmp_eq(e.into(), Operand::ImmI32(1));
+    let is_exp = b.icmp_eq(e.into(), Operand::ImmI32(2));
+    let is_live_inf = b.or(is_inf.into(), is_exp.into());
+    let bound = b.icmp_eq(tc.into(), Operand::ImmI32(1));
+    let apopt = b.and(is_live_inf.into(), bound.into());
+    // Timer countdown for timed states.
+    let is_apo = b.icmp_eq(e.into(), Operand::ImmI32(3));
+    let timed_a = b.or(is_live_inf.into(), is_apo.into());
+    let tm_dec = b.sub(tm.into(), Operand::ImmI32(1));
+    let expired = b.icmp(CmpPred::Le, tm_dec.into(), Operand::ImmI32(0));
+
+    // Next state, innermost decision first.
+    let inf_exp = b.and(is_inf.into(), expired.into());
+    let exp_dead = b.and(is_exp.into(), expired.into());
+    let apo_dead = b.and(is_apo.into(), expired.into());
+    let e1 = b.select(apo_dead.into(), Operand::ImmI32(4), e.into());
+    let e2 = b.select(exp_dead.into(), Operand::ImmI32(4), e1.into());
+    let e3 = b.select(inf_exp.into(), Operand::ImmI32(2), e2.into());
+    let e4 = b.select(apopt.into(), Operand::ImmI32(3), e3.into());
+    let e5 = b.select(infect.into(), Operand::ImmI32(1), e4.into());
+
+    let t1 = b.select(timed_a.into(), tm_dec.into(), tm.into());
+    let t2 = b.select(inf_exp.into(), Operand::ImmI32(p.express_time), t1.into());
+    let t3 = b.select(apopt.into(), Operand::ImmI32(p.apoptosis_time), t2.into());
+    let t4 = b.select(infect.into(), Operand::ImmI32(p.incubation_time), t3.into());
+
+    b.store_global_i32(e_addr.into(), e5.into());
+    b.store_global_i32(t_addr.into(), t4.into());
+    b.br(exit);
+    b.finish()
+}
+
+/// Emits one neighbor accumulation. In [`Layout::Checked`] this is the
+/// §VI-D boundary-checked form and returns the branch terminator's ID (an
+/// edit site); in [`Layout::Padded`] the zero border makes the check
+/// unnecessary (Fig. 10(c)) and no site exists.
+#[allow(clippy::too_many_arguments)]
+fn neighbor_accum(
+    b: &mut KernelBuilder,
+    layout: Layout,
+    field: u16,
+    row: Reg,
+    col: Reg,
+    g: i32,
+    dx: i32,
+    dy: i32,
+    acc: Reg,
+) -> Option<InstId> {
+    match layout {
+        Layout::Checked => {
+            let nr = b.add(row.into(), Operand::ImmI32(dy));
+            let nc = b.add(col.into(), Operand::ImmI32(dx));
+            let r_ok1 = b.icmp_ge(nr.into(), Operand::ImmI32(0));
+            let r_ok2 = b.icmp_lt(nr.into(), Operand::ImmI32(g));
+            let c_ok1 = b.icmp_ge(nc.into(), Operand::ImmI32(0));
+            let c_ok2 = b.icmp_lt(nc.into(), Operand::ImmI32(g));
+            let ok_a = b.and(r_ok1.into(), r_ok2.into());
+            let ok_b = b.and(c_ok1.into(), c_ok2.into());
+            let ok = b.and(ok_a.into(), ok_b.into());
+            let take = b.new_block("nb_take");
+            let done = b.new_block("nb_done");
+            let site = b.peek_next_id();
+            b.cond_br(ok.into(), take, done);
+            b.switch_to(take);
+            let lin = b.mul(nr.into(), Operand::ImmI32(g));
+            let idx = b.add(lin.into(), nc.into());
+            let addr = f32_addr(b, field, idx.into());
+            let nv = b.load(AddrSpace::Global, MemTy::F32, addr.into());
+            b.fbin_to(acc, gevo_ir::FloatBinOp::Add, acc.into(), nv.into());
+            b.br(done);
+            b.switch_to(done);
+            Some(site)
+        }
+        Layout::Padded => {
+            // (row+1+dy)*(g+2) + (col+1+dx): always in bounds thanks to
+            // the zero border.
+            let r1 = b.add(row.into(), Operand::ImmI32(1 + dy));
+            let lin = b.mul(r1.into(), Operand::ImmI32(g + 2));
+            let lc = b.add(lin.into(), col.into());
+            let idx = b.add(lc.into(), Operand::ImmI32(1 + dx));
+            let addr = f32_addr(b, field, idx.into());
+            let nv = b.load(AddrSpace::Global, MemTy::F32, addr.into());
+            b.fbin_to(acc, gevo_ir::FloatBinOp::Add, acc.into(), nv.into());
+            None
+        }
+    }
+}
+
+/// Kernel 5: virion diffusion (the §VI-D kernel). Returns the kernel, the
+/// 8 boundary sites, and the dup-RNG dead-store site.
+#[must_use]
+pub fn build_virion_diffuse(
+    g: i32,
+    p: &SimcovParams,
+    layout: Layout,
+) -> (Kernel, Vec<InstId>, InstId) {
+    let mut b = KernelBuilder::new("simcov_virion_diffuse");
+    let vir = b.param_ptr("vir", AddrSpace::Global);
+    let next_vir = b.param_ptr("next_vir", AddrSpace::Global);
+    let epi = b.param_ptr("epi", AddrSpace::Global);
+    let tnew = b.param_ptr("tnew", AddrSpace::Global);
+    let scratch = b.param_ptr("scratch", AddrSpace::Global);
+    let step = b.param_i32("step");
+    let seed = b.param_i64("seed");
+
+    b.loc("virion_diffuse");
+    let (gtid, row, col, exit) = prologue(&mut b, g);
+
+    // Duplicated RNG draw kept alive by a dead store: deleting the store
+    // lets DCE remove the draw (a deletable independent edit).
+    b.loc("vdiff_dup_rng");
+    let ctr = rng_counter(&mut b, g, step, 0, gtid);
+    let r_dup = b.rng_next(Operand::Param(seed), ctr.into());
+    let s_addr = f32_addr(&mut b, scratch, gtid.into());
+    let dup_store = b.peek_next_id();
+    b.store_global_i32(s_addr.into(), r_dup.into());
+    b.loc("virion_diffuse");
+
+    let self_idx = field_idx(&mut b, layout, g, row, col);
+    let v_addr = f32_addr(&mut b, vir, self_idx.into());
+    let v = b.load(AddrSpace::Global, MemTy::F32, v_addr.into());
+    let acc = b.mov(Operand::f32(0.0));
+    let mut sites = Vec::with_capacity(8);
+    b.loc("vdiff_boundary");
+    for (dx, dy) in NEIGHBORS {
+        if let Some(site) = neighbor_accum(&mut b, layout, vir, row, col, g, dx, dy, acc) {
+            sites.push(site);
+        }
+    }
+    b.loc("virion_diffuse");
+    let avg = b.fbin(gevo_ir::FloatBinOp::Div, acc.into(), Operand::f32(8.0));
+    let delta = b.fbin(gevo_ir::FloatBinOp::Sub, avg.into(), v.into());
+    let spread = b.fbin(gevo_ir::FloatBinOp::Mul, delta.into(), Operand::f32(p.diffuse_v));
+    let v1 = b.fbin(gevo_ir::FloatBinOp::Add, v.into(), spread.into());
+    // Production by expressing cells.
+    let e_addr = f32_addr(&mut b, epi, gtid.into());
+    let e = b.load_global_i32(e_addr.into());
+    let expressing = b.icmp_eq(e.into(), Operand::ImmI32(2));
+    let prod = b.select(expressing.into(), Operand::f32(p.vir_production), Operand::f32(0.0));
+    let v2 = b.fbin(gevo_ir::FloatBinOp::Add, v1.into(), prod.into());
+    // Decay.
+    let v3 = b.fbin(gevo_ir::FloatBinOp::Mul, v2.into(), Operand::f32(1.0 - p.decay_v));
+    // T-cell clearance.
+    let tc_addr = f32_addr(&mut b, tnew, gtid.into());
+    let tc = b.load_global_i32(tc_addr.into());
+    let has_t = b.icmp_eq(tc.into(), Operand::ImmI32(1));
+    let cleared = b.fbin(gevo_ir::FloatBinOp::Mul, v3.into(), Operand::f32(p.tcell_clear));
+    let v4 = b.select(has_t.into(), cleared.into(), v3.into());
+    let v5 = b.fbin(gevo_ir::FloatBinOp::Max, v4.into(), Operand::f32(0.0));
+    let nv_addr = f32_addr(&mut b, next_vir, self_idx.into());
+    b.store(AddrSpace::Global, MemTy::F32, nv_addr.into(), v5.into());
+    b.br(exit);
+    (b.finish(), sites, dup_store)
+}
+
+/// Kernel 6: inflammatory-signal diffusion. Returns the kernel, the 8
+/// boundary sites, and the recompute-spill site.
+#[must_use]
+pub fn build_chem_diffuse(
+    g: i32,
+    p: &SimcovParams,
+    layout: Layout,
+) -> (Kernel, Vec<InstId>, InstId) {
+    let mut b = KernelBuilder::new("simcov_chem_diffuse");
+    let chem = b.param_ptr("chem", AddrSpace::Global);
+    let next_chem = b.param_ptr("next_chem", AddrSpace::Global);
+    let epi = b.param_ptr("epi", AddrSpace::Global);
+    let scratch = b.param_ptr("scratch", AddrSpace::Global);
+
+    b.loc("chem_diffuse");
+    let (gtid, row, col, exit) = prologue(&mut b, g);
+
+    // Redundant recomputation of the row index (already in a register),
+    // spilled so the backend cannot clean it up in the pristine kernel.
+    b.loc("cdiff_recompute");
+    let row2 = b.div(gtid.into(), Operand::ImmI32(g));
+    let s_addr = f32_addr(&mut b, scratch, gtid.into());
+    let rec_store = b.peek_next_id();
+    b.store_global_i32(s_addr.into(), row2.into());
+    b.loc("chem_diffuse");
+
+    let self_idx = field_idx(&mut b, layout, g, row, col);
+    let c_addr = f32_addr(&mut b, chem, self_idx.into());
+    let c = b.load(AddrSpace::Global, MemTy::F32, c_addr.into());
+    let acc = b.mov(Operand::f32(0.0));
+    let mut sites = Vec::with_capacity(8);
+    b.loc("cdiff_boundary");
+    for (dx, dy) in NEIGHBORS {
+        if let Some(site) = neighbor_accum(&mut b, layout, chem, row, col, g, dx, dy, acc) {
+            sites.push(site);
+        }
+    }
+    b.loc("chem_diffuse");
+    let avg = b.fbin(gevo_ir::FloatBinOp::Div, acc.into(), Operand::f32(8.0));
+    let delta = b.fbin(gevo_ir::FloatBinOp::Sub, avg.into(), c.into());
+    let spread = b.fbin(gevo_ir::FloatBinOp::Mul, delta.into(), Operand::f32(p.diffuse_c));
+    let c1 = b.fbin(gevo_ir::FloatBinOp::Add, c.into(), spread.into());
+    // Sources: infected, expressing and apoptotic cells emit signal.
+    let e_addr = f32_addr(&mut b, epi, gtid.into());
+    let e = b.load_global_i32(e_addr.into());
+    let ge1 = b.icmp_ge(e.into(), Operand::ImmI32(1));
+    let le3 = b.icmp(CmpPred::Le, e.into(), Operand::ImmI32(3));
+    let emitting = b.and(ge1.into(), le3.into());
+    let src = b.select(emitting.into(), Operand::f32(p.chem_production), Operand::f32(0.0));
+    let c2 = b.fbin(gevo_ir::FloatBinOp::Add, c1.into(), src.into());
+    let c3 = b.fbin(gevo_ir::FloatBinOp::Mul, c2.into(), Operand::f32(1.0 - p.decay_c));
+    let c4 = b.fbin(gevo_ir::FloatBinOp::Max, c3.into(), Operand::f32(0.0));
+    let nc_addr = f32_addr(&mut b, next_chem, self_idx.into());
+    b.store(AddrSpace::Global, MemTy::F32, nc_addr.into(), c4.into());
+    b.br(exit);
+    (b.finish(), sites, rec_store)
+}
+
+/// Kernel 7: double-buffer commit and claim reset.
+#[must_use]
+pub fn build_commit_swap(g: i32, _p: &SimcovParams, layout: Layout) -> Kernel {
+    let mut b = KernelBuilder::new("simcov_commit_swap");
+    let vir = b.param_ptr("vir", AddrSpace::Global);
+    let next_vir = b.param_ptr("next_vir", AddrSpace::Global);
+    let chem = b.param_ptr("chem", AddrSpace::Global);
+    let next_chem = b.param_ptr("next_chem", AddrSpace::Global);
+    let tcell = b.param_ptr("tcell", AddrSpace::Global);
+    let tnew = b.param_ptr("tnew", AddrSpace::Global);
+    let tlife = b.param_ptr("tlife", AddrSpace::Global);
+    let lnew = b.param_ptr("lnew", AddrSpace::Global);
+    let tnext = b.param_ptr("tnext", AddrSpace::Global);
+
+    b.loc("commit_swap");
+    let (gtid, row, col, exit) = prologue(&mut b, g);
+    let pidx = field_idx(&mut b, layout, g, row, col);
+    let copy_f32 = |b: &mut KernelBuilder, dst: u16, src: u16, idx: Reg| {
+        let sa = f32_addr(b, src, idx.into());
+        let v = b.load(AddrSpace::Global, MemTy::F32, sa.into());
+        let da = f32_addr(b, dst, idx.into());
+        b.store(AddrSpace::Global, MemTy::F32, da.into(), v.into());
+    };
+    let copy_i32 = |b: &mut KernelBuilder, dst: u16, src: u16, idx: Reg| {
+        let sa = f32_addr(b, src, idx.into());
+        let v = b.load_global_i32(sa.into());
+        let da = f32_addr(b, dst, idx.into());
+        b.store_global_i32(da.into(), v.into());
+    };
+    copy_f32(&mut b, vir, next_vir, pidx);
+    copy_f32(&mut b, chem, next_chem, pidx);
+    copy_i32(&mut b, tcell, tnew, gtid);
+    copy_i32(&mut b, tlife, lnew, gtid);
+    let n_addr = f32_addr(&mut b, tnext, gtid.into());
+    b.store_global_i32(n_addr.into(), Operand::ImmI32(0));
+    b.br(exit);
+    b.finish()
+}
+
+/// Kernel 8: atomic tallies: `[virion_q8, infected, dead, tcells]`.
+#[must_use]
+pub fn build_reduce_stats(g: i32, _p: &SimcovParams, layout: Layout) -> Kernel {
+    let mut b = KernelBuilder::new("simcov_reduce_stats");
+    let epi = b.param_ptr("epi", AddrSpace::Global);
+    let vir = b.param_ptr("vir", AddrSpace::Global);
+    let tcell = b.param_ptr("tcell", AddrSpace::Global);
+    let stats = b.param_ptr("stats", AddrSpace::Global);
+
+    b.loc("reduce_stats");
+    let (gtid, row, col, exit) = prologue(&mut b, g);
+    let v_idx = field_idx(&mut b, layout, g, row, col);
+    let v_addr = f32_addr(&mut b, vir, v_idx.into());
+    let v = b.load(AddrSpace::Global, MemTy::F32, v_addr.into());
+    let v_scaled = b.fbin(gevo_ir::FloatBinOp::Mul, v.into(), Operand::f32(256.0));
+    let vq = b.fptosi(v_scaled.into());
+    let _ = b.atomic_add(AddrSpace::Global, Operand::Param(stats), vq.into());
+
+    let e_addr = f32_addr(&mut b, epi, gtid.into());
+    let e = b.load_global_i32(e_addr.into());
+    let inf1 = b.icmp_eq(e.into(), Operand::ImmI32(1));
+    let inf2 = b.icmp_eq(e.into(), Operand::ImmI32(2));
+    let inf = b.or(inf1.into(), inf2.into());
+    let inf_i = b.zext_bool(inf.into());
+    let stats4 = b.add_i64(Operand::Param(stats), Operand::ImmI64(4));
+    let _ = b.atomic_add(AddrSpace::Global, stats4.into(), inf_i.into());
+
+    let dead = b.icmp_eq(e.into(), Operand::ImmI32(4));
+    let dead_i = b.zext_bool(dead.into());
+    let stats8 = b.add_i64(Operand::Param(stats), Operand::ImmI64(8));
+    let _ = b.atomic_add(AddrSpace::Global, stats8.into(), dead_i.into());
+
+    let t_addr = f32_addr(&mut b, tcell, gtid.into());
+    let t = b.load_global_i32(t_addr.into());
+    let stats12 = b.add_i64(Operand::Param(stats), Operand::ImmI64(12));
+    let _ = b.atomic_add(AddrSpace::Global, stats12.into(), t.into());
+    b.br(exit);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SimcovParams {
+        SimcovParams::default()
+    }
+
+    #[test]
+    fn all_kernels_verify() {
+        let p = params();
+        for layout in [Layout::Checked, Layout::Padded] {
+            let kernels: Vec<Kernel> = vec![
+                build_extravasate(16, &p, layout),
+                build_tcell_move(16, &p).0,
+                build_tcell_commit(16, &p),
+                build_epi_update(16, &p, layout),
+                build_virion_diffuse(16, &p, layout).0,
+                build_chem_diffuse(16, &p, layout).0,
+                build_commit_swap(16, &p, layout),
+                build_reduce_stats(16, &p, layout),
+            ];
+            assert_eq!(kernels.len(), 8, "the paper's 8 GPU kernels");
+            for k in &kernels {
+                assert!(gevo_ir::verify::verify(k).is_ok(), "{}", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn padded_layout_has_no_boundary_sites() {
+        let p = params();
+        let (_, sites, _) = build_virion_diffuse(16, &p, Layout::Padded);
+        assert!(sites.is_empty(), "padding removes every boundary check");
+    }
+
+    #[test]
+    fn diffusion_has_eight_boundary_sites() {
+        let p = params();
+        let (k, sites, _) = build_virion_diffuse(16, &p, Layout::Checked);
+        assert_eq!(sites.len(), 8);
+        for s in sites {
+            assert!(matches!(
+                k.terminator(s).map(|t| t.kind),
+                Some(gevo_ir::TermKind::CondBr { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn kernels_are_id_stable_across_grid_sizes() {
+        // Patches transfer from the fitness grid to the held-out grid
+        // because instruction IDs are identical; only immediates differ.
+        let p = params();
+        let (k16, s16, d16) = build_virion_diffuse(16, &p, Layout::Checked);
+        let (k96, s96, d96) = build_virion_diffuse(96, &p, Layout::Checked);
+        assert_eq!(s16, s96, "site IDs identical");
+        assert_eq!(d16, d96);
+        assert_eq!(k16.inst_count(), k96.inst_count());
+        let ids16: Vec<_> = k16.inst_ids();
+        let ids96: Vec<_> = k96.inst_ids();
+        assert_eq!(ids16, ids96);
+    }
+
+    #[test]
+    fn boundary_logic_is_large_fraction_of_kernel() {
+        // Paper §VI-D: "31% of the kernel instructions were performing
+        // logic operations related to the boundary comparison".
+        let p = params();
+        let (k, sites, _) = build_virion_diffuse(16, &p, Layout::Checked);
+        // Count the static boundary-compare chain: per neighbor 2 adds +
+        // 4 compares + 3 ands = 9 instructions.
+        let boundary_static = 8 * 9;
+        let frac = f64::from(u32::try_from(boundary_static).unwrap())
+            / f64::from(u32::try_from(k.inst_count()).unwrap());
+        assert!(
+            frac > 0.25 && frac < 0.6,
+            "boundary logic fraction {frac:.2}"
+        );
+        let _ = sites;
+    }
+}

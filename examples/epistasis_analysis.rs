@@ -1,0 +1,69 @@
+//! Deterministic walk through the paper's Section V analysis on the
+//! curated ADEPT-V1 optimization patch: Algorithm 1, Algorithm 2, the
+//! exhaustive subset table and the Fig. 7 dependency graph.
+//!
+//! ```text
+//! cargo run --release --example epistasis_analysis
+//! ```
+
+use gevo_engine::SubsetOutcome;
+use gevo_repro::prelude::*;
+
+fn main() {
+    let workload = AdeptWorkload::new(AdeptConfig::scaled(Version::V1));
+    let ev = Evaluator::new(&workload);
+    let patch = workload.curated_patch();
+    println!(
+        "input: the curated ADEPT-V1 patch, {} edits, {:.3}x",
+        patch.len(),
+        ev.speedup(&patch).unwrap()
+    );
+
+    let min = minimize_weak_edits(&ev, &patch, 0.01);
+    println!(
+        "Algorithm 1: kept {} edits at {:.3}x ({} weak edits dropped)",
+        min.kept.len(),
+        min.speedup_minimized,
+        min.removed.len()
+    );
+
+    let split = split_independent(&ev, &min.kept, 0.01);
+    println!(
+        "Algorithm 2: {} independent, {} epistatic",
+        split.independent.len(),
+        split.epistatic.len()
+    );
+
+    let base = Patch::from_edits(split.epistatic.clone());
+    let table = subset_analysis(&ev, &base, &split.epistatic);
+    println!();
+    println!("subset outcomes ({} subsets):", table.outcomes.len());
+    for (mask, outcome) in table.outcomes.iter().enumerate() {
+        if mask.count_ones() > 2 && mask + 1 != table.outcomes.len() {
+            continue;
+        }
+        let label = match outcome {
+            SubsetOutcome::Failed => "EXEC FAILED".to_string(),
+            SubsetOutcome::Speedup(s) => format!("{:+.2}%", (s - 1.0) * 100.0),
+        };
+        println!("  mask {mask:#07b}: {label}");
+    }
+
+    let graph = dependency_graph(&table);
+    println!();
+    println!("dependency graph (paper Fig. 7):");
+    for (j, reqs) in graph.requires.iter().enumerate() {
+        let fails = if graph.fails_alone[j] { " (fails alone)" } else { "" };
+        if reqs.is_empty() {
+            println!("  edit {j}{fails}");
+        } else {
+            println!("  edit {j}{fails} requires {reqs:?}");
+        }
+    }
+    for (g, members) in graph.subgroups.iter().enumerate() {
+        println!(
+            "  subgroup {g}: {members:?} best {:+.1}%",
+            (graph.subgroup_speedup[g] - 1.0) * 100.0
+        );
+    }
+}

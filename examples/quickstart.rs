@@ -1,0 +1,50 @@
+//! Quickstart: evolve ADEPT-V0 (the paper's naive GPU port) for a few
+//! generations and watch GEVO find the §VI-C shared-memory-init
+//! bottleneck.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gevo_repro::prelude::*;
+
+fn main() {
+    // The naive Smith-Waterman port on a scaled P100 (DESIGN.md §4.4).
+    let workload = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+
+    let cfg = GaConfig {
+        population: 24,
+        generations: 12,
+        threads: std::thread::available_parallelism().map_or(4, usize::from),
+        seed: 3,
+        ..GaConfig::scaled()
+    };
+    println!(
+        "evolving {} (pop {}, {} generations)...",
+        workload.name(),
+        cfg.population,
+        cfg.generations
+    );
+    let result = run_ga(&workload, &cfg);
+
+    println!("baseline cycles : {:.0}", result.history.baseline);
+    println!("best cycles     : {:.0}", result.best.fitness.unwrap());
+    println!("speedup         : {:.2}x", result.speedup);
+    println!("edits in genome : {}", result.best.patch.len());
+    println!();
+    println!("fitness trajectory (best per generation):");
+    for rec in &result.history.records {
+        let bar = "#".repeat((rec.best_speedup * 4.0) as usize);
+        println!("  gen {:>3}: {:>6.2}x {bar}", rec.gen, rec.best_speedup);
+    }
+
+    // How does the discovery compare to the known optimization?
+    let ev = Evaluator::new(&workload);
+    let curated = ev.speedup(&workload.curated_patch()).unwrap();
+    println!();
+    println!("curated optimum : {curated:.2}x (the paper reports ~30x)");
+    println!(
+        "GA reached      : {:.0}% of the curated optimum",
+        100.0 * (result.speedup - 1.0) / (curated - 1.0)
+    );
+}

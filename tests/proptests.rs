@@ -1,0 +1,88 @@
+//! Property-based tests over the whole stack: random edit sequences must
+//! never break the engine's invariants — the exact robustness the GA
+//! relies on when it explores millions of variants.
+
+use gevo_repro::prelude::*;
+use gevo_repro::{engine, ir};
+use proptest::prelude::*;
+
+/// Deterministically samples `n` edits using the engine's own mutation
+/// space (the distribution the GA actually explores).
+fn sample_patch(w: &dyn Workload, seed: u64, n: usize) -> Patch {
+    use rand::SeedableRng;
+    let space = engine::MutationSpace::new(w.kernels(), engine::MutationWeights::default());
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut p = Patch::empty();
+    for _ in 0..n {
+        space.mutate(&mut p, &mut rng);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random patch applies without panicking, and the patched
+    /// kernels either verify or are cleanly rejected.
+    #[test]
+    fn random_patches_never_panic(seed in 0u64..10_000, n in 1usize..24) {
+        let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+        let p = sample_patch(&w, seed, n);
+        let (kernels, applied) = p.apply(w.kernels());
+        prop_assert!(applied <= p.len());
+        for k in &kernels {
+            // Either verifies or fails verification with an error value —
+            // both acceptable; panics are not.
+            let _ = ir::verify::verify(k);
+        }
+    }
+
+    /// Evaluating any random variant terminates with a value (pass or
+    /// fail), never a hang or panic — the step limit and typed errors at
+    /// work.
+    #[test]
+    fn random_variants_evaluate_to_outcomes(seed in 0u64..2_000, n in 1usize..12) {
+        let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+        let p = sample_patch(&w, seed, n);
+        let ev = Evaluator::new(&w);
+        let out = ev.evaluate(&p);
+        if let Some(f) = out.fitness {
+            prop_assert!(f.is_finite() && f > 0.0);
+        } else {
+            prop_assert!(out.failure.is_some());
+        }
+    }
+
+    /// Subset semantics: dropping edits from a patch yields patches that
+    /// still apply cleanly (the foundation of Algorithms 1/2).
+    #[test]
+    fn subsets_always_apply(seed in 0u64..2_000, n in 2usize..10, keep_mask in 0u32..1024) {
+        let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V1));
+        let p = sample_patch(&w, seed, n);
+        let keep: Vec<Edit> = p
+            .edits()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep_mask & (1 << (i % 10)) != 0)
+            .map(|(_, e)| *e)
+            .collect();
+        let sub = p.subset(&keep);
+        let (kernels, _) = sub.apply(w.kernels());
+        prop_assert_eq!(kernels.len(), w.kernels().len());
+    }
+
+    /// DCE never changes the instruction-set semantics visible to the
+    /// verifier: a verifying kernel still verifies after DCE.
+    #[test]
+    fn dce_preserves_verifiability(seed in 0u64..2_000, n in 1usize..16) {
+        let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V1));
+        let p = sample_patch(&w, seed, n);
+        let (mut kernels, _) = p.apply(w.kernels());
+        for k in &mut kernels {
+            if ir::verify::verify(k).is_ok() {
+                let _ = ir::transform::dce(k);
+                prop_assert!(ir::verify::verify(k).is_ok(), "DCE broke {}", k.name);
+            }
+        }
+    }
+}
