@@ -11,7 +11,10 @@ use gevo_workloads::adept::Version;
 fn main() {
     println!("§VI-B: ballot_sync / activemask removal on ADEPT-V1");
     println!();
-    println!("| {:<7} | {:>12} | {:>12} | {:>14} |", "GPU", "del ballot", "del activemask", "del both");
+    println!(
+        "| {:<7} | {:>12} | {:>12} | {:>14} |",
+        "GPU", "del ballot", "del activemask", "del both"
+    );
     for spec in scaled_table1_specs() {
         let w = adept_on(Version::V1, &spec);
         let ev = Evaluator::new(&w);
@@ -26,7 +29,10 @@ fn main() {
             w.edit("v1:k1:del_ballot"),
             w.edit("v1:k0:del_activemask"),
         ]);
-        println!("| {:<7} | {ballot:>12} | {amask:>12} | {both:>14} |", spec.name);
+        println!(
+            "| {:<7} | {ballot:>12} | {amask:>12} | {both:>14} |",
+            spec.name
+        );
     }
     println!();
     println!("Shape to check: several percent on the Volta part (independent");

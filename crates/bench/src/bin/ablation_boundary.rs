@@ -19,8 +19,14 @@ fn main() {
     let boundary = Patch::from_edits(w.boundary_edits());
     let s_remove = ev.speedup(&boundary).expect("passes the small grid");
     println!("small fitness grid ({0}x{0}):", w.config().g);
-    println!("  boundary-check removal: {:+.1}% (paper: ~20%)", (s_remove - 1.0) * 100.0);
-    println!("  curated patch total:    {:+.1}% (paper: ~29%)", (speedup_of(&w, &w.curated_patch()) - 1.0) * 100.0);
+    println!(
+        "  boundary-check removal: {:+.1}% (paper: ~20%)",
+        (s_remove - 1.0) * 100.0
+    );
+    println!(
+        "  curated patch total:    {:+.1}% (paper: ~29%)",
+        (speedup_of(&w, &w.curated_patch()) - 1.0) * 100.0
+    );
     println!();
 
     // Fig. 10(b): the held-out grid places the field at the end of device

@@ -11,7 +11,11 @@ use gevo_gpu::{Gpu, GpuSpec, LaunchConfig};
 use gevo_ir::{AddrSpace, IntBinOp, Kernel, KernelBuilder, Operand, Special};
 
 fn build(with_dead_store: bool, iters: i32) -> Kernel {
-    let mut b = KernelBuilder::new(if with_dead_store { "dead_store" } else { "plain" });
+    let mut b = KernelBuilder::new(if with_dead_store {
+        "dead_store"
+    } else {
+        "plain"
+    });
     let data = b.param_ptr("data", AddrSpace::Global);
     let out = b.param_ptr("out", AddrSpace::Global);
     let tid = b.special_i32(Special::ThreadId);

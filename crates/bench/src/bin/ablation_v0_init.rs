@@ -20,10 +20,7 @@ fn main() {
                 "+ drop its barrier",
                 vec![w.edit("v0:skip_init"), w.edit("v0:del_init_sync")],
             ),
-            (
-                "+ independent deletions",
-                w.curated_independent(),
-            ),
+            ("+ independent deletions", w.curated_independent()),
         ];
         println!("{}:", spec.name);
         for (label, edits) in steps {
@@ -36,7 +33,11 @@ fn main() {
         let sync_alone = ev.fitness(&Patch::from_edits(vec![w.edit("v0:del_init_sync")]));
         println!(
             "  drop barrier alone       {}",
-            if sync_alone.is_none() { "FAILS validation (as it must)" } else { "valid" }
+            if sync_alone.is_none() {
+                "FAILS validation (as it must)"
+            } else {
+                "valid"
+            }
         );
         println!();
     }

@@ -15,10 +15,7 @@ fn main() {
         cfg.population, cfg.generations, cfg.seed
     );
     println!();
-    println!(
-        "| {:<7} | {:>9} | {:>9} | paper |",
-        "GPU", "GA", "curated"
-    );
+    println!("| {:<7} | {:>9} | {:>9} | paper |", "GPU", "GA", "curated");
     let paper = [1.29, 1.43, 1.17];
     for (spec, p) in scaled_table1_specs().iter().zip(paper) {
         let w = simcov_on(spec);

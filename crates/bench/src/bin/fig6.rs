@@ -13,7 +13,10 @@ use gevo_engine::{run_ga, GaResult, Workload};
 use gevo_workloads::adept::Version;
 
 fn band(results: &[GaResult], gens: usize) {
-    println!("| {:>4} | {:>6} | {:>6} | {:>6} |", "gen", "min", "mean", "max");
+    println!(
+        "| {:>4} | {:>6} | {:>6} | {:>6} |",
+        "gen", "min", "mean", "max"
+    );
     let stride = (gens / 12).max(1);
     for g in (0..gens).step_by(stride) {
         let at: Vec<f64> = results

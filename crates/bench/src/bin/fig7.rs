@@ -25,12 +25,18 @@ fn main() {
 
     let (patch, origin) = if env_usize("GEVO_FROM_GA", 0) == 1 {
         let cfg = harness_ga(32, 40);
-        println!("(evolving first: pop {}, {} gens...)", cfg.population, cfg.generations);
+        println!(
+            "(evolving first: pop {}, {} gens...)",
+            cfg.population, cfg.generations
+        );
         (run_ga(&w, &cfg).best.patch, "GA best individual")
     } else {
         (w.curated_patch(), "curated optimization patch")
     };
-    println!("Figure 7 pipeline on ADEPT-V1 @ P100 — input: {origin}, {} edits", patch.len());
+    println!(
+        "Figure 7 pipeline on ADEPT-V1 @ P100 — input: {origin}, {} edits",
+        patch.len()
+    );
     println!();
 
     // §V-A: Algorithm 1.
@@ -123,7 +129,8 @@ fn main() {
             gevo_engine::SubsetOutcome::Failed => "EXEC FAILED".to_string(),
             gevo_engine::SubsetOutcome::Speedup(s) => format!("{:+.1}%", (s - 1.0) * 100.0),
         };
-        if popcount <= 2 || matches!(table.outcomes[mask], gevo_engine::SubsetOutcome::Speedup(s) if s > 1.04)
+        if popcount <= 2
+            || matches!(table.outcomes[mask], gevo_engine::SubsetOutcome::Speedup(s) if s > 1.04)
         {
             println!("  {{{}}}: {label}", members.join(", "));
         }

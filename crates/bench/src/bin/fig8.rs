@@ -23,7 +23,11 @@ fn main() {
         cfg.population, cfg.generations, cfg.seed
     );
     let result = run_ga(&w, &cfg);
-    println!("final speedup: {:.3}x with {} edits", result.speedup, result.best.patch.len());
+    println!(
+        "final speedup: {:.3}x with {} edits",
+        result.speedup,
+        result.best.patch.len()
+    );
     println!();
 
     println!("fitness staircase (generations where the best improved):");

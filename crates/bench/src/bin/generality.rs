@@ -15,7 +15,12 @@ fn main() {
     println!();
     let specs = scaled_table1_specs();
 
-    row(&["workload".into(), "P100".into(), "1080Ti".into(), "V100".into()]);
+    row(&[
+        "workload".into(),
+        "P100".into(),
+        "1080Ti".into(),
+        "V100".into(),
+    ]);
     let rows: Vec<(&str, Vec<f64>)> = vec![
         (
             "adept-v0",
@@ -62,10 +67,7 @@ fn main() {
     println!("ballot_sync removal (ADEPT-V1, both kernels), per GPU:");
     for spec in &specs {
         let w = adept_on(Version::V1, spec);
-        let p = Patch::from_edits(vec![
-            w.edit("v1:k0:del_ballot"),
-            w.edit("v1:k1:del_ballot"),
-        ]);
+        let p = Patch::from_edits(vec![w.edit("v1:k0:del_ballot"), w.edit("v1:k1:del_ballot")]);
         let s = speedup_of(&w, &p);
         println!(
             "  {:<7}: {:+.2}% (paper: ~4% on V100, ~0% on P100)",

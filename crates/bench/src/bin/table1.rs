@@ -22,22 +22,33 @@ fn main() {
         "| {:<22} | {:>10} | {:>10} | {:>10} |",
         "GPU", specs[0].name, specs[1].name, specs[2].name
     );
-    println!("|{}|{}|{}|{}|", "-".repeat(24), "-".repeat(12), "-".repeat(12), "-".repeat(12));
+    println!(
+        "|{}|{}|{}|{}|",
+        "-".repeat(24),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(12)
+    );
     hdr("Architecture Family", &|s| s.family.clone());
     hdr("CUDA cores", &|s| s.cuda_cores().to_string());
     hdr("Core Frequency (MHz)", &|s| s.clock_mhz.to_string());
     hdr("SMs", &|s| s.sm_count.to_string());
     hdr("Warp size", &|s| s.warp_size.to_string());
-    hdr("Shared mem/block (KB)", &|s| (s.shared_mem_per_block / 1024).to_string());
+    hdr("Shared mem/block (KB)", &|s| {
+        (s.shared_mem_per_block / 1024).to_string()
+    });
     hdr("Indep. thread sched.", &|s| {
-        if s.independent_thread_scheduling { "yes" } else { "no" }.to_string()
+        if s.independent_thread_scheduling {
+            "yes"
+        } else {
+            "no"
+        }
+        .to_string()
     });
     hdr("ballot_sync (cycles)", &|s| s.costs.ballot.to_string());
     hdr("L2 lines", &|s| s.cache_lines.to_string());
     hdr("DRAM row (bytes)", &|s| s.dram_row_bytes.to_string());
     println!();
-    println!(
-        "(paper values: P100/1080Ti/V100 = Pascal/Pascal/Volta, 3584/3584/5120 cores,"
-    );
+    println!("(paper values: P100/1080Ti/V100 = Pascal/Pascal/Volta, 3584/3584/5120 cores,");
     println!(" 1386/1999/1530 MHz, 16GB HBM / 11GB GDDR5X / 16GB HBM2)");
 }

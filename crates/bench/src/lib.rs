@@ -75,7 +75,7 @@ pub fn adept_on(version: Version, spec: &GpuSpec) -> AdeptWorkload {
     AdeptWorkload::new(AdeptConfig::scaled(version).with_spec(spec.clone()))
 }
 
-/// SIMCoV on a given scaled spec.
+/// `SIMCoV` on a given scaled spec.
 #[must_use]
 pub fn simcov_on(spec: &GpuSpec) -> SimcovWorkload {
     SimcovWorkload::new(SimcovConfig::scaled().with_spec(spec.clone()))

@@ -73,8 +73,7 @@ pub fn minimize_weak_edits(
             .filter(|(j, _)| *j != i && !weak_idx.contains(j))
             .map(|(_, e)| *e)
             .collect();
-        let (Some(f_ctx), Some(f_without)) =
-            (evaluator.fitness(&ctx), evaluator.fitness(&without))
+        let (Some(f_ctx), Some(f_without)) = (evaluator.fitness(&ctx), evaluator.fitness(&without))
         else {
             // Removing this occurrence (or evaluating the context) fails:
             // load-bearing.
@@ -123,9 +122,9 @@ pub struct SplitReport {
 /// Algorithm 2: separate independent from epistatic edits.
 ///
 /// The paper checks that "the run-time from the above two tests agrees":
-/// the edit's solo improvement (`f(∅) − f(e)`, its PerfIncr) versus its
+/// the edit's solo improvement (`f(∅) − f(e)`, its `PerfIncr`) versus its
 /// marginal contribution inside the remaining set
-/// (`f(S−Indep−e) − f(S−Indep)`, its PerfDecr). An independent edit saves
+/// (`f(S−Indep−e) − f(S−Indep)`, its `PerfDecr`). An independent edit saves
 /// the same cycles alone as in context. We compare the two *cycle deltas*
 /// and call them agreeing when they differ by less than
 /// `tolerance × f(∅)` (the paper's "≃" with 1% default) — comparing
@@ -133,11 +132,7 @@ pub struct SplitReport {
 /// percentages keeps the test meaningful for large edits, where the two
 /// denominators differ substantially.
 #[must_use]
-pub fn split_independent(
-    evaluator: &Evaluator<'_>,
-    patch: &Patch,
-    tolerance: f64,
-) -> SplitReport {
+pub fn split_independent(evaluator: &Evaluator<'_>, patch: &Patch, tolerance: f64) -> SplitReport {
     let f_empty = evaluator.baseline();
     // Exact duplicate occurrences are analyzed as a single edit (their
     // subset algebra is ill-defined otherwise).
@@ -450,13 +445,16 @@ mod tests {
         fn deletes(&self) -> Vec<Edit> {
             self.markers
                 .iter()
-                .map(|m| Edit::Delete { kernel: 0, target: *m })
+                .map(|m| Edit::Delete {
+                    kernel: 0,
+                    target: *m,
+                })
                 .collect()
         }
     }
 
     impl Workload for Synthetic {
-        fn name(&self) -> &str {
+        fn name(&self) -> &'static str {
             "synthetic"
         }
         fn kernels(&self) -> &[Kernel] {
@@ -584,11 +582,7 @@ mod tests {
         let table = subset_analysis(&ev, &base, &edits);
         let graph = dependency_graph(&table);
         // d0 forms its own subgroup.
-        let g_of_d0 = graph
-            .subgroups
-            .iter()
-            .position(|g| g.contains(&0))
-            .unwrap();
+        let g_of_d0 = graph.subgroups.iter().position(|g| g.contains(&0)).unwrap();
         assert_eq!(graph.subgroups[g_of_d0], vec![0]);
         assert_eq!(graph.subgroups.len(), 2);
     }

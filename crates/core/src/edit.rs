@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One mutation operator application. `kernel` indexes the workload's
-/// kernel list (multi-kernel programs like ADEPT-V1 and SIMCoV evolve all
+/// kernel list (multi-kernel programs like ADEPT-V1 and `SIMCoV` evolve all
 /// their kernels in one genome, as GEVO does).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Edit {
@@ -166,7 +166,9 @@ impl Edit {
                 t.loc = keep_loc;
                 true
             }
-            Edit::OperandReplace { target, arg, new, .. } => {
+            Edit::OperandReplace {
+                target, arg, new, ..
+            } => {
                 let Some(pos) = k.locate(target) else {
                     return false;
                 };
@@ -542,8 +544,14 @@ mod tests {
     fn subsets_and_without() {
         let ks = kernels();
         let all = ids(&ks[0]);
-        let e1 = Edit::Delete { kernel: 0, target: all[1] };
-        let e2 = Edit::Delete { kernel: 0, target: all[2] };
+        let e1 = Edit::Delete {
+            kernel: 0,
+            target: all[1],
+        };
+        let e2 = Edit::Delete {
+            kernel: 0,
+            target: all[2],
+        };
         let p = Patch::from_edits(vec![e1, e2]);
         assert_eq!(p.without(&e1).edits(), &[e2]);
         assert_eq!(p.without_all(&[e1, e2]).len(), 0);
@@ -557,7 +565,10 @@ mod tests {
         let ks = kernels();
         let all = ids(&ks[0]);
         let edits = vec![
-            Edit::Delete { kernel: 0, target: all[2] },
+            Edit::Delete {
+                kernel: 0,
+                target: all[2],
+            },
             Edit::OperandReplace {
                 kernel: 0,
                 target: all[1],
@@ -591,8 +602,14 @@ mod tests {
     fn content_hash_is_order_sensitive_and_stable() {
         let ks = kernels();
         let all = ids(&ks[0]);
-        let e1 = Edit::Delete { kernel: 0, target: all[1] };
-        let e2 = Edit::Delete { kernel: 0, target: all[2] };
+        let e1 = Edit::Delete {
+            kernel: 0,
+            target: all[1],
+        };
+        let e2 = Edit::Delete {
+            kernel: 0,
+            target: all[2],
+        };
         let p1 = Patch::from_edits(vec![e1, e2]);
         let p2 = Patch::from_edits(vec![e1, e2]);
         let p3 = Patch::from_edits(vec![e2, e1]);

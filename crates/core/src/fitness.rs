@@ -55,7 +55,7 @@ impl EvalOutcome {
 /// A program under optimization: pristine kernels plus the machinery to
 /// score a variant against the test set.
 ///
-/// Implementations live in `gevo-workloads` (ADEPT-V0/V1, SIMCoV); the
+/// Implementations live in `gevo-workloads` (ADEPT-V0/V1, `SIMCoV`); the
 /// engine is generic over this trait.
 pub trait Workload: Sync {
     /// Identifier used in reports.
@@ -184,7 +184,11 @@ impl<'w> Evaluator<'w> {
         });
         results
             .into_iter()
-            .map(|m| m.into_inner().expect("slot lock").expect("worker filled slot"))
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot lock")
+                    .expect("worker filled slot")
+            })
             .collect()
     }
 }
@@ -221,7 +225,7 @@ mod tests {
     }
 
     impl Workload for Stub {
-        fn name(&self) -> &str {
+        fn name(&self) -> &'static str {
             "stub"
         }
         fn kernels(&self) -> &[Kernel] {
@@ -285,7 +289,12 @@ mod tests {
         let ids = w.kernels[0].inst_ids();
         let patches: Vec<Patch> = ids
             .iter()
-            .map(|id| Patch::from_edits(vec![Edit::Delete { kernel: 0, target: *id }]))
+            .map(|id| {
+                Patch::from_edits(vec![Edit::Delete {
+                    kernel: 0,
+                    target: *id,
+                }])
+            })
             .collect();
         let serial = Evaluator::new(&w);
         let expected: Vec<EvalOutcome> = patches.iter().map(|p| serial.evaluate(p)).collect();

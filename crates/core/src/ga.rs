@@ -28,7 +28,7 @@ pub struct GaConfig {
     /// Probability an individual receives a new mutation per generation
     /// (paper: 0.3).
     pub mutation_p: f64,
-    /// Generation budget (paper: ~300 for ADEPT, ~130 for SIMCoV).
+    /// Generation budget (paper: ~300 for ADEPT, ~130 for `SIMCoV`).
     pub generations: usize,
     /// Tournament size for parent selection.
     pub tournament: usize,
@@ -360,7 +360,7 @@ mod tests {
     }
 
     impl Workload for Toy {
-        fn name(&self) -> &str {
+        fn name(&self) -> &'static str {
             "toy"
         }
         fn kernels(&self) -> &[Kernel] {

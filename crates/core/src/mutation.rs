@@ -130,7 +130,8 @@ impl MutationSpace {
         }
 
         let w = &self.weights;
-        let sum = w.delete + w.operand_replace + w.cond_replace + w.copy + w.mov + w.swap + w.replace;
+        let sum =
+            w.delete + w.operand_replace + w.cond_replace + w.copy + w.mov + w.swap + w.replace;
         let mut x = rng.gen_range(0.0..sum);
         let mut kind = 0;
         for (i, wt) in [
@@ -175,7 +176,7 @@ impl MutationSpace {
                 // Occasionally perturb integer immediates instead of
                 // swapping operands — GEVO's constant mutation.
                 if ty == Ty::I32 && rng.gen_bool(0.2) {
-                    let delta = [-1, 1, 2, -2][rng.gen_range(0..4)];
+                    let delta = [-1, 1, 2, -2][rng.gen_range(0..4usize)];
                     if let Operand::ImmI32(v) = new {
                         new = Operand::ImmI32(v.wrapping_add(delta));
                     }
@@ -244,8 +245,16 @@ impl MutationSpace {
 /// One-point crossover over edit lists (GEVO's patch crossover): child
 /// takes a prefix of `a` and a suffix of `b`.
 pub fn crossover_one_point<R: Rng>(a: &Patch, b: &Patch, rng: &mut R) -> Patch {
-    let cut_a = if a.is_empty() { 0 } else { rng.gen_range(0..=a.len()) };
-    let cut_b = if b.is_empty() { 0 } else { rng.gen_range(0..=b.len()) };
+    let cut_a = if a.is_empty() {
+        0
+    } else {
+        rng.gen_range(0..=a.len())
+    };
+    let cut_b = if b.is_empty() {
+        0
+    } else {
+        rng.gen_range(0..=b.len())
+    };
     let mut edits: Vec<Edit> = a.edits()[..cut_a].to_vec();
     edits.extend_from_slice(&b.edits()[cut_b..]);
     Patch::from_edits(edits)
@@ -341,13 +350,19 @@ mod tests {
         let pa = Patch::from_edits(
             ids[..3]
                 .iter()
-                .map(|id| Edit::Delete { kernel: 0, target: *id })
+                .map(|id| Edit::Delete {
+                    kernel: 0,
+                    target: *id,
+                })
                 .collect(),
         );
         let pb = Patch::from_edits(
             ids[3..6]
                 .iter()
-                .map(|id| Edit::Delete { kernel: 0, target: *id })
+                .map(|id| Edit::Delete {
+                    kernel: 0,
+                    target: *id,
+                })
                 .collect(),
         );
         let mut rng = ChaCha8Rng::seed_from_u64(3);
@@ -367,7 +382,10 @@ mod tests {
         let ids = ks[0].inst_ids();
         let pa = Patch::from_edits(
             ids.iter()
-                .map(|id| Edit::Delete { kernel: 0, target: *id })
+                .map(|id| Edit::Delete {
+                    kernel: 0,
+                    target: *id,
+                })
                 .collect(),
         );
         let mut rng = ChaCha8Rng::seed_from_u64(5);
@@ -384,7 +402,9 @@ mod tests {
         let space = MutationSpace::new(&ks, MutationWeights::default());
         let run = |seed| {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            (0..20).map(|_| space.sample(&mut rng).unwrap()).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| space.sample(&mut rng).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));

@@ -72,7 +72,10 @@ impl fmt::Display for ExecError {
                 write!(f, "strict-mode fault: {addr} is outside every live buffer")
             }
             ExecError::SharedFault { addr, shared_bytes } => {
-                write!(f, "shared memory fault at offset {addr} (block has {shared_bytes} bytes)")
+                write!(
+                    f,
+                    "shared memory fault at offset {addr} (block has {shared_bytes} bytes)"
+                )
             }
             ExecError::Misaligned { addr, align } => {
                 write!(f, "misaligned {align}-byte access at {addr}")
@@ -97,7 +100,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ExecError::GlobalFault { addr: 1024, bytes: 4 };
+        let e = ExecError::GlobalFault {
+            addr: 1024,
+            bytes: 4,
+        };
         assert!(e.to_string().contains("1024"));
         let e = ExecError::TypeMismatch {
             expected: Ty::I32,

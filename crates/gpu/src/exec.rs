@@ -121,8 +121,8 @@ impl Gpu {
             let sm = (block_idx % self.spec.sm_count) as usize;
             sm_cycles[sm] += block_cycles;
         }
-        stats.cycles = self.spec.costs.launch_overhead
-            + sm_cycles.iter().copied().max().unwrap_or(0);
+        stats.cycles =
+            self.spec.costs.launch_overhead + sm_cycles.iter().copied().max().unwrap_or(0);
         Ok(stats)
     }
 
@@ -155,14 +155,13 @@ impl Gpu {
             )));
         }
         for (i, (a, p)) in args.iter().zip(&kernel.params).enumerate() {
-            let ok = match (a, p.ty) {
+            let ok = matches!(
+                (a, p.ty),
                 (KernelArg::I32(_), ParamTy::Val(Ty::I32))
-                | (KernelArg::I64(_), ParamTy::Val(Ty::I64))
-                | (KernelArg::F32(_), ParamTy::Val(Ty::F32))
-                | (KernelArg::Buf(_), ParamTy::Ptr(_))
-                | (KernelArg::I64(_), ParamTy::Ptr(_)) => true,
-                _ => false,
-            };
+                    | (KernelArg::I64(_), ParamTy::Val(Ty::I64) | ParamTy::Ptr(_))
+                    | (KernelArg::F32(_), ParamTy::Val(Ty::F32))
+                    | (KernelArg::Buf(_), ParamTy::Ptr(_))
+            );
             if !ok {
                 return Err(ExecError::BadLaunch(format!(
                     "argument {i} does not match parameter type {}",
@@ -193,7 +192,7 @@ struct Frame {
 
 #[derive(Debug)]
 struct Warp {
-    warp_idx: u32,
+    idx: u32,
     active: u64,
     exited: u64,
     block: u32,
@@ -263,7 +262,11 @@ impl<'a> BlockExec<'a> {
         let warps = (0..n_warps)
             .map(|w| {
                 let live = (n_threads - w * lanes).min(lanes);
-                let full_mask = if live == 64 { u64::MAX } else { (1u64 << live) - 1 };
+                let full_mask = if live == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << live) - 1
+                };
                 let mut regs = Vec::with_capacity(n_regs * lanes as usize);
                 for r in 0..n_regs {
                     let ty = kernel.reg_ty(gevo_ir::Reg(u32::try_from(r).expect("reg idx")));
@@ -272,7 +275,7 @@ impl<'a> BlockExec<'a> {
                     }
                 }
                 Warp {
-                    warp_idx: w,
+                    idx: w,
                     active: full_mask,
                     exited: 0,
                     block: 0,
@@ -342,11 +345,18 @@ impl<'a> BlockExec<'a> {
             if live.is_empty() {
                 break;
             }
-            if live.iter().all(|&i| self.warps[i].state == WarpState::AtBarrier) {
+            if live
+                .iter()
+                .all(|&i| self.warps[i].state == WarpState::AtBarrier)
+            {
                 // Barrier release: synchronize clocks.
-                let arrive = live.iter().map(|&i| self.warps[i].cycles).max().unwrap_or(0);
-                let cost = self.spec.costs.barrier
-                    + self.spec.costs.barrier_per_warp * live.len() as u64;
+                let arrive = live
+                    .iter()
+                    .map(|&i| self.warps[i].cycles)
+                    .max()
+                    .unwrap_or(0);
+                let cost =
+                    self.spec.costs.barrier + self.spec.costs.barrier_per_warp * live.len() as u64;
                 for &i in &live {
                     self.warps[i].cycles = arrive + cost;
                     self.warps[i].state = WarpState::Running;
@@ -503,12 +513,11 @@ impl<'a> BlockExec<'a> {
             }
             // This path has no live lanes: skip to the innermost pending
             // reconvergence, or finish the warp.
-            match w.stack.last() {
-                Some(top) => t = top.reconv,
-                None => {
-                    w.state = WarpState::Done;
-                    return;
-                }
+            if let Some(top) = w.stack.last() {
+                t = top.reconv;
+            } else {
+                w.state = WarpState::Done;
+                return;
             }
         }
     }
@@ -516,6 +525,10 @@ impl<'a> BlockExec<'a> {
     // ---- operand & register access -------------------------------------
 
     #[inline]
+    // Immediates and registers cannot fail today, but the uniform
+    // `Result` keeps every operand-consuming call site on one `?` path
+    // (and leaves room for fallible operand kinds).
+    #[allow(clippy::unnecessary_wraps)]
     fn read_operand(&self, wi: usize, lane: u32, op: &Operand) -> Result<Value, ExecError> {
         let w = &self.warps[wi];
         Ok(match op {
@@ -534,12 +547,12 @@ impl<'a> BlockExec<'a> {
         let w = &self.warps[wi];
         #[allow(clippy::cast_possible_wrap)]
         match s {
-            Special::ThreadId => (w.warp_idx * self.lanes + lane) as i32,
+            Special::ThreadId => (w.idx * self.lanes + lane) as i32,
             Special::BlockId => self.block_idx as i32,
             Special::BlockDim => self.launch.block as i32,
             Special::GridDim => self.launch.grid as i32,
             Special::LaneId => lane as i32,
-            Special::WarpId => w.warp_idx as i32,
+            Special::WarpId => w.idx as i32,
             Special::WarpSize => self.lanes as i32,
         }
     }
@@ -567,9 +580,15 @@ impl<'a> BlockExec<'a> {
             }
             Op::Load { space, ty } => self.exec_mem_load(wi, inst, space, ty, active)?,
             Op::Store { space, ty } => self.exec_mem_store(wi, inst, space, ty, active)?,
-            Op::AtomicAdd { space } => self.exec_atomic(wi, inst, space, active, AtomicKind::Add)?,
-            Op::AtomicMax { space } => self.exec_atomic(wi, inst, space, active, AtomicKind::Max)?,
-            Op::AtomicCas { space } => self.exec_atomic(wi, inst, space, active, AtomicKind::Cas)?,
+            Op::AtomicAdd { space } => {
+                self.exec_atomic(wi, inst, space, active, AtomicKind::Add)?;
+            }
+            Op::AtomicMax { space } => {
+                self.exec_atomic(wi, inst, space, active, AtomicKind::Max)?;
+            }
+            Op::AtomicCas { space } => {
+                self.exec_atomic(wi, inst, space, active, AtomicKind::Cas)?;
+            }
             Op::ShflSync | Op::ShflUpSync => self.exec_shfl(wi, inst, active)?,
             Op::BallotSync => {
                 let mut mask = 0i32;
@@ -700,7 +719,8 @@ impl<'a> BlockExec<'a> {
             },
             Op::FNeg => Value::F32(-expect_f32(a0(0)?)?),
             Op::Sext => Value::I64(i64::from(expect_i32(a0(0)?)?)),
-            Op::Trunc => {
+            Op::Trunc =>
+            {
                 #[allow(clippy::cast_possible_truncation)]
                 Value::I32(expect_i64(a0(0)?)? as i32)
             }
@@ -927,7 +947,7 @@ impl<'a> BlockExec<'a> {
                 shared_bytes: self.kernel.shared_bytes,
             });
         }
-        if addr.unsigned_abs() % bytes != 0 {
+        if !addr.unsigned_abs().is_multiple_of(bytes) {
             return Err(ExecError::Misaligned { addr, align: bytes });
         }
         Ok(usize::try_from(addr).expect("checked shared offset"))

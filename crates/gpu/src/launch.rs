@@ -118,7 +118,7 @@ pub struct LaunchStats {
 
 impl LaunchStats {
     /// Merge counters from another launch (used to total multi-kernel
-    /// pipelines like SIMCoV's per-step kernel sequence).
+    /// pipelines like `SIMCoV`'s per-step kernel sequence).
     pub fn accumulate(&mut self, other: &LaunchStats) {
         self.cycles += other.cycles;
         self.instructions += other.instructions;
@@ -150,8 +150,16 @@ impl fmt::Display for LaunchStats {
         writeln!(f, "  conflicts:         {:>12}", self.shared_conflicts)?;
         writeln!(f, "global accesses:     {:>12}", self.global_accesses)?;
         writeln!(f, "  segments:          {:>12}", self.global_segments)?;
-        writeln!(f, "  cache hit/miss:    {:>6}/{}", self.cache_hits, self.cache_misses)?;
-        writeln!(f, "  row hit/miss:      {:>6}/{}", self.row_hits, self.row_misses)?;
+        writeln!(
+            f,
+            "  cache hit/miss:    {:>6}/{}",
+            self.cache_hits, self.cache_misses
+        )?;
+        writeln!(
+            f,
+            "  row hit/miss:      {:>6}/{}",
+            self.row_hits, self.row_misses
+        )?;
         writeln!(f, "divergent branches:  {:>12}", self.divergent_branches)?;
         writeln!(f, "barriers:            {:>12}", self.barriers)?;
         writeln!(f, "ballots:             {:>12}", self.ballots)?;

@@ -55,6 +55,15 @@
 #![allow(clippy::module_name_repetitions)]
 #![allow(clippy::missing_panics_doc)]
 #![allow(clippy::cast_lossless)]
+// The executor's datapath reinterprets register words between
+// i32/i64/u64 views on purpose (that is what the simulated hardware
+// does); wrapping and truncating casts are the defined semantics.
+#![allow(clippy::cast_possible_truncation)]
+#![allow(clippy::cast_possible_wrap)]
+#![allow(clippy::cast_sign_loss)]
+// Per-op cost/semantics tables stay exhaustive even when arms
+// coincide, so each op's cost is auditable against DESIGN.md §3.2.
+#![allow(clippy::match_same_arms)]
 
 pub mod error;
 pub mod exec;

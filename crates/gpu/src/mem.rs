@@ -4,7 +4,7 @@
 //!
 //! * the whole arena is zero-initialized, and *reads anywhere inside the
 //!   arena succeed* — so a kernel that walks off the end of its buffer
-//!   reads zeros as long as it stays inside device memory (SIMCoV's
+//!   reads zeros as long as it stays inside device memory (`SIMCoV`'s
 //!   boundary-check removal passes the small-grid tests this way);
 //! * accesses beyond the arena (or below the null guard) fault — the
 //!   "segmentation fault on the 2500×2500 held-out grid";
@@ -101,14 +101,17 @@ impl DeviceMemory {
                 self.capacity().saturating_sub(base)
             )));
         }
-        let buf = Buffer { addr: base, len: bytes };
+        let buf = Buffer {
+            addr: base,
+            len: bytes,
+        };
         self.allocs.push(buf);
         self.cursor = end;
         Ok(buf)
     }
 
     /// Allocates so that the buffer's **end** coincides with the arena's
-    /// end. SIMCoV's held-out validation uses this to place the grid flush
+    /// end. `SIMCoV`'s held-out validation uses this to place the grid flush
     /// against the top of device memory, reproducing the paper's
     /// segfault-on-large-grid (Fig. 10(b)).
     ///
@@ -149,7 +152,7 @@ impl DeviceMemory {
         if a < NULL_GUARD || a + bytes > self.capacity() {
             return Err(ExecError::GlobalFault { addr, bytes });
         }
-        if a % bytes != 0 {
+        if !a.is_multiple_of(bytes) {
             return Err(ExecError::Misaligned { addr, align: bytes });
         }
         if self.strict
@@ -170,15 +173,15 @@ impl DeviceMemory {
     pub fn load(&self, addr: i64, ty: MemTy) -> Result<crate::value::Value, ExecError> {
         let a = self.check(addr, ty.size())?;
         Ok(match ty {
-            MemTy::I32 => {
-                crate::value::Value::I32(i32::from_le_bytes(self.data[a..a + 4].try_into().expect("4 bytes")))
-            }
-            MemTy::I64 => {
-                crate::value::Value::I64(i64::from_le_bytes(self.data[a..a + 8].try_into().expect("8 bytes")))
-            }
-            MemTy::F32 => {
-                crate::value::Value::F32(f32::from_le_bytes(self.data[a..a + 4].try_into().expect("4 bytes")))
-            }
+            MemTy::I32 => crate::value::Value::I32(i32::from_le_bytes(
+                self.data[a..a + 4].try_into().expect("4 bytes"),
+            )),
+            MemTy::I64 => crate::value::Value::I64(i64::from_le_bytes(
+                self.data[a..a + 8].try_into().expect("8 bytes"),
+            )),
+            MemTy::F32 => crate::value::Value::F32(f32::from_le_bytes(
+                self.data[a..a + 4].try_into().expect("4 bytes"),
+            )),
         })
     }
 
@@ -370,7 +373,10 @@ mod tests {
         m.store(a.base() + 16, Value::I64(1 << 40)).unwrap();
         assert_eq!(m.load(a.base(), MemTy::I32).unwrap(), Value::I32(-7));
         assert_eq!(m.load(a.base() + 8, MemTy::F32).unwrap(), Value::F32(1.5));
-        assert_eq!(m.load(a.base() + 16, MemTy::I64).unwrap(), Value::I64(1 << 40));
+        assert_eq!(
+            m.load(a.base() + 16, MemTy::I64).unwrap(),
+            Value::I64(1 << 40)
+        );
     }
 
     #[test]

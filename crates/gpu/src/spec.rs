@@ -180,14 +180,16 @@ impl GpuSpec {
         }
     }
 
-    /// NVIDIA GeForce 1080Ti (Pascal), per Table I: 3584 cores, 1999 MHz,
+    /// NVIDIA `GeForce` 1080Ti (Pascal), per Table I: 3584 cores, 1999 MHz,
     /// 11 GB GDDR5X. Same family as the P100 but higher clock and a
     /// GDDR-flavored memory system (smaller rows, slightly worse row-miss).
     #[must_use]
     pub fn gtx1080ti() -> GpuSpec {
-        let mut costs = CostModel::default();
-        costs.global_row_hit = 140;
-        costs.global_row_miss = 360;
+        let costs = CostModel {
+            global_row_hit: 140,
+            global_row_miss: 360,
+            ..CostModel::default()
+        };
         GpuSpec {
             name: "1080Ti".into(),
             family: "Pascal".into(),
@@ -215,11 +217,13 @@ impl GpuSpec {
     /// `ballot_sync` a genuine warp synchronization (paper §VI-B).
     #[must_use]
     pub fn v100() -> GpuSpec {
-        let mut costs = CostModel::default();
-        costs.ballot = 14;
-        costs.shared = 10;
-        costs.global_row_hit = 140;
-        costs.global_row_miss = 280;
+        let costs = CostModel {
+            ballot: 14,
+            shared: 10,
+            global_row_hit: 140,
+            global_row_miss: 280,
+            ..CostModel::default()
+        };
         GpuSpec {
             name: "V100".into(),
             family: "Volta".into(),
@@ -316,6 +320,9 @@ mod tests {
     fn cycle_conversion() {
         let p = GpuSpec::p100();
         let ms = p.cycles_to_ms(1_386_000);
-        assert!((ms - 1.0).abs() < 1e-9, "1386k cycles at 1386MHz = 1ms, got {ms}");
+        assert!(
+            (ms - 1.0).abs() < 1e-9,
+            "1386k cycles at 1386MHz = 1ms, got {ms}"
+        );
     }
 }

@@ -3,9 +3,7 @@
 //! model (the properties the paper's analysis relies on).
 
 use gevo_gpu::{ExecError, Gpu, GpuSpec, KernelArg, LaunchConfig, LaunchStats};
-use gevo_ir::{
-    AddrSpace, CmpPred, IntBinOp, Kernel, KernelBuilder, MemTy, Operand, Special, Ty,
-};
+use gevo_ir::{AddrSpace, CmpPred, IntBinOp, Kernel, KernelBuilder, MemTy, Operand, Special, Ty};
 
 fn p100() -> GpuSpec {
     GpuSpec::p100()
@@ -126,8 +124,8 @@ fn divergent_branch_results() {
     let k = b.finish();
 
     let (out, stats) = run(&k, 1, 32, 32, &[]);
-    for t in 0..32 {
-        assert_eq!(out[t], if t < 16 { 111 } else { 222 }, "lane {t}");
+    for (t, &v) in out.iter().enumerate() {
+        assert_eq!(v, if t < 16 { 111 } else { 222 }, "lane {t}");
     }
     assert_eq!(stats.divergent_branches, 1);
 }
@@ -152,8 +150,8 @@ fn shared_exchange_across_warps() {
     let k = b.finish();
 
     let (out, stats) = run(&k, 1, 64, 64, &[]);
-    for t in 0..64 {
-        assert_eq!(out[t], (t as i32) ^ 32, "thread {t}");
+    for (t, &v) in out.iter().enumerate() {
+        assert_eq!(v, (t as i32) ^ 32, "thread {t}");
     }
     assert_eq!(stats.barriers, 1);
 }
@@ -173,8 +171,8 @@ fn shfl_up_semantics() {
 
     let (out, stats) = run(&k, 1, 32, 32, &[]);
     assert_eq!(out[0], 0, "lane 0 keeps own value");
-    for t in 1..32 {
-        assert_eq!(out[t], ((t - 1) as i32) * 10, "lane {t}");
+    for (t, &v) in out.iter().enumerate().skip(1) {
+        assert_eq!(v, ((t - 1) as i32) * 10, "lane {t}");
     }
     assert_eq!(stats.shfls, 1);
 }
@@ -195,8 +193,8 @@ fn ballot_mask() {
     let k = b.finish();
 
     let (out, stats) = run(&k, 1, 32, 32, &[]);
-    for t in 0..32 {
-        assert_eq!(out[t], 0x5555_5555, "lane {t}");
+    for (t, &v) in out.iter().enumerate() {
+        assert_eq!(v, 0x5555_5555, "lane {t}");
     }
     assert_eq!(stats.ballots, 1);
 }
@@ -256,7 +254,11 @@ fn global_fault_and_arena_slack() {
     // Read beyond the arena: fault.
     let oob = i64::try_from(gpu.spec().device_mem_bytes).unwrap();
     let err = gpu
-        .launch(&k, LaunchConfig::new(1, 1), &[buf.into(), KernelArg::I64(oob)])
+        .launch(
+            &k,
+            LaunchConfig::new(1, 1),
+            &[buf.into(), KernelArg::I64(oob)],
+        )
         .unwrap_err();
     assert!(matches!(err, ExecError::GlobalFault { .. }), "{err}");
 }
@@ -320,11 +322,8 @@ fn atomic_cas_single_winner() {
 
     let (out, _) = run(&k, 1, 32, 33, &[]);
     let claimed = out[0];
-    assert!(claimed >= 1 && claimed <= 32, "some thread won: {claimed}");
-    let winners = out[1..]
-        .iter()
-        .filter(|&&seen| seen == 0)
-        .count();
+    assert!((1..=32).contains(&claimed), "some thread won: {claimed}");
+    let winners = out[1..].iter().filter(|&&seen| seen == 0).count();
     assert_eq!(winners, 1, "exactly one CAS sees the initial value");
 }
 
@@ -439,12 +438,8 @@ fn sched_seed_invariant_for_race_free_kernels() {
     let run_seed = |seed: u64| {
         let mut gpu = Gpu::new(p100());
         let buf = gpu.mem_mut().alloc(64 * 4).unwrap();
-        gpu.launch(
-            &k,
-            LaunchConfig::new(1, 64).with_seed(seed),
-            &[buf.into()],
-        )
-        .unwrap();
+        gpu.launch(&k, LaunchConfig::new(1, 64).with_seed(seed), &[buf.into()])
+            .unwrap();
         gpu.mem().read_i32s(buf, 0, 64)
     };
     assert_eq!(run_seed(0), run_seed(12345));
@@ -533,13 +528,26 @@ fn coalescing_matters() {
     let data = gpu.mem_mut().alloc(32 * 64 * 4).unwrap();
     let out = gpu.mem_mut().alloc(32 * 4).unwrap();
     let s_c = gpu
-        .launch(&coalesced, LaunchConfig::new(1, 32), &[data.into(), out.into()])
+        .launch(
+            &coalesced,
+            LaunchConfig::new(1, 32),
+            &[data.into(), out.into()],
+        )
         .unwrap();
     let s_s = gpu
-        .launch(&strided, LaunchConfig::new(1, 32), &[data.into(), out.into()])
+        .launch(
+            &strided,
+            LaunchConfig::new(1, 32),
+            &[data.into(), out.into()],
+        )
         .unwrap();
     assert!(s_s.global_segments > s_c.global_segments * 8);
-    assert!(s_s.cycles > s_c.cycles, "strided {} vs coalesced {}", s_s.cycles, s_c.cycles);
+    assert!(
+        s_s.cycles > s_c.cycles,
+        "strided {} vs coalesced {}",
+        s_s.cycles,
+        s_c.cycles
+    );
 }
 
 /// Divergent execution costs roughly the sum of both paths.
@@ -688,7 +696,9 @@ fn launch_validation() {
         Err(ExecError::BadLaunch(_))
     ));
     // good launch
-    assert!(gpu.launch(&k, LaunchConfig::new(1, 32), &[KernelArg::I32(1)]).is_ok());
+    assert!(gpu
+        .launch(&k, LaunchConfig::new(1, 32), &[KernelArg::I32(1)])
+        .is_ok());
 }
 
 /// The redundant-write row-buffer effect (§VI-E): a dead store that opens

@@ -123,8 +123,7 @@ impl KernelBuilder {
     pub fn switch_to(&mut self, block: BlockId) {
         assert!(
             self.building[block.index()].2.is_none(),
-            "switch_to: block {} already terminated",
-            block
+            "switch_to: block {block} already terminated"
         );
         self.current = block.index();
     }
@@ -171,12 +170,14 @@ impl KernelBuilder {
         let id = self.kernel.fresh_inst_id();
         let loc = self.cur_loc;
         let blk = &mut self.building[self.current];
-        assert!(
-            blk.2.is_none(),
-            "emitting into terminated block {}",
-            blk.0
-        );
-        blk.1.push(Instr { id, dst, op, args, loc });
+        assert!(blk.2.is_none(), "emitting into terminated block {}", blk.0);
+        blk.1.push(Instr {
+            id,
+            dst,
+            op,
+            args,
+            loc,
+        });
     }
 
     fn arg_ty(&self, a: &Operand) -> Ty {
@@ -222,7 +223,8 @@ impl KernelBuilder {
             matches!(ta, Ty::I32 | Ty::I64) || (ta == Ty::Bool && op.is_logical()),
             "ibin {op}: invalid operand type {ta}"
         );
-        self.emit(Op::IBin(op), vec![a, b], Some(ta)).expect("ibin has dst")
+        self.emit(Op::IBin(op), vec![a, b], Some(ta))
+            .expect("ibin has dst")
     }
 
     /// Integer binary op writing an existing register.
@@ -240,12 +242,17 @@ impl KernelBuilder {
     pub fn fbin(&mut self, op: FloatBinOp, a: Operand, b: Operand) -> Reg {
         assert_eq!(self.arg_ty(&a), Ty::F32, "fbin {op}: lhs not f32");
         assert_eq!(self.arg_ty(&b), Ty::F32, "fbin {op}: rhs not f32");
-        self.emit(Op::FBin(op), vec![a, b], Some(Ty::F32)).expect("fbin has dst")
+        self.emit(Op::FBin(op), vec![a, b], Some(Ty::F32))
+            .expect("fbin has dst")
     }
 
     /// Float binary op writing an existing register.
     pub fn fbin_to(&mut self, dst: Reg, op: FloatBinOp, a: Operand, b: Operand) {
-        assert_eq!(self.kernel.reg_ty(dst), Ty::F32, "fbin_to {op}: dst not f32");
+        assert_eq!(
+            self.kernel.reg_ty(dst),
+            Ty::F32,
+            "fbin_to {op}: dst not f32"
+        );
         self.emit_to(dst, Op::FBin(op), vec![a, b]);
     }
 
@@ -313,7 +320,8 @@ impl KernelBuilder {
         let ta = self.arg_ty(&a);
         assert_eq!(ta, self.arg_ty(&b), "icmp {pred}: operand types differ");
         assert!(matches!(ta, Ty::I32 | Ty::I64), "icmp {pred}: not integer");
-        self.emit(Op::Icmp(pred), vec![a, b], Some(Ty::Bool)).expect("icmp has dst")
+        self.emit(Op::Icmp(pred), vec![a, b], Some(Ty::Bool))
+            .expect("icmp has dst")
     }
 
     /// `icmp lt` sugar.
@@ -335,7 +343,8 @@ impl KernelBuilder {
     pub fn fcmp(&mut self, pred: CmpPred, a: Operand, b: Operand) -> Reg {
         assert_eq!(self.arg_ty(&a), Ty::F32);
         assert_eq!(self.arg_ty(&b), Ty::F32);
-        self.emit(Op::Fcmp(pred), vec![a, b], Some(Ty::Bool)).expect("fcmp has dst")
+        self.emit(Op::Fcmp(pred), vec![a, b], Some(Ty::Bool))
+            .expect("fcmp has dst")
     }
 
     /// Ternary select; result type follows the true-arm.
@@ -343,7 +352,8 @@ impl KernelBuilder {
         assert_eq!(self.arg_ty(&cond), Ty::Bool, "select: cond not b1");
         let tt = self.arg_ty(&t);
         assert_eq!(tt, self.arg_ty(&f), "select: arm types differ");
-        self.emit(Op::Select, vec![cond, t, f], Some(tt)).expect("select has dst")
+        self.emit(Op::Select, vec![cond, t, f], Some(tt))
+            .expect("select has dst")
     }
 
     /// Select writing an existing register.
@@ -360,31 +370,36 @@ impl KernelBuilder {
     /// Sign-extend `i32` → `i64`.
     pub fn sext(&mut self, a: Operand) -> Reg {
         assert_eq!(self.arg_ty(&a), Ty::I32, "sext: operand not i32");
-        self.emit(Op::Sext, vec![a], Some(Ty::I64)).expect("sext has dst")
+        self.emit(Op::Sext, vec![a], Some(Ty::I64))
+            .expect("sext has dst")
     }
 
     /// Truncate `i64` → `i32`.
     pub fn trunc(&mut self, a: Operand) -> Reg {
         assert_eq!(self.arg_ty(&a), Ty::I64, "trunc: operand not i64");
-        self.emit(Op::Trunc, vec![a], Some(Ty::I32)).expect("trunc has dst")
+        self.emit(Op::Trunc, vec![a], Some(Ty::I32))
+            .expect("trunc has dst")
     }
 
     /// Signed `i32` → `f32`.
     pub fn sitofp(&mut self, a: Operand) -> Reg {
         assert_eq!(self.arg_ty(&a), Ty::I32, "sitofp: operand not i32");
-        self.emit(Op::SiToFp, vec![a], Some(Ty::F32)).expect("sitofp has dst")
+        self.emit(Op::SiToFp, vec![a], Some(Ty::F32))
+            .expect("sitofp has dst")
     }
 
     /// `f32` → signed `i32`.
     pub fn fptosi(&mut self, a: Operand) -> Reg {
         assert_eq!(self.arg_ty(&a), Ty::F32, "fptosi: operand not f32");
-        self.emit(Op::FpToSi, vec![a], Some(Ty::I32)).expect("fptosi has dst")
+        self.emit(Op::FpToSi, vec![a], Some(Ty::I32))
+            .expect("fptosi has dst")
     }
 
     /// Zero-extend `b1` → `i32`.
     pub fn zext_bool(&mut self, a: Operand) -> Reg {
         assert_eq!(self.arg_ty(&a), Ty::Bool, "zext: operand not b1");
-        self.emit(Op::ZextBool, vec![a], Some(Ty::I32)).expect("zext has dst")
+        self.emit(Op::ZextBool, vec![a], Some(Ty::I32))
+            .expect("zext has dst")
     }
 
     // ----- memory -----------------------------------------------------------
@@ -417,7 +432,11 @@ impl KernelBuilder {
     /// Typed store.
     pub fn store(&mut self, space: AddrSpace, ty: MemTy, addr: Operand, val: Operand) {
         assert_eq!(self.arg_ty(&addr), Ty::I64, "store: addr not i64");
-        assert_eq!(self.arg_ty(&val), ty.value_ty(), "store: value type mismatch");
+        assert_eq!(
+            self.arg_ty(&val),
+            ty.value_ty(),
+            "store: value type mismatch"
+        );
         self.emit(Op::Store { space, ty }, vec![addr, val], None);
     }
 
@@ -461,8 +480,12 @@ impl KernelBuilder {
         expected: Operand,
         new: Operand,
     ) -> Reg {
-        self.emit(Op::AtomicCas { space }, vec![addr, expected, new], Some(Ty::I32))
-            .expect("atomic has dst")
+        self.emit(
+            Op::AtomicCas { space },
+            vec![addr, expected, new],
+            Some(Ty::I32),
+        )
+        .expect("atomic has dst")
     }
 
     // ----- warp & block primitives --------------------------------------------
@@ -470,24 +493,28 @@ impl KernelBuilder {
     /// `__shfl_sync`: read `val` from lane `src_lane`.
     pub fn shfl(&mut self, val: Operand, src_lane: Operand) -> Reg {
         let ty = self.arg_ty(&val);
-        self.emit(Op::ShflSync, vec![val, src_lane], Some(ty)).expect("shfl has dst")
+        self.emit(Op::ShflSync, vec![val, src_lane], Some(ty))
+            .expect("shfl has dst")
     }
 
     /// `__shfl_up_sync`: read `val` from the lane `delta` below.
     pub fn shfl_up(&mut self, val: Operand, delta: Operand) -> Reg {
         let ty = self.arg_ty(&val);
-        self.emit(Op::ShflUpSync, vec![val, delta], Some(ty)).expect("shfl has dst")
+        self.emit(Op::ShflUpSync, vec![val, delta], Some(ty))
+            .expect("shfl has dst")
     }
 
     /// `__ballot_sync` over the active mask.
     pub fn ballot(&mut self, pred: Operand) -> Reg {
         assert_eq!(self.arg_ty(&pred), Ty::Bool, "ballot: pred not b1");
-        self.emit(Op::BallotSync, vec![pred], Some(Ty::I32)).expect("ballot has dst")
+        self.emit(Op::BallotSync, vec![pred], Some(Ty::I32))
+            .expect("ballot has dst")
     }
 
     /// `__activemask()`.
     pub fn activemask(&mut self) -> Reg {
-        self.emit(Op::ActiveMask, vec![], Some(Ty::I32)).expect("activemask has dst")
+        self.emit(Op::ActiveMask, vec![], Some(Ty::I32))
+            .expect("activemask has dst")
     }
 
     /// `__syncthreads()`.
@@ -499,7 +526,8 @@ impl KernelBuilder {
     pub fn rng_next(&mut self, seed: Operand, counter: Operand) -> Reg {
         assert_eq!(self.arg_ty(&seed), Ty::I64, "rng: seed not i64");
         assert_eq!(self.arg_ty(&counter), Ty::I64, "rng: counter not i64");
-        self.emit(Op::RngNext, vec![seed, counter], Some(Ty::I32)).expect("rng has dst")
+        self.emit(Op::RngNext, vec![seed, counter], Some(Ty::I32))
+            .expect("rng has dst")
     }
 
     // ----- terminators ------------------------------------------------------------

@@ -86,7 +86,7 @@ impl fmt::Display for F32Bits {
 
 /// Built-in per-thread identifiers, the CUDA `threadIdx.x`-family of
 /// special registers. One-dimensional launches are sufficient for both
-/// workloads (SIMCoV linearizes its grid exactly like the CUDA original).
+/// workloads (`SIMCoV` linearizes its grid exactly like the CUDA original).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Special {
     /// Thread index within its block (`threadIdx.x`).
@@ -415,7 +415,7 @@ pub enum Op {
     /// Counter-based uniform RNG draw: deterministically mixes two `i64`
     /// operands into a non-negative `i32`; args `[seed, counter]`. Both the
     /// device kernels and the CPU reference models call the same mixing
-    /// function ([`crate::rng::mix_to_u31`]), which is what lets SIMCoV's
+    /// function ([`crate::rng::mix_to_u31`]), which is what lets `SIMCoV`'s
     /// stochastic simulation validate against its oracle under a fixed seed
     /// (paper §II-C2).
     RngNext,
@@ -609,7 +609,13 @@ mod tests {
             .arity(),
             2
         );
-        assert_eq!(Op::AtomicCas { space: AddrSpace::Global }.arity(), 3);
+        assert_eq!(
+            Op::AtomicCas {
+                space: AddrSpace::Global
+            }
+            .arity(),
+            3
+        );
         assert_eq!(Op::SyncThreads.arity(), 0);
         assert_eq!(Op::ActiveMask.arity(), 0);
         assert_eq!(Op::RngNext.arity(), 2);
@@ -618,7 +624,10 @@ mod tests {
     #[test]
     fn dst_presence() {
         assert!(Op::Mov.has_dst());
-        assert!(Op::AtomicAdd { space: AddrSpace::Global }.has_dst());
+        assert!(Op::AtomicAdd {
+            space: AddrSpace::Global
+        }
+        .has_dst());
         assert!(!Op::Store {
             space: AddrSpace::Global,
             ty: MemTy::I32

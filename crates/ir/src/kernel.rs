@@ -149,10 +149,15 @@ impl Kernel {
     /// Iterates over every body instruction with its current position.
     pub fn iter_insts(&self) -> impl Iterator<Item = (InstPos, &Instr)> {
         self.blocks.iter().enumerate().flat_map(|(bi, b)| {
-            b.instrs
-                .iter()
-                .enumerate()
-                .map(move |(ii, inst)| (InstPos { block: bi, index: ii }, inst))
+            b.instrs.iter().enumerate().map(move |(ii, inst)| {
+                (
+                    InstPos {
+                        block: bi,
+                        index: ii,
+                    },
+                    inst,
+                )
+            })
         })
     }
 
@@ -160,7 +165,9 @@ impl Kernel {
     /// by any structural edit.
     #[must_use]
     pub fn position_index(&self) -> HashMap<InstId, InstPos> {
-        self.iter_insts().map(|(pos, inst)| (inst.id, pos)).collect()
+        self.iter_insts()
+            .map(|(pos, inst)| (inst.id, pos))
+            .collect()
     }
 
     /// Resolves a (body) instruction ID to its current position, scanning.
@@ -185,7 +192,10 @@ impl Kernel {
 
     /// Mutable access to the terminator with the given ID.
     pub fn terminator_mut(&mut self, id: InstId) -> Option<&mut Terminator> {
-        self.blocks.iter_mut().map(|b| &mut b.term).find(|t| t.id == id)
+        self.blocks
+            .iter_mut()
+            .map(|b| &mut b.term)
+            .find(|t| t.id == id)
     }
 
     /// IDs of all conditional-branch terminators (condition-replacement

@@ -1,13 +1,13 @@
 //! Counter-based pseudo-random mixing shared between device kernels and
 //! CPU reference models.
 //!
-//! SIMCoV's fitness validation (paper §II-C2, §III-C) requires the GPU
+//! `SIMCoV`'s fitness validation (paper §II-C2, §III-C) requires the GPU
 //! simulation and its ground-truth oracle to draw *identical* random
 //! streams when the seed is fixed. Both sides therefore call this one
 //! function: kernels via the [`crate::Op::RngNext`] instruction (executed
 //! by the simulator), oracles directly.
 //!
-//! The mixer is a strengthened SplitMix64 finalizer over the pair
+//! The mixer is a strengthened `SplitMix64` finalizer over the pair
 //! `(seed, counter)` — statistically solid for simulation purposes and,
 //! critically, stateless: a thread's draw depends only on its logical
 //! coordinates, never on scheduling order.
@@ -67,7 +67,11 @@ mod tests {
         let distinct = (0..100)
             .map(|c| mix_to_u31(1, c))
             .collect::<std::collections::HashSet<_>>();
-        assert!(distinct.len() > 95, "only {} distinct draws", distinct.len());
+        assert!(
+            distinct.len() > 95,
+            "only {} distinct draws",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -94,10 +98,7 @@ mod tests {
             buckets[b.min(9)] += 1;
         }
         for (i, &count) in buckets.iter().enumerate() {
-            assert!(
-                (800..1200).contains(&count),
-                "decile {i} has {count} draws"
-            );
+            assert!((800..1200).contains(&count), "decile {i} has {count} draws");
         }
     }
 }

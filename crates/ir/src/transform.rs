@@ -23,7 +23,7 @@ use crate::inst::{Op, Operand, TermKind};
 use crate::kernel::Kernel;
 
 /// True for ops LLVM would treat as trivially dead when unused.
-fn is_pure(op: &Op) -> bool {
+fn is_pure(op: Op) -> bool {
     matches!(
         op,
         Op::IBin(_)
@@ -60,19 +60,18 @@ pub fn dce(kernel: &mut Kernel) -> usize {
                     }
                 }
             }
-            if let TermKind::CondBr { cond, .. } = block.term.kind {
-                if let Operand::Reg(r) = cond {
-                    used[r.0 as usize] = true;
-                }
+            if let TermKind::CondBr {
+                cond: Operand::Reg(r),
+                ..
+            } = block.term.kind
+            {
+                used[r.0 as usize] = true;
             }
         }
         let mut removed_this_round = 0;
         for block in &mut kernel.blocks {
             block.instrs.retain(|inst| {
-                let dead = is_pure(&inst.op)
-                    && inst
-                        .dst
-                        .is_some_and(|d| !used[d.0 as usize]);
+                let dead = is_pure(inst.op) && inst.dst.is_some_and(|d| !used[d.0 as usize]);
                 if dead {
                     removed_this_round += 1;
                 }

@@ -161,7 +161,7 @@ impl CmpPred {
     /// Evaluate the predicate over a pre-computed three-way ordering.
     #[must_use]
     pub fn eval(self, ord: std::cmp::Ordering) -> bool {
-        use std::cmp::Ordering::*;
+        use std::cmp::Ordering::{Equal, Greater, Less};
         match self {
             CmpPred::Eq => ord == Equal,
             CmpPred::Ne => ord != Equal,

@@ -76,18 +76,27 @@ impl fmt::Display for VerifyError {
                 inst,
                 expected,
                 found,
-            } => write!(f, "inst #{inst}: expected {expected} operands, found {found}"),
+            } => write!(
+                f,
+                "inst #{inst}: expected {expected} operands, found {found}"
+            ),
             VerifyError::OperandType {
                 inst,
                 arg,
                 expected,
                 found,
-            } => write!(f, "inst #{inst}: operand {arg} expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "inst #{inst}: operand {arg} expected {expected}, found {found}"
+            ),
             VerifyError::DstType {
                 inst,
                 expected,
                 found,
-            } => write!(f, "inst #{inst}: destination expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "inst #{inst}: destination expected {expected}, found {found}"
+            ),
             VerifyError::DanglingRef { inst, what } => {
                 write!(f, "inst #{inst}: dangling {what}")
             }
@@ -95,7 +104,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "block {block}: branch to nonexistent block")
             }
             VerifyError::BadCondType { block, found } => {
-                write!(f, "block {block}: branch condition has type {found}, expected b1")
+                write!(
+                    f,
+                    "block {block}: branch condition has type {found}, expected b1"
+                )
             }
             VerifyError::Empty => write!(f, "kernel has no blocks"),
         }

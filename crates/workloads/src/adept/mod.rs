@@ -482,8 +482,7 @@ impl AdeptWorkload {
         self.labeled_edits()
             .into_iter()
             .find(|(n, _)| n == name)
-            .map(|(_, e)| e)
-            .unwrap_or_else(|| panic!("no labeled edit named {name}"))
+            .map_or_else(|| panic!("no labeled edit named {name}"), |(_, e)| e)
     }
 
     /// The paper's Fig. 7 epistatic set: forward {5, 6, 8, 10} plus the
@@ -770,7 +769,10 @@ mod probe_tests {
                 w.edit("v1:e10"),
             ]);
             let f = ev.evaluate(&cluster).fitness.unwrap();
-            println!("div={div} shfl={shfl}: base={base} cluster={f} speedup={:.4}", base / f);
+            println!(
+                "div={div} shfl={shfl}: base={base} cluster={f} speedup={:.4}",
+                base / f
+            );
         }
     }
 }
@@ -794,10 +796,12 @@ mod probe2_tests {
             ("e6", vec!["v1:e6"]),
             ("e6+e8", vec!["v1:e6", "v1:e8"]),
             ("cluster4", vec!["v1:e5", "v1:e6", "v1:e8", "v1:e10"]),
-            ("fwd+rev all 8", vec![
-                "v1:e5", "v1:e6", "v1:e8", "v1:e10",
-                "v1:e_r5", "v1:e0", "v1:e11", "v1:e_r10",
-            ]),
+            (
+                "fwd+rev all 8",
+                vec![
+                    "v1:e5", "v1:e6", "v1:e8", "v1:e10", "v1:e_r5", "v1:e0", "v1:e11", "v1:e_r10",
+                ],
+            ),
         ] {
             let p = Patch::from_edits(names.iter().map(|n| w.edit(n)).collect());
             match ev.evaluate(&p).fitness {
@@ -827,9 +831,15 @@ mod probe3_tests {
         for (label, names) in [
             ("skip_init", vec!["v0:skip_init"]),
             ("skip_init+sync", vec!["v0:skip_init", "v0:del_init_sync"]),
-            ("all", vec![
-                "v0:skip_init", "v0:del_init_sync", "v0:del_reload", "v0:del_dead_store",
-            ]),
+            (
+                "all",
+                vec![
+                    "v0:skip_init",
+                    "v0:del_init_sync",
+                    "v0:del_reload",
+                    "v0:del_dead_store",
+                ],
+            ),
         ] {
             let p = Patch::from_edits(names.iter().map(|n| w.edit(n)).collect());
             match ev.evaluate(&p).fitness {

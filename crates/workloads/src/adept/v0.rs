@@ -18,9 +18,7 @@
 //! harnesses can construct the curated optimization edits (DESIGN.md
 //! §4.5) and check what the GA discovered against them.
 
-use gevo_ir::{
-    AddrSpace, CmpPred, InstId, Kernel, KernelBuilder, MemTy, Operand, Special,
-};
+use gevo_ir::{AddrSpace, CmpPred, InstId, Kernel, KernelBuilder, MemTy, Operand, Special};
 
 use crate::sw_cpu::score;
 
@@ -151,7 +149,12 @@ pub fn build_v0(block_threads: u32, init_sweeps: u32) -> (Kernel, V0Sites) {
     let waddr = b.index_addr(Operand::ImmI64(0), wi.into(), 4);
     let init_store = b.peek_next_id();
     b.store_shared_i32(waddr.into(), Operand::ImmI32(0));
-    b.ibin_to(init_w, gevo_ir::IntBinOp::Add, init_w.into(), Operand::ImmI32(1));
+    b.ibin_to(
+        init_w,
+        gevo_ir::IntBinOp::Add,
+        init_w.into(),
+        Operand::ImmI32(1),
+    );
     b.br(init_hdr);
 
     b.switch_to(init_done);
@@ -214,7 +217,12 @@ pub fn build_v0(block_threads: u32, init_sweeps: u32) -> (Kernel, V0Sites) {
     b.switch_to(skip);
     b.loc("v0_step");
     b.sync_threads();
-    b.ibin_to(diag, gevo_ir::IntBinOp::Add, diag.into(), Operand::ImmI32(1));
+    b.ibin_to(
+        diag,
+        gevo_ir::IntBinOp::Add,
+        diag.into(),
+        Operand::ImmI32(1),
+    );
     b.br(diag_hdr);
 
     // ---- final reduction (thread 0 scans per-column bests) -------------
@@ -305,7 +313,11 @@ mod tests {
         // Comparable in spirit to the paper's "423 lines / 1097 LLVM-IR
         // instructions" single kernel: substantial, single-kernel, with a
         // mix of memory and control structure.
-        assert!(k.inst_count() > 60, "V0 has {} instructions", k.inst_count());
+        assert!(
+            k.inst_count() > 60,
+            "V0 has {} instructions",
+            k.inst_count()
+        );
         assert!(k.blocks.len() >= 10);
         assert_eq!(k.shared_bytes, 4 * 64 * 4);
     }

@@ -25,9 +25,7 @@
 //! The reverse kernel repeats the same structure; its enabler/consumer
 //! pair is the paper's second epistatic subgroup (edits 0 and 11).
 
-use gevo_ir::{
-    AddrSpace, CmpPred, InstId, Kernel, KernelBuilder, Operand, Reg, Special,
-};
+use gevo_ir::{AddrSpace, CmpPred, InstId, Kernel, KernelBuilder, Operand, Reg, Special};
 
 use crate::sw_cpu::score;
 
@@ -72,8 +70,8 @@ pub struct V1Sites {
     pub dead_shfl: InstId,
 }
 
-/// Shared-word arrays per block of `t` threads: sh_prev_H, sh_prev_HH,
-/// local_H, local_HH, red_score, red_row.
+/// Shared-word arrays per block of `t` threads: `sh_prev_H`, `sh_prev_HH`,
+/// `local_H`, `local_HH`, `red_score`, `red_row`.
 pub(crate) const V1_ARRAYS: u32 = 6;
 
 /// Builds a V1 kernel (forward or reverse) for blocks of `block_threads`.
@@ -298,7 +296,12 @@ pub fn build_v1(block_threads: u32, dir: Dir) -> (Kernel, V1Sites) {
     b.cond_br(diag_ge_max.into(), c_loc, c_reg);
 
     b.switch_to(c_loc);
-    b.load_to(nb_h, AddrSpace::Shared, gevo_ir::MemTy::I32, loc_h_nb.into());
+    b.load_to(
+        nb_h,
+        AddrSpace::Shared,
+        gevo_ir::MemTy::I32,
+        loc_h_nb.into(),
+    );
     b.br(c_join);
 
     b.switch_to(c_reg);
@@ -328,14 +331,24 @@ pub fn build_v1(block_threads: u32, dir: Dir) -> (Kernel, V1Sites) {
     b.cond_br(diag_ge_max.into(), d_loc, d_reg);
 
     b.switch_to(d_loc);
-    b.load_to(nb_hh, AddrSpace::Shared, gevo_ir::MemTy::I32, loc_hh_nb.into());
+    b.load_to(
+        nb_hh,
+        AddrSpace::Shared,
+        gevo_ir::MemTy::I32,
+        loc_hh_nb.into(),
+    );
     b.br(d_join);
 
     b.switch_to(d_reg);
     let cross2 = b.and(warp_ne0.into(), lane0.into());
     b.cond_br(cross2.into(), d_sh, d_shfl);
     b.switch_to(d_sh);
-    b.load_to(nb_hh, AddrSpace::Shared, gevo_ir::MemTy::I32, sh_hh_nb.into());
+    b.load_to(
+        nb_hh,
+        AddrSpace::Shared,
+        gevo_ir::MemTy::I32,
+        sh_hh_nb.into(),
+    );
     b.br(d_join);
     b.switch_to(d_shfl);
     let up2 = b.shfl_up(prev_hh.into(), Operand::ImmI32(1));
@@ -388,7 +401,12 @@ pub fn build_v1(block_threads: u32, dir: Dir) -> (Kernel, V1Sites) {
     b.switch_to(skip);
     b.loc("v1_step");
     b.sync_threads();
-    b.ibin_to(diag, gevo_ir::IntBinOp::Add, diag.into(), Operand::ImmI32(1));
+    b.ibin_to(
+        diag,
+        gevo_ir::IntBinOp::Add,
+        diag.into(),
+        Operand::ImmI32(1),
+    );
     b.br(diag_hdr);
 
     // Reduction: identical scheme to V0.
@@ -495,7 +513,10 @@ mod tests {
             s.dead_load,
             s.dead_shfl,
         ] {
-            assert!(k.locate(inst).is_some(), "site {inst} is a body instruction");
+            assert!(
+                k.locate(inst).is_some(),
+                "site {inst} is a body instruction"
+            );
         }
     }
 

@@ -56,7 +56,9 @@ impl SeqGen {
         let la = self.next_range(min_len, max_len + 1);
         let lb = self.next_range(min_len, max_len + 1);
         // A shared core, mutated with ~12% substitutions.
-        let core_len = self.next_range(min_len / 2, min_len.max(la.min(lb)) + 1).min(la.min(lb));
+        let core_len = self
+            .next_range(min_len / 2, min_len.max(la.min(lb)) + 1)
+            .min(la.min(lb));
         let core: Vec<u8> = (0..core_len).map(|_| self.next_base()).collect();
         let mut a: Vec<u8> = (0..la).map(|_| self.next_base()).collect();
         let mut b: Vec<u8> = (0..lb).map(|_| self.next_base()).collect();

@@ -1,6 +1,6 @@
-//! CPU reference implementation of SIMCoV — the ground-truth oracle
+//! CPU reference implementation of `SIMCoV` — the ground-truth oracle
 //! (paper §III-C: "We use the simulation output generated from the
-//! unmodified SIMCoV as ground truth").
+//! unmodified `SIMCoV` as ground truth").
 //!
 //! Every update rule, constant, floating-point operation *and operation
 //! order* matches the GPU kernels bit-for-bit, including the shared
@@ -79,9 +79,7 @@ impl SimcovState {
         let g = self.g;
         let cells = self.cells();
         let cells_i64 = i64::from(g) * i64::from(g);
-        let ctr = |k: i64, c: usize| {
-            (i64::from(step) * 2 * cells_i64) + k * cells_i64 + c as i64
-        };
+        let ctr = |k: i64, c: usize| (i64::from(step) * 2 * cells_i64) + k * cells_i64 + c as i64;
 
         // 1. extravasate
         for c in 0..cells {
@@ -177,48 +175,52 @@ impl SimcovState {
         // 5 & 6. diffusion into double buffers, on the finer field
         // timescale (diffusion_substeps per agent step).
         for _sub in 0..p.diffusion_substeps {
-        let mut next_vir = vec![0.0f32; cells];
-        let mut next_chem = vec![0.0f32; cells];
-        for c in 0..cells {
-            let (row, col) = ((c as i32) / g, (c as i32) % g);
-            let gather = |field: &[f32]| {
-                let mut acc = 0.0f32;
-                for (dx, dy) in NEIGHBORS {
-                    let (nr, nc) = (row + dy, col + dx);
-                    if nr >= 0 && nr < g && nc >= 0 && nc < g {
-                        acc += field[(nr * g + nc) as usize];
+            let mut next_vir = vec![0.0f32; cells];
+            let mut next_chem = vec![0.0f32; cells];
+            for c in 0..cells {
+                let (row, col) = ((c as i32) / g, (c as i32) % g);
+                let gather = |field: &[f32]| {
+                    let mut acc = 0.0f32;
+                    for (dx, dy) in NEIGHBORS {
+                        let (nr, nc) = (row + dy, col + dx);
+                        if nr >= 0 && nr < g && nc >= 0 && nc < g {
+                            acc += field[(nr * g + nc) as usize];
+                        }
                     }
-                }
-                acc
-            };
-            // Virions: spread, production, decay, clearance, clamp —
-            // the exact f32 operation order of the GPU kernel.
-            let v = self.vir[c];
-            let avg = gather(&self.vir) / 8.0;
-            let v1 = v + (avg - v) * p.diffuse_v;
-            let prod = if self.epi[c] == 2 { p.vir_production } else { 0.0 };
-            let v2 = v1 + prod;
-            let v3 = v2 * (1.0 - p.decay_v);
-            let v4 = if tnew[c] == 1 { v3 * p.tcell_clear } else { v3 };
-            next_vir[c] = v4.max(0.0);
+                    acc
+                };
+                // Virions: spread, production, decay, clearance, clamp —
+                // the exact f32 operation order of the GPU kernel.
+                let v = self.vir[c];
+                let avg = gather(&self.vir) / 8.0;
+                let v1 = v + (avg - v) * p.diffuse_v;
+                let prod = if self.epi[c] == 2 {
+                    p.vir_production
+                } else {
+                    0.0
+                };
+                let v2 = v1 + prod;
+                let v3 = v2 * (1.0 - p.decay_v);
+                let v4 = if tnew[c] == 1 { v3 * p.tcell_clear } else { v3 };
+                next_vir[c] = v4.max(0.0);
 
-            let ch = self.chem[c];
-            let avg_c = gather(&self.chem) / 8.0;
-            let c1 = ch + (avg_c - ch) * p.diffuse_c;
-            let src = if self.epi[c] >= 1 && self.epi[c] <= 3 {
-                p.chem_production
-            } else {
-                0.0
-            };
-            let c2 = c1 + src;
-            let c3 = c2 * (1.0 - p.decay_c);
-            next_chem[c] = c3.max(0.0);
-        }
+                let ch = self.chem[c];
+                let avg_c = gather(&self.chem) / 8.0;
+                let c1 = ch + (avg_c - ch) * p.diffuse_c;
+                let src = if self.epi[c] >= 1 && self.epi[c] <= 3 {
+                    p.chem_production
+                } else {
+                    0.0
+                };
+                let c2 = c1 + src;
+                let c3 = c2 * (1.0 - p.decay_c);
+                next_chem[c] = c3.max(0.0);
+            }
 
-        // 7. commit/swap (the T-cell copies are idempotent across
-        // substeps, exactly as on the device).
-        self.vir = next_vir;
-        self.chem = next_chem;
+            // 7. commit/swap (the T-cell copies are idempotent across
+            // substeps, exactly as on the device).
+            self.vir = next_vir;
+            self.chem = next_chem;
         }
         self.tcell = tnew;
         self.tlife = lnew;
@@ -284,7 +286,10 @@ mod tests {
             s.step(&p, step);
             peak = peak.max(s.stats()[3]);
         }
-        assert!(peak > 5, "inflammatory signal recruits T cells: peak {peak}");
+        assert!(
+            peak > 5,
+            "inflammatory signal recruits T cells: peak {peak}"
+        );
     }
 
     #[test]

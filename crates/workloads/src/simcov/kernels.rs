@@ -1,4 +1,4 @@
-//! The eight SIMCoV GPU kernels (paper §II-C: "1197 lines of code from 8
+//! The eight `SIMCoV` GPU kernels (paper §II-C: "1197 lines of code from 8
 //! GPU kernels").
 //!
 //! Per simulation step the host launches, in order:
@@ -23,9 +23,7 @@
 //! transfers from the small fitness grid to the large held-out grid
 //! (paper Fig. 10's 2500×2500 validation).
 
-use gevo_ir::{
-    AddrSpace, CmpPred, InstId, Kernel, KernelBuilder, MemTy, Operand, Reg,
-};
+use gevo_ir::{AddrSpace, CmpPred, InstId, Kernel, KernelBuilder, MemTy, Operand, Reg};
 
 use super::SimcovParams;
 
@@ -84,7 +82,7 @@ impl Layout {
     }
 }
 
-/// Annotated sites across the SIMCoV kernels.
+/// Annotated sites across the `SIMCoV` kernels.
 #[derive(Debug, Clone, Default)]
 pub struct SimcovSites {
     /// Boundary-check branch terminators in `virion_diffuse` (8 of them).
@@ -460,21 +458,37 @@ pub fn build_virion_diffuse(
     b.loc("virion_diffuse");
     let avg = b.fbin(gevo_ir::FloatBinOp::Div, acc.into(), Operand::f32(8.0));
     let delta = b.fbin(gevo_ir::FloatBinOp::Sub, avg.into(), v.into());
-    let spread = b.fbin(gevo_ir::FloatBinOp::Mul, delta.into(), Operand::f32(p.diffuse_v));
+    let spread = b.fbin(
+        gevo_ir::FloatBinOp::Mul,
+        delta.into(),
+        Operand::f32(p.diffuse_v),
+    );
     let v1 = b.fbin(gevo_ir::FloatBinOp::Add, v.into(), spread.into());
     // Production by expressing cells.
     let e_addr = f32_addr(&mut b, epi, gtid.into());
     let e = b.load_global_i32(e_addr.into());
     let expressing = b.icmp_eq(e.into(), Operand::ImmI32(2));
-    let prod = b.select(expressing.into(), Operand::f32(p.vir_production), Operand::f32(0.0));
+    let prod = b.select(
+        expressing.into(),
+        Operand::f32(p.vir_production),
+        Operand::f32(0.0),
+    );
     let v2 = b.fbin(gevo_ir::FloatBinOp::Add, v1.into(), prod.into());
     // Decay.
-    let v3 = b.fbin(gevo_ir::FloatBinOp::Mul, v2.into(), Operand::f32(1.0 - p.decay_v));
+    let v3 = b.fbin(
+        gevo_ir::FloatBinOp::Mul,
+        v2.into(),
+        Operand::f32(1.0 - p.decay_v),
+    );
     // T-cell clearance.
     let tc_addr = f32_addr(&mut b, tnew, gtid.into());
     let tc = b.load_global_i32(tc_addr.into());
     let has_t = b.icmp_eq(tc.into(), Operand::ImmI32(1));
-    let cleared = b.fbin(gevo_ir::FloatBinOp::Mul, v3.into(), Operand::f32(p.tcell_clear));
+    let cleared = b.fbin(
+        gevo_ir::FloatBinOp::Mul,
+        v3.into(),
+        Operand::f32(p.tcell_clear),
+    );
     let v4 = b.select(has_t.into(), cleared.into(), v3.into());
     let v5 = b.fbin(gevo_ir::FloatBinOp::Max, v4.into(), Operand::f32(0.0));
     let nv_addr = f32_addr(&mut b, next_vir, self_idx.into());
@@ -523,7 +537,11 @@ pub fn build_chem_diffuse(
     b.loc("chem_diffuse");
     let avg = b.fbin(gevo_ir::FloatBinOp::Div, acc.into(), Operand::f32(8.0));
     let delta = b.fbin(gevo_ir::FloatBinOp::Sub, avg.into(), c.into());
-    let spread = b.fbin(gevo_ir::FloatBinOp::Mul, delta.into(), Operand::f32(p.diffuse_c));
+    let spread = b.fbin(
+        gevo_ir::FloatBinOp::Mul,
+        delta.into(),
+        Operand::f32(p.diffuse_c),
+    );
     let c1 = b.fbin(gevo_ir::FloatBinOp::Add, c.into(), spread.into());
     // Sources: infected, expressing and apoptotic cells emit signal.
     let e_addr = f32_addr(&mut b, epi, gtid.into());
@@ -531,9 +549,17 @@ pub fn build_chem_diffuse(
     let ge1 = b.icmp_ge(e.into(), Operand::ImmI32(1));
     let le3 = b.icmp(CmpPred::Le, e.into(), Operand::ImmI32(3));
     let emitting = b.and(ge1.into(), le3.into());
-    let src = b.select(emitting.into(), Operand::f32(p.chem_production), Operand::f32(0.0));
+    let src = b.select(
+        emitting.into(),
+        Operand::f32(p.chem_production),
+        Operand::f32(0.0),
+    );
     let c2 = b.fbin(gevo_ir::FloatBinOp::Add, c1.into(), src.into());
-    let c3 = b.fbin(gevo_ir::FloatBinOp::Mul, c2.into(), Operand::f32(1.0 - p.decay_c));
+    let c3 = b.fbin(
+        gevo_ir::FloatBinOp::Mul,
+        c2.into(),
+        Operand::f32(1.0 - p.decay_c),
+    );
     let c4 = b.fbin(gevo_ir::FloatBinOp::Max, c3.into(), Operand::f32(0.0));
     let nc_addr = f32_addr(&mut b, next_chem, self_idx.into());
     b.store(AddrSpace::Global, MemTy::F32, nc_addr.into(), c4.into());

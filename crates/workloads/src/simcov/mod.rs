@@ -1,4 +1,4 @@
-//! The SIMCoV SARS-CoV-2 simulation workload (paper §II-C, §VI-D).
+//! The `SIMCoV` SARS-CoV-2 simulation workload (paper §II-C, §VI-D).
 //!
 //! Eight GPU kernels advance a 2-D lung-tissue grid (epithelial state,
 //! virions, inflammatory signal, T cells). Fitness runs a small grid for
@@ -57,7 +57,7 @@ pub struct SimcovParams {
     pub diffuse_c: f32,
     /// Signal decay per step.
     pub decay_c: f32,
-    /// Diffusion substeps per simulation step. SIMCoV's fields evolve on
+    /// Diffusion substeps per simulation step. `SIMCoV`'s fields evolve on
     /// a finer timescale than its agents; this is why "over 90% of the
     /// GPU kernel runtime is spent ... spreading virus and inflammatory
     /// signals" (paper §II-C1).
@@ -156,7 +156,7 @@ enum ArenaMode {
     Tight,
 }
 
-/// SIMCoV as an evolvable [`Workload`].
+/// `SIMCoV` as an evolvable [`Workload`].
 #[derive(Debug)]
 pub struct SimcovWorkload {
     cfg: SimcovConfig,
@@ -221,7 +221,11 @@ impl SimcovWorkload {
         let name = format!(
             "simcov[{}{}]",
             cfg.spec.name,
-            if cfg.layout == Layout::Padded { ",padded" } else { "" }
+            if cfg.layout == Layout::Padded {
+                ",padded"
+            } else {
+                ""
+            }
         );
         let w = SimcovWorkload {
             cfg,
@@ -365,8 +369,7 @@ impl SimcovWorkload {
                         for c in 0..g {
                             #[allow(clippy::cast_sign_loss)]
                             {
-                                out[layout.phys(g, r, c) as usize] =
-                                    logical[(r * g + c) as usize];
+                                out[layout.phys(g, r, c) as usize] = logical[(r * g + c) as usize];
                             }
                         }
                     }
@@ -385,14 +388,13 @@ impl SimcovWorkload {
         let grid = (cells as u32).div_ceil(self.cfg.block);
         let lcfg = LaunchConfig::new(grid, self.cfg.block).with_seed(sched_seed);
         let mut total = LaunchStats::default();
-        let mut launch =
-            |gpu: &mut Gpu, k: &Kernel, args: &[KernelArg]| -> Result<(), String> {
-                let s = gpu
-                    .launch(k, lcfg, args)
-                    .map_err(|e| format!("{}: {e}", k.name))?;
-                total.accumulate(&s);
-                Ok(())
-            };
+        let mut launch = |gpu: &mut Gpu, k: &Kernel, args: &[KernelArg]| -> Result<(), String> {
+            let s = gpu
+                .launch(k, lcfg, args)
+                .map_err(|e| format!("{}: {e}", k.name))?;
+            total.accumulate(&s);
+            Ok(())
+        };
 
         for step in 0..steps {
             gpu.mem_mut().write_i32s(stats_buf, 0, &[0, 0, 0, 0]);
@@ -589,8 +591,7 @@ impl SimcovWorkload {
         self.labeled_edits()
             .into_iter()
             .find(|(n, _)| n == name)
-            .map(|(_, e)| e)
-            .unwrap_or_else(|| panic!("no labeled edit named {name}"))
+            .map_or_else(|| panic!("no labeled edit named {name}"), |(_, e)| e)
     }
 
     /// All 16 boundary-check removals (§VI-D).
@@ -640,7 +641,13 @@ impl Workload for SimcovWorkload {
         for k in &mut kernels {
             let _ = gevo_ir::transform::dce(k);
         }
-        match self.run_sim(&kernels, self.cfg.g, self.cfg.steps, eval_seed, ArenaMode::Slack) {
+        match self.run_sim(
+            &kernels,
+            self.cfg.g,
+            self.cfg.steps,
+            eval_seed,
+            ArenaMode::Slack,
+        ) {
             Ok((out, cycles, stats)) => match compare(&out, &self.reference, &self.cfg.tolerance) {
                 Ok(()) => EvalOutcome::pass(cycles, stats),
                 Err(e) => EvalOutcome::fail(e),
@@ -706,7 +713,10 @@ mod tests {
         let w = workload();
         let ev = Evaluator::new(&w);
         let s = ev.speedup(&w.curated_patch()).expect("curated patch valid");
-        assert!(s > 1.1 && s < 1.8, "curated SIMCoV speedup {s} (paper: ~1.29x)");
+        assert!(
+            s > 1.1 && s < 1.8,
+            "curated SIMCoV speedup {s} (paper: ~1.29x)"
+        );
     }
 
     #[test]
@@ -806,15 +816,26 @@ mod probe_tests {
         let bs = base.stats.unwrap();
         println!(
             "  insts {} glob {} segs {} chit {} cmiss {} rh {} rm {} div {}",
-            bs.instructions, bs.global_accesses, bs.global_segments,
-            bs.cache_hits, bs.cache_misses, bs.row_hits, bs.row_misses,
+            bs.instructions,
+            bs.global_accesses,
+            bs.global_segments,
+            bs.cache_hits,
+            bs.cache_misses,
+            bs.row_hits,
+            bs.row_misses,
             bs.divergent_branches
         );
         for (label, p) in [
             ("boundary", Patch::from_edits(w.boundary_edits())),
             ("dup_rng", Patch::from_edits(vec![w.edit("sc:del_dup_rng")])),
-            ("move_store", Patch::from_edits(vec![w.edit("sc:del_move_store")])),
-            ("recompute", Patch::from_edits(vec![w.edit("sc:del_recompute")])),
+            (
+                "move_store",
+                Patch::from_edits(vec![w.edit("sc:del_move_store")]),
+            ),
+            (
+                "recompute",
+                Patch::from_edits(vec![w.edit("sc:del_recompute")]),
+            ),
             ("curated", w.curated_patch()),
         ] {
             let out = ev.evaluate(&p);
@@ -824,7 +845,9 @@ mod probe_tests {
                     println!(
                         "{label}: speedup {:.4} (insts {} cmiss {} rm {} div {})",
                         base.fitness.unwrap() / f,
-                        st.instructions, st.cache_misses, st.row_misses,
+                        st.instructions,
+                        st.cache_misses,
+                        st.row_misses,
                         st.divergent_branches
                     );
                 }
@@ -833,7 +856,10 @@ mod probe_tests {
         }
         let padded = SimcovWorkload::new(SimcovConfig::scaled().padded());
         let fp = padded.evaluate(padded.kernels(), 0).fitness.unwrap();
-        println!("padded: speedup over checked {:.4}", base.fitness.unwrap() / fp);
+        println!(
+            "padded: speedup over checked {:.4}",
+            base.fitness.unwrap() / fp
+        );
     }
 }
 
@@ -876,7 +902,12 @@ mod probe_exact_tests {
                 .enumerate()
                 .filter(|(_, (a, b))| a != b)
                 .count();
-            let ed = out.epi.iter().zip(&reference.epi).filter(|(a, b)| a != b).count();
+            let ed = out
+                .epi
+                .iter()
+                .zip(&reference.epi)
+                .filter(|(a, b)| a != b)
+                .count();
             let td = out
                 .tcell
                 .iter()

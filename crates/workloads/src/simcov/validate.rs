@@ -1,6 +1,6 @@
 //! Per-value mean/variance fuzzy validation (paper §II-C2, §III-C).
 //!
-//! SIMCoV's fitness check cannot demand bit-equality: T-cell movement
+//! `SIMCoV`'s fitness check cannot demand bit-equality: T-cell movement
 //! claims resolve in scheduler order, which differs between the GPU and
 //! the row-major CPU oracle (and between GPU scheduler seeds). The paper
 //! introduces "the concepts of per-value mean and per-value variance to
@@ -112,12 +112,7 @@ pub fn compare(gpu: &GpuRunOutput, cpu: &SimcovState, tol: &Tolerance) -> Result
         }
     }
 
-    let epi_mismatch = gpu
-        .epi
-        .iter()
-        .zip(&cpu.epi)
-        .filter(|(a, b)| a != b)
-        .count();
+    let epi_mismatch = gpu.epi.iter().zip(&cpu.epi).filter(|(a, b)| a != b).count();
     #[allow(clippy::cast_precision_loss)]
     let frac = epi_mismatch as f64 / gpu.epi.len().max(1) as f64;
     if frac > tol.epi_mismatch_frac {
@@ -139,7 +134,9 @@ pub fn compare(gpu: &GpuRunOutput, cpu: &SimcovState, tol: &Tolerance) -> Result
         clippy::cast_possible_truncation,
         clippy::cast_sign_loss
     )]
-    let budget = tol.tcell_abs.max((tol.tcell_rel * live as f64).ceil() as usize);
+    let budget = tol
+        .tcell_abs
+        .max((tol.tcell_rel * live as f64).ceil() as usize);
     if t_mismatch > budget {
         return Err(format!(
             "T cells: {t_mismatch} cells differ (budget {budget}, {live} live)"
@@ -147,7 +144,10 @@ pub fn compare(gpu: &GpuRunOutput, cpu: &SimcovState, tol: &Tolerance) -> Result
     }
 
     let ref_stats = cpu.stats();
-    for (i, name) in ["virion total", "infected", "dead", "tcells"].iter().enumerate() {
+    for (i, name) in ["virion total", "infected", "dead", "tcells"]
+        .iter()
+        .enumerate()
+    {
         let (a, b) = (gpu.stats[i], ref_stats[i]);
         // The floor keeps small-count tallies from tripping on single
         // claim-order races (one displaced T cell shifts `infected` by 1).

@@ -22,7 +22,10 @@ fn main() {
         threads: std::thread::available_parallelism().map_or(4, usize::from),
         ..GaConfig::scaled()
     };
-    println!("== evolving {} (pop {pop}, {gens} gens) ==", workload.name());
+    println!(
+        "== evolving {} (pop {pop}, {gens} gens) ==",
+        workload.name()
+    );
     let result = run_ga(&workload, &cfg);
     println!(
         "speedup {:.3}x with {} edits ({} fitness evaluations)",

@@ -53,7 +53,11 @@ fn main() {
     println!();
     println!("dependency graph (paper Fig. 7):");
     for (j, reqs) in graph.requires.iter().enumerate() {
-        let fails = if graph.fails_alone[j] { " (fails alone)" } else { "" };
+        let fails = if graph.fails_alone[j] {
+            " (fails alone)"
+        } else {
+            ""
+        };
         if reqs.is_empty() {
             println!("  edit {j}{fails}");
         } else {

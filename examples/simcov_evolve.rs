@@ -21,7 +21,10 @@ fn main() {
         threads: std::thread::available_parallelism().map_or(4, usize::from),
         ..GaConfig::scaled()
     };
-    println!("== evolving {} (pop {pop}, {gens} gens) ==", workload.name());
+    println!(
+        "== evolving {} (pop {pop}, {gens} gens) ==",
+        workload.name()
+    );
     let result = run_ga(&workload, &cfg);
     println!(
         "speedup {:.3}x with {} edits",
@@ -64,7 +67,10 @@ fn main() {
     println!("== curated §VI-D ablation ==");
     let boundary = Patch::from_edits(workload.boundary_edits());
     let s = ev.speedup(&boundary).expect("valid on the small grid");
-    println!("boundary removal on the fitness grid: {:+.1}%", (s - 1.0) * 100.0);
+    println!(
+        "boundary removal on the fitness grid: {:+.1}%",
+        (s - 1.0) * 100.0
+    );
     match workload.validate_heldout(&boundary, 64, 6) {
         Err(e) => println!("boundary removal on the held-out grid: FAILS — {e}"),
         Ok(()) => println!("boundary removal on the held-out grid: passes"),

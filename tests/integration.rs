@@ -114,7 +114,9 @@ fn curated_patches_port_across_gpus() {
         scaled.device_mem_bytes = 1 << 20;
         let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0).with_spec(scaled));
         let ev = Evaluator::new(&w);
-        let s = ev.speedup(&w.curated_patch()).expect("patch valid everywhere");
+        let s = ev
+            .speedup(&w.curated_patch())
+            .expect("patch valid everywhere");
         assert!(s > 5.0, "{}: V0 curated speedup {s:.1}", spec.name);
     }
 }
@@ -128,10 +130,7 @@ fn ballot_removal_is_architecture_dependent() {
         scaled.device_mem_bytes = 1 << 20;
         let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V1).with_spec(scaled));
         let ev = Evaluator::new(&w);
-        let p = Patch::from_edits(vec![
-            w.edit("v1:k0:del_ballot"),
-            w.edit("v1:k1:del_ballot"),
-        ]);
+        let p = Patch::from_edits(vec![w.edit("v1:k0:del_ballot"), w.edit("v1:k1:del_ballot")]);
         ev.speedup(&p).expect("deleting ballot is safe") - 1.0
     };
     let pascal = gain_on(gevo_repro::gpu::GpuSpec::p100());
@@ -151,7 +150,10 @@ fn fig10_boundary_story() {
     let boundary = Patch::from_edits(w.boundary_edits());
     let ev = Evaluator::new(&w);
     assert!(ev.speedup(&boundary).expect("valid on small grid") > 1.05);
-    assert!(w.validate_heldout(&boundary, 64, 3).is_err(), "large grid faults");
+    assert!(
+        w.validate_heldout(&boundary, 64, 3).is_err(),
+        "large grid faults"
+    );
     let padded = SimcovWorkload::new(SimcovConfig::scaled().padded());
     padded
         .validate_heldout(&Patch::empty(), 64, 3)

@@ -20,7 +20,11 @@ fn sample_patch(w: &dyn Workload, seed: u64, n: usize) -> Patch {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Pinned case count AND case-generation seed: tier-1 CI must draw
+    // the exact same 24 cases on every run (no flake, reproducible
+    // failures). `with_rng_seed` is provided by the vendored proptest
+    // shim (vendor/proptest); see vendor/README.md.
+    #![proptest_config(ProptestConfig::with_cases(24).with_rng_seed(0x6E50_1994))]
 
     /// Any random patch applies without panicking, and the patched
     /// kernels either verify or are cleanly rejected.

@@ -1,0 +1,261 @@
+//! Offline, fully deterministic subset stand-in for `proptest`,
+//! vendored because the build environment has no crates.io access.
+//!
+//! Supported surface — exactly what `tests/proptests.rs` uses, with the
+//! same source-level syntax as the real crate:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ..) { .. } }`
+//! * integer [`Range`](std::ops::Range) strategies (`0u64..10_000`),
+//! * [`ProptestConfig::with_cases`] and [`ProptestConfig::with_rng_seed`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Unlike the real crate there is **no shrinking** and **no persisted
+//! failure file**: every run draws the same cases from a fixed SplitMix64
+//! stream (`rng_seed`, default [`DEFAULT_RNG_SEED`]), which is what
+//! tier-1 CI wants — zero flake, reproducible failures by construction.
+
+use std::ops::Range;
+
+/// Default deterministic RNG seed for case generation.
+pub const DEFAULT_RNG_SEED: u64 = 0x9E57_C0DE_5EED;
+
+/// Runner configuration: case count and deterministic RNG seed.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Seed for the deterministic case-generation stream.
+    pub rng_seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            rng_seed: DEFAULT_RNG_SEED,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases with the default deterministic seed.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// Overrides the deterministic RNG seed.
+    #[must_use]
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+}
+
+/// Deterministic SplitMix64 stream used to instantiate strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the stream for a given seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one value from the deterministic stream.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Fails the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}` (both: {:?})",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Declares deterministic property tests.
+///
+/// Each `#[test] fn name(pat in strategy, ..) { body }` item becomes a
+/// plain `#[test]` that runs `cases` instantiations of `body`, drawing
+/// every argument from its strategy on a SplitMix64 stream seeded by
+/// `ProptestConfig::rng_seed`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_seed(cfg.rng_seed);
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let case_desc = ::std::format!(
+                        ::std::concat!($(::std::stringify!($arg), " = {:?}; "),+),
+                        $($arg),+
+                    );
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        ::std::panic!(
+                            "property {} failed at case {}/{} ({}): {}",
+                            ::std::stringify!($name),
+                            case + 1,
+                            cfg.cases,
+                            case_desc,
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    // No config header: run with the defaults.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (5u64..17).sample(&mut rng);
+            assert!((5..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = TestRng::from_seed(99);
+        let mut b = TestRng::from_seed(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16).with_rng_seed(7))]
+
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, y in 1usize..10) {
+            prop_assert!(x < 100);
+            prop_assert!(y >= 1, "y was {}", y);
+            prop_assert_eq!(y, y);
+            prop_assert_ne!(y + 1, y);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Marker-trait stand-in for `serde`, vendored because this workspace
+//! builds fully offline (no crates.io access).
+//!
+//! The repository derives `Serialize`/`Deserialize` on its IR, GPU, and
+//! engine types purely so downstream tooling *can* serialize them; no
+//! in-tree code performs serialization today. This shim therefore keeps
+//! the exact source-level interface — `use serde::{Deserialize,
+//! Serialize}` plus `#[derive(Serialize, Deserialize)]` with `#[serde]`
+//! helper attributes — while the traits themselves are markers with
+//! blanket implementations. Swapping back to the real crate is a
+//! one-line change in the workspace manifest and requires no source
+//! edits.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! workspace.
+//!
+//! The sibling `vendor/serde` crate provides blanket implementations of
+//! its marker `Serialize`/`Deserialize` traits, so these derives do not
+//! need to generate any code — they only need to *exist* so that
+//! `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]` helper
+//! attributes) parse exactly as they would against the real crates.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
