@@ -1,0 +1,55 @@
+//! Criterion comparison of single-population vs island-model search at
+//! an equal total evaluation budget, on both evolvable workloads.
+//!
+//! The interesting number is wall time per full (tiny) search: the
+//! island engine funnels all subpopulations through one shared
+//! `evaluate_batch`, so the sharded fitness cache — not migration
+//! bookkeeping — dominates the difference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gevo_engine::{run_islands, GaConfig, IslandConfig, Workload};
+use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
+use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};
+use std::hint::black_box;
+
+fn tiny_budget(seed: u64) -> GaConfig {
+    GaConfig {
+        population: 16,
+        generations: 4,
+        seed,
+        threads: std::thread::available_parallelism().map_or(4, usize::from),
+        ..GaConfig::scaled()
+    }
+}
+
+fn search(w: &dyn Workload, islands: usize) -> f64 {
+    let mut cfg = IslandConfig::new(tiny_budget(1), islands);
+    cfg.migration_interval = 2;
+    run_islands(w, &cfg).speedup
+}
+
+fn bench_islands(c: &mut Criterion) {
+    let mut g = c.benchmark_group("islands");
+    g.sample_size(10);
+
+    let adept = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+    g.bench_function("adept_v0_1_island", |b| {
+        b.iter(|| black_box(search(&adept, 1)));
+    });
+    g.bench_function("adept_v0_4_islands", |b| {
+        b.iter(|| black_box(search(&adept, 4)));
+    });
+
+    let simcov = SimcovWorkload::new(SimcovConfig::scaled());
+    g.bench_function("simcov_1_island", |b| {
+        b.iter(|| black_box(search(&simcov, 1)));
+    });
+    g.bench_function("simcov_4_islands", |b| {
+        b.iter(|| black_box(search(&simcov, 4)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_islands);
+criterion_main!(benches);

@@ -9,17 +9,21 @@
 //!   * V1/V1-GEVO — hand-tuned baseline and the curated V1 optimization
 //!     (the GA path for V1 is exercised by fig8/fig6).
 //!
-//! Budget via GEVO_POP / GEVO_GENS / GEVO_SEED.
+//! Budget via GEVO_POP / GEVO_GENS / GEVO_SEED; search parallelism via
+//! `--islands N` / GEVO_ISLANDS.
 
-use gevo_bench::{adept_on, bar, harness_ga, scaled_table1_specs, speedup_of};
-use gevo_engine::{run_ga, Evaluator, Workload};
+use gevo_bench::{
+    adept_on, bar, budget_banner, harness_ga, harness_islands, run_search, scaled_table1_specs,
+    speedup_of,
+};
+use gevo_engine::{Evaluator, Workload};
 use gevo_workloads::adept::Version;
 
 fn main() {
-    let cfg = harness_ga(24, 14);
+    let cfg = harness_islands(harness_ga(24, 14));
     println!(
-        "Figure 4: ADEPT speedups (GA budget: pop {}, {} gens, seed {})",
-        cfg.population, cfg.generations, cfg.seed
+        "Figure 4: ADEPT speedups (GA budget: {})",
+        budget_banner(&cfg)
     );
     println!();
     println!(
@@ -29,7 +33,7 @@ fn main() {
     let paper = [(32.8, 1.28), (32.0, 1.31), (18.4, 1.17)];
     for (spec, (p_v0, p_v1)) in scaled_table1_specs().iter().zip(paper) {
         let v0 = adept_on(Version::V0, spec);
-        let ga = run_ga(&v0, &cfg);
+        let ga = run_search(&v0, &cfg);
         let v0_cur = speedup_of(&v0, &v0.curated_patch());
 
         let v1 = adept_on(Version::V1, spec);

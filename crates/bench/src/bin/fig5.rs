@@ -3,23 +3,26 @@
 //! Paper values: 1.29x / 1.43x / 1.17x (P100 / 1080Ti / V100).
 //!
 //! Reports a budgeted GA run and the curated optimum per GPU.
-//! Budget via GEVO_POP / GEVO_GENS / GEVO_SEED.
+//! Budget via GEVO_POP / GEVO_GENS / GEVO_SEED; search parallelism via
+//! `--islands N` / GEVO_ISLANDS.
 
-use gevo_bench::{bar, harness_ga, scaled_table1_specs, simcov_on, speedup_of};
-use gevo_engine::run_ga;
+use gevo_bench::{
+    bar, budget_banner, harness_ga, harness_islands, run_search, scaled_table1_specs, simcov_on,
+    speedup_of,
+};
 
 fn main() {
-    let cfg = harness_ga(40, 50);
+    let cfg = harness_islands(harness_ga(40, 50));
     println!(
-        "Figure 5: SIMCoV speedups (GA budget: pop {}, {} gens, seed {})",
-        cfg.population, cfg.generations, cfg.seed
+        "Figure 5: SIMCoV speedups (GA budget: {})",
+        budget_banner(&cfg)
     );
     println!();
     println!("| {:<7} | {:>9} | {:>9} | paper |", "GPU", "GA", "curated");
     let paper = [1.29, 1.43, 1.17];
     for (spec, p) in scaled_table1_specs().iter().zip(paper) {
         let w = simcov_on(spec);
-        let ga = run_ga(&w, &cfg);
+        let ga = run_search(&w, &cfg);
         let cur = speedup_of(&w, &w.curated_patch());
         println!(
             "| {:<7} | {:>8.2}x | {:>8.2}x | {p:.2}x |",

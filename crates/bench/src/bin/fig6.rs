@@ -6,10 +6,13 @@
 //! spans 1.10x–1.33x, SIMCoV 1.18x–1.35x. The paper attributes the spread
 //! to how completely each run discovers the epistatic subgroups (§V-C).
 //!
-//! Budget via GEVO_RUNS / GEVO_POP / GEVO_GENS.
+//! Budget via GEVO_RUNS / GEVO_POP / GEVO_GENS; search parallelism via
+//! `--islands N` / GEVO_ISLANDS.
 
-use gevo_bench::{adept_on, env_usize, harness_ga, scaled_table1_specs, simcov_on};
-use gevo_engine::{run_ga, GaResult, Workload};
+use gevo_bench::{
+    adept_on, env_usize, harness_ga, harness_islands, run_search, scaled_table1_specs, simcov_on,
+};
+use gevo_engine::{GaResult, Workload};
 use gevo_workloads::adept::Version;
 
 fn band(results: &[GaResult], gens: usize) {
@@ -46,8 +49,8 @@ fn band(results: &[GaResult], gens: usize) {
 fn runs(w: &dyn Workload, pop: usize, gens: usize, n: usize) -> Vec<GaResult> {
     (0..n)
         .map(|i| {
-            let cfg = harness_ga(pop, gens).with_seed(1 + i as u64);
-            run_ga(w, &cfg)
+            let cfg = harness_islands(harness_ga(pop, gens)).with_seed(1 + i as u64);
+            run_search(w, &cfg)
         })
         .collect()
 }

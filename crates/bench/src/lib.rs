@@ -7,10 +7,17 @@
 //!
 //! | variable | meaning | default |
 //! |---|---|---|
-//! | `GEVO_POP` | GA population | harness-specific |
+//! | `GEVO_POP` | GA population (total across islands) | harness-specific |
 //! | `GEVO_GENS` | GA generations | harness-specific |
 //! | `GEVO_RUNS` | repeated runs (Fig. 6) | 10 |
 //! | `GEVO_SEED` | base RNG seed | 1 |
+//! | `GEVO_ISLANDS` | island count (also `--islands N` on the CLI) | 1 |
+//! | `GEVO_MIGRATION` | generations between migrations | 5 |
+//!
+//! The GA-driven harnesses (fig4, fig5, fig6) route through
+//! [`run_search`]: with one island it is exactly the paper's
+//! single-population GA; with more it is the island engine
+//! (`gevo_engine::island`).
 
 #![warn(missing_docs)]
 #![warn(clippy::pedantic)]
@@ -18,7 +25,7 @@
 #![allow(clippy::missing_panics_doc)]
 #![allow(clippy::cast_precision_loss)]
 
-use gevo_engine::{Evaluator, GaConfig, Patch, Workload};
+use gevo_engine::{run_islands, Evaluator, GaConfig, GaResult, IslandConfig, Patch, Workload};
 use gevo_gpu::GpuSpec;
 use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
 use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};
@@ -50,6 +57,65 @@ pub fn harness_ga(pop: usize, gens: usize) -> GaConfig {
         seed: env_u64("GEVO_SEED", 1),
         threads: std::thread::available_parallelism().map_or(4, usize::from),
         ..GaConfig::scaled()
+    }
+}
+
+/// The island count in force: `--islands N` (or `--islands=N`) on the
+/// command line wins, then `GEVO_ISLANDS`, then 1.
+#[must_use]
+pub fn islands_knob() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--islands" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--islands=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    env_usize("GEVO_ISLANDS", 1).max(1)
+}
+
+/// Island configuration for a harness: the GA budget plus the
+/// `--islands`/`GEVO_ISLANDS` and `GEVO_MIGRATION` knobs.
+#[must_use]
+pub fn harness_islands(ga: GaConfig) -> IslandConfig {
+    let mut cfg = IslandConfig::new(ga, islands_knob());
+    cfg.migration_interval = env_usize("GEVO_MIGRATION", cfg.migration_interval);
+    cfg
+}
+
+/// Runs the configured search — single-population when `cfg.islands`
+/// is 1, the island engine otherwise — and returns the global view.
+#[must_use]
+pub fn run_search(w: &dyn Workload, cfg: &IslandConfig) -> GaResult {
+    run_islands(w, cfg).into_ga_result()
+}
+
+/// Human-readable budget line for a harness banner.
+#[must_use]
+pub fn budget_banner(cfg: &IslandConfig) -> String {
+    let ga = &cfg.ga;
+    if cfg.islands > 1 {
+        let sizes = cfg.island_populations();
+        let split = if sizes.windows(2).all(|w| w[0] == w[1]) {
+            format!("{} islands x {}", sizes.len(), sizes[0])
+        } else {
+            let parts: Vec<String> = sizes.iter().map(ToString::to_string).collect();
+            format!("{} islands: {}", sizes.len(), parts.join("+"))
+        };
+        format!(
+            "pop {} ({split}), {} gens, migration every {}, seed {}",
+            ga.population, ga.generations, cfg.migration_interval, ga.seed
+        )
+    } else {
+        format!(
+            "pop {}, {} gens, seed {}",
+            ga.population, ga.generations, ga.seed
+        )
     }
 }
 
@@ -121,6 +187,28 @@ mod tests {
         let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, vec!["P100", "1080Ti", "V100"]);
         assert!(specs.iter().all(|s| s.warp_size == 8));
+    }
+
+    #[test]
+    fn islands_knob_reads_env() {
+        // No --islands on the test binary's command line, so the env
+        // var (and then the default) decides.
+        std::env::remove_var("GEVO_ISLANDS");
+        assert_eq!(islands_knob(), 1);
+        std::env::set_var("GEVO_ISLANDS", "4");
+        assert_eq!(islands_knob(), 4);
+        std::env::set_var("GEVO_ISLANDS", "0");
+        assert_eq!(islands_knob(), 1, "floors at one island");
+        std::env::remove_var("GEVO_ISLANDS");
+    }
+
+    #[test]
+    fn harness_islands_banner_mentions_split() {
+        let cfg = IslandConfig::new(harness_ga(32, 10), 4);
+        let banner = budget_banner(&cfg);
+        assert!(banner.contains("4 islands x 8"), "{banner}");
+        let single = budget_banner(&IslandConfig::single(harness_ga(32, 10)));
+        assert!(!single.contains("islands"), "{single}");
     }
 
     #[test]

@@ -11,6 +11,47 @@
 //!    stays small — we cap at 20 as it does).
 //! 4. [`dependency_graph`] — recover "edit j requires edit i" relations
 //!    and the epistatic subgroups of Fig. 7.
+//!
+//! ```
+//! use gevo_engine::{minimize_weak_edits, Edit, EvalOutcome, Evaluator, Patch, Workload};
+//! use gevo_gpu::LaunchStats;
+//! use gevo_ir::{AddrSpace, IntBinOp, Kernel, KernelBuilder, Op, Operand, Special};
+//!
+//! /// Only `add` instructions cost cycles, so deleting the mov is weak.
+//! struct AddCost { kernels: Vec<Kernel> }
+//! impl Workload for AddCost {
+//!     fn name(&self) -> &str { "add-cost" }
+//!     fn kernels(&self) -> &[Kernel] { &self.kernels }
+//!     fn evaluate(&self, ks: &[Kernel], _seed: u64) -> EvalOutcome {
+//!         let adds = ks[0].blocks.iter()
+//!             .flat_map(|b| &b.instrs)
+//!             .filter(|i| matches!(i.op, Op::IBin(IntBinOp::Add)))
+//!             .count();
+//!         EvalOutcome::pass(100.0 + 50.0 * adds as f64, LaunchStats::default())
+//!     }
+//! }
+//!
+//! let mut b = KernelBuilder::new("k");
+//! let out = b.param_ptr("out", AddrSpace::Global);
+//! let tid = b.special_i32(Special::ThreadId);
+//! let m = b.mov(Operand::ImmI32(7));          // free: deleting it is weak
+//! let a = b.add(tid.into(), Operand::ImmI32(1)); // costly: deleting it matters
+//! let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+//! b.store_global_i32(addr.into(), tid.into());
+//! b.ret();
+//! let w = AddCost { kernels: vec![b.finish()] };
+//! let ids = w.kernels[0].inst_ids();
+//!
+//! let ev = Evaluator::new(&w);
+//! let patch = Patch::from_edits(vec![
+//!     Edit::Delete { kernel: 0, target: ids[1] }, // the mov
+//!     Edit::Delete { kernel: 0, target: ids[2] }, // the add
+//! ]);
+//! let report = minimize_weak_edits(&ev, &patch, 0.01);
+//! assert_eq!(report.removed.len(), 1, "the mov delete is weak");
+//! assert_eq!(report.kept.len(), 1, "the add delete carries the gain");
+//! assert_eq!(report.fitness_minimized, report.fitness_full);
+//! ```
 
 use crate::edit::{Edit, Patch};
 use crate::fitness::Evaluator;

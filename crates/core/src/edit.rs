@@ -11,6 +11,30 @@
 //!
 //! Edits that no longer apply (their target was deleted by an earlier
 //! edit in the same patch) are silently skipped, mirroring GEVO.
+//!
+//! ```
+//! use gevo_engine::{Edit, Patch};
+//! use gevo_ir::{AddrSpace, KernelBuilder, Operand, Special};
+//!
+//! let mut b = KernelBuilder::new("k");
+//! let out = b.param_ptr("out", AddrSpace::Global);
+//! let tid = b.special_i32(Special::ThreadId);
+//! let dead = b.add(tid.into(), Operand::ImmI32(9));
+//! let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+//! b.store_global_i32(addr.into(), tid.into());
+//! b.ret();
+//! let pristine = vec![b.finish()];
+//!
+//! // Delete the dead add; the duplicate edit is skipped, not an error.
+//! let del = Edit::Delete { kernel: 0, target: pristine[0].inst_ids()[1] };
+//! let patch = Patch::from_edits(vec![del, del]);
+//! let (variant, applied) = patch.apply(&pristine);
+//! assert_eq!(applied, 1);
+//! assert_eq!(variant[0].inst_count(), pristine[0].inst_count() - 1);
+//!
+//! // Any subset of a patch is itself a valid patch.
+//! assert_eq!(patch.without(&del).len(), 1);
+//! ```
 
 use gevo_ir::{InstId, Kernel, Operand, TermKind};
 use serde::{Deserialize, Serialize};

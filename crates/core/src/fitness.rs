@@ -4,13 +4,53 @@
 //! over the test set; individuals failing any test are invalid and
 //! excluded from selection. Here "execution time" is the simulator's
 //! modeled cycles.
+//!
+//! [`Evaluator`] memoizes outcomes in a **sharded cache**: a fixed
+//! power-of-two array of locks, each guarding one slice of the hash
+//! space, selected by the low bits of the patch's content hash. The
+//! single-population GA, the island engine ([`crate::island`]) and the
+//! [`Evaluator::evaluate_batch`] worker pool all hit the cache
+//! concurrently; sharding keeps those lookups from serializing on one
+//! mutex.
+//!
+//! ```
+//! use gevo_engine::{Evaluator, EvalOutcome, Patch, Workload};
+//! use gevo_gpu::LaunchStats;
+//! use gevo_ir::{AddrSpace, Kernel, KernelBuilder, Operand, Special};
+//!
+//! /// Fitness = instruction count: fewer instructions, faster "kernel".
+//! struct CountWork { kernels: Vec<Kernel> }
+//! impl Workload for CountWork {
+//!     fn name(&self) -> &str { "count" }
+//!     fn kernels(&self) -> &[Kernel] { &self.kernels }
+//!     fn evaluate(&self, ks: &[Kernel], _seed: u64) -> EvalOutcome {
+//!         EvalOutcome::pass(ks[0].inst_count() as f64, LaunchStats::default())
+//!     }
+//! }
+//!
+//! let mut b = KernelBuilder::new("k");
+//! let out = b.param_ptr("out", AddrSpace::Global);
+//! let tid = b.special_i32(Special::ThreadId);
+//! let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+//! b.store_global_i32(addr.into(), tid.into());
+//! b.ret();
+//! let w = CountWork { kernels: vec![b.finish()] };
+//!
+//! let ev = Evaluator::new(&w);
+//! let base = ev.baseline();
+//! assert!(base > 0.0);
+//! let again = ev.evaluate(&Patch::empty());
+//! assert_eq!(again.fitness, Some(base));
+//! assert_eq!(ev.evals_performed(), 1, "second lookup is a cache hit");
+//! assert_eq!(ev.cache_hits(), 1);
+//! ```
 
 use crate::edit::Patch;
 use gevo_gpu::LaunchStats;
 use gevo_ir::Kernel;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 
 /// The outcome of evaluating one program variant on the full test set.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,15 +111,34 @@ pub trait Workload: Sync {
     fn evaluate(&self, kernels: &[Kernel], eval_seed: u64) -> EvalOutcome;
 }
 
+/// Number of cache shards. A fixed power of two so shard selection is a
+/// mask of the patch hash's low bits; 16 comfortably out-scales the
+/// worker pools the engine spawns (islands × batch threads) on the
+/// machines this runs on.
+pub const CACHE_SHARDS: usize = 16;
+
 /// Memoizing evaluator: maps patches to outcomes through a workload,
 /// caching by patch content hash. The analysis algorithms (§V) re-evaluate
 /// heavily overlapping subsets; the cache keeps that tractable.
+///
+/// # Concurrency
+///
+/// The cache is split into [`CACHE_SHARDS`] independently locked shards,
+/// selected by the low bits of [`Patch::content_hash`], so concurrent
+/// islands and `evaluate_batch` workers do not contend on one mutex.
+/// The evaluation seed is guarded by an [`RwLock`] that every
+/// [`Evaluator::evaluate`] call holds in *read* mode across its whole
+/// lookup–evaluate–insert sequence, and [`Evaluator::set_eval_seed`]
+/// holds in *write* mode across its reseed-and-clear: a reseed can never
+/// interleave with an in-flight evaluation, so the cache never holds an
+/// outcome computed under a seed other than the one currently in force.
+/// Readers don't block each other, so evaluations still run in parallel.
 pub struct Evaluator<'w> {
     workload: &'w dyn Workload,
-    cache: Mutex<HashMap<u64, EvalOutcome>>,
+    shards: Vec<Mutex<HashMap<u64, EvalOutcome>>>,
     evals: AtomicUsize,
     cache_hits: AtomicUsize,
-    eval_seed: AtomicU64,
+    eval_seed: RwLock<u64>,
 }
 
 impl<'w> Evaluator<'w> {
@@ -88,10 +147,12 @@ impl<'w> Evaluator<'w> {
     pub fn new(workload: &'w dyn Workload) -> Evaluator<'w> {
         Evaluator {
             workload,
-            cache: Mutex::new(HashMap::new()),
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             evals: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
-            eval_seed: AtomicU64::new(0),
+            eval_seed: RwLock::new(0),
         }
     }
 
@@ -101,28 +162,44 @@ impl<'w> Evaluator<'w> {
         self.workload
     }
 
-    /// Sets the scheduler seed used for subsequent evaluations (and clears
-    /// the cache, since outcomes may differ).
+    /// The shard holding a given patch hash.
+    #[allow(clippy::cast_possible_truncation)]
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, EvalOutcome>> {
+        &self.shards[(key as usize) & (CACHE_SHARDS - 1)]
+    }
+
+    /// Sets the scheduler seed used for subsequent evaluations and clears
+    /// the cache (outcomes may differ under the new seed).
+    ///
+    /// The reseed and the clear happen under the seed's write lock, which
+    /// excludes every concurrent [`Evaluator::evaluate`] (they hold the
+    /// read lock for their full duration): no stale-seed outcome can be
+    /// inserted into the freshly cleared cache.
     pub fn set_eval_seed(&self, seed: u64) {
-        self.eval_seed.store(seed, Ordering::Relaxed);
-        self.cache.lock().expect("cache lock").clear();
+        let mut guard = self.eval_seed.write().expect("seed lock");
+        *guard = seed;
+        for shard in &self.shards {
+            shard.lock().expect("cache shard").clear();
+        }
     }
 
     /// Evaluates a patch (cached).
     pub fn evaluate(&self, patch: &Patch) -> EvalOutcome {
         let key = patch.content_hash();
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+        // Hold the seed read-lock across lookup, evaluation and insert so
+        // a concurrent set_eval_seed cannot slip its clear between our
+        // evaluation and our insert (see the type-level docs).
+        let seed = self.eval_seed.read().expect("seed lock");
+        if let Some(hit) = self.shard(key).lock().expect("cache shard").get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
         let (kernels, _) = patch.apply(self.workload.kernels());
-        let outcome = self
-            .workload
-            .evaluate(&kernels, self.eval_seed.load(Ordering::Relaxed));
+        let outcome = self.workload.evaluate(&kernels, *seed);
         self.evals.fetch_add(1, Ordering::Relaxed);
-        self.cache
+        self.shard(key)
             .lock()
-            .expect("cache lock")
+            .expect("cache shard")
             .insert(key, outcome.clone());
         outcome
     }
@@ -161,34 +238,83 @@ impl<'w> Evaluator<'w> {
         self.cache_hits.load(Ordering::Relaxed)
     }
 
+    /// Cache hit rate over all lookups so far (0 when nothing looked up).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits();
+        let total = hits + self.evals_performed();
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Entries currently cached, summed over every shard.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
     /// Evaluates many patches in parallel with `threads` workers,
     /// preserving order. Results are cached like single evaluations.
+    ///
+    /// Duplicate patches (the island engine's batches routinely carry
+    /// the same champion on several islands) are deduplicated by content
+    /// hash *before* dispatch: each unique patch is evaluated exactly
+    /// once, so two workers can never race the same uncached key and
+    /// [`Evaluator::evals_performed`] stays deterministic across thread
+    /// schedules.
     pub fn evaluate_batch(&self, patches: &[Patch], threads: usize) -> Vec<EvalOutcome> {
-        if threads <= 1 || patches.len() <= 1 {
-            return patches.iter().map(|p| self.evaluate(p)).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<EvalOutcome>>> =
-            patches.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..threads.min(patches.len()) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= patches.len() {
-                        break;
-                    }
-                    let out = self.evaluate(&patches[i]);
-                    *results[i].lock().expect("result slot") = Some(out);
-                });
+        let mut first_seen: HashMap<u64, usize> = HashMap::new();
+        let mut reps: Vec<&Patch> = Vec::new();
+        let mut assign: Vec<usize> = Vec::with_capacity(patches.len());
+        for p in patches {
+            let key = p.content_hash();
+            if let Some(&r) = first_seen.get(&key) {
+                assign.push(r);
+            } else {
+                first_seen.insert(key, reps.len());
+                assign.push(reps.len());
+                reps.push(p);
             }
-        });
-        results
+        }
+
+        let rep_outcomes: Vec<EvalOutcome> = if threads <= 1 || reps.len() <= 1 {
+            reps.iter().map(|p| self.evaluate(p)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let results: Vec<Mutex<Option<EvalOutcome>>> =
+                reps.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..threads.min(reps.len()) {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= reps.len() {
+                            break;
+                        }
+                        let out = self.evaluate(reps[i]);
+                        *results[i].lock().expect("result slot") = Some(out);
+                    });
+                }
+            });
+            results
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("slot lock")
+                        .expect("worker filled slot")
+                })
+                .collect()
+        };
+        assign
             .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("slot lock")
-                    .expect("worker filled slot")
-            })
+            .map(|r| rep_outcomes[r].clone())
             .collect()
     }
 }
@@ -198,6 +324,7 @@ mod tests {
     use super::*;
     use crate::edit::Edit;
     use gevo_ir::{AddrSpace, KernelBuilder, Operand, Special};
+    use proptest::prelude::*;
 
     /// A stub workload: fitness = 1000 - 10×(applied deletions), variants
     /// deleting the store "fail".
@@ -242,6 +369,52 @@ mod tests {
         }
     }
 
+    /// A workload whose fitness encodes the evaluation seed, to observe
+    /// which seed an outcome was computed under.
+    struct SeedEcho {
+        kernels: Vec<Kernel>,
+    }
+
+    impl SeedEcho {
+        fn new() -> SeedEcho {
+            SeedEcho {
+                kernels: Stub::new().kernels,
+            }
+        }
+    }
+
+    impl Workload for SeedEcho {
+        fn name(&self) -> &'static str {
+            "seed-echo"
+        }
+        fn kernels(&self) -> &[Kernel] {
+            &self.kernels
+        }
+        #[allow(clippy::cast_precision_loss)]
+        fn evaluate(&self, _kernels: &[Kernel], seed: u64) -> EvalOutcome {
+            EvalOutcome::pass(1.0 + seed as f64, LaunchStats::default())
+        }
+    }
+
+    /// Distinct single-edit patches, one per deletable instruction, plus
+    /// index-tagged duplicates to grow the set to `n`.
+    fn distinct_patches(n: usize) -> Vec<Patch> {
+        let w = Stub::new();
+        let ids = w.kernels[0].inst_ids();
+        (0..n)
+            .map(|i| {
+                let mut p = Patch::empty();
+                for _ in 0..=(i / ids.len()) {
+                    p.push(Edit::Delete {
+                        kernel: 0,
+                        target: ids[i % ids.len()],
+                    });
+                }
+                p
+            })
+            .collect()
+    }
+
     #[test]
     fn baseline_and_speedup() {
         let w = Stub::new();
@@ -281,6 +454,8 @@ mod tests {
         let _ = ev.evaluate(&p);
         assert_eq!(ev.evals_performed(), 1);
         assert_eq!(ev.cache_hits(), 2);
+        assert_eq!(ev.cache_len(), 1);
+        assert!((ev.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -308,8 +483,83 @@ mod tests {
         let w = Stub::new();
         let ev = Evaluator::new(&w);
         let _ = ev.evaluate(&Patch::empty());
+        assert_eq!(ev.cache_len(), 1);
         ev.set_eval_seed(99);
+        assert_eq!(ev.cache_len(), 0);
         let _ = ev.evaluate(&Patch::empty());
         assert_eq!(ev.evals_performed(), 2);
+    }
+
+    #[test]
+    fn reseed_is_atomic_with_concurrent_evaluates() {
+        // Hammer evaluate() from many threads while reseeding in between:
+        // at every instant the cache must only hold outcomes computed
+        // under the seed in force, so after the final reseed every cached
+        // fitness echoes the final seed.
+        let w = SeedEcho::new();
+        let ev = Evaluator::new(&w);
+        let patches = distinct_patches(32);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ev = &ev;
+                let patches = &patches;
+                let done = &done;
+                s.spawn(move || {
+                    let mut i = t;
+                    while !done.load(Ordering::Relaxed) {
+                        let _ = ev.evaluate(&patches[i % patches.len()]);
+                        i += 1;
+                    }
+                });
+            }
+            for seed in 1..=20u64 {
+                ev.set_eval_seed(seed);
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        // Everything cached after the final reseed was computed under it.
+        ev.set_eval_seed(77);
+        let _ = ev.evaluate_batch(&patches, 4);
+        for p in &patches {
+            assert_eq!(ev.evaluate(p).fitness, Some(78.0), "stale-seed entry");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16).with_rng_seed(0x5AAD_CA5E))]
+
+        /// The concurrent zero-lost-entries property: however many worker
+        /// threads race distinct patches into the sharded cache, every
+        /// entry lands exactly once and every later lookup hits.
+        #[test]
+        fn sharded_cache_loses_nothing_under_concurrency(
+            threads in 2usize..8,
+            patches in 8usize..48,
+        ) {
+            let w = Stub::new();
+            let ev = Evaluator::new(&w);
+            let ps = distinct_patches(patches);
+            let distinct = {
+                let mut keys: Vec<u64> = ps.iter().map(Patch::content_hash).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                keys.len()
+            };
+            prop_assert_eq!(distinct, ps.len());
+
+            let first = ev.evaluate_batch(&ps, threads);
+            prop_assert_eq!(ev.cache_len(), distinct);
+            // Workers may race the same patch only if they pick the same
+            // index, which the batch dispatcher never does — so misses
+            // equal the distinct count exactly.
+            prop_assert_eq!(ev.evals_performed(), distinct);
+
+            // A second full pass is pure cache hits and identical.
+            let evals_before = ev.evals_performed();
+            let second = ev.evaluate_batch(&ps, threads);
+            prop_assert_eq!(first, second);
+            prop_assert_eq!(ev.evals_performed(), evals_before);
+        }
     }
 }

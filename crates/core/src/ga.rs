@@ -5,20 +5,54 @@
 //! generation, fitness = mean kernel cycles over the test set, failing
 //! individuals excluded from selection. The harnesses run scaled-down
 //! budgets (DESIGN.md §4.4); every knob is on [`GaConfig`].
+//!
+//! Since the island-model engine landed ([`crate::island`]), [`run_ga`]
+//! is the N=1 special case of [`crate::run_islands`]: one island,
+//! seeded with the master seed, no migration — bit-for-bit the original
+//! single-population loop.
+//!
+//! ```
+//! use gevo_engine::{run_ga, GaConfig, Workload, EvalOutcome};
+//! use gevo_gpu::LaunchStats;
+//! use gevo_ir::{AddrSpace, Kernel, KernelBuilder, Operand, Special};
+//!
+//! /// Fitness = instructions remaining; the GA deletes what it can.
+//! struct Toy { kernels: Vec<Kernel> }
+//! impl Workload for Toy {
+//!     fn name(&self) -> &str { "toy" }
+//!     fn kernels(&self) -> &[Kernel] { &self.kernels }
+//!     fn evaluate(&self, ks: &[Kernel], _seed: u64) -> EvalOutcome {
+//!         EvalOutcome::pass(5.0 + ks[0].inst_count() as f64, LaunchStats::default())
+//!     }
+//! }
+//!
+//! let mut b = KernelBuilder::new("t");
+//! let out = b.param_ptr("out", AddrSpace::Global);
+//! let tid = b.special_i32(Special::ThreadId);
+//! let x = b.add(tid.into(), Operand::ImmI32(1));
+//! let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+//! b.store_global_i32(addr.into(), x.into());
+//! b.ret();
+//! let w = Toy { kernels: vec![b.finish()] };
+//!
+//! let cfg = GaConfig { population: 12, generations: 8, threads: 1, ..GaConfig::scaled() };
+//! let res = run_ga(&w, &cfg);
+//! assert_eq!(res.history.records.len(), 8);
+//! assert!(res.speedup >= 1.0);
+//! ```
 
 use crate::edit::{Edit, Patch};
-use crate::fitness::{Evaluator, Workload};
-use crate::mutation::{crossover_one_point, MutationSpace, MutationWeights};
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::fitness::Workload;
+use crate::island::{run_islands_with_weights, IslandConfig, MigrationEvent};
+use crate::mutation::MutationWeights;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// GA hyper-parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaConfig {
-    /// Individuals per generation (paper: 256).
+    /// Individuals per generation (paper: 256). Under the island engine
+    /// this is the **total** across islands.
     pub population: usize,
     /// Best individuals copied unchanged into the next generation
     /// (paper: 4).
@@ -95,13 +129,17 @@ pub struct Individual {
 pub struct GenerationRecord {
     /// Generation index (0-based).
     pub gen: usize,
+    /// The island that owned this record's best individual (0 in
+    /// single-population runs and in per-island histories of island 0).
+    pub island: usize,
     /// Best (lowest) valid fitness this generation.
     pub best_fitness: f64,
     /// Speedup of the best individual over the pristine program.
     pub best_speedup: f64,
     /// The best individual's genome.
     pub best_patch: Patch,
-    /// Valid individuals this generation.
+    /// Valid individuals this generation (summed across islands in a
+    /// global history).
     pub valid: usize,
 }
 
@@ -115,6 +153,9 @@ pub struct History {
     /// Generation at which each edit first appeared in the *best*
     /// individual — the discovery sequence behind Fig. 8.
     pub first_seen_in_best: HashMap<Edit, usize>,
+    /// Every migration event this history witnessed (empty for
+    /// single-population runs; see [`crate::island`]).
+    pub migrations: Vec<MigrationEvent>,
 }
 
 impl History {
@@ -161,6 +202,10 @@ pub fn run_ga(workload: &dyn Workload, cfg: &GaConfig) -> GaResult {
 
 /// [`run_ga`] with explicit mutation-operator weights.
 ///
+/// This is the single-island special case of
+/// [`crate::run_islands_with_weights`]: one population holding the whole
+/// budget, master-seeded, never migrating.
+///
 /// # Panics
 /// Panics if the pristine program fails its own test set (workload bug).
 #[must_use]
@@ -169,158 +214,7 @@ pub fn run_ga_with_weights(
     cfg: &GaConfig,
     weights: MutationWeights,
 ) -> GaResult {
-    let evaluator = Evaluator::new(workload);
-    let baseline = evaluator.baseline();
-    let space = MutationSpace::new(workload.kernels(), weights);
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-
-    // Initial population: the pristine program plus single-edit mutants.
-    let mut population: Vec<Individual> = Vec::with_capacity(cfg.population);
-    population.push(Individual {
-        patch: Patch::empty(),
-        fitness: Some(baseline),
-    });
-    while population.len() < cfg.population {
-        let mut p = Patch::empty();
-        space.mutate(&mut p, &mut rng);
-        population.push(Individual {
-            patch: p,
-            fitness: None,
-        });
-    }
-
-    let mut history = History {
-        baseline,
-        records: Vec::with_capacity(cfg.generations),
-        first_seen_in_best: HashMap::new(),
-    };
-    let mut best_overall = Individual {
-        patch: Patch::empty(),
-        fitness: Some(baseline),
-    };
-
-    for gen in 0..cfg.generations {
-        // Evaluate everyone (cached + parallel).
-        let patches: Vec<Patch> = population.iter().map(|i| i.patch.clone()).collect();
-        let outcomes = evaluator.evaluate_batch(&patches, cfg.threads);
-        for (ind, out) in population.iter_mut().zip(&outcomes) {
-            ind.fitness = out.fitness;
-        }
-
-        // Rank valid individuals (lower cycles = better).
-        let mut ranked: Vec<usize> = (0..population.len())
-            .filter(|&i| population[i].fitness.is_some())
-            .collect();
-        ranked.sort_by(|&a, &b| {
-            population[a]
-                .fitness
-                .partial_cmp(&population[b].fitness)
-                .expect("valid fitness is never NaN")
-        });
-
-        let gen_best = ranked.first().map(|&i| population[i].clone());
-        if let Some(gb) = &gen_best {
-            let f = gb.fitness.expect("ranked individuals are valid");
-            if f < best_overall.fitness.expect("baseline valid") {
-                best_overall = gb.clone();
-            }
-            for e in gb.patch.edits() {
-                history.first_seen_in_best.entry(*e).or_insert(gen);
-            }
-            history.records.push(GenerationRecord {
-                gen,
-                best_fitness: f,
-                best_speedup: baseline / f,
-                best_patch: gb.patch.clone(),
-                valid: ranked.len(),
-            });
-        } else {
-            history.records.push(GenerationRecord {
-                gen,
-                best_fitness: baseline,
-                best_speedup: 1.0,
-                best_patch: Patch::empty(),
-                valid: 0,
-            });
-        }
-
-        if gen + 1 == cfg.generations {
-            break;
-        }
-
-        // Next generation: elites + offspring.
-        let mut next: Vec<Individual> = ranked
-            .iter()
-            .take(cfg.elitism)
-            .map(|&i| population[i].clone())
-            .collect();
-        if next.is_empty() {
-            next.push(Individual {
-                patch: Patch::empty(),
-                fitness: Some(baseline),
-            });
-        }
-        while next.len() < cfg.population {
-            let parent_a = tournament(&population, &ranked, cfg.tournament, &mut rng);
-            let mut child = if rng.gen_bool(cfg.crossover_p) && ranked.len() >= 2 {
-                let parent_b = tournament(&population, &ranked, cfg.tournament, &mut rng);
-                crossover_one_point(&parent_a.patch, &parent_b.patch, &mut rng)
-            } else {
-                parent_a.patch.clone()
-            };
-            if rng.gen_bool(cfg.mutation_p) {
-                space.mutate(&mut child, &mut rng);
-            }
-            if child.len() > cfg.max_patch_len {
-                let edits = child.edits()[child.len() - cfg.max_patch_len..].to_vec();
-                child = Patch::from_edits(edits);
-            }
-            next.push(Individual {
-                patch: child,
-                fitness: None,
-            });
-        }
-        population = next;
-    }
-
-    let speedup = baseline
-        / best_overall
-            .fitness
-            .expect("best individual is always valid");
-    GaResult {
-        best: best_overall,
-        speedup,
-        history,
-        evals: evaluator.evals_performed(),
-    }
-}
-
-/// Tournament selection over the valid individuals; falls back to a
-/// random (possibly invalid) individual when nothing is valid yet.
-fn tournament<'p, R: Rng>(
-    population: &'p [Individual],
-    ranked: &[usize],
-    k: usize,
-    rng: &mut R,
-) -> &'p Individual {
-    if ranked.is_empty() {
-        return population.choose(rng).expect("population non-empty");
-    }
-    let mut best: Option<usize> = None;
-    for _ in 0..k.max(1) {
-        let cand = *ranked.choose(rng).expect("ranked non-empty");
-        best = Some(match best {
-            None => cand,
-            Some(cur) => {
-                if population[cand].fitness < population[cur].fitness {
-                    cand
-                } else {
-                    cur
-                }
-            }
-        });
-    }
-    &population[best.expect("at least one round ran")]
+    run_islands_with_weights(workload, &IslandConfig::single(cfg.clone()), weights).into_ga_result()
 }
 
 #[cfg(test)]
@@ -406,6 +300,7 @@ mod tests {
         );
         assert!(res.best.fitness.unwrap() < res.history.baseline);
         assert_eq!(res.history.records.len(), 30);
+        assert!(res.history.migrations.is_empty(), "N=1 never migrates");
     }
 
     #[test]
@@ -468,5 +363,12 @@ mod tests {
         let res = run_ga(&toy, &cfg);
         assert!(res.best.fitness.is_some());
         assert!(res.speedup >= 1.0);
+    }
+
+    #[test]
+    fn generation_records_carry_island_zero() {
+        let toy = Toy::new();
+        let res = run_ga(&toy, &quick_cfg(2));
+        assert!(res.history.records.iter().all(|r| r.island == 0));
     }
 }

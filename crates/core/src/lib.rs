@@ -20,6 +20,9 @@
 //!   cycles over the test set; failing variants are invalid (§III-E).
 //! * [`run_ga`] — the generational loop with elitism, tournament
 //!   selection and full history recording (Figs. 6 and 8).
+//! * [`run_islands`] — the island-model engine: N independently-seeded
+//!   subpopulations with ring/random elite migration over a sharded
+//!   fitness cache; [`run_ga`] is its N=1 special case.
 //! * [`analysis`] — Algorithm 1 (weak-edit minimization), Algorithm 2
 //!   (independent/epistatic split), exhaustive subset analysis and the
 //!   Fig. 7 dependency graph.
@@ -75,6 +78,7 @@ pub mod analysis;
 pub mod edit;
 pub mod fitness;
 pub mod ga;
+pub mod island;
 pub mod mutation;
 
 pub use analysis::{
@@ -82,8 +86,11 @@ pub use analysis::{
     MinimizeReport, SplitReport, SubsetOutcome, SubsetTable, MAX_SUBSET_EDITS,
 };
 pub use edit::{Edit, Patch};
-pub use fitness::{EvalOutcome, Evaluator, Workload};
+pub use fitness::{EvalOutcome, Evaluator, Workload, CACHE_SHARDS};
 pub use ga::{
     run_ga, run_ga_with_weights, GaConfig, GaResult, GenerationRecord, History, Individual,
+};
+pub use island::{
+    run_islands, run_islands_with_weights, IslandConfig, IslandResult, MigrationEvent, Topology,
 };
 pub use mutation::{crossover_one_point, crossover_uniform, MutationSpace, MutationWeights};

@@ -8,6 +8,31 @@
 //!
 //! New edits always reference *pristine* instruction IDs so that every
 //! edit remains meaningful in any subset of its patch (DESIGN.md §3.3).
+//!
+//! ```
+//! use gevo_engine::{MutationSpace, MutationWeights, Patch};
+//! use gevo_ir::{AddrSpace, KernelBuilder, Operand, Special};
+//! use rand::SeedableRng;
+//!
+//! let mut b = KernelBuilder::new("k");
+//! let out = b.param_ptr("out", AddrSpace::Global);
+//! let tid = b.special_i32(Special::ThreadId);
+//! let x = b.add(tid.into(), Operand::ImmI32(1));
+//! let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+//! b.store_global_i32(addr.into(), x.into());
+//! b.ret();
+//! let kernels = vec![b.finish()];
+//!
+//! let space = MutationSpace::new(&kernels, MutationWeights::default());
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut genome = Patch::empty();
+//! for _ in 0..5 {
+//!     space.mutate(&mut genome, &mut rng);
+//! }
+//! assert_eq!(genome.len(), 5, "every mutation appends one edit");
+//! // Proposed edits always target this workload's kernel.
+//! assert!(genome.edits().iter().all(|e| e.kernel() == 0));
+//! ```
 
 use crate::edit::{Edit, Patch};
 use gevo_ir::{InstId, Kernel, Operand, Ty};

@@ -1,0 +1,84 @@
+//! Island-model quickstart: evolve ADEPT-V0 with four islands on a ring
+//! and compare against one panmictic population at the same total
+//! evaluation budget.
+//!
+//! ```text
+//! cargo run --release --example islands
+//! ```
+
+use gevo_repro::prelude::*;
+
+fn main() {
+    let workload = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+
+    let ga = GaConfig {
+        population: 32,
+        generations: 12,
+        threads: std::thread::available_parallelism().map_or(4, usize::from),
+        seed: 3,
+        ..GaConfig::scaled()
+    };
+
+    // The same budget, two shapes: one island of 32, or four of 8 with
+    // two elites hopping around the ring every three generations.
+    let single = run_islands(&workload, &IslandConfig::single(ga.clone()));
+    let mut cfg = IslandConfig::new(ga, 4);
+    cfg.migration_interval = 3;
+    let multi = run_islands(&workload, &cfg);
+
+    println!("workload        : {}", workload.name());
+    println!("baseline cycles : {:.0}", multi.history.baseline);
+    println!();
+    println!("                    1 island   4 islands");
+    println!(
+        "best speedup    : {:>8.2}x  {:>8.2}x",
+        single.speedup, multi.speedup
+    );
+    println!("evals (misses)  : {:>9}  {:>9}", single.evals, multi.evals);
+    println!(
+        "cache hits      : {:>9}  {:>9}",
+        single.cache_hits, multi.cache_hits
+    );
+    println!(
+        "migrations      : {:>9}  {:>9}",
+        single.history.migrations.len(),
+        multi.history.migrations.len()
+    );
+    println!();
+
+    println!("per-island bests (4-island run):");
+    for (i, h) in multi.islands.iter().enumerate() {
+        let best = h
+            .records
+            .iter()
+            .map(|r| r.best_speedup)
+            .fold(1.0f64, f64::max);
+        println!(
+            "  island {i}: {best:.2}x over {} generations",
+            h.records.len()
+        );
+    }
+    println!();
+
+    println!("migration log (first 8 events):");
+    for m in multi.history.migrations.iter().take(8) {
+        println!(
+            "  gen {:>2}: island {} -> island {}  ({:.0} cycles, {} edits)",
+            m.gen,
+            m.from,
+            m.to,
+            m.fitness,
+            m.patch.len()
+        );
+    }
+    println!();
+
+    println!("global trajectory (best across islands, owner in brackets):");
+    for rec in &multi.history.records {
+        let bar = "#".repeat((rec.best_speedup * 2.0) as usize);
+        println!(
+            "  gen {:>3} [i{}]: {:>6.2}x {bar}",
+            rec.gen, rec.island, rec.best_speedup
+        );
+    }
+}

@@ -22,8 +22,9 @@ pub use gevo_workloads as workloads;
 /// Convenience prelude for examples and tests.
 pub mod prelude {
     pub use gevo_engine::{
-        dependency_graph, minimize_weak_edits, run_ga, split_independent, subset_analysis, Edit,
-        EvalOutcome, Evaluator, GaConfig, GaResult, Patch, Workload,
+        dependency_graph, minimize_weak_edits, run_ga, run_islands, split_independent,
+        subset_analysis, Edit, EvalOutcome, Evaluator, GaConfig, GaResult, IslandConfig,
+        IslandResult, MigrationEvent, Patch, Topology, Workload,
     };
     pub use gevo_gpu::{Gpu, GpuSpec, LaunchConfig};
     pub use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};

@@ -170,3 +170,40 @@ fn full_stack_determinism() {
     assert_eq!(a.best.patch, b.best.patch);
     assert_eq!(a.speedup, b.speedup);
 }
+
+/// The island acceptance bar: at an equal total evaluation budget on
+/// ADEPT-V0 with a fixed seed, four islands with ring migration match
+/// or beat the single panmictic population (the whole stack is
+/// deterministic, so this is a stable regression test, not a flake).
+#[test]
+fn four_islands_match_or_beat_one_at_equal_budget() {
+    let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+    let ga = quick_cfg(2, 20, 8);
+    let single = run_islands(&w, &IslandConfig::single(ga.clone()));
+    let mut cfg = IslandConfig::new(ga, 4);
+    cfg.migration_interval = 3;
+    let multi = run_islands(&w, &cfg);
+    assert!(
+        multi.best.fitness.unwrap() <= single.best.fitness.unwrap(),
+        "4 islands ({:.0} cycles) should match or beat 1 island ({:.0} cycles)",
+        multi.best.fitness.unwrap(),
+        single.best.fitness.unwrap()
+    );
+    assert!(!multi.history.migrations.is_empty(), "migration happened");
+    assert_eq!(multi.islands.len(), 4);
+}
+
+/// Same seed + same island count reproduces the identical result —
+/// best fitness, full global history, per-island histories, evals.
+#[test]
+fn island_engine_full_stack_determinism() {
+    let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+    let cfg = IslandConfig::new(quick_cfg(11, 16, 5), 3);
+    let a = run_islands(&w, &cfg);
+    let b = run_islands(&w, &cfg);
+    assert_eq!(a.best.fitness, b.best.fitness);
+    assert_eq!(a.best.patch, b.best.patch);
+    assert_eq!(a.history, b.history);
+    assert_eq!(a.islands, b.islands);
+    assert_eq!(a.evals, b.evals);
+}

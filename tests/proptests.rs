@@ -90,3 +90,53 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Full (tiny) GA searches per case, so fewer cases; still pinned to a
+    // fixed stream for tier-1 reproducibility.
+    #![proptest_config(ProptestConfig::with_cases(6).with_rng_seed(0x0151_A4D5))]
+
+    /// The island engine holds its invariants across migration intervals
+    /// and island counts: one record per generation globally and per
+    /// island, a monotone global best, migrations only on the configured
+    /// cadence between real island pairs, and per-island logs that agree
+    /// with the global one.
+    #[test]
+    fn island_invariants_hold_across_migration_intervals(
+        seed in 0u64..1_000,
+        islands in 1usize..4,
+        interval in 1usize..5,
+    ) {
+        let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+        let ga = GaConfig {
+            population: 12,
+            generations: 4,
+            threads: 2,
+            seed,
+            ..GaConfig::scaled()
+        };
+        let mut cfg = IslandConfig::new(ga, islands);
+        cfg.migration_interval = interval;
+        let res = run_islands(&w, &cfg);
+
+        prop_assert_eq!(res.history.records.len(), 4);
+        prop_assert_eq!(res.islands.len(), islands);
+        let mut last = f64::INFINITY;
+        for r in &res.history.records {
+            prop_assert!(r.island < islands);
+            prop_assert!(r.best_fitness <= last);
+            last = r.best_fitness;
+        }
+        for (id, h) in res.islands.iter().enumerate() {
+            prop_assert_eq!(h.records.len(), 4);
+            prop_assert!(h.records.iter().all(|r| r.island == id));
+            prop_assert!(h.migrations.iter().all(|m| m.from == id || m.to == id));
+        }
+        for m in &res.history.migrations {
+            prop_assert!(islands > 1, "one island never migrates");
+            prop_assert!(m.from != m.to && m.from < islands && m.to < islands);
+            prop_assert_eq!((m.gen + 1) % interval, 0);
+        }
+        prop_assert!(res.speedup >= 1.0, "baseline is always in the population");
+    }
+}
