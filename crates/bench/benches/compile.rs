@@ -1,0 +1,130 @@
+//! Criterion comparison of the interpret-per-launch path against the
+//! compile-once pipeline (ISSUE 3's tentpole measurement).
+//!
+//! `source_launch/*` drives `Gpu::launch`, which pays verification, CFG
+//! construction and operand lowering on **every** call — exactly what
+//! the simulator did for its whole life before the `gevo_gpu::compile`
+//! layer. `compiled_launch/*` compiles once outside the timing loop and
+//! drives `Gpu::launch_compiled`. Both execute the identical interpreter
+//! and produce bit-identical `LaunchStats`; the delta is pure per-launch
+//! overhead, which is what a fitness evaluation amortizes across its
+//! launches (`SIMCoV` launches each kernel `steps × substeps` times per
+//! evaluation). `compile_only/*` measures the lowering itself.
+//!
+//! Measured numbers are recorded in EXPERIMENTS.md §"Compile-once
+//! pipeline".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gevo_gpu::{Buffer, Gpu, GpuSpec, KernelArg, LaunchConfig};
+use gevo_ir::Kernel;
+use gevo_workloads::simcov::{kernels as sck, SimcovParams};
+use std::hint::black_box;
+
+fn scaled_spec() -> GpuSpec {
+    let mut spec = GpuSpec::p100().scaled(8);
+    spec.device_mem_bytes = 1 << 20;
+    spec
+}
+
+/// ADEPT-V0 forward kernel with a tiny but valid single-pair batch.
+///
+/// Deliberately small (one short pair, one sweep): the quantity under
+/// test is the **per-launch overhead** the compile-once pipeline
+/// removes (verify + CFG + operand lowering), so the execution time it
+/// is amortized against is kept comparable. Full-scale evaluation
+/// throughput is reported by the `islands` harness in EXPERIMENTS.md.
+fn adept_v0_setup() -> (Gpu, Kernel, LaunchConfig, Vec<KernelArg>) {
+    let (kernel, _) = gevo_workloads::adept::v0::build_v0(8, 1);
+    let mut gpu = Gpu::new(scaled_spec());
+    let n: i32 = 6;
+    let m: i32 = 8;
+    let alloc_i32 = |gpu: &mut Gpu, v: &[i32]| -> Buffer {
+        let buf = gpu.mem_mut().alloc((v.len().max(1) * 4) as u64).unwrap();
+        gpu.mem_mut().write_i32s(buf, 0, v);
+        buf
+    };
+    #[allow(clippy::cast_sign_loss)]
+    let (seq_a, seq_b): (Vec<i32>, Vec<i32>) = (
+        (0..m).map(|i| i % 4).collect(),
+        (0..n).map(|i| (i + 1) % 4).collect(),
+    );
+    let seq_a = alloc_i32(&mut gpu, &seq_a);
+    let seq_b = alloc_i32(&mut gpu, &seq_b);
+    let offs = alloc_i32(&mut gpu, &[0]);
+    let lens_a = alloc_i32(&mut gpu, &[m]);
+    let lens_b = alloc_i32(&mut gpu, &[n]);
+    let out = gpu.mem_mut().alloc(16).unwrap();
+    let scratch = gpu.mem_mut().alloc(8 * 4).unwrap();
+    let args = vec![
+        seq_a.into(),
+        seq_b.into(),
+        offs.into(),
+        offs.into(),
+        lens_a.into(),
+        lens_b.into(),
+        out.into(),
+        scratch.into(),
+    ];
+    (gpu, kernel, LaunchConfig::new(1, 8), args)
+}
+
+/// One `SIMCoV` diffusion kernel (`chem_diffuse`, the §II-C1 hot spot)
+/// over a small grid — `SIMCoV` launches this kernel `steps × substeps`
+/// times per fitness evaluation, which is exactly the launch-heavy
+/// pattern the compiled path accelerates.
+fn simcov_cdiff_setup() -> (Gpu, Kernel, LaunchConfig, Vec<KernelArg>) {
+    let g = 8i32;
+    let p = SimcovParams::default();
+    let layout = sck::Layout::Checked;
+    let (kernel, _, _) = sck::build_chem_diffuse(g, &p, layout);
+    let mut gpu = Gpu::new(scaled_spec());
+    let flen = layout.field_len(g) as u64;
+    let chem = gpu.mem_mut().alloc(flen * 4).unwrap();
+    let next_chem = gpu.mem_mut().alloc(flen * 4).unwrap();
+    let epi = gpu
+        .mem_mut()
+        .alloc(u64::from(g.unsigned_abs().pow(2)) * 4)
+        .unwrap();
+    let scratch = gpu
+        .mem_mut()
+        .alloc(u64::from(g.unsigned_abs().pow(2)) * 4)
+        .unwrap();
+    let args = vec![chem.into(), next_chem.into(), epi.into(), scratch.into()];
+    #[allow(clippy::cast_sign_loss)]
+    let grid = ((g * g) as u32).div_ceil(64);
+    (gpu, kernel, LaunchConfig::new(grid, 64), args)
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_pipeline");
+    group.sample_size(20);
+
+    type Setup = fn() -> (Gpu, Kernel, LaunchConfig, Vec<KernelArg>);
+    for (name, setup) in [
+        ("adept_v0", adept_v0_setup as Setup),
+        ("simcov_cdiff", simcov_cdiff_setup as Setup),
+    ] {
+        let (mut gpu, kernel, cfg, args) = setup();
+        let compiled = gpu.compile(&kernel).expect("pristine kernel compiles");
+
+        group.bench_function(&format!("source_launch/{name}"), |b| {
+            b.iter(|| black_box(gpu.launch(&kernel, cfg, &args).expect("launch")));
+        });
+        group.bench_function(&format!("compiled_launch/{name}"), |b| {
+            b.iter(|| {
+                black_box(
+                    gpu.launch_compiled(&compiled, cfg, &args)
+                        .expect("compiled launch"),
+                )
+            });
+        });
+        group.bench_function(&format!("compile_only/{name}"), |b| {
+            b.iter(|| black_box(gpu.compile(&kernel).expect("compiles")));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

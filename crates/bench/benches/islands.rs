@@ -17,7 +17,10 @@ fn tiny_budget(seed: u64) -> GaConfig {
         population: 16,
         generations: 4,
         seed,
-        threads: std::thread::available_parallelism().map_or(4, usize::from),
+        // Serial evaluation: criterion wants a quiet machine, and the
+        // CPU-bound simulator gains nothing from oversubscription (see
+        // `gevo_bench::harness_threads`).
+        threads: 1,
         ..GaConfig::scaled()
     }
 }

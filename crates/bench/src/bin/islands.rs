@@ -8,6 +8,14 @@
 //!
 //! Budget via GEVO_POP / GEVO_GENS / GEVO_SEED; island count via
 //! `--islands N` / GEVO_ISLANDS (that count is compared against 1).
+//!
+//! `--json` switches the report to one JSON object per line (markdown
+//! tables suppressed), for `BENCH_*.json` trajectory capture:
+//!
+//! ```text
+//! {"workload":"ADEPT-V0 / P100","islands":4,"best_speedup":...,
+//!  "evals":...,"cache_hit_rate":...,"evals_per_sec":...,"migrations":...}
+//! ```
 
 use gevo_bench::{
     adept_on, env_usize, harness_ga, islands_knob, row, scaled_table1_specs, simcov_on,
@@ -31,38 +39,61 @@ fn measure(w: &dyn Workload, cfg: &IslandConfig) -> (IslandResult, f64, f64) {
 }
 
 #[allow(clippy::cast_precision_loss)]
-fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize) {
-    println!("## {name} (pop {pop}, {gens} gens, seed fixed)");
-    row(&[
-        "islands".into(),
-        "best speedup".into(),
-        "evals".into(),
-        "cache hit-rate".into(),
-        "evals/sec".into(),
-        "migrations".into(),
-    ]);
-    row(&[
-        "---".into(),
-        "---".into(),
-        "---".into(),
-        "---".into(),
-        "---".into(),
-        "---".into(),
-    ]);
+fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize, json: bool) {
+    if !json {
+        println!("## {name} (pop {pop}, {gens} gens, seed fixed)");
+        row(&[
+            "islands".into(),
+            "best speedup".into(),
+            "evals".into(),
+            "cache hit-rate".into(),
+            "evals/sec".into(),
+            "migrations".into(),
+        ]);
+        row(&[
+            "---".into(),
+            "---".into(),
+            "---".into(),
+            "---".into(),
+            "---".into(),
+            "---".into(),
+        ]);
+    }
     let mut best = Vec::new();
     for n in [1, islands] {
         let mut cfg = IslandConfig::new(harness_ga(pop, gens), n);
         cfg.migration_interval = env_usize("GEVO_MIGRATION", cfg.migration_interval);
         let (res, hit_rate, secs) = measure(w, &cfg);
-        row(&[
-            n.to_string(),
-            format!("{:.2}x", res.speedup),
-            res.evals.to_string(),
-            format!("{:.1}%", 100.0 * hit_rate),
-            format!("{:.0}", res.evals as f64 / secs),
-            res.history.migrations.len().to_string(),
-        ]);
+        if json {
+            // Hand-rolled JSON: the offline serde shim has no serializer,
+            // and every field here is a number or an escaped-free name.
+            println!(
+                "{{\"workload\":\"{name}\",\"islands\":{n},\"pop\":{pop},\"gens\":{gens},\
+                 \"best_speedup\":{:.6},\"best_fitness\":{:.1},\"evals\":{},\
+                 \"cache_hits\":{},\"cache_hit_rate\":{:.4},\"evals_per_sec\":{:.1},\
+                 \"migrations\":{},\"wall_secs\":{secs:.3}}}",
+                res.speedup,
+                res.best.fitness.expect("best is valid"),
+                res.evals,
+                res.cache_hits,
+                hit_rate,
+                res.evals as f64 / secs,
+                res.history.migrations.len(),
+            );
+        } else {
+            row(&[
+                n.to_string(),
+                format!("{:.2}x", res.speedup),
+                res.evals.to_string(),
+                format!("{:.1}%", 100.0 * hit_rate),
+                format!("{:.0}", res.evals as f64 / secs),
+                res.history.migrations.len().to_string(),
+            ]);
+        }
         best.push(res.best.fitness.expect("best is valid"));
+    }
+    if json {
+        return;
     }
     let [single, multi] = best[..] else {
         unreachable!("two configurations measured")
@@ -79,15 +110,18 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize)
 }
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let islands = match islands_knob() {
         1 => 4, // comparing 1 vs 1 says nothing; default the contrast to 4
         n => n,
     };
-    println!(
-        "Island engine: 1 vs {islands} islands at equal budget (GEVO_MIGRATION {})",
-        env_usize("GEVO_MIGRATION", 5)
-    );
-    println!();
+    if !json {
+        println!(
+            "Island engine: 1 vs {islands} islands at equal budget (GEVO_MIGRATION {})",
+            env_usize("GEVO_MIGRATION", 5)
+        );
+        println!();
+    }
     let p100 = &scaled_table1_specs()[0];
 
     let adept = adept_on(Version::V0, p100);
@@ -97,6 +131,7 @@ fn main() {
         islands,
         env_usize("GEVO_POP", 32),
         env_usize("GEVO_GENS", 14),
+        json,
     );
 
     let simcov = simcov_on(p100);
@@ -106,9 +141,12 @@ fn main() {
         islands,
         env_usize("GEVO_POP", 32),
         env_usize("GEVO_GENS", 20),
+        json,
     );
 
-    println!("Shape to check: equal budgets, so evals are comparable; islands");
-    println!("trade a panmictic population for parallel basins plus migration,");
-    println!("and the sharded cache keeps concurrent lookups from serializing.");
+    if !json {
+        println!("Shape to check: equal budgets, so evals are comparable; islands");
+        println!("trade a panmictic population for parallel basins plus migration,");
+        println!("and the sharded cache keeps concurrent lookups from serializing.");
+    }
 }

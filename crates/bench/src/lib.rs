@@ -13,6 +13,7 @@
 //! | `GEVO_SEED` | base RNG seed | 1 |
 //! | `GEVO_ISLANDS` | island count (also `--islands N` on the CLI) | 1 |
 //! | `GEVO_MIGRATION` | generations between migrations | 5 |
+//! | `GEVO_THREADS` | evaluation workers (clamped to host cores) | 1 |
 //!
 //! The GA-driven harnesses (fig4, fig5, fig6) route through
 //! [`run_search`]: with one island it is exactly the paper's
@@ -48,14 +49,30 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// The GA budget used by the figure harnesses, honoring env overrides.
+/// Worker threads for `Evaluator::evaluate_batch`: `GEVO_THREADS`,
+/// defaulting to **1** and clamped to the host's available parallelism.
+///
+/// The default used to be `available_parallelism()` itself, which made
+/// `evaluate_batch` spawn a worker per core even on single-core hosts —
+/// where the simulator's CPU-bound evaluations gain nothing from extra
+/// threads and pay scheduling overhead plus lock traffic for the
+/// privilege. Parallel evaluation is now opt-in (`GEVO_THREADS=N`), and
+/// asking for more workers than the host has cores is clamped down.
+#[must_use]
+pub fn harness_threads() -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+    env_usize("GEVO_THREADS", 1).clamp(1, avail)
+}
+
+/// The GA budget used by the figure harnesses, honoring env overrides
+/// (`GEVO_POP`, `GEVO_GENS`, `GEVO_SEED`, `GEVO_THREADS`).
 #[must_use]
 pub fn harness_ga(pop: usize, gens: usize) -> GaConfig {
     GaConfig {
         population: env_usize("GEVO_POP", pop),
         generations: env_usize("GEVO_GENS", gens),
         seed: env_u64("GEVO_SEED", 1),
-        threads: std::thread::available_parallelism().map_or(4, usize::from),
+        threads: harness_threads(),
         ..GaConfig::scaled()
     }
 }
@@ -187,6 +204,18 @@ mod tests {
         let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, vec!["P100", "1080Ti", "V100"]);
         assert!(specs.iter().all(|s| s.warp_size == 8));
+    }
+
+    #[test]
+    fn thread_knob_defaults_to_one_and_clamps() {
+        std::env::remove_var("GEVO_THREADS");
+        assert_eq!(harness_threads(), 1, "parallel evaluation is opt-in");
+        let avail = std::thread::available_parallelism().map_or(1, usize::from);
+        std::env::set_var("GEVO_THREADS", "4096");
+        assert_eq!(harness_threads(), avail, "clamped to host cores");
+        std::env::set_var("GEVO_THREADS", "0");
+        assert_eq!(harness_threads(), 1, "floors at one worker");
+        std::env::remove_var("GEVO_THREADS");
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Differential property test for the compile-once pipeline: on randomly
+//! generated kernels, [`Gpu::launch`] (verify + compile + run per call)
+//! and [`Gpu::launch_compiled`] (compile once, run many) must produce
+//! identical [`LaunchStats`] and identical final device memory, on every
+//! spec of the paper's Table I — the guarantee that lets the evaluation
+//! stack switch to compiled launches without perturbing a single GA
+//! trajectory.
+
+use gevo_bench::scaled_table1_specs;
+use gevo_gpu::{Gpu, KernelArg, LaunchConfig, LaunchStats};
+use gevo_ir::{rng, IntBinOp, Kernel, KernelBuilder, Operand, Special};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random kernel generator driven by
+/// [`gevo_ir::rng::mix64`]: straight-line integer arithmetic over a
+/// growing register pool, warp intrinsics (shuffle + ballot), shared
+/// scratch traffic, a barrier, and a data-dependent diamond, closed by a
+/// per-thread global store. Everything the interpreter dispatches on,
+/// in one kernel family.
+fn random_kernel(seed: u64, n_ops: u64) -> Kernel {
+    let mut ctr = 0u64;
+    let mut draw = |bound: u64| -> u64 {
+        ctr += 1;
+        rng::mix64(seed, ctr) % bound.max(1)
+    };
+
+    let mut b = KernelBuilder::new("rand");
+    b.shared_bytes(64 * 4);
+    let out = b.param_ptr("out", gevo_ir::AddrSpace::Global);
+    let tid = b.special_i32(Special::ThreadId);
+    let lane = b.special_i32(Special::LaneId);
+
+    // Register pool the generator samples operands from.
+    let mut pool = vec![tid, lane];
+    const OPS: [IntBinOp; 10] = [
+        IntBinOp::Add,
+        IntBinOp::Sub,
+        IntBinOp::Mul,
+        IntBinOp::Min,
+        IntBinOp::Max,
+        IntBinOp::And,
+        IntBinOp::Or,
+        IntBinOp::Xor,
+        IntBinOp::Div,
+        IntBinOp::Rem,
+    ];
+    for _ in 0..n_ops {
+        let op = OPS[draw(OPS.len() as u64) as usize];
+        let a = pool[draw(pool.len() as u64) as usize];
+        let rhs: Operand = if draw(3) == 0 {
+            #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+            Operand::ImmI32(draw(17) as i32 - 8)
+        } else {
+            pool[draw(pool.len() as u64) as usize].into()
+        };
+        let r = b.ibin(op, a.into(), rhs);
+        pool.push(r);
+    }
+    let acc = pool[pool.len() - 1];
+
+    // Shared scratch: publish, barrier, read a neighbour's slot.
+    let my_slot = b.index_addr(Operand::ImmI64(0), tid.into(), 4);
+    b.store_shared_i32(my_slot.into(), acc.into());
+    b.sync_threads();
+    let nb = b.ibin(IntBinOp::Xor, tid.into(), Operand::ImmI32(1));
+    let nb_clamped = b.min(nb.into(), Operand::ImmI32(63));
+    let nb_slot = b.index_addr(Operand::ImmI64(0), nb_clamped.into(), 4);
+    let nb_val = b.load_shared_i32(nb_slot.into());
+
+    // Warp intrinsics.
+    let sel = b.and(lane.into(), Operand::ImmI32(3));
+    let shuffled = b.shfl(acc.into(), sel.into());
+    let odd = b.and(tid.into(), Operand::ImmI32(1));
+    let is_odd = b.icmp_eq(odd.into(), Operand::ImmI32(1));
+    let votes = b.ballot(is_odd.into());
+
+    // Data-dependent diamond (divergent for mixed predicates).
+    #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+    let pivot = Operand::ImmI32(draw(8) as i32);
+    let cond = b.icmp_lt(acc.into(), pivot);
+    let then_b = b.new_block("then");
+    let else_b = b.new_block("else");
+    let join_b = b.new_block("join");
+    let result = b.fresh_reg(gevo_ir::Ty::I32);
+    b.cond_br(cond.into(), then_b, else_b);
+    b.switch_to(then_b);
+    let t = b.add(nb_val.into(), shuffled.into());
+    b.mov_to(result, t.into());
+    b.br(join_b);
+    b.switch_to(else_b);
+    let e = b.sub(votes.into(), nb_val.into());
+    b.mov_to(result, e.into());
+    b.br(join_b);
+    b.switch_to(join_b);
+    let gtid = b.global_thread_id();
+    let addr = b.index_addr(Operand::Param(out), gtid.into(), 4);
+    b.store_global_i32(addr.into(), result.into());
+    b.ret();
+    b.finish()
+}
+
+/// One launch of `kernel` on a fresh device via `Gpu::launch`, plus the
+/// second (warm-L2) launch — the compiled path must match both.
+fn run_source(
+    spec: &gevo_gpu::GpuSpec,
+    kernel: &Kernel,
+    cfg: LaunchConfig,
+    threads: u32,
+) -> (Vec<LaunchStats>, Vec<i32>) {
+    let mut gpu = Gpu::new(spec.clone());
+    let out = gpu.mem_mut().alloc(u64::from(threads) * 4).expect("alloc");
+    let args = [KernelArg::from(out)];
+    let s1 = gpu.launch(kernel, cfg, &args).expect("source launch");
+    let s2 = gpu.launch(kernel, cfg, &args).expect("source relaunch");
+    (vec![s1, s2], gpu.mem().read_i32s(out, 0, threads as usize))
+}
+
+fn run_compiled(
+    spec: &gevo_gpu::GpuSpec,
+    kernel: &Kernel,
+    cfg: LaunchConfig,
+    threads: u32,
+) -> (Vec<LaunchStats>, Vec<i32>) {
+    let mut gpu = Gpu::new(spec.clone());
+    let compiled = gpu.compile(kernel).expect("compiles");
+    let out = gpu.mem_mut().alloc(u64::from(threads) * 4).expect("alloc");
+    let args = [KernelArg::from(out)];
+    let s1 = gpu
+        .launch_compiled(&compiled, cfg, &args)
+        .expect("compiled launch");
+    let s2 = gpu
+        .launch_compiled(&compiled, cfg, &args)
+        .expect("compiled relaunch");
+    (vec![s1, s2], gpu.mem().read_i32s(out, 0, threads as usize))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24).with_rng_seed(0xC0DE_CAFE))]
+
+    /// `launch` and `launch_compiled` are indistinguishable: identical
+    /// stats (cold and warm L2) and identical final device memory, for
+    /// random kernels on all three Table-I specs.
+    #[test]
+    fn launch_and_launch_compiled_are_bit_identical(
+        seed in 0u64..u64::MAX,
+        n_ops in 0u64..32,
+        grid in 1u32..3,
+        block in 1u32..17,
+    ) {
+        let kernel = random_kernel(seed, n_ops);
+        prop_assert!(gevo_ir::verify::verify(&kernel).is_ok());
+        let cfg = LaunchConfig::new(grid, block);
+        let threads = grid * block;
+        for spec in scaled_table1_specs() {
+            let (src_stats, src_mem) = run_source(&spec, &kernel, cfg, threads);
+            let (ck_stats, ck_mem) = run_compiled(&spec, &kernel, cfg, threads);
+            prop_assert!(src_stats == ck_stats, "stats diverge on {}", spec.name);
+            prop_assert!(src_mem == ck_mem, "memory diverges on {}", spec.name);
+        }
+    }
+
+    /// The scheduler-seed permutation path is also identical.
+    #[test]
+    fn compiled_path_matches_under_permuted_schedulers(
+        seed in 0u64..u64::MAX,
+        sched in 1u64..1000,
+    ) {
+        let kernel = random_kernel(seed, 12);
+        let cfg = LaunchConfig::new(2, 16).with_seed(sched);
+        let spec = &scaled_table1_specs()[0];
+        let (src_stats, src_mem) = run_source(spec, &kernel, cfg, 32);
+        let (ck_stats, ck_mem) = run_compiled(spec, &kernel, cfg, 32);
+        prop_assert_eq!(src_stats, ck_stats);
+        prop_assert_eq!(src_mem, ck_mem);
+    }
+}

@@ -13,6 +13,13 @@
 //! concurrently; sharding keeps those lookups from serializing on one
 //! mutex.
 //!
+//! A second sharded cache holds each patch's **compiled kernels**
+//! (`gevo_gpu::CompiledKernel`, produced by [`Workload::compile`]):
+//! verification, CFG analysis and operand lowering run once per distinct
+//! patch, however many islands share the champion or how often the seed
+//! is rotated — compilation is seed-independent, so this cache survives
+//! [`Evaluator::set_eval_seed`] while the outcome cache is cleared.
+//!
 //! ```
 //! use gevo_engine::{Evaluator, EvalOutcome, Patch, Workload};
 //! use gevo_gpu::LaunchStats;
@@ -46,11 +53,11 @@
 //! ```
 
 use crate::edit::Patch;
-use gevo_gpu::LaunchStats;
+use gevo_gpu::{CompiledKernel, LaunchStats};
 use gevo_ir::Kernel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// The outcome of evaluating one program variant on the full test set.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +116,28 @@ pub trait Workload: Sync {
     /// perturbs scheduler interleaving for stochastic workloads
     /// (paper §II-C2); deterministic workloads may ignore it.
     fn evaluate(&self, kernels: &[Kernel], eval_seed: u64) -> EvalOutcome;
+
+    /// Lowers variant kernels into their compiled form for repeated
+    /// launching (verification, CFG analysis and operand resolution paid
+    /// once — see `gevo_gpu::compile`).
+    ///
+    /// Returning `None` (the default) means this workload has no
+    /// compiled path and [`Workload::evaluate`] is used directly; tests
+    /// and synthetic workloads that never touch the simulator keep the
+    /// default. `Some(Err(_))` is a rejected variant (e.g. failed
+    /// verification) and is scored as invalid without execution.
+    fn compile(&self, kernels: &[Kernel]) -> Option<Result<Vec<CompiledKernel>, String>> {
+        let _ = kernels;
+        None
+    }
+
+    /// Scores a variant from its compiled form. Only called with the
+    /// output of this workload's [`Workload::compile`]; the default is
+    /// unreachable for workloads whose `compile` returns `None`.
+    fn evaluate_compiled(&self, compiled: &[CompiledKernel], eval_seed: u64) -> EvalOutcome {
+        let _ = (compiled, eval_seed);
+        EvalOutcome::fail("workload has no compiled-launch path")
+    }
 }
 
 /// Number of cache shards. A fixed power of two so shard selection is a
@@ -116,6 +145,17 @@ pub trait Workload: Sync {
 /// worker pools the engine spawns (islands × batch threads) on the
 /// machines this runs on.
 pub const CACHE_SHARDS: usize = 16;
+
+/// Per-shard capacity bound of the compiled-kernel cache
+/// (`CACHE_SHARDS × this` entries total). Unlike the outcome cache
+/// (small entries, cleared on every reseed), compiled entries are
+/// multi-kilobyte and intentionally survive [`Evaluator::set_eval_seed`],
+/// so an unbounded version would grow resident memory for the lifetime
+/// of a long search. Once a shard is full, further variants still
+/// evaluate correctly — they just aren't retained. 256 × 16 = 4096
+/// variants comfortably covers the population × elitism working set
+/// that actually recurs across reseeds.
+pub const COMPILED_CACHE_PER_SHARD: usize = 256;
 
 /// Memoizing evaluator: maps patches to outcomes through a workload,
 /// caching by patch content hash. The analysis algorithms (§V) re-evaluate
@@ -136,8 +176,15 @@ pub const CACHE_SHARDS: usize = 16;
 pub struct Evaluator<'w> {
     workload: &'w dyn Workload,
     shards: Vec<Mutex<HashMap<u64, EvalOutcome>>>,
+    /// Compiled kernels per patch, sharded like the outcome cache.
+    /// Compilation is seed-independent, so — unlike outcomes — these
+    /// survive [`Evaluator::set_eval_seed`]: a reseeded re-evaluation of
+    /// a known patch skips verify/CFG/lowering entirely.
+    compiled_shards: Vec<Mutex<HashMap<u64, Arc<Vec<CompiledKernel>>>>>,
     evals: AtomicUsize,
     cache_hits: AtomicUsize,
+    compiles: AtomicUsize,
+    compiled_hits: AtomicUsize,
     eval_seed: RwLock<u64>,
 }
 
@@ -150,8 +197,13 @@ impl<'w> Evaluator<'w> {
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            compiled_shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             evals: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
+            compiles: AtomicUsize::new(0),
+            compiled_hits: AtomicUsize::new(0),
             eval_seed: RwLock::new(0),
         }
     }
@@ -168,8 +220,43 @@ impl<'w> Evaluator<'w> {
         &self.shards[(key as usize) & (CACHE_SHARDS - 1)]
     }
 
+    /// The compiled-kernel shard holding a given patch hash.
+    #[allow(clippy::cast_possible_truncation)]
+    fn compiled_shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<Vec<CompiledKernel>>>> {
+        &self.compiled_shards[(key as usize) & (CACHE_SHARDS - 1)]
+    }
+
+    /// Cached compiled kernels for a patch hash, if present.
+    fn compiled_hit(&self, key: u64) -> Option<Arc<Vec<CompiledKernel>>> {
+        let hit = self
+            .compiled_shard(key)
+            .lock()
+            .expect("compiled shard")
+            .get(&key)
+            .map(Arc::clone)?;
+        self.compiled_hits.fetch_add(1, Ordering::Relaxed);
+        Some(hit)
+    }
+
+    /// Records a freshly compiled variant, respecting the per-shard
+    /// bound: once a shard is full, new entries are evaluated but not
+    /// retained (outcomes are unaffected — the cache is a pure
+    /// memoization of seed-independent work).
+    fn compiled_insert(&self, key: u64, compiled: &Arc<Vec<CompiledKernel>>) {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.compiled_shard(key).lock().expect("compiled shard");
+        if shard.len() < COMPILED_CACHE_PER_SHARD {
+            shard.insert(key, Arc::clone(compiled));
+        }
+    }
+
     /// Sets the scheduler seed used for subsequent evaluations and clears
-    /// the cache (outcomes may differ under the new seed).
+    /// the **outcome** cache (outcomes may differ under the new seed).
+    ///
+    /// The compiled-kernel cache is deliberately *not* cleared:
+    /// compilation is a pure function of the patch, independent of the
+    /// evaluation seed, so re-scoring known patches under the new seed
+    /// reuses their lowered form and pays only the execution cost.
     ///
     /// The reseed and the clear happen under the seed's write lock, which
     /// excludes every concurrent [`Evaluator::evaluate`] (they hold the
@@ -194,8 +281,25 @@ impl<'w> Evaluator<'w> {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
-        let (kernels, _) = patch.apply(self.workload.kernels());
-        let outcome = self.workload.evaluate(&kernels, *seed);
+        // Compile once per patch (cached across reseeds), then score the
+        // compiled form; workloads without a compiled path fall back to
+        // interpreting the applied kernels directly. The patch is
+        // applied at most once per call, and not at all on a
+        // compiled-cache hit.
+        let outcome = if let Some(compiled) = self.compiled_hit(key) {
+            self.workload.evaluate_compiled(&compiled, *seed)
+        } else {
+            let (kernels, _) = patch.apply(self.workload.kernels());
+            match self.workload.compile(&kernels) {
+                Some(Ok(compiled)) => {
+                    let compiled = Arc::new(compiled);
+                    self.compiled_insert(key, &compiled);
+                    self.workload.evaluate_compiled(&compiled, *seed)
+                }
+                Some(Err(reason)) => EvalOutcome::fail(reason),
+                None => self.workload.evaluate(&kernels, *seed),
+            }
+        };
         self.evals.fetch_add(1, Ordering::Relaxed);
         self.shard(key)
             .lock()
@@ -236,6 +340,29 @@ impl<'w> Evaluator<'w> {
     #[must_use]
     pub fn cache_hits(&self) -> usize {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Kernel compilations actually performed (compiled-cache misses on
+    /// workloads with a compiled path).
+    #[must_use]
+    pub fn compiles_performed(&self) -> usize {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Compiled-kernel cache hits served (an evaluation reused a
+    /// previously lowered variant — e.g. after a reseed).
+    #[must_use]
+    pub fn compiled_cache_hits(&self) -> usize {
+        self.compiled_hits.load(Ordering::Relaxed)
+    }
+
+    /// Compiled variants currently cached, summed over every shard.
+    #[must_use]
+    pub fn compiled_cache_len(&self) -> usize {
+        self.compiled_shards
+            .iter()
+            .map(|s| s.lock().expect("compiled shard").len())
+            .sum()
     }
 
     /// Cache hit rate over all lookups so far (0 when nothing looked up).
@@ -369,6 +496,58 @@ mod tests {
         }
     }
 
+    /// A workload with a real compiled path: counts instructions from the
+    /// lowered form and tracks how often `compile` actually runs.
+    struct CompilingStub {
+        kernels: Vec<Kernel>,
+        spec: gevo_gpu::GpuSpec,
+        compiles: AtomicUsize,
+    }
+
+    impl CompilingStub {
+        fn new() -> CompilingStub {
+            CompilingStub {
+                kernels: Stub::new().kernels,
+                spec: gevo_gpu::GpuSpec::p100().scaled(8),
+                compiles: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Workload for CompilingStub {
+        fn name(&self) -> &'static str {
+            "compiling-stub"
+        }
+        fn kernels(&self) -> &[Kernel] {
+            &self.kernels
+        }
+        fn evaluate(&self, kernels: &[Kernel], seed: u64) -> EvalOutcome {
+            match self.compile(kernels).expect("has a compiled path") {
+                Ok(compiled) => self.evaluate_compiled(&compiled, seed),
+                Err(reason) => EvalOutcome::fail(reason),
+            }
+        }
+        fn compile(&self, kernels: &[Kernel]) -> Option<Result<Vec<CompiledKernel>, String>> {
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            Some(
+                kernels
+                    .iter()
+                    .map(|k| {
+                        CompiledKernel::compile(k, &self.spec).map_err(|e| format!("verify: {e}"))
+                    })
+                    .collect(),
+            )
+        }
+        #[allow(clippy::cast_precision_loss)]
+        fn evaluate_compiled(&self, compiled: &[CompiledKernel], seed: u64) -> EvalOutcome {
+            let insts: usize = compiled.iter().map(CompiledKernel::inst_count).sum();
+            EvalOutcome::pass(
+                1000.0 * (1.0 + seed as f64) + insts as f64,
+                LaunchStats::default(),
+            )
+        }
+    }
+
     /// A workload whose fitness encodes the evaluation seed, to observe
     /// which seed an outcome was computed under.
     struct SeedEcho {
@@ -476,6 +655,74 @@ mod tests {
         let parallel = Evaluator::new(&w);
         let got = parallel.evaluate_batch(&patches, 4);
         assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn compiled_cache_survives_reseed() {
+        let w = CompilingStub::new();
+        let ev = Evaluator::new(&w);
+        let ids = w.kernels[0].inst_ids();
+        let patches = [
+            Patch::empty(),
+            Patch::from_edits(vec![Edit::Delete {
+                kernel: 0,
+                target: ids[1],
+            }]),
+        ];
+        let first: Vec<EvalOutcome> = patches.iter().map(|p| ev.evaluate(p)).collect();
+        assert_eq!(ev.compiles_performed(), 2);
+        assert_eq!(ev.compiled_cache_len(), 2);
+        assert_eq!(ev.compiled_cache_hits(), 0);
+        assert_eq!(w.compiles.load(Ordering::Relaxed), 2);
+
+        // Same patches under a new seed: outcomes are recomputed (the
+        // outcome cache was cleared and the fitness encodes the seed),
+        // but no kernel is verified or lowered a second time.
+        ev.set_eval_seed(5);
+        let second: Vec<EvalOutcome> = patches.iter().map(|p| ev.evaluate(p)).collect();
+        assert_eq!(ev.evals_performed(), 4, "re-evaluated under new seed");
+        assert_eq!(
+            w.compiles.load(Ordering::Relaxed),
+            2,
+            "compiled once per patch"
+        );
+        assert_eq!(ev.compiled_cache_hits(), 2);
+        for (a, b) in first.iter().zip(&second) {
+            assert_ne!(a.fitness, b.fitness, "fitness tracks the new seed");
+        }
+    }
+
+    #[test]
+    fn compile_failure_is_an_invalid_outcome() {
+        // Deleting the store leaves a verifying kernel, so break it
+        // structurally instead: clear an operand list post-application.
+        struct Broken(CompilingStub);
+        impl Workload for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn kernels(&self) -> &[Kernel] {
+                self.0.kernels()
+            }
+            fn evaluate(&self, kernels: &[Kernel], seed: u64) -> EvalOutcome {
+                self.0.evaluate(kernels, seed)
+            }
+            fn compile(&self, kernels: &[Kernel]) -> Option<Result<Vec<CompiledKernel>, String>> {
+                let mut ks = kernels.to_vec();
+                ks[0].blocks[0].instrs[0].args.clear();
+                self.0.compile(&ks)
+            }
+        }
+        let w = Broken(CompilingStub::new());
+        let ev = Evaluator::new(&w);
+        let out = ev.evaluate(&Patch::empty());
+        assert!(!out.is_valid());
+        assert!(out.failure.unwrap().starts_with("verify:"));
+        assert_eq!(
+            ev.compiled_cache_len(),
+            0,
+            "failures are not cached as compiled"
+        );
     }
 
     #[test]

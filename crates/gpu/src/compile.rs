@@ -1,0 +1,395 @@
+//! Compile-once lowering of [`Kernel`]s into an executable form.
+//!
+//! A GEVO-style search launches the *same* kernel variant many times —
+//! once per fitness evaluation at minimum, and `SIMCoV` launches each of
+//! its eight kernels over a hundred times per evaluation. Before this
+//! module existed, every [`crate::Gpu::launch`] re-verified the kernel,
+//! rebuilt its CFG and re-resolved every operand through an enum match;
+//! all of that work is invariant across launches.
+//!
+//! [`CompiledKernel::compile`] runs verification and [`Cfg::build`]
+//! exactly once and lowers the kernel into a dense, block-ordered
+//! instruction stream:
+//!
+//! * operands become pre-resolved slots — register operands are pre-multiplied
+//!   into direct indices into the per-warp register file, immediates are
+//!   pre-converted to runtime [`Value`]s (no `F32Bits` decode on the hot
+//!   path);
+//! * branch targets and each block's reconvergence point (immediate
+//!   post-dominator) are baked into flat arrays;
+//! * the static issue cost of every scalar instruction is resolved
+//!   against the [`GpuSpec`]'s cost table at compile time;
+//! * the per-warp register-file image (one typed sentinel per register ×
+//!   lane) is prebuilt so warp initialization is a `clone`.
+//!
+//! A `CompiledKernel` is tied to the spec it was compiled for (the warp
+//! width shapes the register file, the cost table is baked in);
+//! [`crate::Gpu::launch_compiled`] rejects a mismatched device. Execution
+//! semantics are bit-identical to compiling at launch time —
+//! [`crate::Gpu::launch`] is now a thin verify-compile-run wrapper over
+//! the same interpreter.
+
+use crate::spec::GpuSpec;
+use crate::value::Value;
+use gevo_ir::verify::{verify, VerifyError};
+use gevo_ir::{Cfg, Kernel, Op, Operand, Param, Reg};
+
+/// Sentinel block index meaning "reconverges at thread exit".
+pub(crate) const EXIT: u32 = u32::MAX;
+
+/// A pre-resolved operand: everything the interpreter needs to read a
+/// value without touching the source kernel.
+///
+/// Immediates are split per type rather than stored as one [`Value`]
+/// payload: nesting `Value` here lets rustc niche-pack the enum
+/// (folding this discriminant into `Value`'s tag ranges), and the
+/// resulting multi-compare decode on every operand read measurably
+/// slows the interpreter. The flat shape keeps a plain one-byte tag —
+/// the same dispatch cost as the IR's `Operand` — while still baking
+/// in the pre-multiplied register base and the decoded `f32`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Slot {
+    /// Register-file base index, pre-multiplied (`reg × lanes`); add the
+    /// lane to address one thread's copy.
+    Reg(u32),
+    /// `i32` immediate.
+    ImmI32(i32),
+    /// `i64` immediate.
+    ImmI64(i64),
+    /// `f32` immediate, already decoded from its `F32Bits`.
+    ImmF32(f32),
+    /// `b1` immediate.
+    ImmBool(bool),
+    /// Hardware special register (lane-dependent, resolved at execution).
+    Special(gevo_ir::Special),
+    /// Kernel parameter index (resolved against the launch's arguments).
+    Param(u16),
+}
+
+/// Sentinel for [`CInst::dst`]: the instruction has no destination.
+pub(crate) const NO_DST: u32 = u32::MAX;
+
+/// One lowered instruction in the flattened stream.
+///
+/// `repr(C)` with this exact field order packs the struct to 64 bytes —
+/// one cache line per instruction (the interpreter's fetch granularity)
+/// instead of the 72 bytes rustc's default ordering produces with an
+/// `Option<u32>` destination. `dst` uses [`NO_DST`] instead of `Option`
+/// to make that possible; register-file bases never reach `u32::MAX`
+/// (the file is `regs × lanes` values long and allocation would fail
+/// far earlier).
+#[derive(Debug, Clone)]
+#[repr(C)]
+pub(crate) struct CInst {
+    /// The operation (shared with the IR; `Copy` and match-dispatched).
+    pub op: Op,
+    /// Destination register-file base index, pre-multiplied;
+    /// [`NO_DST`] when the op writes no register.
+    pub dst: u32,
+    /// Pre-resolved operands; only the first `op.arity()` are meaningful.
+    pub args: [Slot; 3],
+    /// Static issue cost of a scalar op, baked from the spec's cost
+    /// table (ignored by ops whose cost is runtime-dependent).
+    pub cost: u64,
+}
+
+/// A lowered block terminator.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CTerm {
+    /// Unconditional jump.
+    Br(u32),
+    /// Two-way conditional jump with a pre-resolved condition.
+    CondBr {
+        /// Branch predicate slot.
+        cond: Slot,
+        /// Successor when true.
+        if_true: u32,
+        /// Successor when false.
+        if_false: u32,
+    },
+    /// Thread exit.
+    Ret,
+}
+
+/// A kernel lowered for repeated launching: verification and CFG
+/// analysis already done, operands and costs pre-resolved.
+///
+/// Compile once with [`CompiledKernel::compile`], launch many times with
+/// [`crate::Gpu::launch_compiled`]. See the module docs for what is
+/// precomputed.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Kernel name (diagnostics only).
+    pub(crate) name: String,
+    /// Formal parameters, kept for launch-time argument validation.
+    pub(crate) params: Vec<Param>,
+    /// Static shared-memory declaration.
+    pub(crate) shared_bytes: u32,
+    /// Warp width this kernel was compiled for (register-file stride).
+    pub(crate) lanes: u32,
+    /// Fingerprint of the cost table baked into [`CInst::cost`], checked
+    /// against the launching device.
+    pub(crate) costs: crate::spec::CostModel,
+    /// Dense block-ordered instruction stream.
+    pub(crate) code: Vec<CInst>,
+    /// Per-block half-open bounds into `code`; length `blocks + 1`.
+    pub(crate) block_bounds: Vec<u32>,
+    /// Per-block lowered terminator.
+    pub(crate) terms: Vec<CTerm>,
+    /// Per-block reconvergence target (immediate post-dominator), with
+    /// [`EXIT`] for blocks that reconverge only at thread exit.
+    pub(crate) reconv: Vec<u32>,
+    /// Prebuilt per-warp register-file image: `regs × lanes` typed
+    /// sentinels, reg-major.
+    pub(crate) reg_file: Vec<Value>,
+}
+
+impl CompiledKernel {
+    /// Verifies `kernel` and lowers it for execution on devices matching
+    /// `spec` (same warp width and cost table).
+    ///
+    /// # Errors
+    /// Returns the structural defect if the kernel fails verification —
+    /// the same check [`crate::Gpu::launch`] has always applied.
+    pub fn compile(kernel: &Kernel, spec: &GpuSpec) -> Result<CompiledKernel, VerifyError> {
+        verify(kernel)?;
+        let cfg = Cfg::build(kernel);
+        let lanes = spec.warp_size;
+
+        let mut code = Vec::with_capacity(kernel.inst_count());
+        let mut block_bounds = Vec::with_capacity(kernel.blocks.len() + 1);
+        let mut terms = Vec::with_capacity(kernel.blocks.len());
+        block_bounds.push(0u32);
+        for block in &kernel.blocks {
+            for inst in &block.instrs {
+                let mut args = [Slot::ImmI32(0); 3];
+                for (i, a) in inst.args.iter().enumerate() {
+                    args[i] = lower_operand(a, lanes);
+                }
+                code.push(CInst {
+                    op: inst.op,
+                    dst: inst.dst.map_or(NO_DST, |r| reg_base(r, lanes)),
+                    args,
+                    cost: scalar_cost(inst.op, spec),
+                });
+            }
+            block_bounds.push(u32::try_from(code.len()).expect("code stream fits u32"));
+            terms.push(match block.term.kind {
+                gevo_ir::TermKind::Br(t) => CTerm::Br(t.0),
+                gevo_ir::TermKind::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                } => CTerm::CondBr {
+                    cond: lower_operand(&cond, lanes),
+                    if_true: if_true.0,
+                    if_false: if_false.0,
+                },
+                gevo_ir::TermKind::Ret => CTerm::Ret,
+            });
+        }
+
+        let reconv = (0..kernel.blocks.len())
+            .map(|b| {
+                cfg.reconvergence(gevo_ir::BlockId(u32::try_from(b).expect("block idx")))
+                    .map_or(EXIT, |r| r.0)
+            })
+            .collect();
+
+        let mut reg_file = Vec::with_capacity(kernel.reg_count() * lanes as usize);
+        for r in 0..kernel.reg_count() {
+            let sentinel = Value::sentinel(kernel.reg_ty(Reg(u32::try_from(r).expect("reg idx"))));
+            for _ in 0..lanes {
+                reg_file.push(sentinel);
+            }
+        }
+
+        Ok(CompiledKernel {
+            name: kernel.name.clone(),
+            params: kernel.params.clone(),
+            shared_bytes: kernel.shared_bytes,
+            lanes,
+            costs: spec.costs.clone(),
+            code,
+            block_bounds,
+            terms,
+            reconv,
+            reg_file,
+        })
+    }
+
+    /// The kernel's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Formal parameters (launch arguments are validated against these).
+    #[must_use]
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Declared shared-memory bytes per block.
+    #[must_use]
+    pub fn shared_bytes(&self) -> u32 {
+        self.shared_bytes
+    }
+
+    /// Warp width this kernel was compiled for.
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Number of body instructions in the flattened stream.
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Number of basic blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when this kernel can execute on a device with the given spec:
+    /// the warp width matches the register-file stride and the baked
+    /// costs match the device's table.
+    #[must_use]
+    pub fn matches_spec(&self, spec: &GpuSpec) -> bool {
+        self.lanes == spec.warp_size && self.costs == spec.costs
+    }
+}
+
+/// Register-file base index for a register at a given warp width.
+fn reg_base(r: Reg, lanes: u32) -> u32 {
+    u32::try_from(u64::from(r.0) * u64::from(lanes)).expect("register file fits u32")
+}
+
+/// Lowers one IR operand to its pre-resolved slot.
+fn lower_operand(op: &Operand, lanes: u32) -> Slot {
+    match op {
+        Operand::Reg(r) => Slot::Reg(reg_base(*r, lanes)),
+        Operand::ImmI32(v) => Slot::ImmI32(*v),
+        Operand::ImmI64(v) => Slot::ImmI64(*v),
+        Operand::ImmF32(v) => Slot::ImmF32(v.value()),
+        Operand::ImmBool(v) => Slot::ImmBool(*v),
+        Operand::Special(s) => Slot::Special(*s),
+        Operand::Param(p) => Slot::Param(*p),
+    }
+}
+
+/// The static issue cost of a scalar op — the same table
+/// `BlockExec::exec_scalar` used to consult per execution, resolved once.
+fn scalar_cost(op: Op, spec: &GpuSpec) -> u64 {
+    use gevo_ir::{FloatBinOp, IntBinOp};
+    match op {
+        Op::IBin(IntBinOp::Mul) => spec.costs.imul,
+        Op::IBin(IntBinOp::Div | IntBinOp::Rem) => spec.costs.idiv,
+        Op::IBin(_) => spec.costs.alu,
+        Op::FBin(FloatBinOp::Div) => spec.costs.fdiv,
+        Op::FBin(_) => spec.costs.falu,
+        Op::RngNext => spec.costs.rng,
+        _ => spec.costs.alu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gevo_ir::{AddrSpace, KernelBuilder, Special};
+
+    /// Layout regression guard: the interpreter indexes `code` per
+    /// executed instruction, so `CInst` staying compact (and `Slot`
+    /// staying a flat-tagged 16 bytes, see its doc comment) is a
+    /// performance invariant, not an accident.
+    #[test]
+    fn lowered_types_stay_compact() {
+        assert_eq!(std::mem::size_of::<Slot>(), 16);
+        assert_eq!(std::mem::size_of::<CInst>(), 64, "one cache line");
+        assert!(std::mem::size_of::<CTerm>() <= 24);
+    }
+
+    fn diamond_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("diamond");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let tid = b.special_i32(Special::ThreadId);
+        let cond = b.icmp_lt(tid.into(), Operand::ImmI32(4));
+        let then_b = b.new_block("t");
+        let else_b = b.new_block("e");
+        let join_b = b.new_block("j");
+        b.cond_br(cond.into(), then_b, else_b);
+        b.switch_to(then_b);
+        b.br(join_b);
+        b.switch_to(else_b);
+        b.br(join_b);
+        b.switch_to(join_b);
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn compile_flattens_blocks_in_order() {
+        let k = diamond_kernel();
+        let spec = GpuSpec::p100().scaled(8);
+        let ck = CompiledKernel::compile(&k, &spec).expect("verifies");
+        assert_eq!(ck.block_count(), k.blocks.len());
+        assert_eq!(ck.inst_count(), k.inst_count());
+        assert_eq!(ck.block_bounds.len(), k.blocks.len() + 1);
+        // Bounds are monotone and partition the stream.
+        for w in ck.block_bounds.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(*ck.block_bounds.last().unwrap() as usize, ck.code.len());
+    }
+
+    #[test]
+    fn compile_bakes_reconvergence() {
+        let k = diamond_kernel();
+        let spec = GpuSpec::p100().scaled(8);
+        let ck = CompiledKernel::compile(&k, &spec).expect("verifies");
+        // Entry's divergent branch reconverges at the join (block 3).
+        assert_eq!(ck.reconv[0], 3);
+        // The ret block reconverges only at exit.
+        assert_eq!(ck.reconv[3], EXIT);
+    }
+
+    #[test]
+    fn compile_prebuilds_register_file() {
+        let k = diamond_kernel();
+        let spec = GpuSpec::p100().scaled(8);
+        let ck = CompiledKernel::compile(&k, &spec).expect("verifies");
+        assert_eq!(ck.reg_file.len(), k.reg_count() * 8);
+        for r in 0..k.reg_count() {
+            let want = Value::sentinel(k.reg_ty(Reg(u32::try_from(r).unwrap())));
+            for lane in 0..8 {
+                assert_eq!(ck.reg_file[r * 8 + lane], want);
+            }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_broken_kernels() {
+        let mut k = diamond_kernel();
+        // Corrupt an operand list to the wrong arity.
+        k.blocks[3].instrs[0].args.clear();
+        let spec = GpuSpec::p100().scaled(8);
+        assert!(CompiledKernel::compile(&k, &spec).is_err());
+    }
+
+    #[test]
+    fn spec_match_checks_lanes_and_costs() {
+        let k = diamond_kernel();
+        let spec8 = GpuSpec::p100().scaled(8);
+        let ck = CompiledKernel::compile(&k, &spec8).expect("verifies");
+        assert!(ck.matches_spec(&spec8));
+        assert!(!ck.matches_spec(&GpuSpec::p100()), "32-lane device");
+        let mut other = spec8;
+        other.costs.alu = 99;
+        assert!(!ck.matches_spec(&other), "different cost table");
+    }
+}

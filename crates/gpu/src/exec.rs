@@ -11,19 +11,23 @@
 //! synchronizing warp clocks), and the *throughput* bound is total issue
 //! work divided by the SM's issue width. Block times sum per SM;
 //! the launch takes the slowest SM plus a fixed launch overhead.
+//!
+//! The interpreter executes [`CompiledKernel`]s — kernels lowered once by
+//! [`crate::compile`] into a dense stream with pre-resolved operands,
+//! baked branch/reconvergence targets and static costs. [`Gpu::launch`]
+//! compiles on the fly for one-shot use; evaluation loops that launch the
+//! same variant repeatedly should compile once and call
+//! [`Gpu::launch_compiled`].
 
+use crate::compile::{CInst, CTerm, CompiledKernel, Slot, EXIT, NO_DST};
 use crate::error::ExecError;
 use crate::launch::{KernelArg, LaunchConfig, LaunchStats};
 use crate::mem::DeviceMemory;
 use crate::spec::GpuSpec;
 use crate::value::Value;
 use gevo_ir::{
-    rng, AddrSpace, Cfg, CmpPred, FloatBinOp, InstId, Instr, IntBinOp, Kernel, MemTy, Op, Operand,
-    ParamTy, Special, TermKind, Ty,
+    rng, AddrSpace, CmpPred, FloatBinOp, InstId, IntBinOp, Kernel, MemTy, Op, Param, Ty,
 };
-
-/// Sentinel for "reconverges at thread exit".
-const EXIT: u32 = u32::MAX;
 
 /// Maximum supported warp width (masks are stored in `u64`, lane indices
 /// reported through `i32` ballots cap at 32).
@@ -77,7 +81,20 @@ impl Gpu {
         &mut self.mem
     }
 
+    /// Compiles a kernel for repeated launching on this device.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::Verify`] if the kernel fails static
+    /// verification.
+    pub fn compile(&self, kernel: &Kernel) -> Result<CompiledKernel, ExecError> {
+        CompiledKernel::compile(kernel, &self.spec).map_err(ExecError::from)
+    }
+
     /// Launches a kernel and runs it to completion.
+    ///
+    /// This is the one-shot path: it verifies, compiles and executes in
+    /// one call. Loops that launch the same kernel repeatedly should
+    /// [`Gpu::compile`] once and use [`Gpu::launch_compiled`].
     ///
     /// # Errors
     /// Any [`ExecError`] the kernel provokes; the device memory may be
@@ -89,9 +106,44 @@ impl Gpu {
         cfg: LaunchConfig,
         args: &[KernelArg],
     ) -> Result<LaunchStats, ExecError> {
-        self.validate_launch(kernel, cfg, args)?;
-        gevo_ir::verify::verify(kernel).map_err(|e| ExecError::Verify(e.to_string()))?;
-        let cfgraph = Cfg::build(kernel);
+        validate_geometry(&self.spec, &kernel.params, kernel.shared_bytes, cfg, args)?;
+        let compiled = self.compile(kernel)?;
+        self.launch_compiled(&compiled, cfg, args)
+    }
+
+    /// Launches a pre-compiled kernel and runs it to completion.
+    ///
+    /// Verification, CFG analysis and operand resolution were all paid at
+    /// [`Gpu::compile`] time; a launch only validates the geometry and
+    /// arguments, then interprets the flattened stream. Behaviour and
+    /// [`LaunchStats`] are bit-identical to [`Gpu::launch`] on the source
+    /// kernel.
+    ///
+    /// # Errors
+    /// [`ExecError::BadLaunch`] if the kernel was compiled for a
+    /// different spec (warp width or cost table), plus any [`ExecError`]
+    /// the kernel provokes.
+    pub fn launch_compiled(
+        &mut self,
+        kernel: &CompiledKernel,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<LaunchStats, ExecError> {
+        if !kernel.matches_spec(&self.spec) {
+            let why = if kernel.lanes == self.spec.warp_size {
+                "different cost table".to_string()
+            } else {
+                format!(
+                    "{} lanes, this device has {}",
+                    kernel.lanes, self.spec.warp_size
+                )
+            };
+            return Err(ExecError::BadLaunch(format!(
+                "kernel {} was compiled for a different spec ({why})",
+                kernel.name
+            )));
+        }
+        validate_geometry(&self.spec, &kernel.params, kernel.shared_bytes, cfg, args)?;
         let params: Vec<Value> = args.iter().map(KernelArg::value).collect();
 
         let mut stats = LaunchStats {
@@ -109,7 +161,6 @@ impl Gpu {
                     &self.spec,
                     &mut self.mem,
                     kernel,
-                    &cfgraph,
                     &params,
                     cfg,
                     block_idx,
@@ -125,52 +176,48 @@ impl Gpu {
             self.spec.costs.launch_overhead + sm_cycles.iter().copied().max().unwrap_or(0);
         Ok(stats)
     }
+}
 
-    fn validate_launch(
-        &self,
-        kernel: &Kernel,
-        cfg: LaunchConfig,
-        args: &[KernelArg],
-    ) -> Result<(), ExecError> {
-        if cfg.grid == 0 || cfg.block == 0 {
-            return Err(ExecError::BadLaunch("zero-sized launch".into()));
-        }
-        if cfg.block > self.spec.max_threads_per_block {
-            return Err(ExecError::BadLaunch(format!(
-                "{} threads/block exceeds the spec's {}",
-                cfg.block, self.spec.max_threads_per_block
-            )));
-        }
-        if kernel.shared_bytes > self.spec.shared_mem_per_block {
-            return Err(ExecError::BadLaunch(format!(
-                "kernel declares {} shared bytes, spec allows {}",
-                kernel.shared_bytes, self.spec.shared_mem_per_block
-            )));
-        }
-        if args.len() != kernel.params.len() {
-            return Err(ExecError::BadLaunch(format!(
-                "kernel takes {} params, launch passed {}",
-                kernel.params.len(),
-                args.len()
-            )));
-        }
-        for (i, (a, p)) in args.iter().zip(&kernel.params).enumerate() {
-            let ok = matches!(
-                (a, p.ty),
-                (KernelArg::I32(_), ParamTy::Val(Ty::I32))
-                    | (KernelArg::I64(_), ParamTy::Val(Ty::I64) | ParamTy::Ptr(_))
-                    | (KernelArg::F32(_), ParamTy::Val(Ty::F32))
-                    | (KernelArg::Buf(_), ParamTy::Ptr(_))
-            );
-            if !ok {
-                return Err(ExecError::BadLaunch(format!(
-                    "argument {i} does not match parameter type {}",
-                    p.ty
-                )));
-            }
-        }
-        Ok(())
+/// Launch-shape and argument checks shared by the source and compiled
+/// launch paths.
+fn validate_geometry(
+    spec: &GpuSpec,
+    params: &[Param],
+    shared_bytes: u32,
+    cfg: LaunchConfig,
+    args: &[KernelArg],
+) -> Result<(), ExecError> {
+    if cfg.grid == 0 || cfg.block == 0 {
+        return Err(ExecError::BadLaunch("zero-sized launch".into()));
     }
+    if cfg.block > spec.max_threads_per_block {
+        return Err(ExecError::BadLaunch(format!(
+            "{} threads/block exceeds the spec's {}",
+            cfg.block, spec.max_threads_per_block
+        )));
+    }
+    if shared_bytes > spec.shared_mem_per_block {
+        return Err(ExecError::BadLaunch(format!(
+            "kernel declares {} shared bytes, spec allows {}",
+            shared_bytes, spec.shared_mem_per_block
+        )));
+    }
+    if args.len() != params.len() {
+        return Err(ExecError::BadLaunch(format!(
+            "kernel takes {} params, launch passed {}",
+            params.len(),
+            args.len()
+        )));
+    }
+    for (i, (a, p)) in args.iter().zip(params).enumerate() {
+        if !a.matches(p.ty) {
+            return Err(ExecError::BadLaunch(format!(
+                "argument {i} does not match parameter type {}",
+                p.ty
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,8 +274,7 @@ impl L2State {
 struct BlockExec<'a> {
     spec: &'a GpuSpec,
     mem: &'a mut DeviceMemory,
-    kernel: &'a Kernel,
-    cfg: &'a Cfg,
+    kernel: &'a CompiledKernel,
     params: &'a [Value],
     launch: LaunchConfig,
     block_idx: u32,
@@ -247,8 +293,7 @@ impl<'a> BlockExec<'a> {
     fn new(
         spec: &'a GpuSpec,
         mem: &'a mut DeviceMemory,
-        kernel: &'a Kernel,
-        cfg: &'a Cfg,
+        kernel: &'a CompiledKernel,
         params: &'a [Value],
         launch: LaunchConfig,
         block_idx: u32,
@@ -258,7 +303,6 @@ impl<'a> BlockExec<'a> {
         let lanes = spec.warp_size;
         let n_threads = launch.block;
         let n_warps = n_threads.div_ceil(lanes);
-        let n_regs = kernel.reg_count();
         let warps = (0..n_warps)
             .map(|w| {
                 let live = (n_threads - w * lanes).min(lanes);
@@ -267,13 +311,6 @@ impl<'a> BlockExec<'a> {
                 } else {
                     (1u64 << live) - 1
                 };
-                let mut regs = Vec::with_capacity(n_regs * lanes as usize);
-                for r in 0..n_regs {
-                    let ty = kernel.reg_ty(gevo_ir::Reg(u32::try_from(r).expect("reg idx")));
-                    for _ in 0..lanes {
-                        regs.push(Value::sentinel(ty));
-                    }
-                }
                 Warp {
                     idx: w,
                     active: full_mask,
@@ -281,7 +318,9 @@ impl<'a> BlockExec<'a> {
                     block: 0,
                     ip: 0,
                     stack: Vec::new(),
-                    regs,
+                    // The typed-sentinel image was prebuilt at compile
+                    // time; per-warp initialization is one memcpy.
+                    regs: kernel.reg_file.clone(),
                     cycles: 0,
                     state: WarpState::Running,
                 }
@@ -294,7 +333,6 @@ impl<'a> BlockExec<'a> {
             spec,
             mem,
             kernel,
-            cfg,
             params,
             launch,
             block_idx,
@@ -384,9 +422,9 @@ impl<'a> BlockExec<'a> {
                 let w = &self.warps[wi];
                 (w.block as usize, w.ip)
             };
-            let blk = &self.kernel.blocks[block];
-            if ip < blk.instrs.len() {
-                let inst = &blk.instrs[ip];
+            let flat = self.kernel.block_bounds[block] as usize + ip;
+            if flat < self.kernel.block_bounds[block + 1] as usize {
+                let inst = &self.kernel.code[flat];
                 let hit_barrier = self.exec_inst(wi, inst)?;
                 self.warps[wi].ip += 1;
                 if hit_barrier {
@@ -394,7 +432,7 @@ impl<'a> BlockExec<'a> {
                 }
             } else {
                 // Terminator.
-                let term = blk.term.kind;
+                let term = self.kernel.terms[block];
                 self.exec_terminator(wi, term)?;
                 if self.warps[wi].state != WarpState::Running {
                     return Ok(());
@@ -405,16 +443,16 @@ impl<'a> BlockExec<'a> {
 
     // ---- control flow -------------------------------------------------
 
-    fn exec_terminator(&mut self, wi: usize, term: TermKind) -> Result<(), ExecError> {
+    fn exec_terminator(&mut self, wi: usize, term: CTerm) -> Result<(), ExecError> {
         self.stats.instructions += 1;
         self.issue += 1;
         self.warps[wi].cycles += self.spec.costs.alu;
         match term {
-            TermKind::Br(t) => {
-                self.enter_block(wi, t.0);
+            CTerm::Br(t) => {
+                self.enter_block(wi, t);
                 Ok(())
             }
-            TermKind::Ret => {
+            CTerm::Ret => {
                 let w = &mut self.warps[wi];
                 w.exited |= w.active;
                 w.active = 0;
@@ -427,7 +465,7 @@ impl<'a> BlockExec<'a> {
                     Ok(())
                 }
             }
-            TermKind::CondBr {
+            CTerm::CondBr {
                 cond,
                 if_true,
                 if_false,
@@ -452,28 +490,27 @@ impl<'a> BlockExec<'a> {
                     }
                 }
                 if fmask == 0 {
-                    self.enter_block(wi, if_true.0);
+                    self.enter_block(wi, if_true);
                 } else if tmask == 0 {
-                    self.enter_block(wi, if_false.0);
+                    self.enter_block(wi, if_false);
                 } else {
                     // Divergence: serialize then-path first, else-path at
                     // reconvergence (paper §VI-A's lock-step serialization).
                     self.stats.divergent_branches += 1;
                     self.warps[wi].cycles += self.spec.costs.divergence;
-                    let reconv = self
-                        .cfg
-                        .reconvergence(gevo_ir::BlockId(u32::try_from(cur_block).expect("block")))
-                        .map_or(EXIT, |b| b.0);
+                    // The reconvergence point (immediate post-dominator)
+                    // was baked in at compile time.
+                    let reconv = self.kernel.reconv[cur_block];
                     let w = &mut self.warps[wi];
                     w.stack.push(Frame {
                         reconv,
-                        else_target: if_false.0,
+                        else_target: if_false,
                         else_mask: fmask,
                         merged: tmask | fmask,
                         else_done: false,
                     });
                     w.active = tmask;
-                    self.enter_block(wi, if_true.0);
+                    self.enter_block(wi, if_true);
                 }
                 Ok(())
             }
@@ -529,21 +566,22 @@ impl<'a> BlockExec<'a> {
     // `Result` keeps every operand-consuming call site on one `?` path
     // (and leaves room for fallible operand kinds).
     #[allow(clippy::unnecessary_wraps)]
-    fn read_operand(&self, wi: usize, lane: u32, op: &Operand) -> Result<Value, ExecError> {
+    fn read_operand(&self, wi: usize, lane: u32, op: &Slot) -> Result<Value, ExecError> {
         let w = &self.warps[wi];
         Ok(match op {
-            Operand::Reg(r) => w.regs[r.0 as usize * self.lanes as usize + lane as usize],
-            Operand::ImmI32(v) => Value::I32(*v),
-            Operand::ImmI64(v) => Value::I64(*v),
-            Operand::ImmF32(v) => Value::F32(v.value()),
-            Operand::ImmBool(v) => Value::Bool(*v),
-            Operand::Special(s) => Value::I32(self.special(wi, lane, *s)),
-            Operand::Param(p) => self.params[*p as usize],
+            Slot::Reg(base) => w.regs[*base as usize + lane as usize],
+            Slot::ImmI32(v) => Value::I32(*v),
+            Slot::ImmI64(v) => Value::I64(*v),
+            Slot::ImmF32(v) => Value::F32(*v),
+            Slot::ImmBool(v) => Value::Bool(*v),
+            Slot::Special(s) => Value::I32(self.special(wi, lane, *s)),
+            Slot::Param(p) => self.params[*p as usize],
         })
     }
 
     #[inline]
-    fn special(&self, wi: usize, lane: u32, s: Special) -> i32 {
+    fn special(&self, wi: usize, lane: u32, s: gevo_ir::Special) -> i32 {
+        use gevo_ir::Special;
         let w = &self.warps[wi];
         #[allow(clippy::cast_possible_wrap)]
         match s {
@@ -558,16 +596,15 @@ impl<'a> BlockExec<'a> {
     }
 
     #[inline]
-    fn write_reg(&mut self, wi: usize, lane: u32, reg: gevo_ir::Reg, v: Value) {
-        let idx = reg.0 as usize * self.lanes as usize + lane as usize;
-        self.warps[wi].regs[idx] = v;
+    fn write_reg(&mut self, wi: usize, lane: u32, base: u32, v: Value) {
+        self.warps[wi].regs[base as usize + lane as usize] = v;
     }
 
     // ---- instruction execution -------------------------------------------
 
     /// Executes one instruction for all active lanes. Returns `true` if it
     /// was a barrier (the warp must yield).
-    fn exec_inst(&mut self, wi: usize, inst: &Instr) -> Result<bool, ExecError> {
+    fn exec_inst(&mut self, wi: usize, inst: &CInst) -> Result<bool, ExecError> {
         self.stats.instructions += 1;
         let active = self.warps[wi].active;
         match inst.op {
@@ -605,7 +642,8 @@ impl<'a> BlockExec<'a> {
                         mask |= 1 << lane;
                     }
                 }
-                let dst = inst.dst.expect("ballot has dst");
+                let dst = inst.dst;
+                debug_assert_ne!(dst, NO_DST, "ballot has dst");
                 for lane in 0..self.lanes {
                     if active & (1 << lane) != 0 {
                         self.write_reg(wi, lane, dst, Value::I32(mask));
@@ -618,7 +656,8 @@ impl<'a> BlockExec<'a> {
             Op::ActiveMask => {
                 #[allow(clippy::cast_possible_wrap)]
                 let mask = Value::I32(active as i32);
-                let dst = inst.dst.expect("activemask has dst");
+                let dst = inst.dst;
+                debug_assert_ne!(dst, NO_DST, "activemask has dst");
                 for lane in 0..self.lanes {
                     if active & (1 << lane) != 0 {
                         self.write_reg(wi, lane, dst, mask);
@@ -633,33 +672,25 @@ impl<'a> BlockExec<'a> {
     }
 
     /// Plain per-lane compute ops.
-    fn exec_scalar(&mut self, wi: usize, inst: &Instr, active: u64) -> Result<(), ExecError> {
+    fn exec_scalar(&mut self, wi: usize, inst: &CInst, active: u64) -> Result<(), ExecError> {
         let dst = inst.dst;
         for lane in 0..self.lanes {
             if active & (1 << lane) == 0 {
                 continue;
             }
             let result = self.eval_scalar(wi, lane, inst)?;
-            if let Some(d) = dst {
-                self.write_reg(wi, lane, d, result);
+            if dst != NO_DST {
+                self.write_reg(wi, lane, dst, result);
             }
         }
-        let cost = match inst.op {
-            Op::IBin(IntBinOp::Mul) => self.spec.costs.imul,
-            Op::IBin(IntBinOp::Div | IntBinOp::Rem) => self.spec.costs.idiv,
-            Op::IBin(_) => self.spec.costs.alu,
-            Op::FBin(FloatBinOp::Div) => self.spec.costs.fdiv,
-            Op::FBin(_) => self.spec.costs.falu,
-            Op::RngNext => self.spec.costs.rng,
-            _ => self.spec.costs.alu,
-        };
+        // The per-op cost table was resolved at compile time.
         self.stats.alu_instructions += 1;
-        self.warps[wi].cycles += cost;
+        self.warps[wi].cycles += inst.cost;
         self.issue += 1;
         Ok(())
     }
 
-    fn eval_scalar(&self, wi: usize, lane: u32, inst: &Instr) -> Result<Value, ExecError> {
+    fn eval_scalar(&self, wi: usize, lane: u32, inst: &CInst) -> Result<Value, ExecError> {
         let a0 = |i: usize| self.read_operand(wi, lane, &inst.args[i]);
         Ok(match inst.op {
             Op::IBin(op) => eval_ibin(op, a0(0)?, a0(1)?)?,
@@ -743,12 +774,13 @@ impl<'a> BlockExec<'a> {
     fn exec_mem_load(
         &mut self,
         wi: usize,
-        inst: &Instr,
+        inst: &CInst,
         space: AddrSpace,
         ty: MemTy,
         active: u64,
     ) -> Result<(), ExecError> {
-        let dst = inst.dst.expect("load has dst");
+        let dst = inst.dst;
+        debug_assert_ne!(dst, NO_DST, "load has dst");
         let mut addrs: [i64; MAX_WARP as usize] = [0; MAX_WARP as usize];
         for lane in 0..self.lanes {
             if active & (1 << lane) == 0 {
@@ -769,7 +801,7 @@ impl<'a> BlockExec<'a> {
     fn exec_mem_store(
         &mut self,
         wi: usize,
-        inst: &Instr,
+        inst: &CInst,
         space: AddrSpace,
         ty: MemTy,
         active: u64,
@@ -958,12 +990,13 @@ impl<'a> BlockExec<'a> {
     fn exec_atomic(
         &mut self,
         wi: usize,
-        inst: &Instr,
+        inst: &CInst,
         space: AddrSpace,
         active: u64,
         kind: AtomicKind,
     ) -> Result<(), ExecError> {
-        let dst = inst.dst.expect("atomic has dst");
+        let dst = inst.dst;
+        debug_assert_ne!(dst, NO_DST, "atomic has dst");
         let n_active = active.count_ones() as u64;
         // Lanes execute the atomic in lane order — the deterministic
         // serialization a real device performs in unspecified order.
@@ -1013,8 +1046,9 @@ impl<'a> BlockExec<'a> {
 
     // ---- shuffles -----------------------------------------------------------
 
-    fn exec_shfl(&mut self, wi: usize, inst: &Instr, active: u64) -> Result<(), ExecError> {
-        let dst = inst.dst.expect("shfl has dst");
+    fn exec_shfl(&mut self, wi: usize, inst: &CInst, active: u64) -> Result<(), ExecError> {
+        let dst = inst.dst;
+        debug_assert_ne!(dst, NO_DST, "shfl has dst");
         // Snapshot the value operand for every lane *before* any write:
         // shuffles read other lanes' registers, including stale values in
         // inactive lanes (the classic warp-synchronous hazard).

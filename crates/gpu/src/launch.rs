@@ -29,6 +29,20 @@ impl KernelArg {
             KernelArg::Buf(b) => Value::I64(b.base()),
         }
     }
+
+    /// True when this argument satisfies a formal parameter of type `ty`
+    /// (buffers and raw `i64` addresses both satisfy pointer parameters).
+    #[must_use]
+    pub fn matches(&self, ty: gevo_ir::ParamTy) -> bool {
+        use gevo_ir::{ParamTy, Ty};
+        matches!(
+            (self, ty),
+            (KernelArg::I32(_), ParamTy::Val(Ty::I32))
+                | (KernelArg::I64(_), ParamTy::Val(Ty::I64) | ParamTy::Ptr(_))
+                | (KernelArg::F32(_), ParamTy::Val(Ty::F32))
+                | (KernelArg::Buf(_), ParamTy::Ptr(_))
+        )
+    }
 }
 
 impl From<Buffer> for KernelArg {

@@ -26,6 +26,16 @@
 //!   memory succeed (zeros) but accesses beyond it fault** — Fig. 10's
 //!   small-grid-passes / large-grid-segfaults behaviour.
 //!
+//! ## Compile-once execution
+//!
+//! Evaluation loops launch the same kernel variant many times. The
+//! [`compile`] layer lowers a verified kernel once into a
+//! [`CompiledKernel`] — flattened instruction stream, pre-resolved
+//! operands, baked reconvergence targets and static costs — which
+//! [`Gpu::launch_compiled`] executes without any per-launch verification
+//! or CFG analysis. [`Gpu::launch`] remains the one-shot
+//! verify-compile-run convenience and produces bit-identical results.
+//!
 //! ## Example
 //!
 //! ```
@@ -65,6 +75,7 @@
 // coincide, so each op's cost is auditable against DESIGN.md §3.2.
 #![allow(clippy::match_same_arms)]
 
+pub mod compile;
 pub mod error;
 pub mod exec;
 pub mod launch;
@@ -72,6 +83,7 @@ pub mod mem;
 pub mod spec;
 pub mod value;
 
+pub use compile::CompiledKernel;
 pub use error::ExecError;
 pub use exec::{Gpu, MAX_WARP};
 pub use launch::{KernelArg, LaunchConfig, LaunchStats};

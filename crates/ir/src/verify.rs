@@ -12,10 +12,16 @@
 use crate::inst::{Instr, Op, Operand, TermKind};
 use crate::kernel::Kernel;
 use crate::types::Ty;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A structural defect found by [`verify`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Deliberately all-`Copy` (`&'static str`, no heap): `gevo-gpu` embeds
+/// this enum in its `ExecError`, whose by-value size and drop glue are
+/// priced on the simulator's per-operand hot path. Growing these fields
+/// to `String` measurably slows every kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum VerifyError {
     /// An instruction's operand count does not match its op.
     Arity {

@@ -16,7 +16,7 @@ pub mod v1;
 use crate::seqgen::{SeqGen, SeqPair};
 use crate::sw_cpu::{self, Alignment};
 use gevo_engine::{Edit, EvalOutcome, Patch, Workload};
-use gevo_gpu::{Gpu, GpuSpec, KernelArg, LaunchConfig, LaunchStats};
+use gevo_gpu::{CompiledKernel, Gpu, GpuSpec, KernelArg, LaunchConfig, LaunchStats};
 use gevo_ir::{Kernel, Operand};
 
 pub use v0::V0Sites;
@@ -229,11 +229,18 @@ impl AdeptWorkload {
         &self.v1_sites
     }
 
+    /// Screens and lowers a variant through the shared
+    /// [`crate::pipeline::compile_variant`] pipeline (verify → DCE →
+    /// compile-once) against this workload's spec.
+    fn compile_variant(&self, kernels: &[Kernel]) -> Result<Vec<CompiledKernel>, String> {
+        crate::pipeline::compile_variant(kernels, &self.cfg.spec)
+    }
+
     /// Runs one batch on a fresh device; shared by fitness evaluation and
     /// held-out validation.
     fn run_batch(
         &self,
-        kernels: &[Kernel],
+        kernels: &[CompiledKernel],
         data: &TestData,
         seed: u64,
     ) -> Result<(f64, LaunchStats), String> {
@@ -278,7 +285,7 @@ impl AdeptWorkload {
             KernelArg::from(scratch),
         ];
         let s = gpu
-            .launch(&kernels[0], cfg, &fwd_args)
+            .launch_compiled(&kernels[0], cfg, &fwd_args)
             .map_err(|e| format!("forward kernel: {e}"))?;
         stats.accumulate(&s);
         let got = gpu.mem().read_i32s(out, 0, pairs as usize * 4);
@@ -311,7 +318,7 @@ impl AdeptWorkload {
                 KernelArg::from(scratch),
             ];
             let s = gpu
-                .launch(&kernels[1], cfg, &rev_args)
+                .launch_compiled(&kernels[1], cfg, &rev_args)
                 .map_err(|e| format!("reverse kernel: {e}"))?;
             stats.accumulate(&s);
             let got = gpu.mem().read_i32s(rev_out, 0, pairs as usize * 4);
@@ -345,7 +352,8 @@ impl AdeptWorkload {
         if data.max_len_b().next_multiple_of(self.cfg.spec.warp_size) > self.block_threads {
             return Err("held-out batch exceeds the kernels' block size".into());
         }
-        self.run_batch(kernels, &data, 1).map(|_| ())
+        let compiled = self.compile_variant(kernels)?;
+        self.run_batch(&compiled, &data, 1).map(|_| ())
     }
 
     // ---- curated edits (DESIGN.md §4.5) --------------------------------
@@ -547,21 +555,18 @@ impl Workload for AdeptWorkload {
     }
 
     fn evaluate(&self, kernels: &[Kernel], eval_seed: u64) -> EvalOutcome {
-        // Structural screening first: cheap rejection of broken variants,
-        // GEVO's "fails to compile".
-        for k in kernels {
-            if let Err(e) = gevo_ir::verify::verify(k) {
-                return EvalOutcome::fail(format!("verify: {e}"));
-            }
+        match self.compile_variant(kernels) {
+            Ok(compiled) => self.evaluate_compiled(&compiled, eval_seed),
+            Err(reason) => EvalOutcome::fail(reason),
         }
-        // The backend pipeline re-optimizes mutated IR (GEVO hands the
-        // variant back to LLVM before codegen): dead code introduced by
-        // condition replacement disappears here.
-        let mut kernels: Vec<Kernel> = kernels.to_vec();
-        for k in &mut kernels {
-            let _ = gevo_ir::transform::dce(k);
-        }
-        match self.run_batch(&kernels, &self.data, eval_seed) {
+    }
+
+    fn compile(&self, kernels: &[Kernel]) -> Option<Result<Vec<CompiledKernel>, String>> {
+        Some(self.compile_variant(kernels))
+    }
+
+    fn evaluate_compiled(&self, compiled: &[CompiledKernel], eval_seed: u64) -> EvalOutcome {
+        match self.run_batch(compiled, &self.data, eval_seed) {
             Ok((cycles, stats)) => EvalOutcome::pass(cycles, stats),
             Err(reason) => EvalOutcome::fail(reason),
         }

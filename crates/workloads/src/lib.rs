@@ -31,6 +31,7 @@
 #![allow(clippy::cast_precision_loss)]
 
 pub mod adept;
+pub mod pipeline;
 pub mod seqgen;
 pub mod simcov;
 pub mod sw_cpu;

@@ -1,0 +1,76 @@
+//! The shared variant screening/lowering pipeline.
+//!
+//! Both evolvable workloads (ADEPT and `SIMCoV`) prepare a mutated
+//! variant the same way before it touches the simulator; keeping the
+//! sequence in one place keeps "fails to compile" semantics identical
+//! across workloads.
+
+use gevo_gpu::{CompiledKernel, GpuSpec};
+use gevo_ir::Kernel;
+
+/// Screens and lowers a variant for launching: structural verification
+/// first (cheap rejection of broken variants, GEVO's "fails to
+/// compile"), then backend DCE (GEVO hands the variant back to LLVM
+/// before codegen: dead code introduced by condition replacement
+/// disappears here), then compile-once lowering against the workload's
+/// spec. Verification runs **before** DCE on purpose — a variant's
+/// validity must not depend on whether its broken instruction happened
+/// to be dead.
+///
+/// # Errors
+/// The first defect found, formatted as the `verify: …` failure string
+/// fitness outcomes have always carried.
+pub fn compile_variant(kernels: &[Kernel], spec: &GpuSpec) -> Result<Vec<CompiledKernel>, String> {
+    for k in kernels {
+        if let Err(e) = gevo_ir::verify::verify(k) {
+            return Err(format!("verify: {e}"));
+        }
+    }
+    let mut kernels: Vec<Kernel> = kernels.to_vec();
+    for k in &mut kernels {
+        let _ = gevo_ir::transform::dce(k);
+    }
+    kernels
+        .iter()
+        .map(|k| CompiledKernel::compile(k, spec).map_err(|e| format!("verify: {e}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gevo_ir::{AddrSpace, KernelBuilder, Operand, Special};
+
+    fn tiny_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let tid = b.special_i32(Special::ThreadId);
+        let dead = b.add(tid.into(), Operand::ImmI32(1));
+        let _ = dead;
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn lowers_and_dces() {
+        let k = tiny_kernel();
+        let spec = gevo_gpu::GpuSpec::p100().scaled(8);
+        let compiled = compile_variant(std::slice::from_ref(&k), &spec).expect("valid");
+        assert_eq!(compiled.len(), 1);
+        assert!(
+            compiled[0].inst_count() < k.inst_count(),
+            "dead add is gone after DCE"
+        );
+    }
+
+    #[test]
+    fn broken_variants_fail_with_verify_prefix() {
+        let mut k = tiny_kernel();
+        k.blocks[0].instrs[0].args.clear();
+        let spec = gevo_gpu::GpuSpec::p100().scaled(8);
+        let err = compile_variant(std::slice::from_ref(&k), &spec).unwrap_err();
+        assert!(err.starts_with("verify:"), "{err}");
+    }
+}

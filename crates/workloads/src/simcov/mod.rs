@@ -13,7 +13,7 @@ pub mod validate;
 
 use cpu::SimcovState;
 use gevo_engine::{Edit, EvalOutcome, Patch, Workload};
-use gevo_gpu::{Buffer, Gpu, GpuSpec, KernelArg, LaunchConfig, LaunchStats};
+use gevo_gpu::{Buffer, CompiledKernel, Gpu, GpuSpec, KernelArg, LaunchConfig, LaunchStats};
 use gevo_ir::{Kernel, Operand};
 use kernels::{Layout, SimcovSites};
 use validate::{compare, GpuRunOutput, Tolerance};
@@ -261,11 +261,21 @@ impl SimcovWorkload {
         &self.reference
     }
 
+    /// Screens and lowers a variant through the shared
+    /// [`crate::pipeline::compile_variant`] pipeline (verify → DCE →
+    /// compile-once) against this workload's spec. The eight kernels
+    /// compile exactly once per variant; the simulation loop then
+    /// launches each compiled kernel `steps × substeps` times with no
+    /// per-launch verify/CFG cost.
+    fn compile_variant(&self, kernels: &[Kernel]) -> Result<Vec<CompiledKernel>, String> {
+        crate::pipeline::compile_variant(kernels, &self.cfg.spec)
+    }
+
     /// Runs `steps` of the simulation on a fresh device.
     #[allow(clippy::too_many_lines)]
     fn run_sim(
         &self,
-        kernels: &[Kernel],
+        kernels: &[CompiledKernel],
         g: i32,
         steps: i32,
         sched_seed: u64,
@@ -388,13 +398,14 @@ impl SimcovWorkload {
         let grid = (cells as u32).div_ceil(self.cfg.block);
         let lcfg = LaunchConfig::new(grid, self.cfg.block).with_seed(sched_seed);
         let mut total = LaunchStats::default();
-        let mut launch = |gpu: &mut Gpu, k: &Kernel, args: &[KernelArg]| -> Result<(), String> {
-            let s = gpu
-                .launch(k, lcfg, args)
-                .map_err(|e| format!("{}: {e}", k.name))?;
-            total.accumulate(&s);
-            Ok(())
-        };
+        let mut launch =
+            |gpu: &mut Gpu, k: &CompiledKernel, args: &[KernelArg]| -> Result<(), String> {
+                let s = gpu
+                    .launch_compiled(k, lcfg, args)
+                    .map_err(|e| format!("{}: {e}", k.name()))?;
+                total.accumulate(&s);
+                Ok(())
+            };
 
         for step in 0..steps {
             gpu.mem_mut().write_i32s(stats_buf, 0, &[0, 0, 0, 0]);
@@ -516,13 +527,11 @@ impl SimcovWorkload {
     /// Returns the failure description (e.g. the simulated segfault).
     pub fn validate_heldout(&self, patch: &Patch, g: i32, steps: i32) -> Result<(), String> {
         let (pristine, _) = build_kernels(g, &self.cfg.params, self.cfg.layout);
-        let (mut kernels, _) = patch.apply(&pristine);
-        for k in &mut kernels {
-            let _ = gevo_ir::transform::dce(k);
-        }
+        let (kernels, _) = patch.apply(&pristine);
+        let compiled = self.compile_variant(&kernels)?;
         let mut reference = SimcovState::new(g, &self.cfg.params);
         reference.run(&self.cfg.params, steps);
-        let (out, _, _) = self.run_sim(&kernels, g, steps, 1, ArenaMode::Tight)?;
+        let (out, _, _) = self.run_sim(&compiled, g, steps, 1, ArenaMode::Tight)?;
         compare(&out, &reference, &self.cfg.tolerance)
     }
 
@@ -632,17 +641,19 @@ impl Workload for SimcovWorkload {
     }
 
     fn evaluate(&self, kernels: &[Kernel], eval_seed: u64) -> EvalOutcome {
-        for k in kernels {
-            if let Err(e) = gevo_ir::verify::verify(k) {
-                return EvalOutcome::fail(format!("verify: {e}"));
-            }
+        match self.compile_variant(kernels) {
+            Ok(compiled) => self.evaluate_compiled(&compiled, eval_seed),
+            Err(reason) => EvalOutcome::fail(reason),
         }
-        let mut kernels: Vec<Kernel> = kernels.to_vec();
-        for k in &mut kernels {
-            let _ = gevo_ir::transform::dce(k);
-        }
+    }
+
+    fn compile(&self, kernels: &[Kernel]) -> Option<Result<Vec<CompiledKernel>, String>> {
+        Some(self.compile_variant(kernels))
+    }
+
+    fn evaluate_compiled(&self, compiled: &[CompiledKernel], eval_seed: u64) -> EvalOutcome {
         match self.run_sim(
-            &kernels,
+            compiled,
             self.cfg.g,
             self.cfg.steps,
             eval_seed,
@@ -885,8 +896,9 @@ mod probe_exact_tests {
         for steps in 1..=10 {
             let mut reference = SimcovState::new(cfg.g, &cfg.params);
             reference.run(&cfg.params, steps);
+            let compiled = w.compile_variant(w.kernels()).unwrap();
             let (out, _, _) = w
-                .run_sim(w.kernels(), cfg.g, steps, 0, ArenaMode::Slack)
+                .run_sim(&compiled, cfg.g, steps, 0, ArenaMode::Slack)
                 .unwrap();
             let vd = out
                 .vir

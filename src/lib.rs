@@ -26,7 +26,7 @@ pub mod prelude {
         subset_analysis, Edit, EvalOutcome, Evaluator, GaConfig, GaResult, IslandConfig,
         IslandResult, MigrationEvent, Patch, Topology, Workload,
     };
-    pub use gevo_gpu::{Gpu, GpuSpec, LaunchConfig};
+    pub use gevo_gpu::{CompiledKernel, Gpu, GpuSpec, LaunchConfig};
     pub use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
     pub use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};
 }

@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion`, vendored because the build
+//! environment has no crates.io access.
+//!
+//! Keeps the source-level API the benches use — [`Criterion`],
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! plus [`criterion_group!`] and [`criterion_main!`] — while the
+//! measurement core is a simple adaptive timing loop printing
+//! mean/min per iteration. Like the real crate, running the bench
+//! binary **without** `--bench` (i.e. under `cargo test`) executes each
+//! benchmark body exactly once as a smoke test instead of measuring.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark when measuring.
+const DEFAULT_MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// Re-exported so `b.iter(|| black_box(..))` keeps working against
+/// either this shim or the real crate.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; cargo test does not. Mirror the
+        // real criterion: only measure under `cargo bench`.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        if self.measure {
+            println!("group {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            _name: name.to_string(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(self.measure, name, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's adaptive loop ignores
+    /// the explicit sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim keeps its own budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(self.criterion.measure, name, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(measure: bool, name: &str, f: &mut F) {
+    let mut b = Bencher {
+        measure,
+        iters_run: 0,
+        total: Duration::ZERO,
+        best: Duration::MAX,
+    };
+    f(&mut b);
+    if measure {
+        if b.iters_run == 0 {
+            println!("  {name}: no iterations recorded");
+        } else {
+            let mean = b.total.as_nanos() as f64 / b.iters_run as f64;
+            println!(
+                "  {name}: mean {:.1} ns/iter, best {} ns, {} iters",
+                mean,
+                b.best.as_nanos(),
+                b.iters_run
+            );
+        }
+    }
+}
+
+/// Passed to each benchmark closure; drives the timing loop.
+pub struct Bencher {
+    measure: bool,
+    iters_run: u64,
+    total: Duration,
+    best: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing the iteration count. In
+    /// test mode (no `--bench` flag) it runs the routine exactly once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            black_box(routine());
+            self.iters_run = 1;
+            return;
+        }
+        // Warm-up + calibration: one timed run decides the batch count.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        self.iters_run = 1;
+        self.total = first;
+        self.best = first;
+
+        let budget = DEFAULT_MEASURE_BUDGET;
+        while self.total < budget {
+            let remaining = budget - self.total;
+            let per_iter = self.total.as_nanos() as u64 / self.iters_run.max(1);
+            let batch = (remaining.as_nanos() as u64 / per_iter.max(1)).clamp(1, 10_000);
+            for _ in 0..batch {
+                let t = Instant::now();
+                black_box(routine());
+                let dt = t.elapsed();
+                self.total += dt;
+                self.best = self.best.min(dt);
+                self.iters_run += 1;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { measure: false };
+        let mut count = 0u32;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn measure_mode_iterates() {
+        let mut c = Criterion { measure: true };
+        let mut count = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_function("spin", |b| b.iter(|| count += 1));
+        g.finish();
+        assert!(count > 1, "expected repeated iterations, got {count}");
+    }
+}
