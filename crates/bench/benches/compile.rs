@@ -1,130 +1,129 @@
-//! Criterion comparison of the interpret-per-launch path against the
-//! compile-once pipeline (ISSUE 3's tentpole measurement).
+//! Interleaved A/B comparison of interpreter launch paths (ISSUE 4's
+//! tentpole measurement), replacing the earlier one-sided criterion
+//! groups: wall-clock on this box drifts by tens of percent over
+//! minutes, so only interleaved comparisons are valid
+//! (`gevo_bench::ab`, methodology in EXPERIMENTS.md).
 //!
-//! `source_launch/*` drives `Gpu::launch`, which pays verification, CFG
-//! construction and operand lowering on **every** call — exactly what
-//! the simulator did for its whole life before the `gevo_gpu::compile`
-//! layer. `compiled_launch/*` compiles once outside the timing loop and
-//! drives `Gpu::launch_compiled`. Both execute the identical interpreter
-//! and produce bit-identical `LaunchStats`; the delta is pure per-launch
-//! overhead, which is what a fitness evaluation amortizes across its
-//! launches (`SIMCoV` launches each kernel `steps × substeps` times per
-//! evaluation). `compile_only/*` measures the lowering itself.
+//! Per launch case (`gevo_bench::cases`), two in-process contrasts:
 //!
-//! Measured numbers are recorded in EXPERIMENTS.md §"Compile-once
-//! pipeline".
+//! * **source vs compiled** — `Gpu::launch` pays verification, CFG
+//!   construction and operand lowering on every call; compiled launches
+//!   pay none of it. The delta is the compile-once win (PR 3).
+//! * **fresh vs reused scratch** — both sides run `launch_compiled_in`,
+//!   one constructing a new `ExecScratch` every launch (the allocation
+//!   churn the persistent scratch removes), one reusing a single
+//!   scratch (the zero-allocation steady state). The delta is the
+//!   persistent-scratch part of ISSUE 4's win.
+//!
+//! Plus `simcov_eval`: one full `SIMCoV` fitness evaluation (140
+//! launches) timed one-sided, for the ns/launch headline.
+//!
+//! The full before/after comparison — which needs two *builds*, not two
+//! closures — comes from interleaving `launch_ns` processes of the old
+//! and new commit; see EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use gevo_gpu::{Buffer, Gpu, GpuSpec, KernelArg, LaunchConfig};
+use gevo_bench::ab::{interleaved_ab, AbReport};
+use gevo_bench::cases;
+use gevo_engine::Workload;
+use gevo_gpu::{ExecScratch, Gpu, KernelArg, LaunchConfig};
 use gevo_ir::Kernel;
-use gevo_workloads::simcov::{kernels as sck, SimcovParams};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn scaled_spec() -> GpuSpec {
-    let mut spec = GpuSpec::p100().scaled(8);
-    spec.device_mem_bytes = 1 << 20;
-    spec
-}
-
-/// ADEPT-V0 forward kernel with a tiny but valid single-pair batch.
-///
-/// Deliberately small (one short pair, one sweep): the quantity under
-/// test is the **per-launch overhead** the compile-once pipeline
-/// removes (verify + CFG + operand lowering), so the execution time it
-/// is amortized against is kept comparable. Full-scale evaluation
-/// throughput is reported by the `islands` harness in EXPERIMENTS.md.
-fn adept_v0_setup() -> (Gpu, Kernel, LaunchConfig, Vec<KernelArg>) {
-    let (kernel, _) = gevo_workloads::adept::v0::build_v0(8, 1);
-    let mut gpu = Gpu::new(scaled_spec());
-    let n: i32 = 6;
-    let m: i32 = 8;
-    let alloc_i32 = |gpu: &mut Gpu, v: &[i32]| -> Buffer {
-        let buf = gpu.mem_mut().alloc((v.len().max(1) * 4) as u64).unwrap();
-        gpu.mem_mut().write_i32s(buf, 0, v);
-        buf
-    };
-    #[allow(clippy::cast_sign_loss)]
-    let (seq_a, seq_b): (Vec<i32>, Vec<i32>) = (
-        (0..m).map(|i| i % 4).collect(),
-        (0..n).map(|i| (i + 1) % 4).collect(),
+fn print_report(case: &str, contrast: &str, rep: &AbReport) {
+    println!(
+        "{case:>14} | {contrast:<22} | A {a:>10.0} ns | B {b:>10.0} ns | B wins {pct:>6.1}% \
+         ({rounds}x{inner})",
+        a = rep.a_ns,
+        b = rep.b_ns,
+        pct = rep.b_improvement_pct(),
+        rounds = rep.rounds,
+        inner = rep.inner,
     );
-    let seq_a = alloc_i32(&mut gpu, &seq_a);
-    let seq_b = alloc_i32(&mut gpu, &seq_b);
-    let offs = alloc_i32(&mut gpu, &[0]);
-    let lens_a = alloc_i32(&mut gpu, &[m]);
-    let lens_b = alloc_i32(&mut gpu, &[n]);
-    let out = gpu.mem_mut().alloc(16).unwrap();
-    let scratch = gpu.mem_mut().alloc(8 * 4).unwrap();
-    let args = vec![
-        seq_a.into(),
-        seq_b.into(),
-        offs.into(),
-        offs.into(),
-        lens_a.into(),
-        lens_b.into(),
-        out.into(),
-        scratch.into(),
-    ];
-    (gpu, kernel, LaunchConfig::new(1, 8), args)
 }
 
-/// One `SIMCoV` diffusion kernel (`chem_diffuse`, the §II-C1 hot spot)
-/// over a small grid — `SIMCoV` launches this kernel `steps × substeps`
-/// times per fitness evaluation, which is exactly the launch-heavy
-/// pattern the compiled path accelerates.
-fn simcov_cdiff_setup() -> (Gpu, Kernel, LaunchConfig, Vec<KernelArg>) {
-    let g = 8i32;
-    let p = SimcovParams::default();
-    let layout = sck::Layout::Checked;
-    let (kernel, _, _) = sck::build_chem_diffuse(g, &p, layout);
-    let mut gpu = Gpu::new(scaled_spec());
-    let flen = layout.field_len(g) as u64;
-    let chem = gpu.mem_mut().alloc(flen * 4).unwrap();
-    let next_chem = gpu.mem_mut().alloc(flen * 4).unwrap();
-    let epi = gpu
-        .mem_mut()
-        .alloc(u64::from(g.unsigned_abs().pow(2)) * 4)
-        .unwrap();
-    let scratch = gpu
-        .mem_mut()
-        .alloc(u64::from(g.unsigned_abs().pow(2)) * 4)
-        .unwrap();
-    let args = vec![chem.into(), next_chem.into(), epi.into(), scratch.into()];
-    #[allow(clippy::cast_sign_loss)]
-    let grid = ((g * g) as u32).div_ceil(64);
-    (gpu, kernel, LaunchConfig::new(grid, 64), args)
-}
+type Setup = fn() -> (Gpu, Kernel, LaunchConfig, Vec<KernelArg>);
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile_pipeline");
-    group.sample_size(20);
-
-    type Setup = fn() -> (Gpu, Kernel, LaunchConfig, Vec<KernelArg>);
-    for (name, setup) in [
-        ("adept_v0", adept_v0_setup as Setup),
-        ("simcov_cdiff", simcov_cdiff_setup as Setup),
-    ] {
-        let (mut gpu, kernel, cfg, args) = setup();
-        let compiled = gpu.compile(&kernel).expect("pristine kernel compiles");
-
-        group.bench_function(&format!("source_launch/{name}"), |b| {
-            b.iter(|| black_box(gpu.launch(&kernel, cfg, &args).expect("launch")));
-        });
-        group.bench_function(&format!("compiled_launch/{name}"), |b| {
-            b.iter(|| {
+fn bench_launch_case(name: &str, setup: Setup, rounds: usize, inner: usize) {
+    // Contrast 1: source (verify+compile per call) vs compiled.
+    // Separate devices per side so the closures don't fight over one
+    // &mut Gpu; both see identical kernels, geometry and (after the
+    // warmup burst) identical warm L2 state.
+    {
+        let (mut gpu_a, kernel, cfg, args) = setup();
+        let (mut gpu_b, _, _, _) = setup();
+        let compiled = gpu_b.compile(&kernel).expect("pristine kernel compiles");
+        let rep = interleaved_ab(
+            rounds,
+            inner,
+            || {
+                black_box(gpu_a.launch(&kernel, cfg, &args).expect("launch"));
+            },
+            || {
                 black_box(
-                    gpu.launch_compiled(&compiled, cfg, &args)
+                    gpu_b
+                        .launch_compiled(&compiled, cfg, &args)
                         .expect("compiled launch"),
-                )
-            });
-        });
-        group.bench_function(&format!("compile_only/{name}"), |b| {
-            b.iter(|| black_box(gpu.compile(&kernel).expect("compiles")));
-        });
+                );
+            },
+        );
+        print_report(name, "source vs compiled", &rep);
     }
 
-    group.finish();
+    // Contrast 2: fresh ExecScratch per launch vs one reused scratch.
+    {
+        let (mut gpu_a, kernel, cfg, args) = setup();
+        let (mut gpu_b, _, _, _) = setup();
+        let compiled = gpu_a.compile(&kernel).expect("pristine kernel compiles");
+        let mut reused = ExecScratch::new();
+        let rep = interleaved_ab(
+            rounds,
+            inner,
+            || {
+                let mut fresh = ExecScratch::new();
+                black_box(
+                    gpu_a
+                        .launch_compiled_in(&compiled, cfg, &args, &mut fresh)
+                        .expect("fresh-scratch launch"),
+                );
+            },
+            || {
+                black_box(
+                    gpu_b
+                        .launch_compiled_in(&compiled, cfg, &args, &mut reused)
+                        .expect("reused-scratch launch"),
+                );
+            },
+        );
+        print_report(name, "fresh vs reused scratch", &rep);
+    }
 }
 
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);
+#[allow(clippy::cast_precision_loss)]
+fn bench_simcov_eval() {
+    let (w, compiled, launches) = cases::simcov_eval_case();
+    // Warm the workload's scratch pool, then time steady-state evals.
+    for _ in 0..2 {
+        assert!(w.evaluate_compiled(&compiled, 0).is_valid());
+    }
+    let iters = 12;
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(w.evaluate_compiled(&compiled, 0));
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    println!(
+        "{:>14} | {:<22} | {:>10.0} ns/eval | {:>8.0} ns/launch",
+        "simcov_eval",
+        "steady state (reused)",
+        ns,
+        ns / launches
+    );
+}
+
+fn main() {
+    println!("interleaved A/B launch benchmarks (median of per-round ratios)");
+    bench_launch_case("adept_v0", cases::adept_v0_case as Setup, 7, 300);
+    bench_launch_case("simcov_cdiff", cases::simcov_cdiff_case as Setup, 7, 400);
+    bench_simcov_eval();
+}

@@ -1,0 +1,139 @@
+//! Interleaved A/B micro-benchmark harness.
+//!
+//! Wall-clock on this class of machine drifts by tens of percent over
+//! minutes (thermal throttling, host contention), so timing all of A and
+//! then all of B measures the drift, not the difference. This helper
+//! alternates short A and B bursts within one process and scores each
+//! round as a ratio, so both sides see the same instantaneous machine
+//! speed. The reported ratio is the **median** of per-round ratios —
+//! robust against a single descheduled round.
+//!
+//! Within a round the order A-then-B vs B-then-A alternates, cancelling
+//! any first-burst cache/branch-predictor advantage to first order.
+
+use std::time::Instant;
+
+/// Result of one interleaved comparison.
+#[derive(Debug, Clone)]
+pub struct AbReport {
+    /// Median ns per A iteration across rounds.
+    pub a_ns: f64,
+    /// Median ns per B iteration across rounds.
+    pub b_ns: f64,
+    /// Median of per-round `a_ns / b_ns` ratios (>1 ⇒ B is faster).
+    pub ratio: f64,
+    /// Rounds measured (after warmup).
+    pub rounds: usize,
+    /// Iterations per burst.
+    pub inner: usize,
+}
+
+impl AbReport {
+    /// Time reduction of B relative to A as a percentage (`+20.0` ⇒ B
+    /// takes 20% less time per iteration) — `(1 − 1/ratio) × 100`, the
+    /// same "% fewer ns" definition EXPERIMENTS.md's tables use, so a
+    /// bench rerun is directly comparable against the recorded numbers.
+    #[must_use]
+    pub fn b_improvement_pct(&self) -> f64 {
+        (1.0 - 1.0 / self.ratio) * 100.0
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = xs.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        f64::midpoint(xs[n / 2 - 1], xs[n / 2])
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn burst_ns(f: &mut dyn FnMut(), inner: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..inner {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / inner as f64
+}
+
+/// Runs `rounds` interleaved rounds of `inner` iterations of each
+/// closure, plus one unmeasured warmup round, and reports per-iteration
+/// timings and their per-round ratio.
+///
+/// # Panics
+/// Panics if `rounds` or `inner` is zero.
+pub fn interleaved_ab(
+    rounds: usize,
+    inner: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> AbReport {
+    assert!(rounds > 0 && inner > 0, "empty A/B comparison");
+    // Warmup: one burst each, untimed (page faults, lazy init).
+    burst_ns(&mut a, inner);
+    burst_ns(&mut b, inner);
+    let mut a_times = Vec::with_capacity(rounds);
+    let mut b_times = Vec::with_capacity(rounds);
+    let mut ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let (ta, tb) = if round % 2 == 0 {
+            let ta = burst_ns(&mut a, inner);
+            let tb = burst_ns(&mut b, inner);
+            (ta, tb)
+        } else {
+            let tb = burst_ns(&mut b, inner);
+            let ta = burst_ns(&mut a, inner);
+            (ta, tb)
+        };
+        a_times.push(ta);
+        b_times.push(tb);
+        ratios.push(ta / tb);
+    }
+    AbReport {
+        a_ns: median(&mut a_times),
+        b_ns: median(&mut b_times),
+        ratio: median(&mut ratios),
+        rounds,
+        inner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust() {
+        assert!((median(&mut [3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((median(&mut [1.0, 2.0, 3.0, 100.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_an_obvious_difference() {
+        // A does ~20x the work of B; the interleaved ratio must say B is
+        // faster even though we assert only a loose factor (the 1-core
+        // box is noisy).
+        let work = |n: u64| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_mul(0x9E37_79B9).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        };
+        let rep = interleaved_ab(5, 50, || work(20_000), || work(1_000));
+        assert!(rep.ratio > 2.0, "ratio {}", rep.ratio);
+        assert!(rep.a_ns > rep.b_ns);
+        assert!(rep.b_improvement_pct() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty A/B comparison")]
+    fn zero_rounds_panics() {
+        let _ = interleaved_ab(0, 1, || {}, || {});
+    }
+}

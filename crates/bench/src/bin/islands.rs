@@ -4,7 +4,10 @@
 //!
 //! Reports, per configuration: best speedup, fitness evaluations
 //! actually performed (cache misses), sharded-cache hit rate, wall
-//! time and evals/sec — the numbers recorded in EXPERIMENTS.md.
+//! time, evals/sec and interpreter throughput (simulated
+//! warp-instructions per wall-second — evals/sec conflates simulator
+//! speed with kernel size and cache behaviour; winstr/sec isolates the
+//! interpreter) — the numbers recorded in EXPERIMENTS.md.
 //!
 //! Budget via GEVO_POP / GEVO_GENS / GEVO_SEED; island count via
 //! `--islands N` / GEVO_ISLANDS (that count is compared against 1).
@@ -14,7 +17,8 @@
 //!
 //! ```text
 //! {"workload":"ADEPT-V0 / P100","islands":4,"best_speedup":...,
-//!  "evals":...,"cache_hit_rate":...,"evals_per_sec":...,"migrations":...}
+//!  "evals":...,"cache_hit_rate":...,"evals_per_sec":...,
+//!  "winstr_per_sec":...,"migrations":...}
 //! ```
 
 use gevo_bench::{
@@ -48,9 +52,11 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize,
             "evals".into(),
             "cache hit-rate".into(),
             "evals/sec".into(),
+            "Mwinstr/sec".into(),
             "migrations".into(),
         ]);
         row(&[
+            "---".into(),
             "---".into(),
             "---".into(),
             "---".into(),
@@ -71,6 +77,7 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize,
                 "{{\"workload\":\"{name}\",\"islands\":{n},\"pop\":{pop},\"gens\":{gens},\
                  \"best_speedup\":{:.6},\"best_fitness\":{:.1},\"evals\":{},\
                  \"cache_hits\":{},\"cache_hit_rate\":{:.4},\"evals_per_sec\":{:.1},\
+                 \"instructions\":{},\"winstr_per_sec\":{:.0},\
                  \"migrations\":{},\"wall_secs\":{secs:.3}}}",
                 res.speedup,
                 res.best.fitness.expect("best is valid"),
@@ -78,6 +85,8 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize,
                 res.cache_hits,
                 hit_rate,
                 res.evals as f64 / secs,
+                res.instructions,
+                res.instructions as f64 / secs,
                 res.history.migrations.len(),
             );
         } else {
@@ -87,6 +96,7 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize,
                 res.evals.to_string(),
                 format!("{:.1}%", 100.0 * hit_rate),
                 format!("{:.0}", res.evals as f64 / secs),
+                format!("{:.2}", res.instructions as f64 / secs / 1e6),
                 res.history.migrations.len().to_string(),
             ]);
         }

@@ -1,0 +1,134 @@
+//! Shared setups for the interpreter launch micro-benchmarks.
+//!
+//! Three cases, used by `benches/compile.rs`, the `launch_ns` bin and
+//! EXPERIMENTS.md's interleaved before/after table:
+//!
+//! * **`adept_v0`** — the ADEPT-V0 forward kernel with a tiny but valid
+//!   single-pair batch (one block, 8 threads). Deliberately small: the
+//!   quantity under test is per-launch overhead, so the execution time it
+//!   amortizes against is kept comparable.
+//! * **`simcov_cdiff`** — one `SIMCoV` `chem_diffuse` launch (the §II-C1
+//!   hot spot) over a small grid; `SIMCoV` launches this kernel
+//!   `steps × substeps` times per fitness evaluation.
+//! * **`simcov_eval`** — one full `SIMCoV` fitness evaluation through
+//!   [`gevo_engine::Workload::evaluate_compiled`] (the scaled config's
+//!   140 kernel launches plus host-side setup/validation), the
+//!   launch-heavy steady state the GA actually pays for.
+
+use gevo_engine::Workload;
+use gevo_gpu::{Buffer, CompiledKernel, Gpu, GpuSpec, KernelArg, LaunchConfig};
+use gevo_ir::Kernel;
+use gevo_workloads::simcov::{kernels as sck, SimcovConfig, SimcovParams, SimcovWorkload};
+
+/// The scaled 8-lane P100 the launch cases run on.
+#[must_use]
+pub fn scaled_spec() -> GpuSpec {
+    let mut spec = GpuSpec::p100().scaled(8);
+    spec.device_mem_bytes = 1 << 20;
+    spec
+}
+
+/// ADEPT-V0 forward kernel with a tiny but valid single-pair batch.
+#[must_use]
+pub fn adept_v0_case() -> (Gpu, Kernel, LaunchConfig, Vec<KernelArg>) {
+    let (kernel, _) = gevo_workloads::adept::v0::build_v0(8, 1);
+    let mut gpu = Gpu::new(scaled_spec());
+    let n: i32 = 6;
+    let m: i32 = 8;
+    let alloc_i32 = |gpu: &mut Gpu, v: &[i32]| -> Buffer {
+        let buf = gpu.mem_mut().alloc((v.len().max(1) * 4) as u64).unwrap();
+        gpu.mem_mut().write_i32s(buf, 0, v);
+        buf
+    };
+    #[allow(clippy::cast_sign_loss)]
+    let (seq_a, seq_b): (Vec<i32>, Vec<i32>) = (
+        (0..m).map(|i| i % 4).collect(),
+        (0..n).map(|i| (i + 1) % 4).collect(),
+    );
+    let seq_a = alloc_i32(&mut gpu, &seq_a);
+    let seq_b = alloc_i32(&mut gpu, &seq_b);
+    let offs = alloc_i32(&mut gpu, &[0]);
+    let lens_a = alloc_i32(&mut gpu, &[m]);
+    let lens_b = alloc_i32(&mut gpu, &[n]);
+    let out = gpu.mem_mut().alloc(16).unwrap();
+    let scratch = gpu.mem_mut().alloc(8 * 4).unwrap();
+    let args = vec![
+        seq_a.into(),
+        seq_b.into(),
+        offs.into(),
+        offs.into(),
+        lens_a.into(),
+        lens_b.into(),
+        out.into(),
+        scratch.into(),
+    ];
+    (gpu, kernel, LaunchConfig::new(1, 8), args)
+}
+
+/// One `SIMCoV` diffusion kernel (`chem_diffuse`) over a small grid.
+#[must_use]
+pub fn simcov_cdiff_case() -> (Gpu, Kernel, LaunchConfig, Vec<KernelArg>) {
+    let g = 8i32;
+    let p = SimcovParams::default();
+    let layout = sck::Layout::Checked;
+    let (kernel, _, _) = sck::build_chem_diffuse(g, &p, layout);
+    let mut gpu = Gpu::new(scaled_spec());
+    let flen = layout.field_len(g) as u64;
+    let chem = gpu.mem_mut().alloc(flen * 4).unwrap();
+    let next_chem = gpu.mem_mut().alloc(flen * 4).unwrap();
+    let epi = gpu
+        .mem_mut()
+        .alloc(u64::from(g.unsigned_abs().pow(2)) * 4)
+        .unwrap();
+    let scratch = gpu
+        .mem_mut()
+        .alloc(u64::from(g.unsigned_abs().pow(2)) * 4)
+        .unwrap();
+    let args = vec![chem.into(), next_chem.into(), epi.into(), scratch.into()];
+    #[allow(clippy::cast_sign_loss)]
+    let grid = ((g * g) as u32).div_ceil(64);
+    (gpu, kernel, LaunchConfig::new(grid, 64), args)
+}
+
+/// The full-evaluation case: the scaled `SIMCoV` workload plus its
+/// pristine kernels pre-compiled, and the number of kernel launches one
+/// `evaluate_compiled` call performs (for ns/launch normalization).
+#[must_use]
+pub fn simcov_eval_case() -> (SimcovWorkload, Vec<CompiledKernel>, f64) {
+    let w = SimcovWorkload::new(SimcovConfig::scaled());
+    let compiled = w
+        .compile(w.kernels())
+        .expect("simcov has a compiled path")
+        .expect("pristine kernels compile");
+    let cfg = w.config();
+    // Per step: extravasate, move, commit, epi, substeps × (vdiff,
+    // cdiff, swap), stats.
+    let per_step = 4 + 3 * cfg.params.diffusion_substeps + 1;
+    #[allow(clippy::cast_precision_loss)]
+    let launches = f64::from(cfg.steps * per_step);
+    (w, compiled, launches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_cases_execute() {
+        for (mut gpu, kernel, cfg, args) in [adept_v0_case(), simcov_cdiff_case()] {
+            let compiled = gpu.compile(&kernel).expect("compiles");
+            let stats = gpu
+                .launch_compiled(&compiled, cfg, &args)
+                .expect("launches");
+            assert!(stats.instructions > 0);
+        }
+    }
+
+    #[test]
+    fn simcov_eval_case_passes_and_counts_launches() {
+        let (w, compiled, launches) = simcov_eval_case();
+        assert!((launches - 140.0).abs() < 1e-9, "scaled config: {launches}");
+        let out = w.evaluate_compiled(&compiled, 0);
+        assert!(out.is_valid(), "{:?}", out.failure);
+    }
+}

@@ -1,0 +1,108 @@
+//! Deterministic pseudo-random kernel generation for the differential
+//! property tests (`tests/compile_diff.rs`, `tests/scratch_reuse.rs`).
+
+use gevo_ir::{rng, IntBinOp, Kernel, KernelBuilder, Operand, Special};
+
+/// Deterministic pseudo-random kernel generator driven by
+/// [`gevo_ir::rng::mix64`]: straight-line integer arithmetic over a
+/// growing register pool, warp intrinsics (shuffle + ballot), shared
+/// scratch traffic, a barrier, and a data-dependent diamond, closed by a
+/// per-thread global store. Everything the interpreter dispatches on,
+/// in one kernel family.
+#[must_use]
+#[allow(clippy::missing_panics_doc)]
+#[allow(clippy::cast_possible_truncation)] // pool/op indices are tiny
+pub fn random_kernel(seed: u64, n_ops: u64) -> Kernel {
+    const OPS: [IntBinOp; 10] = [
+        IntBinOp::Add,
+        IntBinOp::Sub,
+        IntBinOp::Mul,
+        IntBinOp::Min,
+        IntBinOp::Max,
+        IntBinOp::And,
+        IntBinOp::Or,
+        IntBinOp::Xor,
+        IntBinOp::Div,
+        IntBinOp::Rem,
+    ];
+    let mut ctr = 0u64;
+    let mut draw = |bound: u64| -> u64 {
+        ctr += 1;
+        rng::mix64(seed, ctr) % bound.max(1)
+    };
+
+    let mut b = KernelBuilder::new("rand");
+    b.shared_bytes(64 * 4);
+    let out = b.param_ptr("out", gevo_ir::AddrSpace::Global);
+    let tid = b.special_i32(Special::ThreadId);
+    let lane = b.special_i32(Special::LaneId);
+
+    // Register pool the generator samples operands from.
+    let mut pool = vec![tid, lane];
+    for _ in 0..n_ops {
+        let op = OPS[draw(OPS.len() as u64) as usize];
+        let a = pool[draw(pool.len() as u64) as usize];
+        let rhs: Operand = if draw(3) == 0 {
+            #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+            Operand::ImmI32(draw(17) as i32 - 8)
+        } else {
+            pool[draw(pool.len() as u64) as usize].into()
+        };
+        let r = b.ibin(op, a.into(), rhs);
+        pool.push(r);
+    }
+    let acc = pool[pool.len() - 1];
+
+    // Shared scratch: publish, barrier, read a neighbour's slot.
+    let my_slot = b.index_addr(Operand::ImmI64(0), tid.into(), 4);
+    b.store_shared_i32(my_slot.into(), acc.into());
+    b.sync_threads();
+    let nb = b.ibin(IntBinOp::Xor, tid.into(), Operand::ImmI32(1));
+    let nb_clamped = b.min(nb.into(), Operand::ImmI32(63));
+    let nb_slot = b.index_addr(Operand::ImmI64(0), nb_clamped.into(), 4);
+    let nb_val = b.load_shared_i32(nb_slot.into());
+
+    // Warp intrinsics.
+    let sel = b.and(lane.into(), Operand::ImmI32(3));
+    let shuffled = b.shfl(acc.into(), sel.into());
+    let odd = b.and(tid.into(), Operand::ImmI32(1));
+    let is_odd = b.icmp_eq(odd.into(), Operand::ImmI32(1));
+    let votes = b.ballot(is_odd.into());
+
+    // Data-dependent diamond (divergent for mixed predicates).
+    #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+    let pivot = Operand::ImmI32(draw(8) as i32);
+    let cond = b.icmp_lt(acc.into(), pivot);
+    let then_b = b.new_block("then");
+    let else_b = b.new_block("else");
+    let join_b = b.new_block("join");
+    let result = b.fresh_reg(gevo_ir::Ty::I32);
+    b.cond_br(cond.into(), then_b, else_b);
+    b.switch_to(then_b);
+    let t = b.add(nb_val.into(), shuffled.into());
+    b.mov_to(result, t.into());
+    b.br(join_b);
+    b.switch_to(else_b);
+    let e = b.sub(votes.into(), nb_val.into());
+    b.mov_to(result, e.into());
+    b.br(join_b);
+    b.switch_to(join_b);
+    let gtid = b.global_thread_id();
+    let addr = b.index_addr(Operand::Param(out), gtid.into(), 4);
+    b.store_global_i32(addr.into(), result.into());
+    b.ret();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_kernels_verify() {
+        for seed in [0, 1, 0xDEAD_BEEF] {
+            let k = random_kernel(seed, 12);
+            assert!(gevo_ir::verify::verify(&k).is_ok(), "seed {seed}");
+        }
+    }
+}

@@ -26,6 +26,10 @@
 #![allow(clippy::missing_panics_doc)]
 #![allow(clippy::cast_precision_loss)]
 
+pub mod ab;
+pub mod cases;
+pub mod kernel_gen;
+
 use gevo_engine::{run_islands, Evaluator, GaConfig, GaResult, IslandConfig, Patch, Workload};
 use gevo_gpu::GpuSpec;
 use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};

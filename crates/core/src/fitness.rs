@@ -56,7 +56,7 @@ use crate::edit::Patch;
 use gevo_gpu::{CompiledKernel, LaunchStats};
 use gevo_ir::Kernel;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// The outcome of evaluating one program variant on the full test set.
@@ -185,6 +185,9 @@ pub struct Evaluator<'w> {
     cache_hits: AtomicUsize,
     compiles: AtomicUsize,
     compiled_hits: AtomicUsize,
+    /// Total simulated warp-instructions across performed evaluations
+    /// (cache hits simulate nothing and add nothing).
+    instructions: AtomicU64,
     eval_seed: RwLock<u64>,
 }
 
@@ -204,6 +207,7 @@ impl<'w> Evaluator<'w> {
             cache_hits: AtomicUsize::new(0),
             compiles: AtomicUsize::new(0),
             compiled_hits: AtomicUsize::new(0),
+            instructions: AtomicU64::new(0),
             eval_seed: RwLock::new(0),
         }
     }
@@ -301,6 +305,10 @@ impl<'w> Evaluator<'w> {
             }
         };
         self.evals.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = &outcome.stats {
+            self.instructions
+                .fetch_add(stats.instructions, Ordering::Relaxed);
+        }
         self.shard(key)
             .lock()
             .expect("cache shard")
@@ -340,6 +348,17 @@ impl<'w> Evaluator<'w> {
     #[must_use]
     pub fn cache_hits(&self) -> usize {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated warp-instructions across evaluations actually
+    /// performed ([`gevo_gpu::LaunchStats::instructions`], summed over
+    /// every passing evaluation's launches). Dividing by wall time gives
+    /// the interpreter's throughput — the harnesses report it alongside
+    /// evals/sec, which conflates simulation speed with kernel size and
+    /// cache behaviour.
+    #[must_use]
+    pub fn instructions_simulated(&self) -> u64 {
+        self.instructions.load(Ordering::Relaxed)
     }
 
     /// Kernel compilations actually performed (compiled-cache misses on
@@ -621,6 +640,40 @@ mod tests {
         assert!(!out.is_valid());
         assert!(out.failure.unwrap().contains("never written"));
         assert_eq!(ev.speedup(&p), None);
+    }
+
+    #[test]
+    fn instruction_counter_tracks_performed_evals_only() {
+        struct Counting {
+            kernels: Vec<Kernel>,
+        }
+        impl Workload for Counting {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn kernels(&self) -> &[Kernel] {
+                &self.kernels
+            }
+            fn evaluate(&self, _kernels: &[Kernel], _seed: u64) -> EvalOutcome {
+                EvalOutcome::pass(
+                    1.0,
+                    LaunchStats {
+                        instructions: 7,
+                        ..LaunchStats::default()
+                    },
+                )
+            }
+        }
+        let w = Counting {
+            kernels: Stub::new().kernels,
+        };
+        let ev = Evaluator::new(&w);
+        let _ = ev.evaluate(&Patch::empty());
+        let _ = ev.evaluate(&Patch::empty()); // cache hit: simulates nothing
+        assert_eq!(ev.instructions_simulated(), 7);
+        ev.set_eval_seed(3);
+        let _ = ev.evaluate(&Patch::empty()); // re-simulated under new seed
+        assert_eq!(ev.instructions_simulated(), 14);
     }
 
     #[test]

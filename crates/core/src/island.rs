@@ -169,6 +169,10 @@ pub struct IslandResult {
     pub evals: usize,
     /// Evaluations served from the sharded cache.
     pub cache_hits: usize,
+    /// Simulated warp-instructions across the performed evaluations
+    /// (interpreter-throughput numerator; see
+    /// [`crate::Evaluator::instructions_simulated`]).
+    pub instructions: u64,
 }
 
 impl IslandResult {
@@ -568,6 +572,7 @@ pub fn run_islands_with_weights(
         islands: islands.into_iter().map(|isl| isl.history).collect(),
         evals: evaluator.evals_performed(),
         cache_hits: evaluator.cache_hits(),
+        instructions: evaluator.instructions_simulated(),
     }
 }
 

@@ -66,8 +66,77 @@ pub(crate) enum Slot {
     Param(u16),
 }
 
+impl Slot {
+    /// True when reading this slot yields the same value in **every**
+    /// lane of a warp: immediates and parameters trivially, and the
+    /// specials that do not depend on the lane (block/grid geometry and
+    /// the warp's own id — every lane of a warp shares its warp id).
+    /// Registers are never statically uniform (lanes own private
+    /// copies), and `ThreadId`/`LaneId` are lane-dependent by
+    /// definition.
+    ///
+    /// The interpreter's uniform-branch fast path keys off this: a
+    /// conditional branch whose predicate slot is warp-uniform can be
+    /// decided with a single read — divergence is statically
+    /// impossible, so the per-lane predicate loop and the divergence
+    /// bookkeeping are skipped entirely.
+    pub(crate) fn is_warp_uniform(&self) -> bool {
+        use gevo_ir::Special;
+        match self {
+            Slot::Reg(_) => false,
+            Slot::ImmI32(_)
+            | Slot::ImmI64(_)
+            | Slot::ImmF32(_)
+            | Slot::ImmBool(_)
+            | Slot::Param(_) => true,
+            Slot::Special(s) => !matches!(s, Special::ThreadId | Special::LaneId),
+        }
+    }
+}
+
 /// Sentinel for [`CInst::dst`]: the instruction has no destination.
 pub(crate) const NO_DST: u32 = u32::MAX;
+
+/// Pre-decoded dispatch class of a [`CInst`], stored in the padding
+/// byte after [`CInst::op`] (so it is free, layout-wise). The
+/// interpreter's per-instruction dispatch matches on this one-byte tag
+/// — a dense 8-way jump — instead of re-deriving the class from `Op`'s
+/// payload-carrying discriminant on every executed instruction; the
+/// `Op` payload (space, type, predicate…) is only decoded inside the
+/// arm that needs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpClass {
+    /// Plain per-lane compute op (the `exec_scalar` family).
+    Scalar,
+    /// `__syncthreads`.
+    Sync,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Atomic read-modify-write.
+    Atomic,
+    /// Warp shuffle.
+    Shfl,
+    /// `ballot_sync`.
+    Ballot,
+    /// `activemask`.
+    ActiveMask,
+}
+
+/// Classifies an op once, at compile time.
+fn op_class(op: Op) -> OpClass {
+    match op {
+        Op::SyncThreads => OpClass::Sync,
+        Op::Load { .. } => OpClass::Load,
+        Op::Store { .. } => OpClass::Store,
+        Op::AtomicAdd { .. } | Op::AtomicMax { .. } | Op::AtomicCas { .. } => OpClass::Atomic,
+        Op::ShflSync | Op::ShflUpSync => OpClass::Shfl,
+        Op::BallotSync => OpClass::Ballot,
+        Op::ActiveMask => OpClass::ActiveMask,
+        _ => OpClass::Scalar,
+    }
+}
 
 /// One lowered instruction in the flattened stream.
 ///
@@ -83,6 +152,8 @@ pub(crate) const NO_DST: u32 = u32::MAX;
 pub(crate) struct CInst {
     /// The operation (shared with the IR; `Copy` and match-dispatched).
     pub op: Op,
+    /// Pre-decoded dispatch class of `op` (fills `op`'s padding byte).
+    pub tag: OpClass,
     /// Destination register-file base index, pre-multiplied;
     /// [`NO_DST`] when the op writes no register.
     pub dst: u32,
@@ -139,6 +210,12 @@ pub struct CompiledKernel {
     /// Per-block reconvergence target (immediate post-dominator), with
     /// [`EXIT`] for blocks that reconverge only at thread exit.
     pub(crate) reconv: Vec<u32>,
+    /// Per-block flag: the terminator is a [`CTerm::CondBr`] whose
+    /// condition slot is statically warp-uniform
+    /// ([`Slot::is_warp_uniform`]), so the branch can never diverge and
+    /// the interpreter decides it with a single operand read. `false`
+    /// for unconditional terminators.
+    pub(crate) uniform_cond: Vec<bool>,
     /// Prebuilt per-warp register-file image: `regs × lanes` typed
     /// sentinels, reg-major.
     pub(crate) reg_file: Vec<Value>,
@@ -168,6 +245,7 @@ impl CompiledKernel {
                 }
                 code.push(CInst {
                     op: inst.op,
+                    tag: op_class(inst.op),
                     dst: inst.dst.map_or(NO_DST, |r| reg_base(r, lanes)),
                     args,
                     cost: scalar_cost(inst.op, spec),
@@ -188,6 +266,11 @@ impl CompiledKernel {
                 gevo_ir::TermKind::Ret => CTerm::Ret,
             });
         }
+
+        let uniform_cond = terms
+            .iter()
+            .map(|t| matches!(t, CTerm::CondBr { cond, .. } if cond.is_warp_uniform()))
+            .collect();
 
         let reconv = (0..kernel.blocks.len())
             .map(|b| {
@@ -214,6 +297,7 @@ impl CompiledKernel {
             block_bounds,
             terms,
             reconv,
+            uniform_cond,
             reg_file,
         })
     }
@@ -308,8 +392,57 @@ mod tests {
     #[test]
     fn lowered_types_stay_compact() {
         assert_eq!(std::mem::size_of::<Slot>(), 16);
-        assert_eq!(std::mem::size_of::<CInst>(), 64, "one cache line");
+        assert_eq!(
+            std::mem::size_of::<CInst>(),
+            64,
+            "one cache line (the OpClass tag must live in Op's padding)"
+        );
+        assert_eq!(std::mem::size_of::<OpClass>(), 1, "tag is one byte");
         assert!(std::mem::size_of::<CTerm>() <= 24);
+    }
+
+    #[test]
+    fn uniform_cond_classifies_slots() {
+        use gevo_ir::Special;
+        assert!(Slot::ImmBool(true).is_warp_uniform());
+        assert!(Slot::ImmI32(3).is_warp_uniform());
+        assert!(Slot::Param(0).is_warp_uniform());
+        assert!(Slot::Special(Special::BlockId).is_warp_uniform());
+        assert!(Slot::Special(Special::WarpId).is_warp_uniform());
+        assert!(!Slot::Special(Special::ThreadId).is_warp_uniform());
+        assert!(!Slot::Special(Special::LaneId).is_warp_uniform());
+        assert!(!Slot::Reg(0).is_warp_uniform());
+    }
+
+    #[test]
+    fn compile_bakes_uniform_cond_flags() {
+        // diamond_kernel branches on `tid < 4` — lane-dependent, so its
+        // entry block must NOT be flagged uniform.
+        let k = diamond_kernel();
+        let spec = GpuSpec::p100().scaled(8);
+        let ck = CompiledKernel::compile(&k, &spec).expect("verifies");
+        assert_eq!(ck.uniform_cond.len(), ck.block_count());
+        assert!(!ck.uniform_cond.iter().any(|&u| u));
+
+        // An immediate-boolean condition — what the GA's `CondReplace`
+        // edits inject (e.g. the v0 init-skip replaces a branch cond
+        // with `ImmBool(false)`) — IS statically warp-uniform.
+        let mut b = KernelBuilder::new("ub");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let t = b.new_block("t");
+        let j = b.new_block("j");
+        b.cond_br(Operand::ImmBool(false), t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        let tid = b.special_i32(Special::ThreadId);
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let uk = b.finish();
+        let uck = CompiledKernel::compile(&uk, &spec).expect("verifies");
+        assert!(uck.uniform_cond[0], "immediate cond is uniform");
+        assert!(!uck.uniform_cond[1], "Br block is not flagged");
     }
 
     fn diamond_kernel() -> Kernel {

@@ -18,8 +18,24 @@
 //! compiles on the fly for one-shot use; evaluation loops that launch the
 //! same variant repeatedly should compile once and call
 //! [`Gpu::launch_compiled`].
+//!
+//! ## Zero-allocation steady state
+//!
+//! All per-launch mutable state — warp states and their register files,
+//! the shared-memory buffer, divergence stacks, the warp-order
+//! permutation, the launch's parameter values and per-SM cycle tallies —
+//! lives in an [`ExecScratch`] that persists across blocks *and*
+//! launches ([`Gpu`] owns one; [`Gpu::launch_compiled_in`] accepts an
+//! external one). A steady-state evaluation loop therefore performs **no
+//! heap allocation**: register files reset with a `memcpy` from the
+//! compile-time image, shared memory with a `memset`, and the
+//! transient sets the memory model needs (coalesced segments, bank
+//! words) are fixed stack arrays bounded by [`MAX_WARP`]. Scratch
+//! contents never affect results — every launch fully reinitializes the
+//! state it reads, which the scratch-reuse differential proptest
+//! (`crates/bench/tests/scratch_reuse.rs`) enforces bit-for-bit.
 
-use crate::compile::{CInst, CTerm, CompiledKernel, Slot, EXIT, NO_DST};
+use crate::compile::{CInst, CTerm, CompiledKernel, OpClass, Slot, EXIT, NO_DST};
 use crate::error::ExecError;
 use crate::launch::{KernelArg, LaunchConfig, LaunchStats};
 use crate::mem::DeviceMemory;
@@ -33,25 +49,48 @@ use gevo_ir::{
 /// reported through `i32` ballots cap at 32).
 pub const MAX_WARP: u32 = 32;
 
-/// A simulated GPU: one spec plus its device memory and L2 state.
+/// A simulated GPU: one spec plus its device memory, L2 state and the
+/// reusable execution scratch.
 #[derive(Debug)]
 pub struct Gpu {
     spec: GpuSpec,
     mem: DeviceMemory,
     l2: L2State,
+    scratch: ExecScratch,
 }
 
 impl Gpu {
     /// Creates a device with the spec's memory arena.
     #[must_use]
     pub fn new(spec: GpuSpec) -> Gpu {
+        Gpu::with_scratch(spec, ExecScratch::new())
+    }
+
+    /// Creates a device that adopts an existing [`ExecScratch`] (e.g.
+    /// recycled from a finished device by an evaluation loop that builds
+    /// a fresh `Gpu` per fitness evaluation). Behaviour is identical to
+    /// [`Gpu::new`]; only the allocations are warm.
+    #[must_use]
+    pub fn with_scratch(spec: GpuSpec, scratch: ExecScratch) -> Gpu {
         assert!(
             spec.warp_size >= 2 && spec.warp_size <= MAX_WARP,
             "warp_size must be in 2..={MAX_WARP}"
         );
         let mem = DeviceMemory::new(spec.device_mem_bytes);
         let l2 = L2State::new(&spec);
-        Gpu { spec, mem, l2 }
+        Gpu {
+            spec,
+            mem,
+            l2,
+            scratch,
+        }
+    }
+
+    /// Takes the device's execution scratch (leaving a fresh empty one),
+    /// so its allocations can outlive this `Gpu` — the complement of
+    /// [`Gpu::with_scratch`].
+    pub fn take_scratch(&mut self) -> ExecScratch {
+        std::mem::take(&mut self.scratch)
     }
 
     /// Creates a device with an explicit arena size (e.g. sized so a
@@ -129,6 +168,30 @@ impl Gpu {
         cfg: LaunchConfig,
         args: &[KernelArg],
     ) -> Result<LaunchStats, ExecError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.launch_compiled_in(kernel, cfg, args, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// [`Gpu::launch_compiled`] with an explicit [`ExecScratch`].
+    ///
+    /// The scratch is working memory only: results are bit-identical
+    /// whether it is freshly created, was last used by a different
+    /// kernel, a different geometry, or a different device. Threading
+    /// one scratch through a loop of launches keeps the steady state
+    /// allocation-free; [`Gpu::launch_compiled`] does exactly this with
+    /// the device-owned scratch.
+    ///
+    /// # Errors
+    /// Same contract as [`Gpu::launch_compiled`].
+    pub fn launch_compiled_in(
+        &mut self,
+        kernel: &CompiledKernel,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+        scratch: &mut ExecScratch,
+    ) -> Result<LaunchStats, ExecError> {
         if !kernel.matches_spec(&self.spec) {
             let why = if kernel.lanes == self.spec.warp_size {
                 "different cost table".to_string()
@@ -144,37 +207,109 @@ impl Gpu {
             )));
         }
         validate_geometry(&self.spec, &kernel.params, kernel.shared_bytes, cfg, args)?;
-        let params: Vec<Value> = args.iter().map(KernelArg::value).collect();
+        scratch.params.clear();
+        scratch.params.extend(args.iter().map(KernelArg::value));
+        scratch.sm_cycles.clear();
+        scratch.sm_cycles.resize(self.spec.sm_count as usize, 0);
 
+        let lanes = self.spec.warp_size;
         let mut stats = LaunchStats {
             blocks: cfg.grid,
-            warps_per_block: cfg.block.div_ceil(self.spec.warp_size),
+            warps_per_block: cfg.block.div_ceil(lanes),
             ..LaunchStats::default()
         };
-        let mut sm_cycles = vec![0u64; self.spec.sm_count as usize];
         for block_idx in 0..cfg.grid {
+            scratch.reset_block(kernel, cfg.block, lanes);
+            // Warp issue order: seed 0 (the deterministic fitness
+            // baseline) runs in natural ascending order with no
+            // permutation buffer at all; other seeds fill the reused
+            // buffer with a Fisher-Yates shuffle (paper §II-C2).
+            let permuted = cfg.sched_seed != 0;
+            if permuted {
+                fill_warp_order(
+                    &mut scratch.order,
+                    scratch.warps.len(),
+                    cfg.sched_seed,
+                    block_idx,
+                );
+            }
             let block_cycles = {
                 // Device-wide L2 cache and DRAM row state persist across
                 // blocks AND launches (real devices do not flush L2
-                // between kernels).
-                let mut exec = BlockExec::new(
-                    &self.spec,
-                    &mut self.mem,
+                // between kernels); the scratch persists too, but is
+                // fully reinitialized by `reset_block`. The hot-loop
+                // state is borrowed as slices (not `&mut Vec`) so every
+                // warp/shared access is a single indirection.
+                let mut exec = BlockExec {
+                    spec: &self.spec,
+                    mem: &mut self.mem,
                     kernel,
-                    &params,
-                    cfg,
+                    params: &scratch.params,
+                    launch: cfg,
                     block_idx,
-                    &mut stats,
-                    &mut self.l2,
-                );
+                    stats: &mut stats,
+                    shared: &mut scratch.shared[..],
+                    l2: &mut self.l2,
+                    warps: &mut scratch.warps[..],
+                    order: if permuted { &scratch.order[..] } else { &[] },
+                    steps: 0,
+                    issue: 0,
+                    lanes,
+                };
                 exec.run()?
             };
             let sm = (block_idx % self.spec.sm_count) as usize;
-            sm_cycles[sm] += block_cycles;
+            scratch.sm_cycles[sm] += block_cycles;
         }
         stats.cycles =
-            self.spec.costs.launch_overhead + sm_cycles.iter().copied().max().unwrap_or(0);
+            self.spec.costs.launch_overhead + scratch.sm_cycles.iter().copied().max().unwrap_or(0);
         Ok(stats)
+    }
+}
+
+/// Reusable per-launch execution state: warp records (with their
+/// register files and divergence stacks), the shared-memory buffer, the
+/// warp-order permutation, parameter values and per-SM cycle tallies.
+///
+/// Persisting this across blocks and launches is what makes the
+/// interpreter's steady state allocation-free (see the module docs).
+/// A scratch carries **no semantic state**: every launch reinitializes
+/// everything it reads, so any scratch — fresh, or last used by a
+/// different kernel/geometry/device — produces bit-identical results.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    warps: Vec<Warp>,
+    shared: Vec<u8>,
+    order: Vec<u32>,
+    params: Vec<Value>,
+    sm_cycles: Vec<u64>,
+}
+
+impl ExecScratch {
+    /// An empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    #[must_use]
+    pub fn new() -> ExecScratch {
+        ExecScratch::default()
+    }
+
+    /// Reinitializes the warp set and shared memory for one block,
+    /// reusing every allocation from previous blocks/launches.
+    fn reset_block(&mut self, kernel: &CompiledKernel, n_threads: u32, lanes: u32) {
+        let n_warps = n_threads.div_ceil(lanes) as usize;
+        self.warps.truncate(n_warps);
+        for (w, warp) in self.warps.iter_mut().enumerate() {
+            warp.reset(w as u32, n_threads, lanes, &kernel.reg_file);
+        }
+        for w in self.warps.len()..n_warps {
+            self.warps
+                .push(Warp::fresh(w as u32, n_threads, lanes, &kernel.reg_file));
+        }
+        // Shared memory starts as recognizable garbage: reads before
+        // writes are deterministically wrong, never luckily zero.
+        // (clear + resize is a memset over reused capacity.)
+        self.shared.clear();
+        self.shared.resize(kernel.shared_bytes as usize, 0xDB);
     }
 }
 
@@ -243,12 +378,66 @@ struct Warp {
     active: u64,
     exited: u64,
     block: u32,
-    ip: usize,
+    /// Instruction index within the current block (fits `u32`: the
+    /// whole flattened stream is indexed by `u32` block bounds).
+    ip: u32,
     stack: Vec<Frame>,
     /// Register file, reg-major: `regs[reg * lanes + lane]`.
     regs: Vec<Value>,
     cycles: u64,
     state: WarpState,
+}
+
+/// Mask of the `live` low lanes of a warp.
+fn live_mask(live: u32) -> u64 {
+    if live == 64 {
+        u64::MAX
+    } else {
+        (1u64 << live) - 1
+    }
+}
+
+impl Warp {
+    /// A freshly allocated warp at the kernel entry.
+    fn fresh(idx: u32, n_threads: u32, lanes: u32, reg_file: &[Value]) -> Warp {
+        let live = (n_threads - idx * lanes).min(lanes);
+        Warp {
+            idx,
+            active: live_mask(live),
+            exited: 0,
+            block: 0,
+            ip: 0,
+            stack: Vec::new(),
+            // The typed-sentinel image was prebuilt at compile time;
+            // per-warp initialization is one memcpy.
+            regs: reg_file.to_vec(),
+            cycles: 0,
+            state: WarpState::Running,
+        }
+    }
+
+    /// Reinitializes this warp in place, reusing the register-file and
+    /// divergence-stack allocations. Equivalent to `*self = fresh(...)`
+    /// without the two heap allocations.
+    fn reset(&mut self, idx: u32, n_threads: u32, lanes: u32, reg_file: &[Value]) {
+        let live = (n_threads - idx * lanes).min(lanes);
+        self.idx = idx;
+        self.active = live_mask(live);
+        self.exited = 0;
+        self.block = 0;
+        self.ip = 0;
+        self.stack.clear();
+        if self.regs.len() == reg_file.len() {
+            // Same kernel (the by-far common case: every block of every
+            // relaunch of one variant): a straight memcpy.
+            self.regs.copy_from_slice(reg_file);
+        } else {
+            self.regs.clear();
+            self.regs.extend_from_slice(reg_file);
+        }
+        self.cycles = 0;
+        self.state = WarpState::Running;
+    }
 }
 
 /// Device-wide memory-system state that persists across blocks and
@@ -270,7 +459,208 @@ impl L2State {
     }
 }
 
-/// Execution context for a single thread block.
+/// Fills `order` with the deterministic warp issue permutation for one
+/// block under a nonzero scheduler seed (paper §II-C2). Seed 0 — the
+/// deterministic fitness baseline — never calls this: warps issue in
+/// natural ascending order with no permutation buffer at all.
+fn fill_warp_order(order: &mut Vec<u32>, n: usize, sched_seed: u64, block_idx: u32) {
+    order.clear();
+    #[allow(clippy::cast_possible_truncation)]
+    order.extend(0..n as u32);
+    let mut state =
+        sched_seed.wrapping_add(u64::from(block_idx).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Fisher-Yates with a SplitMix-style generator.
+    for i in (1..n).rev() {
+        state = rng::mix64(state, i as u64);
+        let j = (state % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+}
+
+/// Lane-independent launch context for per-lane operand reads: copies
+/// of everything a [`Slot`] can name besides the warp's own register
+/// file, so the operand path is free functions over `(regs, ctx)` with
+/// no executor indirection.
+#[derive(Clone, Copy)]
+struct LaneCtx<'a> {
+    params: &'a [Value],
+    block_idx: u32,
+    grid: u32,
+    block: u32,
+    lanes: u32,
+}
+
+#[inline]
+fn special(ctx: &LaneCtx, warp_idx: u32, lane: u32, s: gevo_ir::Special) -> i32 {
+    use gevo_ir::Special;
+    #[allow(clippy::cast_possible_wrap)]
+    match s {
+        Special::ThreadId => (warp_idx * ctx.lanes + lane) as i32,
+        Special::BlockId => ctx.block_idx as i32,
+        Special::BlockDim => ctx.block as i32,
+        Special::GridDim => ctx.grid as i32,
+        Special::LaneId => lane as i32,
+        Special::WarpId => warp_idx as i32,
+        Special::WarpSize => ctx.lanes as i32,
+    }
+}
+
+/// Reads one pre-resolved operand for one lane against a warp's
+/// register file.
+#[inline]
+fn read_operand(regs: &[Value], ctx: &LaneCtx, warp_idx: u32, lane: u32, op: &Slot) -> Value {
+    match op {
+        Slot::Reg(base) => regs[*base as usize + lane as usize],
+        Slot::ImmI32(v) => Value::I32(*v),
+        Slot::ImmI64(v) => Value::I64(*v),
+        Slot::ImmF32(v) => Value::F32(*v),
+        Slot::ImmBool(v) => Value::Bool(*v),
+        Slot::Special(s) => Value::I32(special(ctx, warp_idx, lane, *s)),
+        Slot::Param(p) => ctx.params[*p as usize],
+    }
+}
+
+/// Evaluates one scalar op for one lane.
+fn eval_scalar(
+    regs: &[Value],
+    ctx: &LaneCtx,
+    warp_idx: u32,
+    lane: u32,
+    inst: &CInst,
+) -> Result<Value, ExecError> {
+    let a0 = |i: usize| read_operand(regs, ctx, warp_idx, lane, &inst.args[i]);
+    Ok(match inst.op {
+        Op::IBin(op) => eval_ibin(op, a0(0), a0(1))?,
+        Op::FBin(op) => {
+            let x = expect_f32(a0(0))?;
+            let y = expect_f32(a0(1))?;
+            Value::F32(match op {
+                FloatBinOp::Add => x + y,
+                FloatBinOp::Sub => x - y,
+                FloatBinOp::Mul => x * y,
+                FloatBinOp::Div => x / y,
+                FloatBinOp::Min => x.min(y),
+                FloatBinOp::Max => x.max(y),
+            })
+        }
+        Op::Icmp(pred) => Value::Bool(eval_icmp(pred, a0(0), a0(1))?),
+        Op::Fcmp(pred) => {
+            let x = expect_f32(a0(0))?;
+            let y = expect_f32(a0(1))?;
+            Value::Bool(match x.partial_cmp(&y) {
+                Some(ord) => pred.eval(ord),
+                None => pred == CmpPred::Ne, // NaN: only `ne` holds
+            })
+        }
+        Op::Select => {
+            let c = expect_bool(a0(0))?;
+            if c {
+                a0(1)
+            } else {
+                a0(2)
+            }
+        }
+        Op::Mov => a0(0),
+        Op::Not => match a0(0) {
+            Value::I32(v) => Value::I32(!v),
+            Value::I64(v) => Value::I64(!v),
+            Value::Bool(v) => Value::Bool(!v),
+            v @ Value::F32(_) => {
+                return Err(ExecError::TypeMismatch {
+                    expected: Ty::I32,
+                    found: v.ty(),
+                })
+            }
+        },
+        Op::Neg => match a0(0) {
+            Value::I32(v) => Value::I32(v.wrapping_neg()),
+            Value::I64(v) => Value::I64(v.wrapping_neg()),
+            v => {
+                return Err(ExecError::TypeMismatch {
+                    expected: Ty::I32,
+                    found: v.ty(),
+                })
+            }
+        },
+        Op::FNeg => Value::F32(-expect_f32(a0(0))?),
+        Op::Sext => Value::I64(i64::from(expect_i32(a0(0))?)),
+        Op::Trunc =>
+        {
+            #[allow(clippy::cast_possible_truncation)]
+            Value::I32(expect_i64(a0(0))? as i32)
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Op::SiToFp => Value::F32(expect_i32(a0(0))? as f32),
+        #[allow(clippy::cast_possible_truncation)]
+        Op::FpToSi => Value::I32(expect_f32(a0(0))? as i32),
+        Op::ZextBool => Value::I32(i32::from(expect_bool(a0(0))?)),
+        Op::RngNext => {
+            let s = expect_i64(a0(0))?;
+            let c = expect_i64(a0(1))?;
+            Value::I32(rng::mix_to_u31(s, c))
+        }
+        _ => unreachable!("non-scalar op routed to exec_scalar: {:?}", inst.op),
+    })
+}
+
+fn shared_check(shared_bytes: u32, addr: i64, bytes: u64) -> Result<usize, ExecError> {
+    if addr < 0 || addr.unsigned_abs() + bytes > u64::from(shared_bytes) {
+        return Err(ExecError::SharedFault { addr, shared_bytes });
+    }
+    if !addr.unsigned_abs().is_multiple_of(bytes) {
+        return Err(ExecError::Misaligned { addr, align: bytes });
+    }
+    Ok(usize::try_from(addr).expect("checked shared offset"))
+}
+
+fn shared_load(shared: &[u8], shared_bytes: u32, addr: i64, ty: MemTy) -> Result<Value, ExecError> {
+    let a = shared_check(shared_bytes, addr, ty.size())?;
+    Ok(match ty {
+        MemTy::I32 => Value::I32(i32::from_le_bytes(
+            shared[a..a + 4].try_into().expect("4 bytes"),
+        )),
+        MemTy::I64 => Value::I64(i64::from_le_bytes(
+            shared[a..a + 8].try_into().expect("8 bytes"),
+        )),
+        MemTy::F32 => Value::F32(f32::from_le_bytes(
+            shared[a..a + 4].try_into().expect("4 bytes"),
+        )),
+    })
+}
+
+fn shared_store(
+    shared: &mut [u8],
+    shared_bytes: u32,
+    addr: i64,
+    v: Value,
+) -> Result<(), ExecError> {
+    match v {
+        Value::I32(x) => {
+            let a = shared_check(shared_bytes, addr, 4)?;
+            shared[a..a + 4].copy_from_slice(&x.to_le_bytes());
+        }
+        Value::I64(x) => {
+            let a = shared_check(shared_bytes, addr, 8)?;
+            shared[a..a + 8].copy_from_slice(&x.to_le_bytes());
+        }
+        Value::F32(x) => {
+            let a = shared_check(shared_bytes, addr, 4)?;
+            shared[a..a + 4].copy_from_slice(&x.to_le_bytes());
+        }
+        Value::Bool(_) => {
+            return Err(ExecError::TypeMismatch {
+                expected: Ty::I32,
+                found: Ty::Bool,
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Execution context for a single thread block. The mutable collections
+/// (`shared`, `warps`, `order`) are borrowed from the launch's
+/// [`ExecScratch`] as plain slices — already reinitialized for this
+/// block, and a single indirection in the interpreter loop.
 struct BlockExec<'a> {
     spec: &'a GpuSpec,
     mem: &'a mut DeviceMemory,
@@ -279,9 +669,11 @@ struct BlockExec<'a> {
     launch: LaunchConfig,
     block_idx: u32,
     stats: &'a mut LaunchStats,
-    shared: Vec<u8>,
+    shared: &'a mut [u8],
     l2: &'a mut L2State,
-    warps: Vec<Warp>,
+    warps: &'a mut [Warp],
+    /// Warp-order permutation (empty ⇔ natural ascending order).
+    order: &'a [u32],
     steps: u64,
     /// Total issue slots consumed (throughput bound).
     issue: u64,
@@ -289,118 +681,44 @@ struct BlockExec<'a> {
 }
 
 impl<'a> BlockExec<'a> {
-    #[allow(clippy::too_many_arguments)]
-    fn new(
-        spec: &'a GpuSpec,
-        mem: &'a mut DeviceMemory,
-        kernel: &'a CompiledKernel,
-        params: &'a [Value],
-        launch: LaunchConfig,
-        block_idx: u32,
-        stats: &'a mut LaunchStats,
-        l2: &'a mut L2State,
-    ) -> BlockExec<'a> {
-        let lanes = spec.warp_size;
-        let n_threads = launch.block;
-        let n_warps = n_threads.div_ceil(lanes);
-        let warps = (0..n_warps)
-            .map(|w| {
-                let live = (n_threads - w * lanes).min(lanes);
-                let full_mask = if live == 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << live) - 1
-                };
-                Warp {
-                    idx: w,
-                    active: full_mask,
-                    exited: 0,
-                    block: 0,
-                    ip: 0,
-                    stack: Vec::new(),
-                    // The typed-sentinel image was prebuilt at compile
-                    // time; per-warp initialization is one memcpy.
-                    regs: kernel.reg_file.clone(),
-                    cycles: 0,
-                    state: WarpState::Running,
-                }
-            })
-            .collect();
-        // Shared memory starts as recognizable garbage: reads before writes
-        // are deterministically wrong, never luckily zero.
-        let shared = vec![0xDBu8; kernel.shared_bytes as usize];
-        BlockExec {
-            spec,
-            mem,
-            kernel,
-            params,
-            launch,
-            block_idx,
-            stats,
-            shared,
-            l2,
-            warps,
-            steps: 0,
-            issue: 0,
-            lanes,
-        }
-    }
-
-    /// Deterministic warp issue order for this block. Seed 0 is the
-    /// natural ascending order (deterministic baseline used for fitness);
-    /// other seeds permute the order, surfacing the claim-order races of
-    /// racy kernels (paper §II-C2).
-    fn warp_order(&self) -> Vec<usize> {
-        let n = self.warps.len();
-        let mut order: Vec<usize> = (0..n).collect();
-        if self.launch.sched_seed == 0 {
-            return order;
-        }
-        let mut state = self
-            .launch
-            .sched_seed
-            .wrapping_add(u64::from(self.block_idx).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        // Fisher-Yates with a SplitMix-style generator.
-        for i in (1..n).rev() {
-            state = rng::mix64(state, i as u64);
-            let j = (state % (i as u64 + 1)) as usize;
-            order.swap(i, j);
-        }
-        order
-    }
-
     fn run(&mut self) -> Result<u64, ExecError> {
-        let order = self.warp_order();
+        let n = self.warps.len();
+        let permuted = !self.order.is_empty();
         loop {
-            for &wi in &order {
+            for i in 0..n {
+                let wi = if permuted { self.order[i] as usize } else { i };
                 if self.warps[wi].state == WarpState::Running {
                     self.run_warp(wi)?;
                 }
             }
-            let live: Vec<usize> = (0..self.warps.len())
-                .filter(|&i| self.warps[i].state != WarpState::Done)
-                .collect();
-            if live.is_empty() {
+            // Tally live/blocked warps without materializing the set.
+            let mut n_live = 0usize;
+            let mut n_blocked = 0usize;
+            let mut arrive = 0u64;
+            for w in self.warps.iter() {
+                if w.state != WarpState::Done {
+                    n_live += 1;
+                    if w.state == WarpState::AtBarrier {
+                        n_blocked += 1;
+                        arrive = arrive.max(w.cycles);
+                    }
+                }
+            }
+            if n_live == 0 {
                 break;
             }
-            if live
-                .iter()
-                .all(|&i| self.warps[i].state == WarpState::AtBarrier)
-            {
+            if n_blocked == n_live {
                 // Barrier release: synchronize clocks.
-                let arrive = live
-                    .iter()
-                    .map(|&i| self.warps[i].cycles)
-                    .max()
-                    .unwrap_or(0);
                 let cost =
-                    self.spec.costs.barrier + self.spec.costs.barrier_per_warp * live.len() as u64;
-                for &i in &live {
-                    self.warps[i].cycles = arrive + cost;
-                    self.warps[i].state = WarpState::Running;
+                    self.spec.costs.barrier + self.spec.costs.barrier_per_warp * n_live as u64;
+                for w in self.warps.iter_mut() {
+                    if w.state == WarpState::AtBarrier {
+                        w.cycles = arrive + cost;
+                        w.state = WarpState::Running;
+                    }
                 }
                 self.stats.barriers += 1;
-                self.issue += live.len() as u64;
+                self.issue += n_live as u64;
                 continue;
             }
             // Some warps are at a barrier, none are runnable, not all done.
@@ -420,7 +738,7 @@ impl<'a> BlockExec<'a> {
             }
             let (block, ip) = {
                 let w = &self.warps[wi];
-                (w.block as usize, w.ip)
+                (w.block as usize, w.ip as usize)
             };
             let flat = self.kernel.block_bounds[block] as usize + ip;
             if flat < self.kernel.block_bounds[block + 1] as usize {
@@ -471,22 +789,45 @@ impl<'a> BlockExec<'a> {
                 if_false,
             } => {
                 let cur_block = self.warps[wi].block as usize;
-                let mut tmask = 0u64;
-                let mut fmask = 0u64;
                 let active = self.warps[wi].active;
-                for lane in 0..self.lanes {
-                    if active & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let v = self.read_operand(wi, lane, &cond)?;
+                // Warp-uniform fast path: the compiler flagged this
+                // block's condition as statically identical across
+                // lanes (immediate, parameter, or lane-independent
+                // special — e.g. a `CondReplace(ImmBool)` edit), so one
+                // read decides the whole mask and divergence is
+                // impossible. Lane 0 is a safe probe even when
+                // inactive: uniform slots by definition do not read
+                // lane state, and the error a non-boolean condition
+                // raises is the same one every active lane would raise.
+                let ctx = self.lane_ctx();
+                if active != 0 && self.kernel.uniform_cond[cur_block] {
+                    let w = &self.warps[wi];
+                    let v = read_operand(&w.regs, &ctx, w.idx, 0, &cond);
                     let b = v.as_bool().ok_or(ExecError::TypeMismatch {
                         expected: Ty::Bool,
                         found: v.ty(),
                     })?;
-                    if b {
-                        tmask |= 1 << lane;
-                    } else {
-                        fmask |= 1 << lane;
+                    self.enter_block(wi, if b { if_true } else { if_false });
+                    return Ok(());
+                }
+                let mut tmask = 0u64;
+                let mut fmask = 0u64;
+                {
+                    let w = &self.warps[wi];
+                    let mut mask = active;
+                    while mask != 0 {
+                        let lane = mask.trailing_zeros();
+                        mask &= mask - 1;
+                        let v = read_operand(&w.regs, &ctx, w.idx, lane, &cond);
+                        let b = v.as_bool().ok_or(ExecError::TypeMismatch {
+                            expected: Ty::Bool,
+                            found: v.ty(),
+                        })?;
+                        if b {
+                            tmask |= 1 << lane;
+                        } else {
+                            fmask |= 1 << lane;
+                        }
                     }
                 }
                 if fmask == 0 {
@@ -561,43 +902,20 @@ impl<'a> BlockExec<'a> {
 
     // ---- operand & register access -------------------------------------
 
-    #[inline]
-    // Immediates and registers cannot fail today, but the uniform
-    // `Result` keeps every operand-consuming call site on one `?` path
-    // (and leaves room for fallible operand kinds).
-    #[allow(clippy::unnecessary_wraps)]
-    fn read_operand(&self, wi: usize, lane: u32, op: &Slot) -> Result<Value, ExecError> {
-        let w = &self.warps[wi];
-        Ok(match op {
-            Slot::Reg(base) => w.regs[*base as usize + lane as usize],
-            Slot::ImmI32(v) => Value::I32(*v),
-            Slot::ImmI64(v) => Value::I64(*v),
-            Slot::ImmF32(v) => Value::F32(*v),
-            Slot::ImmBool(v) => Value::Bool(*v),
-            Slot::Special(s) => Value::I32(self.special(wi, lane, *s)),
-            Slot::Param(p) => self.params[*p as usize],
-        })
-    }
-
-    #[inline]
-    fn special(&self, wi: usize, lane: u32, s: gevo_ir::Special) -> i32 {
-        use gevo_ir::Special;
-        let w = &self.warps[wi];
-        #[allow(clippy::cast_possible_wrap)]
-        match s {
-            Special::ThreadId => (w.idx * self.lanes + lane) as i32,
-            Special::BlockId => self.block_idx as i32,
-            Special::BlockDim => self.launch.block as i32,
-            Special::GridDim => self.launch.grid as i32,
-            Special::LaneId => lane as i32,
-            Special::WarpId => w.idx as i32,
-            Special::WarpSize => self.lanes as i32,
+    /// Snapshot of the lane-independent launch context that operand
+    /// reads can name. `params` carries the struct's `'a` lifetime (not
+    /// the `&self` borrow), so the returned context coexists with any
+    /// later borrow of a warp — the hot loops fetch their warp **once**
+    /// and read operands against its register file directly, instead of
+    /// re-indexing `self.warps[wi]` for every operand of every lane.
+    fn lane_ctx(&self) -> LaneCtx<'a> {
+        LaneCtx {
+            params: self.params,
+            block_idx: self.block_idx,
+            grid: self.launch.grid,
+            block: self.launch.block,
+            lanes: self.lanes,
         }
-    }
-
-    #[inline]
-    fn write_reg(&mut self, wi: usize, lane: u32, base: u32, v: Value) {
-        self.warps[wi].regs[base as usize + lane as usize] = v;
     }
 
     // ---- instruction execution -------------------------------------------
@@ -607,166 +925,112 @@ impl<'a> BlockExec<'a> {
     fn exec_inst(&mut self, wi: usize, inst: &CInst) -> Result<bool, ExecError> {
         self.stats.instructions += 1;
         let active = self.warps[wi].active;
-        match inst.op {
-            Op::SyncThreads => {
+        // Dispatch on the compile-time class tag (a dense one-byte
+        // jump); the `Op` payload is decoded only inside the arm that
+        // needs it.
+        match inst.tag {
+            OpClass::Sync => {
                 if !self.warps[wi].stack.is_empty() {
                     return Err(ExecError::BarrierDivergence);
                 }
                 self.warps[wi].state = WarpState::AtBarrier;
                 return Ok(true);
             }
-            Op::Load { space, ty } => self.exec_mem_load(wi, inst, space, ty, active)?,
-            Op::Store { space, ty } => self.exec_mem_store(wi, inst, space, ty, active)?,
-            Op::AtomicAdd { space } => {
-                self.exec_atomic(wi, inst, space, active, AtomicKind::Add)?;
+            OpClass::Load => {
+                let Op::Load { space, ty } = inst.op else {
+                    unreachable!("Load tag on non-load op")
+                };
+                self.exec_mem_load(wi, inst, space, ty, active)?;
             }
-            Op::AtomicMax { space } => {
-                self.exec_atomic(wi, inst, space, active, AtomicKind::Max)?;
+            OpClass::Store => {
+                let Op::Store { space, ty } = inst.op else {
+                    unreachable!("Store tag on non-store op")
+                };
+                self.exec_mem_store(wi, inst, space, ty, active)?;
             }
-            Op::AtomicCas { space } => {
-                self.exec_atomic(wi, inst, space, active, AtomicKind::Cas)?;
+            OpClass::Atomic => {
+                let (space, kind) = match inst.op {
+                    Op::AtomicAdd { space } => (space, AtomicKind::Add),
+                    Op::AtomicMax { space } => (space, AtomicKind::Max),
+                    Op::AtomicCas { space } => (space, AtomicKind::Cas),
+                    _ => unreachable!("Atomic tag on non-atomic op"),
+                };
+                self.exec_atomic(wi, inst, space, active, kind)?;
             }
-            Op::ShflSync | Op::ShflUpSync => self.exec_shfl(wi, inst, active)?,
-            Op::BallotSync => {
-                let mut mask = 0i32;
-                for lane in 0..self.lanes {
-                    if active & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let v = self.read_operand(wi, lane, &inst.args[0])?;
+            OpClass::Shfl => self.exec_shfl(wi, inst, active)?,
+            OpClass::Ballot => {
+                let ctx = self.lane_ctx();
+                let dst = inst.dst;
+                debug_assert_ne!(dst, NO_DST, "ballot has dst");
+                let w = &mut self.warps[wi];
+                let mut votes = 0i32;
+                let mut mask = active;
+                while mask != 0 {
+                    let lane = mask.trailing_zeros();
+                    mask &= mask - 1;
+                    let v = read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[0]);
                     let b = v.as_bool().ok_or(ExecError::TypeMismatch {
                         expected: Ty::Bool,
                         found: v.ty(),
                     })?;
                     if b {
-                        mask |= 1 << lane;
+                        votes |= 1 << lane;
                     }
                 }
-                let dst = inst.dst;
-                debug_assert_ne!(dst, NO_DST, "ballot has dst");
-                for lane in 0..self.lanes {
-                    if active & (1 << lane) != 0 {
-                        self.write_reg(wi, lane, dst, Value::I32(mask));
-                    }
+                let mut mask = active;
+                while mask != 0 {
+                    let lane = mask.trailing_zeros();
+                    mask &= mask - 1;
+                    w.regs[dst as usize + lane as usize] = Value::I32(votes);
                 }
+                w.cycles += self.spec.costs.ballot;
                 self.stats.ballots += 1;
-                self.warps[wi].cycles += self.spec.costs.ballot;
                 self.issue += 1;
             }
-            Op::ActiveMask => {
+            OpClass::ActiveMask => {
                 #[allow(clippy::cast_possible_wrap)]
-                let mask = Value::I32(active as i32);
+                let mask_v = Value::I32(active as i32);
                 let dst = inst.dst;
                 debug_assert_ne!(dst, NO_DST, "activemask has dst");
-                for lane in 0..self.lanes {
-                    if active & (1 << lane) != 0 {
-                        self.write_reg(wi, lane, dst, mask);
-                    }
+                let w = &mut self.warps[wi];
+                let mut mask = active;
+                while mask != 0 {
+                    let lane = mask.trailing_zeros();
+                    mask &= mask - 1;
+                    w.regs[dst as usize + lane as usize] = mask_v;
                 }
-                self.warps[wi].cycles += self.spec.costs.activemask;
+                w.cycles += self.spec.costs.activemask;
                 self.issue += 1;
             }
-            _ => self.exec_scalar(wi, inst, active)?,
+            OpClass::Scalar => self.exec_scalar(wi, inst, active)?,
         }
         Ok(false)
     }
 
     /// Plain per-lane compute ops.
     fn exec_scalar(&mut self, wi: usize, inst: &CInst, active: u64) -> Result<(), ExecError> {
+        let ctx = self.lane_ctx();
         let dst = inst.dst;
-        for lane in 0..self.lanes {
-            if active & (1 << lane) == 0 {
-                continue;
-            }
-            let result = self.eval_scalar(wi, lane, inst)?;
+        // The warp is fetched once; active-lane iteration walks the set
+        // bits of the mask instead of testing every lane (a full warp
+        // pays one trailing_zeros per lane with no conditional branch,
+        // a divergent warp skips its inactive lanes entirely).
+        let w = &mut self.warps[wi];
+        let widx = w.idx;
+        let mut mask = active;
+        while mask != 0 {
+            let lane = mask.trailing_zeros();
+            mask &= mask - 1;
+            let result = eval_scalar(&w.regs, &ctx, widx, lane, inst)?;
             if dst != NO_DST {
-                self.write_reg(wi, lane, dst, result);
+                w.regs[dst as usize + lane as usize] = result;
             }
         }
         // The per-op cost table was resolved at compile time.
+        w.cycles += inst.cost;
         self.stats.alu_instructions += 1;
-        self.warps[wi].cycles += inst.cost;
         self.issue += 1;
         Ok(())
-    }
-
-    fn eval_scalar(&self, wi: usize, lane: u32, inst: &CInst) -> Result<Value, ExecError> {
-        let a0 = |i: usize| self.read_operand(wi, lane, &inst.args[i]);
-        Ok(match inst.op {
-            Op::IBin(op) => eval_ibin(op, a0(0)?, a0(1)?)?,
-            Op::FBin(op) => {
-                let x = expect_f32(a0(0)?)?;
-                let y = expect_f32(a0(1)?)?;
-                Value::F32(match op {
-                    FloatBinOp::Add => x + y,
-                    FloatBinOp::Sub => x - y,
-                    FloatBinOp::Mul => x * y,
-                    FloatBinOp::Div => x / y,
-                    FloatBinOp::Min => x.min(y),
-                    FloatBinOp::Max => x.max(y),
-                })
-            }
-            Op::Icmp(pred) => {
-                let (x, y) = (a0(0)?, a0(1)?);
-                Value::Bool(eval_icmp(pred, x, y)?)
-            }
-            Op::Fcmp(pred) => {
-                let x = expect_f32(a0(0)?)?;
-                let y = expect_f32(a0(1)?)?;
-                Value::Bool(match x.partial_cmp(&y) {
-                    Some(ord) => pred.eval(ord),
-                    None => pred == CmpPred::Ne, // NaN: only `ne` holds
-                })
-            }
-            Op::Select => {
-                let c = expect_bool(a0(0)?)?;
-                if c {
-                    a0(1)?
-                } else {
-                    a0(2)?
-                }
-            }
-            Op::Mov => a0(0)?,
-            Op::Not => match a0(0)? {
-                Value::I32(v) => Value::I32(!v),
-                Value::I64(v) => Value::I64(!v),
-                Value::Bool(v) => Value::Bool(!v),
-                v @ Value::F32(_) => {
-                    return Err(ExecError::TypeMismatch {
-                        expected: Ty::I32,
-                        found: v.ty(),
-                    })
-                }
-            },
-            Op::Neg => match a0(0)? {
-                Value::I32(v) => Value::I32(v.wrapping_neg()),
-                Value::I64(v) => Value::I64(v.wrapping_neg()),
-                v => {
-                    return Err(ExecError::TypeMismatch {
-                        expected: Ty::I32,
-                        found: v.ty(),
-                    })
-                }
-            },
-            Op::FNeg => Value::F32(-expect_f32(a0(0)?)?),
-            Op::Sext => Value::I64(i64::from(expect_i32(a0(0)?)?)),
-            Op::Trunc =>
-            {
-                #[allow(clippy::cast_possible_truncation)]
-                Value::I32(expect_i64(a0(0)?)? as i32)
-            }
-            #[allow(clippy::cast_precision_loss)]
-            Op::SiToFp => Value::F32(expect_i32(a0(0)?)? as f32),
-            #[allow(clippy::cast_possible_truncation)]
-            Op::FpToSi => Value::I32(expect_f32(a0(0)?)? as i32),
-            Op::ZextBool => Value::I32(i32::from(expect_bool(a0(0)?)?)),
-            Op::RngNext => {
-                let s = expect_i64(a0(0)?)?;
-                let c = expect_i64(a0(1)?)?;
-                Value::I32(rng::mix_to_u31(s, c))
-            }
-            _ => unreachable!("non-scalar op routed to exec_scalar: {:?}", inst.op),
-        })
     }
 
     // ---- memory ---------------------------------------------------------
@@ -779,20 +1043,26 @@ impl<'a> BlockExec<'a> {
         ty: MemTy,
         active: u64,
     ) -> Result<(), ExecError> {
+        let ctx = self.lane_ctx();
         let dst = inst.dst;
         debug_assert_ne!(dst, NO_DST, "load has dst");
+        let shared_bytes = self.kernel.shared_bytes;
         let mut addrs: [i64; MAX_WARP as usize] = [0; MAX_WARP as usize];
-        for lane in 0..self.lanes {
-            if active & (1 << lane) == 0 {
-                continue;
+        {
+            // Warp fetched once; active-lane iteration (see `exec_scalar`).
+            let w = &mut self.warps[wi];
+            let mut mask = active;
+            while mask != 0 {
+                let lane = mask.trailing_zeros();
+                mask &= mask - 1;
+                let a = expect_i64(read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[0]))?;
+                addrs[lane as usize] = a;
+                let v = match space {
+                    AddrSpace::Global => self.mem.load(a, ty)?,
+                    AddrSpace::Shared => shared_load(self.shared, shared_bytes, a, ty)?,
+                };
+                w.regs[dst as usize + lane as usize] = v;
             }
-            let a = expect_i64(self.read_operand(wi, lane, &inst.args[0])?)?;
-            addrs[lane as usize] = a;
-            let v = match space {
-                AddrSpace::Global => self.mem.load(a, ty)?,
-                AddrSpace::Shared => self.shared_load(a, ty)?,
-            };
-            self.write_reg(wi, lane, dst, v);
         }
         self.charge_mem(wi, space, active, &addrs, false);
         Ok(())
@@ -806,23 +1076,30 @@ impl<'a> BlockExec<'a> {
         ty: MemTy,
         active: u64,
     ) -> Result<(), ExecError> {
+        let ctx = self.lane_ctx();
+        let shared_bytes = self.kernel.shared_bytes;
         let mut addrs: [i64; MAX_WARP as usize] = [0; MAX_WARP as usize];
-        for lane in 0..self.lanes {
-            if active & (1 << lane) == 0 {
-                continue;
-            }
-            let a = expect_i64(self.read_operand(wi, lane, &inst.args[0])?)?;
-            let v = self.read_operand(wi, lane, &inst.args[1])?;
-            if v.ty() != ty.value_ty() {
-                return Err(ExecError::TypeMismatch {
-                    expected: ty.value_ty(),
-                    found: v.ty(),
-                });
-            }
-            addrs[lane as usize] = a;
-            match space {
-                AddrSpace::Global => self.mem.store(a, v)?,
-                AddrSpace::Shared => self.shared_store(a, v)?,
+        {
+            // Warp fetched once (reads only; stores write no register);
+            // active-lane iteration (see `exec_scalar`).
+            let w = &self.warps[wi];
+            let mut mask = active;
+            while mask != 0 {
+                let lane = mask.trailing_zeros();
+                mask &= mask - 1;
+                let a = expect_i64(read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[0]))?;
+                let v = read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[1]);
+                if v.ty() != ty.value_ty() {
+                    return Err(ExecError::TypeMismatch {
+                        expected: ty.value_ty(),
+                        found: v.ty(),
+                    });
+                }
+                addrs[lane as usize] = a;
+                match space {
+                    AddrSpace::Global => self.mem.store(a, v)?,
+                    AddrSpace::Shared => shared_store(self.shared, shared_bytes, a, v)?,
+                }
             }
         }
         self.charge_mem(wi, space, active, &addrs, true);
@@ -859,20 +1136,38 @@ impl<'a> BlockExec<'a> {
                     return;
                 }
                 // Bank conflicts: ways = max distinct words mapping to one
-                // bank; identical addresses broadcast.
-                let banks = self.spec.shared_banks as usize;
-                let mut per_bank: Vec<Vec<i64>> = vec![Vec::new(); banks];
+                // bank; identical addresses broadcast. Distinct words are
+                // deduplicated into a fixed lane-bounded array (equal
+                // words always map to the same bank, so global dedup is
+                // per-bank dedup) with each word's bank computed exactly
+                // once; the per-bank multiplicity is then a quadratic
+                // scan over cached banks — at most 32×32 one-byte
+                // compares, no division, no allocation.
+                let banks = self.spec.shared_banks as u64;
+                let mut words: [i64; MAX_WARP as usize] = [0; MAX_WARP as usize];
+                let mut word_banks: [u64; MAX_WARP as usize] = [0; MAX_WARP as usize];
+                let mut n_words = 0usize;
                 for lane in 0..self.lanes {
                     if active & (1 << lane) == 0 {
                         continue;
                     }
                     let word = addrs[lane as usize] / 4;
-                    let bank = (word.unsigned_abs() as usize) % banks;
-                    if !per_bank[bank].contains(&word) {
-                        per_bank[bank].push(word);
+                    if !words[..n_words].contains(&word) {
+                        words[n_words] = word;
+                        word_banks[n_words] = word.unsigned_abs() % banks;
+                        n_words += 1;
                     }
                 }
-                let ways = per_bank.iter().map(Vec::len).max().unwrap_or(1).max(1) as u64;
+                let mut ways = 1u64;
+                for i in 0..n_words {
+                    let mut in_bank = 0u64;
+                    for &b in &word_banks[..n_words] {
+                        if b == word_banks[i] {
+                            in_bank += 1;
+                        }
+                    }
+                    ways = ways.max(in_bank);
+                }
                 self.stats.shared_conflicts += ways - 1;
                 let base = if is_store {
                     self.spec.costs.shared_store
@@ -888,18 +1183,23 @@ impl<'a> BlockExec<'a> {
                 // (Aligned accesses of <= 8 bytes never straddle a
                 // segment, so the base address determines it.)
                 let seg_size = self.spec.coalesce_bytes;
-                let mut segments: Vec<u64> = Vec::new();
+                // Distinct segments in first-touch lane order (the L2
+                // tag and row-buffer updates below are order-sensitive),
+                // deduplicated in a fixed lane-bounded array.
+                let mut segments: [u64; MAX_WARP as usize] = [0; MAX_WARP as usize];
+                let mut n_segs = 0usize;
                 for lane in 0..self.lanes {
                     if active & (1 << lane) == 0 {
                         continue;
                     }
                     let seg = addrs[lane as usize].unsigned_abs() / seg_size;
-                    if !segments.contains(&seg) {
-                        segments.push(seg);
+                    if !segments[..n_segs].contains(&seg) {
+                        segments[n_segs] = seg;
+                        n_segs += 1;
                     }
                 }
                 let mut worst = 0u64;
-                for &seg in &segments {
+                for &seg in &segments[..n_segs] {
                     let line = seg; // segment == cache-line granularity
                     let slot = (line % self.spec.cache_lines) as usize;
                     let lat = if self.l2.cache[slot] == line {
@@ -920,7 +1220,7 @@ impl<'a> BlockExec<'a> {
                     };
                     worst = worst.max(lat);
                 }
-                let nseg = segments.len() as u64;
+                let nseg = n_segs as u64;
                 self.stats.global_segments += nseg;
                 let stall = if is_store {
                     self.spec.costs.global_store
@@ -933,58 +1233,6 @@ impl<'a> BlockExec<'a> {
         }
     }
 
-    fn shared_load(&self, addr: i64, ty: MemTy) -> Result<Value, ExecError> {
-        let a = self.shared_check(addr, ty.size())?;
-        Ok(match ty {
-            MemTy::I32 => Value::I32(i32::from_le_bytes(
-                self.shared[a..a + 4].try_into().expect("4 bytes"),
-            )),
-            MemTy::I64 => Value::I64(i64::from_le_bytes(
-                self.shared[a..a + 8].try_into().expect("8 bytes"),
-            )),
-            MemTy::F32 => Value::F32(f32::from_le_bytes(
-                self.shared[a..a + 4].try_into().expect("4 bytes"),
-            )),
-        })
-    }
-
-    fn shared_store(&mut self, addr: i64, v: Value) -> Result<(), ExecError> {
-        match v {
-            Value::I32(x) => {
-                let a = self.shared_check(addr, 4)?;
-                self.shared[a..a + 4].copy_from_slice(&x.to_le_bytes());
-            }
-            Value::I64(x) => {
-                let a = self.shared_check(addr, 8)?;
-                self.shared[a..a + 8].copy_from_slice(&x.to_le_bytes());
-            }
-            Value::F32(x) => {
-                let a = self.shared_check(addr, 4)?;
-                self.shared[a..a + 4].copy_from_slice(&x.to_le_bytes());
-            }
-            Value::Bool(_) => {
-                return Err(ExecError::TypeMismatch {
-                    expected: Ty::I32,
-                    found: Ty::Bool,
-                })
-            }
-        }
-        Ok(())
-    }
-
-    fn shared_check(&self, addr: i64, bytes: u64) -> Result<usize, ExecError> {
-        if addr < 0 || addr.unsigned_abs() + bytes > u64::from(self.kernel.shared_bytes) {
-            return Err(ExecError::SharedFault {
-                addr,
-                shared_bytes: self.kernel.shared_bytes,
-            });
-        }
-        if !addr.unsigned_abs().is_multiple_of(bytes) {
-            return Err(ExecError::Misaligned { addr, align: bytes });
-        }
-        Ok(usize::try_from(addr).expect("checked shared offset"))
-    }
-
     // ---- atomics ----------------------------------------------------------
 
     fn exec_atomic(
@@ -995,45 +1243,58 @@ impl<'a> BlockExec<'a> {
         active: u64,
         kind: AtomicKind,
     ) -> Result<(), ExecError> {
+        let ctx = self.lane_ctx();
         let dst = inst.dst;
         debug_assert_ne!(dst, NO_DST, "atomic has dst");
         let n_active = active.count_ones() as u64;
+        let shared_bytes = self.kernel.shared_bytes;
         // Lanes execute the atomic in lane order — the deterministic
         // serialization a real device performs in unspecified order.
-        for lane in 0..self.lanes {
-            if active & (1 << lane) == 0 {
-                continue;
-            }
-            let addr = expect_i64(self.read_operand(wi, lane, &inst.args[0])?)?;
-            let old = match space {
-                AddrSpace::Global => expect_i32(self.mem.load(addr, MemTy::I32)?)?,
-                AddrSpace::Shared => expect_i32(self.shared_load(addr, MemTy::I32)?)?,
-            };
-            let new = match kind {
-                AtomicKind::Add => {
-                    let v = expect_i32(self.read_operand(wi, lane, &inst.args[1])?)?;
-                    old.wrapping_add(v)
-                }
-                AtomicKind::Max => {
-                    let v = expect_i32(self.read_operand(wi, lane, &inst.args[1])?)?;
-                    old.max(v)
-                }
-                AtomicKind::Cas => {
-                    let expected = expect_i32(self.read_operand(wi, lane, &inst.args[1])?)?;
-                    let newv = expect_i32(self.read_operand(wi, lane, &inst.args[2])?)?;
-                    if old == expected {
-                        newv
-                    } else {
-                        old
+        {
+            let w = &mut self.warps[wi];
+            let mut mask = active;
+            while mask != 0 {
+                let lane = mask.trailing_zeros();
+                mask &= mask - 1;
+                let addr = expect_i64(read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[0]))?;
+                let old = match space {
+                    AddrSpace::Global => expect_i32(self.mem.load(addr, MemTy::I32)?)?,
+                    AddrSpace::Shared => {
+                        expect_i32(shared_load(self.shared, shared_bytes, addr, MemTy::I32)?)?
+                    }
+                };
+                let new = match kind {
+                    AtomicKind::Add => {
+                        let v =
+                            expect_i32(read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[1]))?;
+                        old.wrapping_add(v)
+                    }
+                    AtomicKind::Max => {
+                        let v =
+                            expect_i32(read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[1]))?;
+                        old.max(v)
+                    }
+                    AtomicKind::Cas => {
+                        let expected =
+                            expect_i32(read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[1]))?;
+                        let newv =
+                            expect_i32(read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[2]))?;
+                        if old == expected {
+                            newv
+                        } else {
+                            old
+                        }
+                    }
+                };
+                match space {
+                    AddrSpace::Global => self.mem.store(addr, Value::I32(new))?,
+                    AddrSpace::Shared => {
+                        shared_store(self.shared, shared_bytes, addr, Value::I32(new))?;
                     }
                 }
-            };
-            match space {
-                AddrSpace::Global => self.mem.store(addr, Value::I32(new))?,
-                AddrSpace::Shared => self.shared_store(addr, Value::I32(new))?,
+                w.regs[dst as usize + lane as usize] = Value::I32(old);
+                self.stats.atomics += 1;
             }
-            self.write_reg(wi, lane, dst, Value::I32(old));
-            self.stats.atomics += 1;
         }
         let base = match space {
             AddrSpace::Global => self.spec.costs.atomic_global,
@@ -1047,24 +1308,27 @@ impl<'a> BlockExec<'a> {
     // ---- shuffles -----------------------------------------------------------
 
     fn exec_shfl(&mut self, wi: usize, inst: &CInst, active: u64) -> Result<(), ExecError> {
+        let ctx = self.lane_ctx();
         let dst = inst.dst;
         debug_assert_ne!(dst, NO_DST, "shfl has dst");
+        let lanes = self.lanes;
+        let w = &mut self.warps[wi];
         // Snapshot the value operand for every lane *before* any write:
         // shuffles read other lanes' registers, including stale values in
         // inactive lanes (the classic warp-synchronous hazard).
         let mut snapshot: [Value; MAX_WARP as usize] = [Value::I32(0); MAX_WARP as usize];
-        for lane in 0..self.lanes {
-            snapshot[lane as usize] = self.read_operand(wi, lane, &inst.args[0])?;
+        for lane in 0..lanes {
+            snapshot[lane as usize] = read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[0]);
         }
-        for lane in 0..self.lanes {
-            if active & (1 << lane) == 0 {
-                continue;
-            }
-            let sel = expect_i32(self.read_operand(wi, lane, &inst.args[1])?)?;
+        let mut mask = active;
+        while mask != 0 {
+            let lane = mask.trailing_zeros();
+            mask &= mask - 1;
+            let sel = expect_i32(read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[1]))?;
             let src = match inst.op {
                 Op::ShflSync => {
                     // Out-of-range source: own value (CUDA semantics).
-                    if sel < 0 || sel >= i32::try_from(self.lanes).expect("lanes") {
+                    if sel < 0 || sel >= i32::try_from(lanes).expect("lanes") {
                         i64::from(lane)
                     } else {
                         i64::from(sel)
@@ -1076,7 +1340,7 @@ impl<'a> BlockExec<'a> {
                     // value, like CUDA's undefined-delta behaviour made
                     // deterministic.
                     let s = i64::from(lane) - i64::from(sel);
-                    if s < 0 || s >= i64::from(self.lanes) {
+                    if s < 0 || s >= i64::from(lanes) {
                         i64::from(lane)
                     } else {
                         s
@@ -1086,10 +1350,10 @@ impl<'a> BlockExec<'a> {
             };
             #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
             let v = snapshot[src as usize];
-            self.write_reg(wi, lane, dst, v);
+            w.regs[dst as usize + lane as usize] = v;
         }
+        w.cycles += self.spec.costs.shfl;
         self.stats.shfls += 1;
-        self.warps[wi].cycles += self.spec.costs.shfl;
         self.issue += 1;
         Ok(())
     }
@@ -1216,5 +1480,41 @@ pub fn describe_inst(kernel: &Kernel, id: InstId) -> String {
             }
         }
         None => format!("{}:{} (terminator or deleted)", kernel.name, id),
+    }
+}
+
+#[cfg(test)]
+mod layout_tests {
+    use super::{ExecScratch, Frame, Warp, WarpState};
+
+    /// Layout regression guards, in the spirit of the 32-byte
+    /// `ExecError` and flat-`Slot` guards: the interpreter copies and
+    /// indexes per-warp state on every executed instruction, and the
+    /// full-mask/uniform fast paths are only wins while that state stays
+    /// small. A failing assert here means an edit silently bloated the
+    /// hot structs — shrink the edit, don't bump the number.
+    #[test]
+    fn per_warp_state_stays_compact() {
+        assert_eq!(std::mem::size_of::<WarpState>(), 1);
+        assert_eq!(
+            std::mem::size_of::<Frame>(),
+            32,
+            "divergence frame (per stack entry)"
+        );
+        assert_eq!(
+            std::mem::size_of::<Warp>(),
+            88,
+            "per-warp record (u32 ip, no padding growth)"
+        );
+    }
+
+    #[test]
+    fn scratch_starts_empty_and_is_reusable() {
+        let s = ExecScratch::new();
+        assert!(s.warps.is_empty());
+        assert!(s.shared.is_empty());
+        assert!(s.order.is_empty());
+        assert!(s.params.is_empty());
+        assert!(s.sm_cycles.is_empty());
     }
 }

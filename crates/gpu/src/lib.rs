@@ -85,7 +85,7 @@ pub mod value;
 
 pub use compile::CompiledKernel;
 pub use error::ExecError;
-pub use exec::{Gpu, MAX_WARP};
+pub use exec::{ExecScratch, Gpu, MAX_WARP};
 pub use launch::{KernelArg, LaunchConfig, LaunchStats};
 pub use mem::{Buffer, DeviceMemory, NULL_GUARD};
 pub use spec::{CostModel, GpuSpec};

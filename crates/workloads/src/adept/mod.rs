@@ -13,6 +13,7 @@
 pub mod v0;
 pub mod v1;
 
+use crate::pipeline::ScratchPool;
 use crate::seqgen::{SeqGen, SeqPair};
 use crate::sw_cpu::{self, Alignment};
 use gevo_engine::{Edit, EvalOutcome, Patch, Workload};
@@ -158,6 +159,9 @@ pub struct AdeptWorkload {
     v0_sites: Option<V0Sites>,
     v1_sites: Vec<V1Sites>,
     name: String,
+    /// Execution scratches recycled across fitness evaluations (each
+    /// evaluation runs on a fresh device but reuses warm allocations).
+    scratch: ScratchPool,
 }
 
 impl AdeptWorkload {
@@ -195,6 +199,7 @@ impl AdeptWorkload {
             v0_sites,
             v1_sites,
             name,
+            scratch: ScratchPool::new(),
         };
         let check = w.evaluate(&w.kernels, 0);
         assert!(
@@ -236,15 +241,28 @@ impl AdeptWorkload {
         crate::pipeline::compile_variant(kernels, &self.cfg.spec)
     }
 
-    /// Runs one batch on a fresh device; shared by fitness evaluation and
-    /// held-out validation.
+    /// Runs one batch on a fresh device (with a pooled execution
+    /// scratch); shared by fitness evaluation and held-out validation.
     fn run_batch(
         &self,
         kernels: &[CompiledKernel],
         data: &TestData,
         seed: u64,
     ) -> Result<(f64, LaunchStats), String> {
-        let mut gpu = Gpu::new(self.cfg.spec.clone());
+        let mut gpu = self.scratch.device(self.cfg.spec.clone());
+        let result = self.run_batch_on(&mut gpu, kernels, data, seed);
+        self.scratch.recycle(&mut gpu);
+        result
+    }
+
+    /// [`AdeptWorkload::run_batch`] on an already-constructed device.
+    fn run_batch_on(
+        &self,
+        gpu: &mut Gpu,
+        kernels: &[CompiledKernel],
+        data: &TestData,
+        seed: u64,
+    ) -> Result<(f64, LaunchStats), String> {
         #[allow(clippy::cast_possible_wrap)]
         let pairs = data.offs_a.len() as u32;
         let alloc_i32 = |gpu: &mut Gpu, v: &[i32]| -> Result<gevo_gpu::Buffer, String> {
@@ -255,12 +273,12 @@ impl AdeptWorkload {
             gpu.mem_mut().write_i32s(buf, 0, v);
             Ok(buf)
         };
-        let seq_a = alloc_i32(&mut gpu, &data.seq_a)?;
-        let seq_b = alloc_i32(&mut gpu, &data.seq_b)?;
-        let offs_a = alloc_i32(&mut gpu, &data.offs_a)?;
-        let offs_b = alloc_i32(&mut gpu, &data.offs_b)?;
-        let lens_a = alloc_i32(&mut gpu, &data.lens_a)?;
-        let lens_b = alloc_i32(&mut gpu, &data.lens_b)?;
+        let seq_a = alloc_i32(gpu, &data.seq_a)?;
+        let seq_b = alloc_i32(gpu, &data.seq_b)?;
+        let offs_a = alloc_i32(gpu, &data.offs_a)?;
+        let offs_b = alloc_i32(gpu, &data.offs_b)?;
+        let lens_a = alloc_i32(gpu, &data.lens_a)?;
+        let lens_b = alloc_i32(gpu, &data.lens_b)?;
         let out = gpu
             .mem_mut()
             .alloc(u64::from(pairs) * 16)

@@ -5,8 +5,69 @@
 //! sequence in one place keeps "fails to compile" semantics identical
 //! across workloads.
 
-use gevo_gpu::{CompiledKernel, GpuSpec};
+use gevo_gpu::{CompiledKernel, ExecScratch, Gpu, GpuSpec};
 use gevo_ir::Kernel;
+use std::sync::Mutex;
+
+/// Recycled [`ExecScratch`]es shared across a workload's fitness
+/// evaluations.
+///
+/// Each evaluation builds a fresh [`Gpu`] (device memory and L2 must
+/// start cold for determinism) but the execution scratch carries no
+/// semantic state, so its warp records, register files and buffers are
+/// handed from one evaluation's device to the next — the steady state
+/// of a GA run re-allocates nothing per evaluation. Bounded so a burst
+/// of parallel workers cannot grow the pool without limit; a miss just
+/// means one evaluation warms a fresh scratch.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<ExecScratch>>,
+}
+
+/// Upper bound on pooled scratches (≥ any sane `GEVO_THREADS`).
+const SCRATCH_POOL_CAP: usize = 8;
+
+impl ScratchPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> ScratchPool {
+        ScratchPool::default()
+    }
+
+    /// A device with the given spec, adopting a pooled scratch when one
+    /// is available.
+    #[must_use]
+    pub fn device(&self, spec: GpuSpec) -> Gpu {
+        let scratch = self
+            .pool
+            .lock()
+            .expect("scratch pool")
+            .pop()
+            .unwrap_or_default();
+        Gpu::with_scratch(spec, scratch)
+    }
+
+    /// Returns a finished device's scratch to the pool (dropped if the
+    /// pool is full).
+    pub fn recycle(&self, gpu: &mut Gpu) {
+        let mut pool = self.pool.lock().expect("scratch pool");
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(gpu.take_scratch());
+        }
+    }
+
+    /// Scratches currently pooled (observability for tests).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pool.lock().expect("scratch pool").len()
+    }
+
+    /// True when nothing is pooled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Screens and lowers a variant for launching: structural verification
 /// first (cheap rejection of broken variants, GEVO's "fails to
@@ -63,6 +124,22 @@ mod tests {
             compiled[0].inst_count() < k.inst_count(),
             "dead add is gone after DCE"
         );
+    }
+
+    #[test]
+    fn scratch_pool_recycles_up_to_cap() {
+        let pool = ScratchPool::new();
+        assert!(pool.is_empty());
+        let spec = gevo_gpu::GpuSpec::p100().scaled(8);
+        let mut gpus: Vec<_> = (0..SCRATCH_POOL_CAP + 2)
+            .map(|_| pool.device(spec.clone()))
+            .collect();
+        for gpu in &mut gpus {
+            pool.recycle(gpu);
+        }
+        assert_eq!(pool.len(), SCRATCH_POOL_CAP, "bounded");
+        let _ = pool.device(spec);
+        assert_eq!(pool.len(), SCRATCH_POOL_CAP - 1, "device() pops");
     }
 
     #[test]

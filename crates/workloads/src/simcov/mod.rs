@@ -11,6 +11,7 @@ pub mod cpu;
 pub mod kernels;
 pub mod validate;
 
+use crate::pipeline::ScratchPool;
 use cpu::SimcovState;
 use gevo_engine::{Edit, EvalOutcome, Patch, Workload};
 use gevo_gpu::{Buffer, CompiledKernel, Gpu, GpuSpec, KernelArg, LaunchConfig, LaunchStats};
@@ -164,6 +165,9 @@ pub struct SimcovWorkload {
     sites: SimcovSites,
     reference: SimcovState,
     name: String,
+    /// Execution scratches recycled across fitness evaluations (each
+    /// evaluation runs on a fresh device but reuses warm allocations).
+    scratch: ScratchPool,
 }
 
 /// Builds the 8 kernels for a grid side and layout.
@@ -233,6 +237,7 @@ impl SimcovWorkload {
             sites,
             reference,
             name,
+            scratch: ScratchPool::new(),
         };
         let check = w.evaluate(&w.kernels, 0);
         assert!(
@@ -271,30 +276,21 @@ impl SimcovWorkload {
         crate::pipeline::compile_variant(kernels, &self.cfg.spec)
     }
 
-    /// Runs `steps` of the simulation on a fresh device.
-    #[allow(clippy::too_many_lines)]
-    fn run_sim(
-        &self,
-        kernels: &[CompiledKernel],
-        g: i32,
-        steps: i32,
-        sched_seed: u64,
-        arena: ArenaMode,
-    ) -> Result<(GpuRunOutput, f64, LaunchStats), String> {
-        let p = &self.cfg.params;
-        let layout = self.cfg.layout;
+    /// Builds the simulation device for one run, adopting a pooled
+    /// execution scratch (returned to the pool by
+    /// [`SimcovWorkload::run_sim`]).
+    ///
+    /// Arena sizing: `Tight` places `chem` flush against the arena end
+    /// (no slack buffers at all), `Slack` surrounds fields with zeros.
+    fn sim_device(&self, g: i32, arena: ArenaMode) -> Gpu {
         #[allow(clippy::cast_sign_loss)]
         let cells = (g * g) as usize;
-        let flen = layout.field_len(g);
         let cell_bytes = cells as u64 * 4;
-        let field_bytes = flen as u64 * 4;
+        let field_bytes = self.cfg.layout.field_len(g) as u64 * 4;
         let slack: u64 = 4096;
-
-        // Arena sizing: Tight places `chem` flush against the arena end
-        // (no slack buffers at all), Slack surrounds fields with zeros.
-        let mut gpu = match arena {
+        let mut spec = self.cfg.spec.clone();
+        match arena {
             ArenaMode::Slack => {
-                let mut spec = self.cfg.spec.clone();
                 let need = 16
                     + cell_bytes * 8
                     + field_bytes * 4
@@ -302,7 +298,6 @@ impl SimcovWorkload {
                     + 256 * 20
                     + gevo_gpu::NULL_GUARD;
                 spec.device_mem_bytes = spec.device_mem_bytes.max(need);
-                Gpu::new(spec)
             }
             ArenaMode::Tight => {
                 // Pre-compute the bump-allocator cursor for everything
@@ -326,10 +321,47 @@ impl SimcovWorkload {
                 for sz in others {
                     cursor = cursor.next_multiple_of(256) + sz;
                 }
-                let arena_bytes = cursor.next_multiple_of(4) + field_bytes;
-                Gpu::with_arena(self.cfg.spec.clone(), arena_bytes)
+                spec.device_mem_bytes = cursor.next_multiple_of(4) + field_bytes;
             }
-        };
+        }
+        self.scratch.device(spec)
+    }
+
+    /// Runs `steps` of the simulation on a fresh device (with a pooled
+    /// execution scratch).
+    fn run_sim(
+        &self,
+        kernels: &[CompiledKernel],
+        g: i32,
+        steps: i32,
+        sched_seed: u64,
+        arena: ArenaMode,
+    ) -> Result<(GpuRunOutput, f64, LaunchStats), String> {
+        let mut gpu = self.sim_device(g, arena);
+        let result = self.run_sim_on(&mut gpu, kernels, g, steps, sched_seed, arena);
+        self.scratch.recycle(&mut gpu);
+        result
+    }
+
+    /// [`SimcovWorkload::run_sim`] on an already-constructed device.
+    #[allow(clippy::too_many_lines)]
+    fn run_sim_on(
+        &self,
+        gpu: &mut Gpu,
+        kernels: &[CompiledKernel],
+        g: i32,
+        steps: i32,
+        sched_seed: u64,
+        arena: ArenaMode,
+    ) -> Result<(GpuRunOutput, f64, LaunchStats), String> {
+        let p = &self.cfg.params;
+        let layout = self.cfg.layout;
+        #[allow(clippy::cast_sign_loss)]
+        let cells = (g * g) as usize;
+        let flen = layout.field_len(g);
+        let cell_bytes = cells as u64 * 4;
+        let slack: u64 = 4096;
+        let field_bytes = flen as u64 * 4;
 
         let mut alloc = |bytes: u64| -> Result<Buffer, String> {
             gpu.mem_mut().alloc(bytes).map_err(|e| e.to_string())
@@ -410,7 +442,7 @@ impl SimcovWorkload {
         for step in 0..steps {
             gpu.mem_mut().write_i32s(stats_buf, 0, &[0, 0, 0, 0]);
             launch(
-                &mut gpu,
+                gpu,
                 &kernels[kidx::EXTRAVASATE],
                 &[
                     chem.into(),
@@ -421,7 +453,7 @@ impl SimcovWorkload {
                 ],
             )?;
             launch(
-                &mut gpu,
+                gpu,
                 &kernels[kidx::MOVE],
                 &[
                     tcell.into(),
@@ -432,18 +464,18 @@ impl SimcovWorkload {
                 ],
             )?;
             launch(
-                &mut gpu,
+                gpu,
                 &kernels[kidx::COMMIT],
                 &[tnext.into(), tlife.into(), tnew.into(), lnew.into()],
             )?;
             launch(
-                &mut gpu,
+                gpu,
                 &kernels[kidx::EPI],
                 &[epi.into(), timer.into(), vir.into(), tnew.into()],
             )?;
             for _sub in 0..p.diffusion_substeps {
                 launch(
-                    &mut gpu,
+                    gpu,
                     &kernels[kidx::VDIFF],
                     &[
                         vir.into(),
@@ -456,12 +488,12 @@ impl SimcovWorkload {
                     ],
                 )?;
                 launch(
-                    &mut gpu,
+                    gpu,
                     &kernels[kidx::CDIFF],
                     &[chem.into(), next_chem.into(), epi.into(), scratch.into()],
                 )?;
                 launch(
-                    &mut gpu,
+                    gpu,
                     &kernels[kidx::SWAP],
                     &[
                         vir.into(),
@@ -477,7 +509,7 @@ impl SimcovWorkload {
                 )?;
             }
             launch(
-                &mut gpu,
+                gpu,
                 &kernels[kidx::STATS],
                 &[epi.into(), vir.into(), tcell.into(), stats_buf.into()],
             )?;
