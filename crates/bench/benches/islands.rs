@@ -7,7 +7,7 @@
 //! bookkeeping — dominates the difference.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gevo_engine::{run_islands, GaConfig, IslandConfig, Workload};
+use gevo_engine::{GaConfig, Search, Workload};
 use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
 use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};
 use std::hint::black_box;
@@ -26,9 +26,12 @@ fn tiny_budget(seed: u64) -> GaConfig {
 }
 
 fn search(w: &dyn Workload, islands: usize) -> f64 {
-    let mut cfg = IslandConfig::new(tiny_budget(1), islands);
-    cfg.migration_interval = 2;
-    run_islands(w, &cfg).speedup
+    Search::new(w)
+        .config(tiny_budget(1))
+        .islands(islands)
+        .migration_interval(2)
+        .run()
+        .speedup
 }
 
 fn bench_islands(c: &mut Criterion) {

@@ -13,14 +13,13 @@
 //! `--islands N` / GEVO_ISLANDS.
 
 use gevo_bench::{
-    adept_on, bar, budget_banner, harness_ga, harness_islands, run_search, scaled_table1_specs,
-    speedup_of,
+    adept_on, bar, budget_banner, harness_spec, run_search, scaled_table1_specs, speedup_of,
 };
 use gevo_engine::{Evaluator, Workload};
 use gevo_workloads::adept::Version;
 
 fn main() {
-    let cfg = harness_islands(harness_ga(24, 14));
+    let cfg = harness_spec(24, 14);
     println!(
         "Figure 4: ADEPT speedups (GA budget: {})",
         budget_banner(&cfg)

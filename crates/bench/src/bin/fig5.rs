@@ -7,12 +7,11 @@
 //! `--islands N` / GEVO_ISLANDS.
 
 use gevo_bench::{
-    bar, budget_banner, harness_ga, harness_islands, run_search, scaled_table1_specs, simcov_on,
-    speedup_of,
+    bar, budget_banner, harness_spec, run_search, scaled_table1_specs, simcov_on, speedup_of,
 };
 
 fn main() {
-    let cfg = harness_islands(harness_ga(40, 50));
+    let cfg = harness_spec(40, 50);
     println!(
         "Figure 5: SIMCoV speedups (GA budget: {})",
         budget_banner(&cfg)

@@ -9,13 +9,11 @@
 //! Budget via GEVO_RUNS / GEVO_POP / GEVO_GENS; search parallelism via
 //! `--islands N` / GEVO_ISLANDS.
 
-use gevo_bench::{
-    adept_on, env_usize, harness_ga, harness_islands, run_search, scaled_table1_specs, simcov_on,
-};
-use gevo_engine::{GaResult, Workload};
+use gevo_bench::{adept_on, env_usize, harness_spec, run_search, scaled_table1_specs, simcov_on};
+use gevo_engine::{SearchResult, Workload};
 use gevo_workloads::adept::Version;
 
-fn band(results: &[GaResult], gens: usize) {
+fn band(results: &[SearchResult], gens: usize) {
     println!(
         "| {:>4} | {:>6} | {:>6} | {:>6} |",
         "gen", "min", "mean", "max"
@@ -46,11 +44,11 @@ fn band(results: &[GaResult], gens: usize) {
     );
 }
 
-fn runs(w: &dyn Workload, pop: usize, gens: usize, n: usize) -> Vec<GaResult> {
+fn runs(w: &dyn Workload, pop: usize, gens: usize, n: usize) -> Vec<SearchResult> {
     (0..n)
         .map(|i| {
-            let cfg = harness_islands(harness_ga(pop, gens)).with_seed(1 + i as u64);
-            run_search(w, &cfg)
+            let spec = harness_spec(pop, gens).with_seed(1 + i as u64);
+            run_search(w, &spec)
         })
         .collect()
 }

@@ -11,10 +11,9 @@
 //! By default the pipeline runs on the curated optimization patch
 //! (deterministic); set GEVO_FROM_GA=1 to run it on a fresh GA result.
 
-use gevo_bench::{adept_on, env_usize, harness_ga, scaled_table1_specs};
+use gevo_bench::{adept_on, env_usize, harness_spec, run_search, scaled_table1_specs};
 use gevo_engine::{
-    dependency_graph, minimize_weak_edits, run_ga, split_independent, subset_analysis, Evaluator,
-    Patch,
+    dependency_graph, minimize_weak_edits, split_independent, subset_analysis, Evaluator, Patch,
 };
 use gevo_workloads::adept::Version;
 
@@ -24,12 +23,12 @@ fn main() {
     let ev = Evaluator::new(&w);
 
     let (patch, origin) = if env_usize("GEVO_FROM_GA", 0) == 1 {
-        let cfg = harness_ga(32, 40);
+        let spec = harness_spec(32, 40);
         println!(
             "(evolving first: pop {}, {} gens...)",
-            cfg.population, cfg.generations
+            spec.ga.population, spec.ga.generations
         );
-        (run_ga(&w, &cfg).best.patch, "GA best individual")
+        (run_search(&w, &spec).best.patch, "GA best individual")
     } else {
         (w.curated_patch(), "curated optimization patch")
     };

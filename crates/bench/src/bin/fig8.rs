@@ -10,19 +10,18 @@
 //! Budget via GEVO_POP / GEVO_GENS / GEVO_SEED (defaults are sized so
 //! the run finishes in about a minute).
 
-use gevo_bench::{adept_on, harness_ga, scaled_table1_specs};
-use gevo_engine::run_ga;
+use gevo_bench::{adept_on, harness_spec, run_search, scaled_table1_specs};
 use gevo_workloads::adept::Version;
 
 fn main() {
     let p100 = &scaled_table1_specs()[0];
     let w = adept_on(Version::V1, p100);
-    let cfg = harness_ga(32, 40);
+    let spec = harness_spec(32, 40);
     println!(
         "Figure 8: discovery sequence, ADEPT-V1 @ P100 (pop {}, {} gens, seed {})",
-        cfg.population, cfg.generations, cfg.seed
+        spec.ga.population, spec.ga.generations, spec.ga.seed
     );
-    let result = run_ga(&w, &cfg);
+    let result = run_search(&w, &spec);
     println!(
         "final speedup: {:.3}x with {} edits",
         result.speedup,

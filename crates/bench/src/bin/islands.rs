@@ -22,16 +22,17 @@
 //! ```
 
 use gevo_bench::{
-    adept_on, env_usize, harness_ga, islands_knob, row, scaled_table1_specs, simcov_on,
+    adept_on, env_usize, harness_spec, islands_knob, row, run_search, scaled_table1_specs,
+    simcov_on,
 };
-use gevo_engine::{run_islands, IslandConfig, IslandResult, Workload};
+use gevo_engine::{SearchResult, SearchSpec, Workload};
 use gevo_workloads::adept::Version;
 use std::time::Instant;
 
 #[allow(clippy::cast_precision_loss)]
-fn measure(w: &dyn Workload, cfg: &IslandConfig) -> (IslandResult, f64, f64) {
+fn measure(w: &dyn Workload, spec: &SearchSpec) -> (SearchResult, f64, f64) {
     let start = Instant::now();
-    let res = run_islands(w, cfg);
+    let res = run_search(w, spec);
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     let lookups = res.evals + res.cache_hits;
     let hit_rate = if lookups == 0 {
@@ -67,9 +68,9 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize,
     }
     let mut best = Vec::new();
     for n in [1, islands] {
-        let mut cfg = IslandConfig::new(harness_ga(pop, gens), n);
-        cfg.migration_interval = env_usize("GEVO_MIGRATION", cfg.migration_interval);
-        let (res, hit_rate, secs) = measure(w, &cfg);
+        let mut spec = harness_spec(pop, gens);
+        spec.islands = n;
+        let (res, hit_rate, secs) = measure(w, &spec);
         if json {
             // Hand-rolled JSON: the offline serde shim has no serializer,
             // and every field here is a number or an escaped-free name.

@@ -7,23 +7,23 @@
 //!
 //! Budget via GEVO_POP / GEVO_GENS / GEVO_SEED.
 
-use gevo_bench::{adept_on, harness_ga, scaled_table1_specs};
-use gevo_engine::{minimize_weak_edits, run_ga, Evaluator, Workload};
+use gevo_bench::{adept_on, harness_spec, run_search, scaled_table1_specs};
+use gevo_engine::{minimize_weak_edits, Evaluator, Workload};
 use gevo_workloads::adept::Version;
 
 fn main() {
     let p100 = &scaled_table1_specs()[0];
     for version in [Version::V0, Version::V1] {
         let w = adept_on(version, p100);
-        let cfg = harness_ga(24, 20);
+        let spec = harness_spec(24, 20);
         println!(
             "{}: evolving (pop {}, {} gens, seed {})...",
             w.name(),
-            cfg.population,
-            cfg.generations,
-            cfg.seed
+            spec.ga.population,
+            spec.ga.generations,
+            spec.ga.seed
         );
-        let result = run_ga(&w, &cfg);
+        let result = run_search(&w, &spec);
         let ev = Evaluator::new(&w);
         let report = minimize_weak_edits(&ev, &result.best.patch, 0.01);
         println!(

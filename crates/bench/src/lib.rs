@@ -14,11 +14,16 @@
 //! | `GEVO_ISLANDS` | island count (also `--islands N` on the CLI) | 1 |
 //! | `GEVO_MIGRATION` | generations between migrations | 5 |
 //! | `GEVO_THREADS` | evaluation workers (clamped to host cores) | 1 |
+//! | `GEVO_OBJECTIVES` | comma-separated [`Objective`]s (two+ = NSGA-II) | `cycles` |
 //!
-//! The GA-driven harnesses (fig4, fig5, fig6) route through
-//! [`run_search`]: with one island it is exactly the paper's
-//! single-population GA; with more it is the island engine
-//! (`gevo_engine::island`).
+//! The GA-driven harnesses (fig4, fig5, fig6, islands, pareto) all
+//! build their engine session through ONE shared helper,
+//! [`harness_spec`] — the env-knob parsing lives here and nowhere else
+//! — and run it with [`run_search`], a thin wrapper over
+//! `gevo_engine::Search`. With one island that is exactly the paper's
+//! single-population GA; with more it is the island engine; with two
+//! or more objectives it is NSGA-II multi-objective selection and the
+//! result carries a Pareto front.
 
 #![warn(missing_docs)]
 #![warn(clippy::pedantic)]
@@ -30,7 +35,9 @@ pub mod ab;
 pub mod cases;
 pub mod kernel_gen;
 
-use gevo_engine::{run_islands, Evaluator, GaConfig, GaResult, IslandConfig, Patch, Workload};
+use gevo_engine::{
+    Evaluator, GaConfig, Objective, Patch, Search, SearchResult, SearchSpec, Workload,
+};
 use gevo_gpu::GpuSpec;
 use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
 use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};
@@ -81,6 +88,31 @@ pub fn harness_ga(pop: usize, gens: usize) -> GaConfig {
     }
 }
 
+/// The objectives in force: `GEVO_OBJECTIVES` as a comma-separated
+/// list of `cycles`, `error`, `instructions`, `mem_traffic` (unknown
+/// names are ignored; empty/unset means the scalar default).
+#[must_use]
+pub fn objectives_knob() -> Vec<Objective> {
+    let Ok(raw) = std::env::var("GEVO_OBJECTIVES") else {
+        return vec![Objective::Cycles];
+    };
+    let objs: Vec<Objective> = raw
+        .split(',')
+        .filter_map(|name| match name.trim() {
+            "cycles" => Some(Objective::Cycles),
+            "error" => Some(Objective::Error),
+            "instructions" => Some(Objective::Instructions),
+            "mem_traffic" => Some(Objective::MemoryTraffic),
+            _ => None,
+        })
+        .collect();
+    if objs.is_empty() {
+        vec![Objective::Cycles]
+    } else {
+        objs
+    }
+}
+
 /// The island count in force: `--islands N` (or `--islands=N`) on the
 /// command line wins, then `GEVO_ISLANDS`, then 1.
 #[must_use]
@@ -100,26 +132,45 @@ pub fn islands_knob() -> usize {
     env_usize("GEVO_ISLANDS", 1).max(1)
 }
 
-/// Island configuration for a harness: the GA budget plus the
-/// `--islands`/`GEVO_ISLANDS` and `GEVO_MIGRATION` knobs.
+/// The ONE place every harness binary's engine configuration is built:
+/// the GA budget (`GEVO_POP`/`GEVO_GENS`/`GEVO_SEED`/`GEVO_THREADS`)
+/// plus `--islands`/`GEVO_ISLANDS`, `GEVO_MIGRATION` and
+/// `GEVO_OBJECTIVES`, folded into a `gevo_engine::SearchSpec` ready for
+/// [`run_search`].
 #[must_use]
-pub fn harness_islands(ga: GaConfig) -> IslandConfig {
-    let mut cfg = IslandConfig::new(ga, islands_knob());
-    cfg.migration_interval = env_usize("GEVO_MIGRATION", cfg.migration_interval);
-    cfg
+pub fn harness_spec(pop: usize, gens: usize) -> SearchSpec {
+    let mut spec = SearchSpec {
+        ga: harness_ga(pop, gens),
+        islands: islands_knob(),
+        ..SearchSpec::default()
+    };
+    spec.migration_interval = env_usize("GEVO_MIGRATION", spec.migration_interval);
+    let objectives = objectives_knob();
+    if objectives.len() > 1 {
+        spec.selection = gevo_engine::Selection::Nsga2;
+    }
+    spec.objectives = objectives;
+    spec
 }
 
-/// Runs the configured search — single-population when `cfg.islands`
-/// is 1, the island engine otherwise — and returns the global view.
+/// Runs the configured search session and returns its result (global
+/// history, per-island trajectories, Pareto front when
+/// multi-objective).
 #[must_use]
-pub fn run_search(w: &dyn Workload, cfg: &IslandConfig) -> GaResult {
-    run_islands(w, cfg).into_ga_result()
+pub fn run_search(w: &dyn Workload, spec: &SearchSpec) -> SearchResult {
+    Search::from_spec(w, spec.clone()).run()
 }
 
 /// Human-readable budget line for a harness banner.
 #[must_use]
-pub fn budget_banner(cfg: &IslandConfig) -> String {
+pub fn budget_banner(cfg: &SearchSpec) -> String {
     let ga = &cfg.ga;
+    let objectives = if cfg.objectives.len() > 1 {
+        let names: Vec<&str> = cfg.objectives.iter().map(|o| o.name()).collect();
+        format!(", NSGA-II on [{}]", names.join(", "))
+    } else {
+        String::new()
+    };
     if cfg.islands > 1 {
         let sizes = cfg.island_populations();
         let split = if sizes.windows(2).all(|w| w[0] == w[1]) {
@@ -129,12 +180,12 @@ pub fn budget_banner(cfg: &IslandConfig) -> String {
             format!("{} islands: {}", sizes.len(), parts.join("+"))
         };
         format!(
-            "pop {} ({split}), {} gens, migration every {}, seed {}",
+            "pop {} ({split}), {} gens, migration every {}, seed {}{objectives}",
             ga.population, ga.generations, cfg.migration_interval, ga.seed
         )
     } else {
         format!(
-            "pop {}, {} gens, seed {}",
+            "pop {}, {} gens, seed {}{objectives}",
             ga.population, ga.generations, ga.seed
         )
     }
@@ -236,12 +287,45 @@ mod tests {
     }
 
     #[test]
-    fn harness_islands_banner_mentions_split() {
-        let cfg = IslandConfig::new(harness_ga(32, 10), 4);
-        let banner = budget_banner(&cfg);
+    fn banner_mentions_split_and_objectives() {
+        // Specs are built directly: sibling tests mutate the GEVO_*
+        // env vars in parallel, so this test must not read them.
+        let base = SearchSpec {
+            ga: GaConfig {
+                population: 32,
+                generations: 10,
+                ..GaConfig::scaled()
+            },
+            ..SearchSpec::default()
+        };
+        let multi_island = SearchSpec {
+            islands: 4,
+            ..base.clone()
+        };
+        let banner = budget_banner(&multi_island);
         assert!(banner.contains("4 islands x 8"), "{banner}");
-        let single = budget_banner(&IslandConfig::single(harness_ga(32, 10)));
+        let single = budget_banner(&base);
         assert!(!single.contains("islands"), "{single}");
+        let multi_objective = SearchSpec {
+            objectives: vec![Objective::Cycles, Objective::Error],
+            ..base
+        };
+        assert!(
+            budget_banner(&multi_objective).contains("NSGA-II"),
+            "{}",
+            budget_banner(&multi_objective)
+        );
+    }
+
+    #[test]
+    fn objectives_knob_parses_names() {
+        std::env::remove_var("GEVO_OBJECTIVES");
+        assert_eq!(objectives_knob(), vec![Objective::Cycles]);
+        std::env::set_var("GEVO_OBJECTIVES", "cycles, error");
+        assert_eq!(objectives_knob(), vec![Objective::Cycles, Objective::Error]);
+        std::env::set_var("GEVO_OBJECTIVES", "bogus");
+        assert_eq!(objectives_knob(), vec![Objective::Cycles]);
+        std::env::remove_var("GEVO_OBJECTIVES");
     }
 
     #[test]

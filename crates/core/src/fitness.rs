@@ -69,16 +69,32 @@ pub struct EvalOutcome {
     pub failure: Option<String>,
     /// Aggregated launch statistics for the (passing) evaluation.
     pub stats: Option<LaunchStats>,
+    /// Measured correctness deviation of a *passing* variant, normalized
+    /// so `0.0` is an exact match and `1.0` sits on the workload's
+    /// acceptance threshold. Workloads with bit-exact validation always
+    /// report `0.0`; fuzzy-validated workloads (`SIMCoV`'s per-value
+    /// mean/variance bounds) report how much of the tolerance budget the
+    /// variant consumed. This is the paper's second GEVO objective
+    /// (runtime *and* error — [`crate::search::Objective::Error`]).
+    pub error: f64,
 }
 
 impl EvalOutcome {
-    /// A passing outcome.
+    /// A passing outcome with an exact output match (`error = 0`).
     #[must_use]
     pub fn pass(cycles: f64, stats: LaunchStats) -> EvalOutcome {
+        EvalOutcome::pass_with_error(cycles, 0.0, stats)
+    }
+
+    /// A passing outcome that consumed part of its tolerance budget
+    /// (`error` is the normalized deviation; see [`EvalOutcome::error`]).
+    #[must_use]
+    pub fn pass_with_error(cycles: f64, error: f64, stats: LaunchStats) -> EvalOutcome {
         EvalOutcome {
             fitness: Some(cycles),
             failure: None,
             stats: Some(stats),
+            error,
         }
     }
 
@@ -89,6 +105,7 @@ impl EvalOutcome {
             fitness: None,
             failure: Some(reason.into()),
             stats: None,
+            error: f64::INFINITY,
         }
     }
 

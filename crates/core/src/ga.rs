@@ -6,13 +6,14 @@
 //! individuals excluded from selection. The harnesses run scaled-down
 //! budgets (DESIGN.md §4.4); every knob is on [`GaConfig`].
 //!
-//! Since the island-model engine landed ([`crate::island`]), [`run_ga`]
-//! is the N=1 special case of [`crate::run_islands`]: one island,
-//! seeded with the master seed, no migration — bit-for-bit the original
-//! single-population loop.
+//! Since the unified [`crate::Search`] API landed, this module holds the
+//! GA *vocabulary* — [`GaConfig`], [`Individual`], [`History`],
+//! [`GaResult`] — while the loop itself runs behind [`crate::Search`]:
+//! `Search::new(&w).config(cfg)` is bit-for-bit the original
+//! single-population loop ([`run_ga`] is now a deprecated shim over it).
 //!
 //! ```
-//! use gevo_engine::{run_ga, GaConfig, Workload, EvalOutcome};
+//! use gevo_engine::{Search, GaConfig, Workload, EvalOutcome};
 //! use gevo_gpu::LaunchStats;
 //! use gevo_ir::{AddrSpace, Kernel, KernelBuilder, Operand, Special};
 //!
@@ -36,15 +37,16 @@
 //! let w = Toy { kernels: vec![b.finish()] };
 //!
 //! let cfg = GaConfig { population: 12, generations: 8, threads: 1, ..GaConfig::scaled() };
-//! let res = run_ga(&w, &cfg);
+//! let res = Search::new(&w).config(cfg).run();
 //! assert_eq!(res.history.records.len(), 8);
 //! assert!(res.speedup >= 1.0);
 //! ```
 
 use crate::edit::{Edit, Patch};
 use crate::fitness::Workload;
-use crate::island::{run_islands_with_weights, IslandConfig, MigrationEvent};
+use crate::island::MigrationEvent;
 use crate::mutation::MutationWeights;
+use crate::search::Search;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -92,6 +94,11 @@ impl Default for GaConfig {
 
 impl GaConfig {
     /// A laptop-scale configuration used by the examples and harnesses.
+    ///
+    /// `threads` is the host's actual available parallelism (floor 1 —
+    /// no optimistic fallback): the simulator is CPU-bound, so workers
+    /// beyond the core count only add scheduling noise, exactly like
+    /// the `GEVO_THREADS` harness knob's clamp.
     #[must_use]
     pub fn scaled() -> GaConfig {
         GaConfig {
@@ -102,7 +109,7 @@ impl GaConfig {
             generations: 40,
             tournament: 3,
             seed: 0,
-            threads: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             max_patch_len: 512,
         }
     }
@@ -195,32 +202,48 @@ pub struct GaResult {
 ///
 /// # Panics
 /// Panics if the pristine program fails its own test set (workload bug).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Search::new(w).config(cfg).run()` — same loop, same trajectories"
+)]
 #[must_use]
 pub fn run_ga(workload: &dyn Workload, cfg: &GaConfig) -> GaResult {
-    run_ga_with_weights(workload, cfg, MutationWeights::default())
+    Search::new(workload)
+        .config(cfg.clone())
+        .run()
+        .into_ga_result()
 }
 
 /// [`run_ga`] with explicit mutation-operator weights.
 ///
-/// This is the single-island special case of
-/// [`crate::run_islands_with_weights`]: one population holding the whole
-/// budget, master-seeded, never migrating.
-///
 /// # Panics
 /// Panics if the pristine program fails its own test set (workload bug).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Search::new(w).config(cfg).weights(weights).run()`"
+)]
 #[must_use]
 pub fn run_ga_with_weights(
     workload: &dyn Workload,
     cfg: &GaConfig,
     weights: MutationWeights,
 ) -> GaResult {
-    run_islands_with_weights(workload, &IslandConfig::single(cfg.clone()), weights).into_ga_result()
+    Search::new(workload)
+        .config(cfg.clone())
+        .weights(weights)
+        .run()
+        .into_ga_result()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fitness::EvalOutcome;
+
+    /// The single-population search, in the legacy result shape.
+    fn ga(w: &dyn Workload, cfg: &GaConfig) -> GaResult {
+        Search::new(w).config(cfg.clone()).run().into_ga_result()
+    }
     use gevo_gpu::LaunchStats;
     use gevo_ir::{AddrSpace, Kernel, KernelBuilder, Operand, Special};
 
@@ -292,7 +315,7 @@ mod tests {
     #[test]
     fn ga_improves_toy_workload() {
         let toy = Toy::new();
-        let res = run_ga(&toy, &quick_cfg(1));
+        let res = ga(&toy, &quick_cfg(1));
         assert!(
             res.speedup > 1.2,
             "GA should delete dead code: speedup {}",
@@ -306,11 +329,11 @@ mod tests {
     #[test]
     fn ga_is_deterministic_per_seed() {
         let toy = Toy::new();
-        let a = run_ga(&toy, &quick_cfg(7));
-        let b = run_ga(&toy, &quick_cfg(7));
+        let a = ga(&toy, &quick_cfg(7));
+        let b = ga(&toy, &quick_cfg(7));
         assert_eq!(a.best.patch, b.best.patch);
         assert_eq!(a.speedup, b.speedup);
-        let c = run_ga(&toy, &quick_cfg(8));
+        let c = ga(&toy, &quick_cfg(8));
         // Different seeds explore differently (fitness may coincide, the
         // trajectory rarely does).
         assert!(
@@ -322,7 +345,7 @@ mod tests {
     #[test]
     fn best_fitness_is_monotone_nonincreasing() {
         let toy = Toy::new();
-        let res = run_ga(&toy, &quick_cfg(3));
+        let res = ga(&toy, &quick_cfg(3));
         let mut last = f64::INFINITY;
         for r in &res.history.records {
             assert!(
@@ -339,7 +362,7 @@ mod tests {
     #[test]
     fn first_seen_tracks_best_individual_edits() {
         let toy = Toy::new();
-        let res = run_ga(&toy, &quick_cfg(5));
+        let res = ga(&toy, &quick_cfg(5));
         for e in res.best.patch.edits() {
             assert!(
                 res.history.discovered_at(e).is_some(),
@@ -360,7 +383,7 @@ mod tests {
         let toy = Toy::new();
         let mut cfg = quick_cfg(9);
         cfg.generations = 5;
-        let res = run_ga(&toy, &cfg);
+        let res = ga(&toy, &cfg);
         assert!(res.best.fitness.is_some());
         assert!(res.speedup >= 1.0);
     }
@@ -368,7 +391,7 @@ mod tests {
     #[test]
     fn generation_records_carry_island_zero() {
         let toy = Toy::new();
-        let res = run_ga(&toy, &quick_cfg(2));
+        let res = ga(&toy, &quick_cfg(2));
         assert!(res.history.records.iter().all(|r| r.island == 0));
     }
 }

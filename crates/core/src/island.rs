@@ -8,18 +8,19 @@
 //! cache ([`crate::fitness`]) lets all of them evaluate concurrently
 //! without contending on one lock.
 //!
-//! [`run_islands`] is the entry point; [`crate::run_ga`] is the N=1
-//! special case of the same loop (bit-for-bit: island 0 consumes the
-//! master seed exactly like the old single-population engine, so
-//! existing seeds reproduce their historical results).
+//! Since the unified [`crate::Search`] API landed, this module holds the
+//! island *vocabulary* — [`IslandConfig`], [`Topology`],
+//! [`MigrationEvent`], [`IslandResult`] — while the loop itself lives
+//! behind [`crate::Search`]; `Search::new(&w).config(ga).islands(4)`
+//! runs bit-for-bit what [`run_islands`] (now a deprecated shim) ran.
 //!
-//! Budget semantics: [`GaConfig::population`] is the **total** across
-//! islands — `IslandConfig { islands: 4, .. }` over a population of 32
+//! Budget semantics: [`crate::GaConfig::population`] is the **total**
+//! across islands — `Search::new(&w).islands(4)` over a population of 32
 //! runs four islands of eight. Comparing N=1 to N=4 at the same
-//! `GaConfig` therefore compares equal evaluation budgets.
+//! [`crate::GaConfig`] therefore compares equal evaluation budgets.
 //!
 //! ```
-//! use gevo_engine::{run_islands, GaConfig, IslandConfig, Workload, EvalOutcome};
+//! use gevo_engine::{Search, GaConfig, Workload, EvalOutcome};
 //! use gevo_gpu::LaunchStats;
 //! use gevo_ir::{AddrSpace, Kernel, KernelBuilder, Operand, Special};
 //!
@@ -43,21 +44,18 @@
 //! let w = Toy { kernels: vec![b.finish()] };
 //!
 //! let ga = GaConfig { population: 16, generations: 6, threads: 1, ..GaConfig::scaled() };
-//! let res = run_islands(&w, &IslandConfig::new(ga, 4));
+//! let res = Search::new(&w).config(ga).islands(4).run();
 //! assert_eq!(res.islands.len(), 4, "one trajectory per island");
 //! assert!(res.speedup >= 1.0);
 //! assert!(res.history.records.iter().all(|r| r.island < 4));
 //! ```
 
 use crate::edit::Patch;
-use crate::fitness::{Evaluator, Workload};
-use crate::ga::{GaConfig, GaResult, GenerationRecord, History, Individual};
-use crate::mutation::{crossover_one_point, MutationSpace, MutationWeights};
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::fitness::Workload;
+use crate::ga::{GaConfig, GaResult, History, Individual};
+use crate::mutation::MutationWeights;
+use crate::search::Search;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Where each island's emigrants go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,7 +99,7 @@ impl IslandConfig {
         }
     }
 
-    /// The single-population special case ([`crate::run_ga`] uses this).
+    /// The single-population special case.
     #[must_use]
     pub fn single(ga: GaConfig) -> IslandConfig {
         IslandConfig::new(ga, 1)
@@ -122,11 +120,7 @@ impl IslandConfig {
     /// starts empty.
     #[must_use]
     pub fn island_populations(&self) -> Vec<usize> {
-        let total = self.ga.population.max(1);
-        let n = self.islands.clamp(1, total);
-        let base = total / n;
-        let extra = total % n;
-        (0..n).map(|i| base + usize::from(i < extra)).collect()
+        crate::search::split_budget(self.ga.population, self.islands)
     }
 }
 
@@ -188,429 +182,48 @@ impl IslandResult {
     }
 }
 
-/// `SplitMix64` — used to derive independent island seeds from the master
-/// seed (island 0 keeps the master seed itself so N=1 reproduces the
-/// original single-population stream).
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-fn island_seed(master: u64, island: usize) -> u64 {
-    if island == 0 {
-        master
-    } else {
-        splitmix64(master ^ (island as u64).wrapping_mul(0xA076_1D64_78BD_642F))
-    }
-}
-
-/// One subpopulation plus its private RNG stream and trajectory.
-struct Island {
-    rng: ChaCha8Rng,
-    population: Vec<Individual>,
-    /// Valid individuals, best first — refreshed every generation.
-    ranked: Vec<usize>,
-    history: History,
-    best: Individual,
-}
-
-impl Island {
-    fn new(seed: u64, pop: usize, baseline: f64, space: &MutationSpace) -> Island {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut population: Vec<Individual> = Vec::with_capacity(pop);
-        population.push(Individual {
-            patch: Patch::empty(),
-            fitness: Some(baseline),
-        });
-        while population.len() < pop {
-            let mut p = Patch::empty();
-            space.mutate(&mut p, &mut rng);
-            population.push(Individual {
-                patch: p,
-                fitness: None,
-            });
-        }
-        Island {
-            rng,
-            population,
-            ranked: Vec::new(),
-            history: History {
-                baseline,
-                records: Vec::new(),
-                first_seen_in_best: HashMap::new(),
-                migrations: Vec::new(),
-            },
-            best: Individual {
-                patch: Patch::empty(),
-                fitness: Some(baseline),
-            },
-        }
-    }
-
-    /// Re-sorts the valid individuals (lower cycles = better).
-    fn rank(&mut self) {
-        self.ranked = (0..self.population.len())
-            .filter(|&i| self.population[i].fitness.is_some())
-            .collect();
-        self.ranked.sort_by(|&a, &b| {
-            self.population[a]
-                .fitness
-                .partial_cmp(&self.population[b].fitness)
-                .expect("valid fitness is never NaN")
-        });
-    }
-
-    /// This generation's best individual, if anyone is valid.
-    fn gen_best(&self) -> Option<&Individual> {
-        self.ranked.first().map(|&i| &self.population[i])
-    }
-
-    /// Appends this generation to the island's own trajectory.
-    fn record(&mut self, gen: usize, id: usize, baseline: f64) {
-        if let Some(gb) = self.gen_best().cloned() {
-            let f = gb.fitness.expect("ranked individuals are valid");
-            if f < self.best.fitness.expect("island best is always valid") {
-                self.best = gb.clone();
-            }
-            for e in gb.patch.edits() {
-                self.history.first_seen_in_best.entry(*e).or_insert(gen);
-            }
-            self.history.records.push(GenerationRecord {
-                gen,
-                island: id,
-                best_fitness: f,
-                best_speedup: baseline / f,
-                best_patch: gb.patch,
-                valid: self.ranked.len(),
-            });
-        } else {
-            self.history.records.push(GenerationRecord {
-                gen,
-                island: id,
-                best_fitness: baseline,
-                best_speedup: 1.0,
-                best_patch: Patch::empty(),
-                valid: 0,
-            });
-        }
-    }
-
-    /// Elites + offspring, exactly the single-population breeding loop.
-    /// `elitism` arrives pre-split across islands: at least one elite
-    /// per island when elitism is enabled (so every island's trajectory
-    /// stays monotone), exactly zero when the caller disabled elitism.
-    fn breed(
-        &mut self,
-        cfg: &GaConfig,
-        pop: usize,
-        elitism: usize,
-        baseline: f64,
-        space: &MutationSpace,
-    ) {
-        let mut next: Vec<Individual> = self
-            .ranked
-            .iter()
-            .take(elitism)
-            .map(|&i| self.population[i].clone())
-            .collect();
-        if next.is_empty() {
-            next.push(Individual {
-                patch: Patch::empty(),
-                fitness: Some(baseline),
-            });
-        }
-        while next.len() < pop {
-            let parent_a = tournament(
-                &self.population,
-                &self.ranked,
-                cfg.tournament,
-                &mut self.rng,
-            );
-            let mut child = if self.rng.gen_bool(cfg.crossover_p) && self.ranked.len() >= 2 {
-                let parent_b = tournament(
-                    &self.population,
-                    &self.ranked,
-                    cfg.tournament,
-                    &mut self.rng,
-                );
-                crossover_one_point(&parent_a.patch, &parent_b.patch, &mut self.rng)
-            } else {
-                parent_a.patch.clone()
-            };
-            if self.rng.gen_bool(cfg.mutation_p) {
-                space.mutate(&mut child, &mut self.rng);
-            }
-            if child.len() > cfg.max_patch_len {
-                let edits = child.edits()[child.len() - cfg.max_patch_len..].to_vec();
-                child = Patch::from_edits(edits);
-            }
-            next.push(Individual {
-                patch: child,
-                fitness: None,
-            });
-        }
-        self.population = next;
-    }
-
-    /// Replaceable slots under a given protection level: everything but
-    /// the island's `protect` best-ranked individuals. Callers truncate
-    /// an inbound wave to this before delivering (and before logging).
-    fn receive_capacity(&self, protect: usize) -> usize {
-        self.population.len() - protect.min(self.ranked.len())
-    }
-
-    /// Overwrites this island's worst individuals with immigrants.
-    /// Invalid individuals go first, then the weakest valid ones; the
-    /// island's `protect` best-ranked individuals are never replaced
-    /// (migration adds diversity, it must not evict the local champion).
-    /// Callers pre-truncate to [`Island::receive_capacity`]. The ranking
-    /// is refreshed afterwards so immigrants can be elites.
-    fn receive(&mut self, immigrants: Vec<Individual>, protect: usize) {
-        if immigrants.is_empty() {
-            return;
-        }
-        let keep = protect.min(self.ranked.len());
-        let mut worst_first: Vec<usize> = (0..self.population.len())
-            .filter(|i| !self.ranked.contains(i))
-            .collect();
-        worst_first.extend(self.ranked.iter().skip(keep).rev().copied());
-        for (slot, imm) in worst_first.into_iter().zip(immigrants) {
-            self.population[slot] = imm;
-        }
-        self.rank();
-    }
-}
-
 /// Runs the island-model GA with default mutation weights.
 ///
 /// # Panics
 /// Panics if the pristine program fails its own test set (workload bug).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Search::new(w).config(ga).islands(n).run()` — same loop, same trajectories"
+)]
 #[must_use]
 pub fn run_islands(workload: &dyn Workload, cfg: &IslandConfig) -> IslandResult {
-    run_islands_with_weights(workload, cfg, MutationWeights::default())
+    Search::from_spec(workload, cfg.clone().into())
+        .run()
+        .into_island_result()
 }
 
 /// [`run_islands`] with explicit mutation-operator weights.
 ///
 /// # Panics
 /// Panics if the pristine program fails its own test set (workload bug).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Search::new(w).config(ga).islands(n).weights(w).run()`"
+)]
 #[must_use]
 pub fn run_islands_with_weights(
     workload: &dyn Workload,
     cfg: &IslandConfig,
     weights: MutationWeights,
 ) -> IslandResult {
-    let evaluator = Evaluator::new(workload);
-    let baseline = evaluator.baseline();
-    let space = MutationSpace::new(workload.kernels(), weights);
-    let ga = &cfg.ga;
-    // Budget semantics: population and elitism are totals. The
-    // population splits exactly (equal-budget comparisons stay equal);
-    // elitism splits with a floor of one elite per island — otherwise an
-    // island could lose its best between generations — except when the
-    // caller disabled elitism outright, which is honored everywhere.
-    let pops = cfg.island_populations();
-    let n = pops.len();
-    let elitism = if n == 1 || ga.elitism == 0 {
-        ga.elitism
-    } else {
-        (ga.elitism / n).max(1)
-    };
-
-    let mut islands: Vec<Island> = pops
-        .iter()
-        .enumerate()
-        .map(|(i, &pop)| Island::new(island_seed(ga.seed, i), pop, baseline, &space))
-        .collect();
-    // Random-topology draws come from a dedicated stream so migration
-    // policy never perturbs the islands' evolutionary randomness.
-    let mut mig_rng = ChaCha8Rng::seed_from_u64(splitmix64(ga.seed ^ 0x4D69_6772_6174_6521));
-
-    let mut history = History {
-        baseline,
-        records: Vec::with_capacity(ga.generations),
-        first_seen_in_best: HashMap::new(),
-        migrations: Vec::new(),
-    };
-    let mut best_overall = Individual {
-        patch: Patch::empty(),
-        fitness: Some(baseline),
-    };
-
-    for gen in 0..ga.generations {
-        // Evaluate every island's population through one shared batch so
-        // the worker pool (and the sharded cache) sees all of it at once.
-        let patches: Vec<Patch> = islands
-            .iter()
-            .flat_map(|isl| isl.population.iter().map(|ind| ind.patch.clone()))
-            .collect();
-        let outcomes = evaluator.evaluate_batch(&patches, ga.threads);
-        let mut cursor = 0;
-        for isl in &mut islands {
-            for ind in &mut isl.population {
-                ind.fitness = outcomes[cursor].fitness;
-                cursor += 1;
-            }
-            isl.rank();
-        }
-        for (id, isl) in islands.iter_mut().enumerate() {
-            isl.record(gen, id, baseline);
-        }
-
-        // Global record: the best island this generation.
-        let winner = islands
-            .iter()
-            .enumerate()
-            .filter_map(|(id, isl)| isl.gen_best().map(|gb| (id, gb)))
-            .min_by(|(_, a), (_, b)| {
-                a.fitness
-                    .partial_cmp(&b.fitness)
-                    .expect("valid fitness is never NaN")
-            });
-        let valid_total: usize = islands.iter().map(|isl| isl.ranked.len()).sum();
-        if let Some((id, gb)) = winner {
-            let gb = gb.clone();
-            let f = gb.fitness.expect("winner is valid");
-            if f < best_overall.fitness.expect("baseline valid") {
-                best_overall = gb.clone();
-            }
-            for e in gb.patch.edits() {
-                history.first_seen_in_best.entry(*e).or_insert(gen);
-            }
-            history.records.push(GenerationRecord {
-                gen,
-                island: id,
-                best_fitness: f,
-                best_speedup: baseline / f,
-                best_patch: gb.patch,
-                valid: valid_total,
-            });
-        } else {
-            history.records.push(GenerationRecord {
-                gen,
-                island: 0,
-                best_fitness: baseline,
-                best_speedup: 1.0,
-                best_patch: Patch::empty(),
-                valid: 0,
-            });
-        }
-
-        if gen + 1 == ga.generations {
-            break;
-        }
-
-        // Migration: collect everything against the pre-migration
-        // populations first, then deliver, so a fast individual cannot
-        // hop two islands in one wave.
-        if n > 1 && cfg.migration_interval > 0 && (gen + 1) % cfg.migration_interval == 0 {
-            let mut inboxes: Vec<Vec<(MigrationEvent, Individual)>> = vec![Vec::new(); n];
-            for (src, isl) in islands.iter().enumerate() {
-                let dst = match cfg.topology {
-                    Topology::Ring => (src + 1) % n,
-                    Topology::Random => {
-                        let pick = mig_rng.gen_range(0..n - 1);
-                        if pick >= src {
-                            pick + 1
-                        } else {
-                            pick
-                        }
-                    }
-                };
-                for &i in isl.ranked.iter().take(cfg.emigrants) {
-                    let emigrant = isl.population[i].clone();
-                    let event = MigrationEvent {
-                        gen,
-                        from: src,
-                        to: dst,
-                        fitness: emigrant.fitness.expect("ranked emigrant is valid"),
-                        patch: emigrant.patch.clone(),
-                    };
-                    inboxes[dst].push((event, emigrant));
-                }
-            }
-            // Even with elitism disabled, an island's current champion
-            // survives the wave — migration fills weak slots only, and
-            // the log records only the crossings actually delivered.
-            let protect = elitism.max(1);
-            for (isl, inbox) in islands.iter_mut().zip(inboxes) {
-                let capacity = isl.receive_capacity(protect);
-                let mut delivered = Vec::with_capacity(inbox.len().min(capacity));
-                for (event, imm) in inbox.into_iter().take(capacity) {
-                    history.migrations.push(event);
-                    delivered.push(imm);
-                }
-                isl.receive(delivered, protect);
-            }
-        }
-
-        for (isl, &pop) in islands.iter_mut().zip(&pops) {
-            isl.breed(ga, pop, elitism, baseline, &space);
-        }
-    }
-
-    // Fan the migration log out to the islands that took part.
-    for (id, isl) in islands.iter_mut().enumerate() {
-        isl.history.migrations = history
-            .migrations
-            .iter()
-            .filter(|m| m.from == id || m.to == id)
-            .cloned()
-            .collect();
-    }
-
-    let speedup = baseline
-        / best_overall
-            .fitness
-            .expect("best individual is always valid");
-    IslandResult {
-        best: best_overall,
-        speedup,
-        history,
-        islands: islands.into_iter().map(|isl| isl.history).collect(),
-        evals: evaluator.evals_performed(),
-        cache_hits: evaluator.cache_hits(),
-        instructions: evaluator.instructions_simulated(),
-    }
-}
-
-/// Tournament selection over the valid individuals; falls back to a
-/// random (possibly invalid) individual when nothing is valid yet.
-fn tournament<'p, R: Rng>(
-    population: &'p [Individual],
-    ranked: &[usize],
-    k: usize,
-    rng: &mut R,
-) -> &'p Individual {
-    if ranked.is_empty() {
-        return population.choose(rng).expect("population non-empty");
-    }
-    let mut best: Option<usize> = None;
-    for _ in 0..k.max(1) {
-        let cand = *ranked.choose(rng).expect("ranked non-empty");
-        best = Some(match best {
-            None => cand,
-            Some(cur) => {
-                if population[cand].fitness < population[cur].fitness {
-                    cand
-                } else {
-                    cur
-                }
-            }
-        });
-    }
-    &population[best.expect("at least one round ran")]
+    Search::from_spec(workload, cfg.clone().into())
+        .weights(weights)
+        .run()
+        .into_island_result()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fitness::EvalOutcome;
-    use crate::ga::run_ga;
     use gevo_gpu::LaunchStats;
     use gevo_ir::{AddrSpace, Kernel, KernelBuilder, Operand, Special};
+    use std::collections::HashMap;
 
     /// Toy workload with a known optimum: fitness = 100 + 10 per
     /// remaining deletable instruction; the store must survive.
@@ -675,12 +288,18 @@ mod tests {
         }
     }
 
+    fn islands(toy: &Toy, cfg: &IslandConfig) -> IslandResult {
+        Search::from_spec(toy, cfg.clone().into())
+            .run()
+            .into_island_result()
+    }
+
     #[test]
-    fn single_island_matches_run_ga_exactly() {
+    fn single_island_matches_single_population_search_exactly() {
         let toy = Toy::new();
         let cfg = quick_ga(7);
-        let ga = run_ga(&toy, &cfg);
-        let isl = run_islands(&toy, &IslandConfig::single(cfg));
+        let ga = Search::new(&toy).config(cfg.clone()).run().into_ga_result();
+        let isl = islands(&toy, &IslandConfig::single(cfg));
         assert_eq!(ga.best.patch, isl.best.patch);
         assert_eq!(ga.speedup, isl.speedup);
         assert_eq!(ga.history, isl.history);
@@ -696,8 +315,8 @@ mod tests {
     fn islands_are_deterministic_per_seed() {
         let toy = Toy::new();
         let cfg = IslandConfig::new(quick_ga(11), 4);
-        let a = run_islands(&toy, &cfg);
-        let b = run_islands(&toy, &cfg);
+        let a = islands(&toy, &cfg);
+        let b = islands(&toy, &cfg);
         assert_eq!(a.best.patch, b.best.patch);
         assert_eq!(a.history, b.history);
         assert_eq!(a.islands, b.islands);
@@ -710,7 +329,7 @@ mod tests {
         let mut cfg = IslandConfig::new(quick_ga(3), 3);
         cfg.migration_interval = 2;
         cfg.emigrants = 1;
-        let res = run_islands(&toy, &cfg);
+        let res = islands(&toy, &cfg);
         assert!(!res.history.migrations.is_empty(), "migrations happened");
         for m in &res.history.migrations {
             assert_eq!(m.to, (m.from + 1) % 3, "ring destination");
@@ -729,8 +348,8 @@ mod tests {
         let mut cfg = IslandConfig::new(quick_ga(13), 4);
         cfg.topology = Topology::Random;
         cfg.migration_interval = 3;
-        let a = run_islands(&toy, &cfg);
-        let b = run_islands(&toy, &cfg);
+        let a = islands(&toy, &cfg);
+        let b = islands(&toy, &cfg);
         assert_eq!(a.history.migrations, b.history.migrations);
         assert!(!a.history.migrations.is_empty());
         for m in &a.history.migrations {
@@ -742,7 +361,7 @@ mod tests {
     #[test]
     fn global_best_is_monotone_across_islands() {
         let toy = Toy::new();
-        let res = run_islands(&toy, &IslandConfig::new(quick_ga(5), 4));
+        let res = islands(&toy, &IslandConfig::new(quick_ga(5), 4));
         let mut last = f64::INFINITY;
         for r in &res.history.records {
             assert!(
@@ -767,7 +386,7 @@ mod tests {
     fn per_island_histories_cover_every_generation() {
         let toy = Toy::new();
         let cfg = IslandConfig::new(quick_ga(9), 3);
-        let res = run_islands(&toy, &cfg);
+        let res = islands(&toy, &cfg);
         assert_eq!(res.islands.len(), 3);
         for (id, h) in res.islands.iter().enumerate() {
             assert_eq!(h.records.len(), cfg.ga.generations);
@@ -789,8 +408,8 @@ mod tests {
         // Same total budget, split four ways: still reaches the toy's
         // optimum (all six dead adds deleted).
         let toy = Toy::new();
-        let single = run_islands(&toy, &IslandConfig::single(quick_ga(1)));
-        let multi = run_islands(&toy, &IslandConfig::new(quick_ga(1), 4));
+        let single = islands(&toy, &IslandConfig::single(quick_ga(1)));
+        let multi = islands(&toy, &IslandConfig::new(quick_ga(1), 4));
         assert!(
             multi.best.fitness.unwrap() <= single.best.fitness.unwrap() + 1e-9,
             "islands match the single population on the toy: {} vs {}",
@@ -831,7 +450,7 @@ mod tests {
         let mut cfg = IslandConfig::new(ga, 4);
         cfg.migration_interval = 1;
         cfg.emigrants = 2;
-        let res = run_islands(&toy, &cfg);
+        let res = islands(&toy, &cfg);
         let mut last = f64::INFINITY;
         for r in &res.history.records {
             assert!(
@@ -861,7 +480,7 @@ mod tests {
         let mut ga = quick_ga(4);
         ga.elitism = 0;
         ga.generations = 6;
-        let res = run_islands(&toy, &IslandConfig::new(ga, 3));
+        let res = islands(&toy, &IslandConfig::new(ga, 3));
         // With no elites anywhere the global best can regress between
         // generations; the run must still complete and report a valid
         // best (the baseline individual is always re-seeded on demand).

@@ -18,11 +18,17 @@
 //!   type-compatible operand pools, one-point patch crossover.
 //! * [`Workload`] / [`Evaluator`] — fitness = mean simulated kernel
 //!   cycles over the test set; failing variants are invalid (§III-E).
-//! * [`run_ga`] — the generational loop with elitism, tournament
-//!   selection and full history recording (Figs. 6 and 8).
-//! * [`run_islands`] — the island-model engine: N independently-seeded
-//!   subpopulations with ring/random elite migration over a sharded
-//!   fitness cache; [`run_ga`] is its N=1 special case.
+//! * [`Search`] — **the engine's one entry point**: a composable session
+//!   (`Search::new(&w).config(ga).islands(4).objectives(&[...])`) over
+//!   the generational loop with elitism, tournament or NSGA-II
+//!   selection, island migration, streaming [`SearchObserver`]
+//!   callbacks and full history recording (Figs. 6 and 8). The legacy
+//!   free functions (`run_ga`, `run_islands`, ...) are deprecated shims
+//!   over it.
+//! * [`Objective`] — the minimized dimensions (cycles, correctness
+//!   error, memory-traffic/instruction proxies); two or more switch the
+//!   selector to NSGA-II non-dominated sorting and the run surfaces its
+//!   Pareto front ([`SearchResult::pareto`]).
 //! * [`analysis`] — Algorithm 1 (weak-edit minimization), Algorithm 2
 //!   (independent/epistatic split), exhaustive subset analysis and the
 //!   Fig. 7 dependency graph.
@@ -30,7 +36,7 @@
 //! ## Example: evolve a toy workload
 //!
 //! ```
-//! use gevo_engine::{run_ga, GaConfig, Workload, EvalOutcome, Patch};
+//! use gevo_engine::{Search, GaConfig, Workload, EvalOutcome, Patch};
 //! use gevo_ir::{Kernel, KernelBuilder, Operand, Special, AddrSpace};
 //! use gevo_gpu::LaunchStats;
 //!
@@ -59,7 +65,7 @@
 //! let w = DeadCode { kernels: vec![b.finish()], store };
 //!
 //! let cfg = GaConfig { population: 16, generations: 10, ..GaConfig::scaled() };
-//! let result = run_ga(&w, &cfg);
+//! let result = Search::new(&w).config(cfg).run();
 //! assert!(result.speedup >= 1.0);
 //! ```
 
@@ -80,6 +86,7 @@ pub mod fitness;
 pub mod ga;
 pub mod island;
 pub mod mutation;
+pub mod search;
 
 pub use analysis::{
     dependency_graph, minimize_weak_edits, split_independent, subset_analysis, EpistasisGraph,
@@ -87,10 +94,16 @@ pub use analysis::{
 };
 pub use edit::{Edit, Patch};
 pub use fitness::{EvalOutcome, Evaluator, Workload, CACHE_SHARDS};
+#[allow(deprecated)]
 pub use ga::{
     run_ga, run_ga_with_weights, GaConfig, GaResult, GenerationRecord, History, Individual,
 };
+#[allow(deprecated)]
 pub use island::{
     run_islands, run_islands_with_weights, IslandConfig, IslandResult, MigrationEvent, Topology,
 };
 pub use mutation::{crossover_one_point, crossover_uniform, MutationSpace, MutationWeights};
+pub use search::{
+    crowding_distances, dominates, non_dominated_sort, nsga2_order, Objective, ParetoPoint, Search,
+    SearchObserver, SearchResult, SearchSpec, Selection,
+};

@@ -564,7 +564,7 @@ impl SimcovWorkload {
         let mut reference = SimcovState::new(g, &self.cfg.params);
         reference.run(&self.cfg.params, steps);
         let (out, _, _) = self.run_sim(&compiled, g, steps, 1, ArenaMode::Tight)?;
-        compare(&out, &reference, &self.cfg.tolerance)
+        compare(&out, &reference, &self.cfg.tolerance).map(|_| ())
     }
 
     // ---- curated edits (DESIGN.md §4.5) ---------------------------------
@@ -692,7 +692,9 @@ impl Workload for SimcovWorkload {
             ArenaMode::Slack,
         ) {
             Ok((out, cycles, stats)) => match compare(&out, &self.reference, &self.cfg.tolerance) {
-                Ok(()) => EvalOutcome::pass(cycles, stats),
+                // The normalized deviation rides along as the
+                // multi-objective error score (`Objective::Error`).
+                Ok(error) => EvalOutcome::pass_with_error(cycles, error, stats),
                 Err(e) => EvalOutcome::fail(e),
             },
             Err(e) => EvalOutcome::fail(e),

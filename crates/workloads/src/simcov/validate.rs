@@ -87,12 +87,20 @@ fn diff_stats(gpu: &[f32], cpu: &[f32]) -> (f64, f64, f64) {
 
 /// Compares a GPU run against the oracle.
 ///
+/// On success, returns the run\'s **normalized error**: the largest
+/// fraction of any tolerance budget the deviation consumed (0 = exact
+/// match, 1 = right on a bound). This is the continuous correctness
+/// score behind `gevo_engine::Objective::Error` — the paper\'s second
+/// GEVO objective — so a multi-objective search can trade accuracy for
+/// speed *within* the acceptance region.
+///
 /// # Errors
 /// Returns a description of the first violated bound.
-pub fn compare(gpu: &GpuRunOutput, cpu: &SimcovState, tol: &Tolerance) -> Result<(), String> {
+pub fn compare(gpu: &GpuRunOutput, cpu: &SimcovState, tol: &Tolerance) -> Result<f64, String> {
     if gpu.vir.len() != cpu.vir.len() {
         return Err("field size mismatch".into());
     }
+    let mut error = 0.0f64;
     for (name, g_field, c_field) in [
         ("virions", &gpu.vir, &cpu.vir),
         ("chemokine", &gpu.chem, &cpu.chem),
@@ -104,12 +112,14 @@ pub fn compare(gpu: &GpuRunOutput, cpu: &SimcovState, tol: &Tolerance) -> Result
                 "{name}: per-value mean deviation {mean_abs:.4} exceeds {mean_bound:.4}"
             ));
         }
+        error = error.max(mean_abs / mean_bound);
         let var_bound = tol.field_abs_var + tol.field_rel_var * ref_mean * ref_mean;
         if var > var_bound {
             return Err(format!(
                 "{name}: per-value variance {var:.4} exceeds {var_bound:.4}"
             ));
         }
+        error = error.max(var / var_bound);
     }
 
     let epi_mismatch = gpu.epi.iter().zip(&cpu.epi).filter(|(a, b)| a != b).count();
@@ -121,6 +131,7 @@ pub fn compare(gpu: &GpuRunOutput, cpu: &SimcovState, tol: &Tolerance) -> Result
             tol.epi_mismatch_frac
         ));
     }
+    error = error.max(frac / tol.epi_mismatch_frac);
 
     let t_mismatch = gpu
         .tcell
@@ -142,6 +153,10 @@ pub fn compare(gpu: &GpuRunOutput, cpu: &SimcovState, tol: &Tolerance) -> Result
             "T cells: {t_mismatch} cells differ (budget {budget}, {live} live)"
         ));
     }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        error = error.max(t_mismatch as f64 / budget as f64);
+    }
 
     let ref_stats = cpu.stats();
     for (i, name) in ["virion total", "infected", "dead", "tcells"]
@@ -158,8 +173,9 @@ pub fn compare(gpu: &GpuRunOutput, cpu: &SimcovState, tol: &Tolerance) -> Result
         if d / scale > tol.stats_rel {
             return Err(format!("stats[{name}]: {a} vs oracle {b}"));
         }
+        error = error.max(d / scale / tol.stats_rel);
     }
-    Ok(())
+    Ok(error)
 }
 
 #[cfg(test)]
@@ -187,7 +203,7 @@ mod tests {
     #[test]
     fn exact_output_passes() {
         let s = oracle();
-        assert_eq!(compare(&exact_copy(&s), &s, &Tolerance::default()), Ok(()));
+        assert_eq!(compare(&exact_copy(&s), &s, &Tolerance::default()), Ok(0.0));
     }
 
     #[test]
@@ -204,7 +220,11 @@ mod tests {
         for v in g.vir.iter_mut().take(20) {
             *v += 0.003;
         }
-        assert_eq!(compare(&g, &s, &Tolerance::default()), Ok(()));
+        let err = compare(&g, &s, &Tolerance::default()).expect("within tolerance");
+        assert!(
+            err > 0.0 && err <= 1.0,
+            "noise consumes part of the budget: {err}"
+        );
     }
 
     #[test]

@@ -19,14 +19,13 @@ fn main() {
         population: pop,
         generations: gens,
         seed: 1,
-        threads: std::thread::available_parallelism().map_or(4, usize::from),
         ..GaConfig::scaled()
     };
     println!(
         "== evolving {} (pop {pop}, {gens} gens) ==",
         workload.name()
     );
-    let result = run_ga(&workload, &cfg);
+    let result = Search::new(&workload).config(cfg).run();
     println!(
         "speedup {:.3}x with {} edits ({} fitness evaluations)",
         result.speedup,

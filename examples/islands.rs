@@ -1,6 +1,7 @@
 //! Island-model quickstart: evolve ADEPT-V0 with four islands on a ring
 //! and compare against one panmictic population at the same total
-//! evaluation budget.
+//! evaluation budget — all through the unified `Search` session, with a
+//! streaming `SearchObserver` printing migrations as they happen.
 //!
 //! ```text
 //! cargo run --release --example islands
@@ -8,23 +9,56 @@
 
 use gevo_repro::prelude::*;
 
+/// Streams the first few migration events live (no post-hoc mining of
+/// the history) and tallies the rest.
+#[derive(Default)]
+struct MigrationTicker {
+    printed: usize,
+    total: usize,
+}
+
+impl SearchObserver for MigrationTicker {
+    fn on_migration(&mut self, m: &MigrationEvent) {
+        self.total += 1;
+        if self.printed < 8 {
+            println!(
+                "  [live] gen {:>2}: island {} -> island {}  ({:.0} cycles, {} edits)",
+                m.gen,
+                m.from,
+                m.to,
+                m.fitness,
+                m.patch.len()
+            );
+            self.printed += 1;
+        }
+    }
+}
+
 fn main() {
     let workload = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
 
+    // `GaConfig::scaled()` already picks the host's real parallelism.
     let ga = GaConfig {
         population: 32,
         generations: 12,
-        threads: std::thread::available_parallelism().map_or(4, usize::from),
         seed: 3,
         ..GaConfig::scaled()
     };
 
     // The same budget, two shapes: one island of 32, or four of 8 with
     // two elites hopping around the ring every three generations.
-    let single = run_islands(&workload, &IslandConfig::single(ga.clone()));
-    let mut cfg = IslandConfig::new(ga, 4);
-    cfg.migration_interval = 3;
-    let multi = run_islands(&workload, &cfg);
+    let single = Search::new(&workload).config(ga.clone()).run();
+
+    println!("migration stream (4-island run):");
+    let mut ticker = MigrationTicker::default();
+    let multi = Search::new(&workload)
+        .config(ga)
+        .islands(4)
+        .migration_interval(3)
+        .observer(&mut ticker)
+        .run();
+    println!("  ... {} migrations total", ticker.total);
+    println!();
 
     println!("workload        : {}", workload.name());
     println!("baseline cycles : {:.0}", multi.history.baseline);
@@ -56,19 +90,6 @@ fn main() {
         println!(
             "  island {i}: {best:.2}x over {} generations",
             h.records.len()
-        );
-    }
-    println!();
-
-    println!("migration log (first 8 events):");
-    for m in multi.history.migrations.iter().take(8) {
-        println!(
-            "  gen {:>2}: island {} -> island {}  ({:.0} cycles, {} edits)",
-            m.gen,
-            m.from,
-            m.to,
-            m.fitness,
-            m.patch.len()
         );
     }
     println!();

@@ -12,10 +12,10 @@ fn main() {
     // The naive Smith-Waterman port on a scaled P100 (DESIGN.md §4.4).
     let workload = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
 
+    // `GaConfig::scaled()` already picks the host's real parallelism.
     let cfg = GaConfig {
         population: 24,
         generations: 12,
-        threads: std::thread::available_parallelism().map_or(4, usize::from),
         seed: 3,
         ..GaConfig::scaled()
     };
@@ -25,7 +25,7 @@ fn main() {
         cfg.population,
         cfg.generations
     );
-    let result = run_ga(&workload, &cfg);
+    let result = Search::new(&workload).config(cfg).run();
 
     println!("baseline cycles : {:.0}", result.history.baseline);
     println!("best cycles     : {:.0}", result.best.fitness.unwrap());

@@ -22,10 +22,13 @@ pub use gevo_workloads as workloads;
 /// Convenience prelude for examples and tests.
 pub mod prelude {
     pub use gevo_engine::{
-        dependency_graph, minimize_weak_edits, run_ga, run_islands, split_independent,
-        subset_analysis, Edit, EvalOutcome, Evaluator, GaConfig, GaResult, IslandConfig,
-        IslandResult, MigrationEvent, Patch, Topology, Workload,
+        dependency_graph, minimize_weak_edits, split_independent, subset_analysis, Edit,
+        EvalOutcome, Evaluator, GaConfig, GaResult, IslandConfig, IslandResult, MigrationEvent,
+        Objective, ParetoPoint, Patch, Search, SearchObserver, SearchResult, SearchSpec, Selection,
+        Topology, Workload,
     };
+    #[allow(deprecated)]
+    pub use gevo_engine::{run_ga, run_islands};
     pub use gevo_gpu::{CompiledKernel, Gpu, GpuSpec, LaunchConfig};
     pub use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
     pub use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};

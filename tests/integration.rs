@@ -19,7 +19,7 @@ fn quick_cfg(seed: u64, pop: usize, gens: usize) -> GaConfig {
 #[test]
 fn ga_finds_order_of_magnitude_on_adept_v0() {
     let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
-    let result = run_ga(&w, &quick_cfg(3, 20, 12));
+    let result = Search::new(&w).config(quick_cfg(3, 20, 12)).run();
     assert!(
         result.speedup > 5.0,
         "GA speedup on V0 was only {:.2}x",
@@ -54,7 +54,7 @@ fn ga_finds_order_of_magnitude_on_adept_v0() {
 #[test]
 fn ga_improves_hand_tuned_adept_v1() {
     let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V1));
-    let result = run_ga(&w, &quick_cfg(1, 24, 25));
+    let result = Search::new(&w).config(quick_cfg(1, 24, 25)).run();
     assert!(
         result.speedup > 1.03,
         "GA speedup on V1 was only {:.3}x",
@@ -165,8 +165,8 @@ fn fig10_boundary_story() {
 #[test]
 fn full_stack_determinism() {
     let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
-    let a = run_ga(&w, &quick_cfg(11, 12, 6));
-    let b = run_ga(&w, &quick_cfg(11, 12, 6));
+    let a = Search::new(&w).config(quick_cfg(11, 12, 6)).run();
+    let b = Search::new(&w).config(quick_cfg(11, 12, 6)).run();
     assert_eq!(a.best.patch, b.best.patch);
     assert_eq!(a.speedup, b.speedup);
 }
@@ -179,10 +179,12 @@ fn full_stack_determinism() {
 fn four_islands_match_or_beat_one_at_equal_budget() {
     let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
     let ga = quick_cfg(2, 20, 8);
-    let single = run_islands(&w, &IslandConfig::single(ga.clone()));
-    let mut cfg = IslandConfig::new(ga, 4);
-    cfg.migration_interval = 3;
-    let multi = run_islands(&w, &cfg);
+    let single = Search::new(&w).config(ga.clone()).run();
+    let multi = Search::new(&w)
+        .config(ga)
+        .islands(4)
+        .migration_interval(3)
+        .run();
     assert!(
         multi.best.fitness.unwrap() <= single.best.fitness.unwrap(),
         "4 islands ({:.0} cycles) should match or beat 1 island ({:.0} cycles)",
@@ -198,9 +200,14 @@ fn four_islands_match_or_beat_one_at_equal_budget() {
 #[test]
 fn island_engine_full_stack_determinism() {
     let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
-    let cfg = IslandConfig::new(quick_cfg(11, 16, 5), 3);
-    let a = run_islands(&w, &cfg);
-    let b = run_islands(&w, &cfg);
+    let run = || {
+        Search::new(&w)
+            .config(quick_cfg(11, 16, 5))
+            .islands(3)
+            .run()
+    };
+    let a = run();
+    let b = run();
     assert_eq!(a.best.fitness, b.best.fitness);
     assert_eq!(a.best.patch, b.best.patch);
     assert_eq!(a.history, b.history);

@@ -115,9 +115,11 @@ proptest! {
             seed,
             ..GaConfig::scaled()
         };
-        let mut cfg = IslandConfig::new(ga, islands);
-        cfg.migration_interval = interval;
-        let res = run_islands(&w, &cfg);
+        let res = Search::new(&w)
+            .config(ga)
+            .islands(islands)
+            .migration_interval(interval)
+            .run();
 
         prop_assert_eq!(res.history.records.len(), 4);
         prop_assert_eq!(res.islands.len(), islands);

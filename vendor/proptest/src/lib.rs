@@ -6,6 +6,8 @@
 //!
 //! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ..) { .. } }`
 //! * integer [`Range`](std::ops::Range) strategies (`0u64..10_000`),
+//! * [`collection::vec`] over any strategy (including nested vecs),
+//!   reachable as `prop::collection::vec` like the real prelude,
 //! * [`ProptestConfig::with_cases`] and [`ProptestConfig::with_rng_seed`],
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
 //!
@@ -103,8 +105,59 @@ macro_rules! int_strategy {
 
 int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-/// Everything a `proptest!` test file needs in scope.
+/// Collection strategies (the `prop::collection::vec` surface).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A length specification: a plain `usize` (exactly that many) or a
+    /// half-open `Range<usize>`, mirroring the real crate's `SizeRange`
+    /// conversions.
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    /// A strategy producing `Vec`s of another strategy's values, with a
+    /// length drawn uniformly from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each case draws a length from `size`, then that
+    /// many elements from `element`. Composes with itself for nested
+    /// vectors (`vec(vec(0u8..6, 3), 1..24)`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.0.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` test file needs in scope. Like the real
+/// crate's prelude, the crate itself is re-exported as `prop` so
+/// `prop::collection::vec(...)` resolves.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
     };
