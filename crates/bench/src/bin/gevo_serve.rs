@@ -1,0 +1,479 @@
+//! `gevo-serve` — a minimal durable job server over the search engine.
+//!
+//! Accepts line-delimited JSON jobs on **stdin** or over a plain
+//! `std::net::TcpListener` (`--listen ADDR`; no web framework), runs
+//! each search on its own worker thread, streams engine events back as
+//! they happen, and checkpoints every N generations so a `SIGKILL` at
+//! any moment loses at most N generations of work: on restart the
+//! server rescans its state directory and resumes every unfinished job
+//! from its last checkpoint. DESIGN.md §3.6 documents the protocol.
+//!
+//! ```text
+//! gevo-serve --state-dir DIR [--listen ADDR] [--exit-when-idle]
+//! ```
+//!
+//! Operations (one JSON object per line):
+//!
+//! ```text
+//! {"op":"submit","id":"j1","workload":"adept-v0","pop":8,"gens":6,"seed":3}
+//! {"op":"status"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Events (one JSON object per line, to the submitting stream):
+//!
+//! ```text
+//! {"event":"accepted","id":"j1","recovered":false}
+//! {"event":"generation","id":"j1","gen":0,"best_fitness":..,"best_speedup":..}
+//! {"event":"migration","id":"j1","gen":..,"from":0,"to":1}
+//! {"event":"done","id":"j1","speedup":..,"result":"<path>.done.json"}
+//! {"event":"error","id":"j1","message":".."}
+//! {"event":"status","jobs":[{"id":"j1","state":"running"}, ..]}
+//! ```
+//!
+//! Durability: `<id>.job.json` (the resolved job, written atomically on
+//! accept), `<id>.ckpt.json` (checkpoint, cadence
+//! `GEVO_CHECKPOINT_EVERY`, default 5), `<id>.done.json` (final
+//! [`gevo_engine::SearchResult`]). All writes are atomic
+//! (temp + rename), so a kill can truncate nothing.
+
+use gevo_bench::checkpoint::{load_state, write_atomic};
+use gevo_bench::{env_usize, workload_by_name};
+use gevo_engine::{
+    GaConfig, GenerationRecord, MigrationEvent, Search, SearchObserver, SearchSpec, SearchState,
+    StepStatus,
+};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Where a job's events go: the stdout printer thread, or the TCP
+/// connection that submitted it.
+#[derive(Clone)]
+enum Sink {
+    Stdout(mpsc::Sender<String>),
+    Socket(Arc<Mutex<TcpStream>>),
+}
+
+impl Sink {
+    fn emit(&self, line: &str) {
+        match self {
+            Sink::Stdout(tx) => {
+                let _ = tx.send(line.to_string());
+            }
+            Sink::Socket(stream) => {
+                if let Ok(mut s) = stream.lock() {
+                    let _ = writeln!(s, "{line}");
+                    let _ = s.flush();
+                }
+            }
+        }
+    }
+}
+
+/// Shared server state: job table + idle signaling.
+struct Manager {
+    dir: PathBuf,
+    every: usize,
+    jobs: Mutex<BTreeMap<String, &'static str>>,
+    idle: Condvar,
+}
+
+impl Manager {
+    fn set_state(&self, id: &str, state: &'static str) {
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        jobs.insert(id.to_string(), state);
+        self.idle.notify_all();
+    }
+
+    fn wait_idle(&self) {
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        while jobs.values().any(|s| *s == "queued" || *s == "running") {
+            jobs = self.idle.wait(jobs).expect("job table poisoned");
+        }
+    }
+
+    fn status_line(&self) -> String {
+        let jobs = self.jobs.lock().expect("job table poisoned");
+        let rows: Vec<Value> = jobs
+            .iter()
+            .map(|(id, state)| {
+                let mut row = serde_json::Map::new();
+                row.insert("id", id.clone());
+                row.insert("state", *state);
+                Value::Object(row)
+            })
+            .collect();
+        let mut obj = serde_json::Map::new();
+        obj.insert("event", "status");
+        obj.insert("jobs", Value::Array(rows));
+        Value::Object(obj).to_string()
+    }
+}
+
+/// One accepted job: id + workload registry name + fully resolved spec.
+#[derive(Clone)]
+struct Job {
+    id: String,
+    workload: String,
+    spec: SearchSpec,
+}
+
+impl Job {
+    fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("id", self.id.clone());
+        obj.insert("workload", self.workload.clone());
+        obj.insert("spec", self.spec.to_json());
+        Value::Object(obj)
+    }
+
+    fn from_json(v: &Value) -> Result<Job, String> {
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("job: missing id")?;
+        let workload = v
+            .get("workload")
+            .and_then(Value::as_str)
+            .ok_or("job: missing workload")?;
+        let spec = SearchSpec::from_json(v.get("spec").ok_or("job: missing spec")?)?;
+        Ok(Job {
+            id: id.to_string(),
+            workload: workload.to_string(),
+            spec,
+        })
+    }
+}
+
+fn event(kind: &str, id: &str) -> serde_json::Map {
+    let mut obj = serde_json::Map::new();
+    obj.insert("event", kind);
+    obj.insert("id", id);
+    obj
+}
+
+/// Streams engine callbacks out as serve events.
+struct ServeObserver {
+    id: String,
+    sink: Sink,
+}
+
+impl SearchObserver for ServeObserver {
+    fn on_generation(&mut self, record: &GenerationRecord) {
+        let mut obj = event("generation", &self.id);
+        obj.insert("gen", record.gen);
+        obj.insert("best_fitness", record.best_fitness);
+        obj.insert("best_speedup", record.best_speedup);
+        self.sink.emit(&Value::Object(obj).to_string());
+    }
+
+    fn on_migration(&mut self, ev: &MigrationEvent) {
+        let mut obj = event("migration", &self.id);
+        obj.insert("gen", ev.gen);
+        obj.insert("from", ev.from);
+        obj.insert("to", ev.to);
+        self.sink.emit(&Value::Object(obj).to_string());
+    }
+}
+
+fn job_path(dir: &Path, id: &str, kind: &str) -> PathBuf {
+    dir.join(format!("{id}.{kind}.json"))
+}
+
+/// The worker: resume from the job's checkpoint if one exists, stream
+/// events, checkpoint on cadence, persist the final result, report.
+fn run_job(mgr: &Arc<Manager>, job: &Job, sink: &Sink) {
+    mgr.set_state(&job.id, "running");
+    let fail = |msg: String| {
+        let mut obj = event("error", &job.id);
+        obj.insert("message", msg);
+        sink.emit(&Value::Object(obj).to_string());
+        mgr.set_state(&job.id, "error");
+    };
+    let Some(w) = workload_by_name(&job.workload) else {
+        fail(format!("unknown workload {:?}", job.workload));
+        return;
+    };
+    let ckpt = job_path(&mgr.dir, &job.id, "ckpt");
+    let state: Option<SearchState> = if ckpt.exists() {
+        match load_state(&ckpt) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                fail(e);
+                return;
+            }
+        }
+    } else {
+        None
+    };
+    let mut obs = ServeObserver {
+        id: job.id.clone(),
+        sink: sink.clone(),
+    };
+    let mut search = match &state {
+        Some(s) => Search::resume(w.as_ref(), s),
+        None => Search::from_spec(w.as_ref(), job.spec.clone()),
+    }
+    .observer(&mut obs);
+    while let StepStatus::Advanced { gen } = search.step() {
+        if (gen + 1) % mgr.every == 0 {
+            write_atomic(&ckpt, &search.checkpoint().to_json().to_string());
+        }
+    }
+    let result = search.into_result();
+    let done = job_path(&mgr.dir, &job.id, "done");
+    write_atomic(&done, &result.to_json().to_string());
+    let mut obj = event("done", &job.id);
+    obj.insert("speedup", result.speedup);
+    obj.insert("result", done.display().to_string());
+    sink.emit(&Value::Object(obj).to_string());
+    mgr.set_state(&job.id, "done");
+}
+
+/// Accepts a job (persist + queue + spawn worker). `recovered` marks
+/// jobs re-queued by the startup scan.
+fn accept_job(mgr: &Arc<Manager>, job: Job, sink: &Sink, recovered: bool) {
+    if job_path(&mgr.dir, &job.id, "done").exists() {
+        // Idempotent: the job already completed in a previous life.
+        let mut obj = event("done", &job.id);
+        obj.insert("speedup", Value::Null);
+        obj.insert(
+            "result",
+            job_path(&mgr.dir, &job.id, "done").display().to_string(),
+        );
+        sink.emit(&Value::Object(obj).to_string());
+        mgr.set_state(&job.id, "done");
+        return;
+    }
+    if !recovered {
+        write_atomic(
+            &job_path(&mgr.dir, &job.id, "job"),
+            &job.to_json().to_string(),
+        );
+    }
+    mgr.set_state(&job.id, "queued");
+    let mut obj = event("accepted", &job.id);
+    obj.insert("recovered", recovered);
+    sink.emit(&Value::Object(obj).to_string());
+    let mgr = Arc::clone(mgr);
+    let sink = sink.clone();
+    std::thread::spawn(move || run_job(&mgr, &job, &sink));
+}
+
+/// Builds the resolved job from a submit op: either an explicit
+/// `"spec"` object, or the shorthand pop/gens/seed/islands/migration
+/// fields over scaled defaults (threads pinned to 1 — determinism
+/// before latency for durable jobs).
+fn job_from_submit(v: &Value) -> Result<Job, String> {
+    let id = v
+        .get("id")
+        .and_then(Value::as_str)
+        .ok_or("submit: missing id")?;
+    if id.is_empty()
+        || !id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(format!(
+            "submit: id {id:?} must be non-empty [A-Za-z0-9_-] (it names state files)"
+        ));
+    }
+    let workload = v
+        .get("workload")
+        .and_then(Value::as_str)
+        .ok_or("submit: missing workload")?;
+    let spec = if let Some(s) = v.get("spec") {
+        SearchSpec::from_json(s)?
+    } else {
+        let num = |name: &str, default: usize| -> usize {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .and_then(|u| usize::try_from(u).ok())
+                .unwrap_or(default)
+        };
+        let mut spec = SearchSpec {
+            ga: GaConfig {
+                population: num("pop", 8),
+                generations: num("gens", 6),
+                seed: v.get("seed").and_then(Value::as_u64).unwrap_or(1),
+                threads: 1,
+                ..GaConfig::scaled()
+            },
+            islands: num("islands", 1).max(1),
+            ..SearchSpec::default()
+        };
+        spec.migration_interval = num("migration", spec.migration_interval);
+        spec
+    };
+    Ok(Job {
+        id: id.to_string(),
+        workload: workload.to_string(),
+        spec,
+    })
+}
+
+/// Handles one op line; returns `true` when the server should shut
+/// down.
+fn handle_line(mgr: &Arc<Manager>, line: &str, sink: &Sink) -> bool {
+    let line = line.trim();
+    if line.is_empty() {
+        return false;
+    }
+    let v = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => {
+            let mut obj = event("error", "");
+            obj.insert("message", format!("bad JSON: {e}"));
+            sink.emit(&Value::Object(obj).to_string());
+            return false;
+        }
+    };
+    match v.get("op").and_then(Value::as_str).unwrap_or("") {
+        "submit" => match job_from_submit(&v) {
+            Ok(job) => accept_job(mgr, job, sink, false),
+            Err(msg) => {
+                let mut obj = event("error", v.get("id").and_then(Value::as_str).unwrap_or(""));
+                obj.insert("message", msg);
+                sink.emit(&Value::Object(obj).to_string());
+            }
+        },
+        "status" => sink.emit(&mgr.status_line()),
+        "shutdown" => return true,
+        _ => {
+            let mut obj = event("error", "");
+            obj.insert("message", format!("unknown op in {line:?}"));
+            sink.emit(&Value::Object(obj).to_string());
+        }
+    }
+    false
+}
+
+/// Startup recovery: re-queue every `<id>.job.json` without a matching
+/// `<id>.done.json`, in lexicographic id order.
+fn recover(mgr: &Arc<Manager>, sink: &Sink) {
+    let Ok(entries) = std::fs::read_dir(&mgr.dir) else {
+        return;
+    };
+    let mut job_files: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().ends_with(".job.json"))
+        })
+        .collect();
+    job_files.sort();
+    for path in job_files {
+        let job = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+            .and_then(|v| Job::from_json(&v));
+        match job {
+            Ok(job) => accept_job(mgr, job, sink, true),
+            Err(e) => {
+                let mut obj = event("error", "");
+                obj.insert(
+                    "message",
+                    format!("unreadable job file {}: {e}", path.display()),
+                );
+                sink.emit(&Value::Object(obj).to_string());
+            }
+        }
+    }
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let Some(dir) = arg_value("--state-dir").map(PathBuf::from) else {
+        eprintln!("usage: gevo-serve --state-dir DIR [--listen ADDR] [--exit-when-idle]");
+        std::process::exit(2);
+    };
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot create state dir {}: {e}", dir.display());
+        std::process::exit(2);
+    });
+    let exit_when_idle = std::env::args().any(|a| a == "--exit-when-idle");
+    let mgr = Arc::new(Manager {
+        dir,
+        every: env_usize("GEVO_CHECKPOINT_EVERY", 5).max(1),
+        jobs: Mutex::new(BTreeMap::new()),
+        idle: Condvar::new(),
+    });
+
+    // Printer thread owns stdout; every stdin-submitted or recovered
+    // job's events flow through it, one line each.
+    let (tx, rx) = mpsc::channel::<String>();
+    let printer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        for line in rx {
+            let mut out = stdout.lock();
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+    });
+    let stdout_sink = Sink::Stdout(tx);
+
+    recover(&mgr, &stdout_sink);
+
+    if let Some(addr) = arg_value("--listen") {
+        let listener = std::net::TcpListener::bind(&addr).unwrap_or_else(|e| {
+            eprintln!("cannot listen on {addr}: {e}");
+            std::process::exit(2);
+        });
+        let mgr = Arc::clone(&mgr);
+        std::thread::spawn(move || {
+            for stream in listener.incoming().filter_map(Result::ok) {
+                let mgr = Arc::clone(&mgr);
+                std::thread::spawn(move || {
+                    let reader =
+                        std::io::BufReader::new(stream.try_clone().expect("tcp stream clones"));
+                    let sink = Sink::Socket(Arc::new(Mutex::new(stream)));
+                    for line in reader.lines().map_while(Result::ok) {
+                        if handle_line(&mgr, &line, &sink) {
+                            // Shutdown over TCP: drain and exit.
+                            mgr.wait_idle();
+                            std::process::exit(0);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines().map_while(Result::ok) {
+        if handle_line(&mgr, &line, &stdout_sink) {
+            break; // shutdown op: stop accepting, drain below.
+        }
+    }
+
+    if exit_when_idle {
+        mgr.wait_idle();
+        drop(stdout_sink);
+        let _ = printer.join();
+        std::process::exit(0);
+    }
+    // Without --exit-when-idle, stdin EOF still drains the queue before
+    // exiting (a TCP listener, if any, dies with the process).
+    mgr.wait_idle();
+    drop(stdout_sink);
+    let _ = printer.join();
+}

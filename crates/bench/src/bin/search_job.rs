@@ -1,0 +1,47 @@
+//! One search job, end to end, as a single process: build a registry
+//! workload, run the configured search, print the
+//! [`SearchResult`](gevo_engine::SearchResult) as one JSON line on
+//! stdout.
+//!
+//! This is the smallest checkpoint/resume client — the kill/restart
+//! recovery tests run it twice (once with `GEVO_STOP_AFTER=k` +
+//! `GEVO_CHECKPOINT`, which exits with code 3 at generation k, then
+//! again with the same checkpoint to finish) and compare the final line
+//! byte-for-byte against an uninterrupted process.
+//!
+//! ```text
+//! search_job --workload adept-v0|adept-v1|simcov [--islands N]
+//!            [--checkpoint <path>] [--resume <path>]
+//! ```
+//!
+//! Budget via `GEVO_POP` / `GEVO_GENS` / `GEVO_SEED` /
+//! `GEVO_MIGRATION`; checkpoint cadence via `GEVO_CHECKPOINT_EVERY`.
+
+use gevo_bench::{harness_spec, run_search, workload_by_name};
+
+fn arg_value(flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let name = arg_value("--workload")
+        .or_else(|| std::env::var("GEVO_WORKLOAD").ok())
+        .unwrap_or_else(|| "adept-v0".to_string());
+    let Some(w) = workload_by_name(&name) else {
+        eprintln!("unknown workload {name:?} (expected adept-v0, adept-v1 or simcov)");
+        std::process::exit(2);
+    };
+    let spec = harness_spec(8, 6);
+    let result = run_search(w.as_ref(), &spec);
+    println!("{}", result.to_json());
+}

@@ -1,0 +1,267 @@
+//! Checkpoint/resume plumbing for every GA-driven harness binary.
+//!
+//! The knobs live here and nowhere else (the same single-point rule as
+//! [`crate::harness_spec`]): any binary that runs its search through
+//! [`crate::run_search`] understands
+//!
+//! | knob | meaning |
+//! |---|---|
+//! | `--checkpoint <path>` / `GEVO_CHECKPOINT` | write checkpoints here |
+//! | `--resume <path>` | resume from this checkpoint file |
+//! | `GEVO_CHECKPOINT_EVERY` | generations between checkpoints (default 5) |
+//! | `GEVO_STOP_AFTER` | run k generations, checkpoint, exit with code 3 |
+//!
+//! A path ending in `.json` is used verbatim (single-search binaries);
+//! anything else is treated as a directory and each search writes
+//! `<workload-slug>-s<seed>-i<islands>.ckpt.json` inside it, so sweep
+//! binaries (table1, fig4 — many searches per process) cannot collide.
+//! When no explicit `--resume` is given but the checkpoint file already
+//! exists, the run resumes from it — which is exactly the kill/restart
+//! recovery story: re-running the same command line continues where the
+//! killed process left off.
+//!
+//! Checkpoint files are written atomically (temp file + rename in the
+//! same directory), so a kill mid-write leaves the previous checkpoint
+//! intact, never a torn one.
+
+use gevo_engine::{
+    Search, SearchObserver, SearchResult, SearchSpec, SearchState, StepStatus, Workload,
+};
+use std::path::{Path, PathBuf};
+
+/// Exit code for a run interrupted by `GEVO_STOP_AFTER` — distinct from
+/// success (0) and failure (1) so harness tests can assert the
+/// interruption actually happened.
+pub const STOPPED_EXIT_CODE: i32 = 3;
+
+/// The checkpoint/resume configuration in force (CLI + env).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointKnobs {
+    /// Where to write checkpoints (`--checkpoint` / `GEVO_CHECKPOINT`).
+    pub path: Option<PathBuf>,
+    /// Explicit checkpoint to resume from (`--resume`).
+    pub resume: Option<PathBuf>,
+    /// Generations between checkpoints (`GEVO_CHECKPOINT_EVERY`).
+    pub every: usize,
+    /// Stop (checkpoint + exit [`STOPPED_EXIT_CODE`]) after this many
+    /// generations (`GEVO_STOP_AFTER`).
+    pub stop_after: Option<usize>,
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Reads the checkpoint knobs from the command line and environment.
+#[must_use]
+pub fn checkpoint_knobs() -> CheckpointKnobs {
+    let path = arg_value("--checkpoint")
+        .or_else(|| std::env::var("GEVO_CHECKPOINT").ok())
+        .map(PathBuf::from);
+    let resume = arg_value("--resume").map(PathBuf::from);
+    let every = crate::env_usize("GEVO_CHECKPOINT_EVERY", 5).max(1);
+    let stop_after = std::env::var("GEVO_STOP_AFTER")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    CheckpointKnobs {
+        path,
+        resume,
+        every,
+        stop_after,
+    }
+}
+
+/// Lowercases a workload name into a filesystem-safe slug
+/// (`adept-v0[P100-scaled]` → `adept-v0-p100-scaled`).
+#[must_use]
+pub fn workload_slug(name: &str) -> String {
+    let mut slug: String = name
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    while slug.contains("--") {
+        slug = slug.replace("--", "-");
+    }
+    slug.trim_matches('-').to_string()
+}
+
+/// Resolves a checkpoint base path for one search: a `.json` path is
+/// used verbatim; anything else is a directory receiving a per-search
+/// file named from the workload slug, seed and island count.
+#[must_use]
+pub fn resolve_checkpoint_path(base: &Path, workload: &str, spec: &SearchSpec) -> PathBuf {
+    if base.extension().is_some_and(|e| e == "json") {
+        return base.to_path_buf();
+    }
+    base.join(format!(
+        "{}-s{}-i{}.ckpt.json",
+        workload_slug(workload),
+        spec.ga.seed,
+        spec.islands
+    ))
+}
+
+/// Writes `text` to `path` atomically: temp file in the same directory,
+/// then rename. A crash mid-write cannot leave a torn file at `path`.
+///
+/// # Panics
+/// Panics if the directory cannot be created or the write fails —
+/// losing checkpoints silently would defeat their purpose.
+pub fn write_atomic(path: &Path, text: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        }
+    }
+    let tmp = path.with_file_name(format!(
+        "{}.tmp",
+        path.file_name().map_or_else(
+            || "checkpoint".to_string(),
+            |n| n.to_string_lossy().into_owned()
+        )
+    ));
+    std::fs::write(&tmp, text).unwrap_or_else(|e| panic!("cannot write {}: {e}", tmp.display()));
+    std::fs::rename(&tmp, path)
+        .unwrap_or_else(|e| panic!("cannot rename {} -> {}: {e}", tmp.display(), path.display()));
+}
+
+/// Loads and decodes a checkpoint file.
+///
+/// # Errors
+/// Returns a message when the file cannot be read or decoded.
+pub fn load_state(path: &Path) -> Result<SearchState, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+    let value = serde_json::from_str(&text)
+        .map_err(|e| format!("checkpoint {} is not valid JSON: {e}", path.display()))?;
+    SearchState::from_json(&value).map_err(|e| format!("checkpoint {}: {e}", path.display()))
+}
+
+/// Drives a configured [`Search`] session to completion, writing a
+/// checkpoint to `ckpt` every `every` generations. When `stop_after` is
+/// hit, the state is checkpointed and the process exits with
+/// [`STOPPED_EXIT_CODE`] — the deterministic stand-in for a kill that
+/// the recovery tests use.
+///
+/// # Panics
+/// Panics if a due checkpoint cannot be written.
+#[must_use]
+pub fn drive_search(
+    mut search: Search<'_>,
+    ckpt: Option<&Path>,
+    every: usize,
+    stop_after: Option<usize>,
+) -> SearchResult {
+    let every = every.max(1);
+    while let StepStatus::Advanced { gen } = search.step() {
+        let completed = gen + 1;
+        let due = ckpt.is_some() && completed % every == 0;
+        let stopping = stop_after == Some(completed);
+        if due || (stopping && ckpt.is_some()) {
+            let state = search.checkpoint();
+            let path = ckpt.expect("checked above");
+            write_atomic(path, &state.to_json().to_string());
+        }
+        if stopping {
+            std::process::exit(STOPPED_EXIT_CODE);
+        }
+    }
+    search.into_result()
+}
+
+/// The checkpoint-aware search runner behind [`crate::run_search`]:
+/// resolves this search's checkpoint file, resumes from `--resume` (or
+/// from the checkpoint file itself when it already exists), attaches
+/// the observer, and drives the session with [`drive_search`].
+///
+/// # Panics
+/// Panics if an explicitly requested resume file is unreadable or
+/// undecodable (continuing from scratch would silently discard paid-for
+/// generations), or if a checkpoint write fails.
+#[must_use]
+pub fn run_search_with(
+    w: &dyn Workload,
+    spec: &SearchSpec,
+    knobs: &CheckpointKnobs,
+    observer: Option<&mut dyn SearchObserver>,
+) -> SearchResult {
+    let ckpt = knobs
+        .path
+        .as_ref()
+        .map(|base| resolve_checkpoint_path(base, w.name(), spec));
+    let resume_from = knobs
+        .resume
+        .clone()
+        .or_else(|| ckpt.clone().filter(|p| p.exists()));
+    let state = resume_from.map(|p| match load_state(&p) {
+        Ok(state) => state,
+        Err(e) => panic!("{e}"),
+    });
+    let mut search = match &state {
+        Some(state) => Search::resume(w, state),
+        None => Search::from_spec(w, spec.clone()),
+    };
+    if let Some(obs) = observer {
+        search = search.observer(obs);
+    }
+    drive_search(search, ckpt.as_deref(), knobs.every, knobs.stop_after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gevo_engine::GaConfig;
+
+    #[test]
+    fn slugs_are_filesystem_safe() {
+        assert_eq!(
+            workload_slug("adept-v0[P100-scaled]"),
+            "adept-v0-p100-scaled"
+        );
+        assert_eq!(workload_slug("simcov[V100]"), "simcov-v100");
+    }
+
+    #[test]
+    fn json_suffix_is_verbatim_everything_else_a_directory() {
+        let spec = SearchSpec {
+            ga: GaConfig {
+                seed: 9,
+                ..GaConfig::scaled()
+            },
+            islands: 4,
+            ..SearchSpec::default()
+        };
+        let verbatim = resolve_checkpoint_path(Path::new("/tmp/x/run.json"), "w", &spec);
+        assert_eq!(verbatim, Path::new("/tmp/x/run.json"));
+        let dir = resolve_checkpoint_path(Path::new("/tmp/ckpts"), "adept-v0[P100]", &spec);
+        assert_eq!(dir, Path::new("/tmp/ckpts/adept-v0-p100-s9-i4.ckpt.json"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("gevo-ckpt-test");
+        let path = dir.join("state.json");
+        write_atomic(&path, "one");
+        write_atomic(&path, "two");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,6 +15,9 @@
 //! | `GEVO_MIGRATION` | generations between migrations | 5 |
 //! | `GEVO_THREADS` | evaluation workers (clamped to host cores) | 1 |
 //! | `GEVO_OBJECTIVES` | comma-separated [`Objective`]s (two+ = NSGA-II) | `cycles` |
+//! | `GEVO_CHECKPOINT` | checkpoint path (also `--checkpoint`); see [`checkpoint`] | off |
+//! | `GEVO_CHECKPOINT_EVERY` | generations between checkpoints | 5 |
+//! | `GEVO_STOP_AFTER` | checkpoint + exit(3) after k generations | off |
 //!
 //! The GA-driven harnesses (fig4, fig5, fig6, islands, pareto) all
 //! build their engine session through ONE shared helper,
@@ -33,11 +36,10 @@
 
 pub mod ab;
 pub mod cases;
+pub mod checkpoint;
 pub mod kernel_gen;
 
-use gevo_engine::{
-    Evaluator, GaConfig, Objective, Patch, Search, SearchResult, SearchSpec, Workload,
-};
+use gevo_engine::{Evaluator, GaConfig, Objective, Patch, SearchResult, SearchSpec, Workload};
 use gevo_gpu::GpuSpec;
 use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
 use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};
@@ -155,10 +157,32 @@ pub fn harness_spec(pop: usize, gens: usize) -> SearchSpec {
 
 /// Runs the configured search session and returns its result (global
 /// history, per-island trajectories, Pareto front when
-/// multi-objective).
+/// multi-objective). Checkpoint-aware: because every GA-driven harness
+/// binary runs through this one function, the
+/// `--checkpoint`/`--resume`/`GEVO_CHECKPOINT*` knobs (see
+/// [`checkpoint`]) work identically in all of them.
 #[must_use]
 pub fn run_search(w: &dyn Workload, spec: &SearchSpec) -> SearchResult {
-    Search::from_spec(w, spec.clone()).run()
+    checkpoint::run_search_with(w, spec, &checkpoint::checkpoint_knobs(), None)
+}
+
+/// Builds one of the Table-1 workloads in its default scaled
+/// configuration by registry name (`adept-v0`, `adept-v1`, `simcov`).
+/// The construction is deterministic, so two processes naming the same
+/// workload build bit-identical programs — the property checkpoint
+/// resume and the `gevo-serve` job server rely on.
+#[must_use]
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload + Send>> {
+    match name {
+        "adept-v0" => Some(Box::new(AdeptWorkload::new(AdeptConfig::scaled(
+            Version::V0,
+        )))),
+        "adept-v1" => Some(Box::new(AdeptWorkload::new(AdeptConfig::scaled(
+            Version::V1,
+        )))),
+        "simcov" => Some(Box::new(SimcovWorkload::new(SimcovConfig::scaled()))),
+        _ => None,
+    }
 }
 
 /// Human-readable budget line for a harness banner.

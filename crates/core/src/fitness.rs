@@ -114,6 +114,155 @@ impl EvalOutcome {
     pub fn is_valid(&self) -> bool {
         self.fitness.is_some()
     }
+
+    /// Serializes to a JSON object. `None` fields are omitted; a
+    /// non-finite `error` (every failing outcome carries
+    /// `f64::INFINITY`) is encoded as the string `"inf"` since JSON has
+    /// no infinities.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut obj = serde_json::Map::new();
+        if let Some(f) = self.fitness {
+            obj.insert("fitness", f);
+        }
+        if let Some(reason) = &self.failure {
+            obj.insert("failure", reason.clone());
+        }
+        if let Some(stats) = &self.stats {
+            obj.insert("stats", stats.to_json());
+        }
+        if self.error.is_finite() {
+            obj.insert("error", self.error);
+        } else {
+            obj.insert("error", "inf");
+        }
+        serde_json::Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the malformed field.
+    pub fn from_json(v: &serde_json::Value) -> Result<Self, String> {
+        if v.as_object().is_none() {
+            return Err(format!("EvalOutcome: expected object, got {v}"));
+        }
+        let error = match v.get("error") {
+            Some(serde_json::Value::String(s)) if s == "inf" => f64::INFINITY,
+            Some(e) => e
+                .as_f64()
+                .ok_or_else(|| format!("EvalOutcome: invalid error {e}"))?,
+            None => return Err("EvalOutcome: missing error".to_string()),
+        };
+        let fitness = match v.get("fitness") {
+            None => None,
+            Some(f) => Some(
+                f.as_f64()
+                    .ok_or_else(|| format!("EvalOutcome: invalid fitness {f}"))?,
+            ),
+        };
+        let failure = match v.get("failure") {
+            None => None,
+            Some(s) => Some(
+                s.as_str()
+                    .ok_or_else(|| format!("EvalOutcome: invalid failure {s}"))?
+                    .to_string(),
+            ),
+        };
+        let stats = match v.get("stats") {
+            None => None,
+            Some(s) => Some(gevo_gpu::LaunchStats::from_json(s)?),
+        };
+        Ok(EvalOutcome {
+            fitness,
+            failure,
+            stats,
+            error,
+        })
+    }
+}
+
+/// The serializable logical content of an [`Evaluator`]: seed, counters
+/// and the outcome cache's entries.
+///
+/// Checkpointing this alongside the search state is what keeps a
+/// resumed run's `SearchResult` **bit-identical** to the uninterrupted
+/// one: elites re-scored after a restart must hit the cache exactly as
+/// they would have in-process, or the `evals`/`cache_hits`/
+/// `instructions` counters (all part of the result) drift. The
+/// compiled-kernel cache is deliberately *not* captured — it memoizes
+/// seed-independent work whose reuse is invisible in any result field,
+/// and it rebuilds on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatorSnapshot {
+    /// Scheduler seed in force ([`Evaluator::set_eval_seed`]).
+    pub eval_seed: u64,
+    /// Evaluations actually performed so far.
+    pub evals: u64,
+    /// Cache hits served so far.
+    pub cache_hits: u64,
+    /// Warp-instructions simulated so far.
+    pub instructions: u64,
+    /// Outcome-cache entries as `(content_hash, outcome)` pairs, sorted
+    /// by hash so the serialized form is independent of `HashMap`
+    /// iteration order (which varies across processes).
+    pub outcomes: Vec<(u64, EvalOutcome)>,
+}
+
+impl EvaluatorSnapshot {
+    /// Serializes to a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("eval_seed", self.eval_seed);
+        obj.insert("evals", self.evals);
+        obj.insert("cache_hits", self.cache_hits);
+        obj.insert("instructions", self.instructions);
+        let outcomes: Vec<serde_json::Value> = self
+            .outcomes
+            .iter()
+            .map(|(key, outcome)| {
+                serde_json::Value::Array(vec![serde_json::Value::from(*key), outcome.to_json()])
+            })
+            .collect();
+        obj.insert("outcomes", serde_json::Value::Array(outcomes));
+        serde_json::Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the malformed field.
+    pub fn from_json(v: &serde_json::Value) -> Result<Self, String> {
+        let want_u64 = |name: &str| {
+            v.get(name)
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| format!("EvaluatorSnapshot: missing or invalid {name}"))
+        };
+        let outcomes = v
+            .get("outcomes")
+            .and_then(serde_json::Value::as_array)
+            .ok_or("EvaluatorSnapshot: missing outcomes")?
+            .iter()
+            .map(|pair| {
+                let items = pair
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| format!("EvaluatorSnapshot: bad outcome pair {pair}"))?;
+                let key = items[0]
+                    .as_u64()
+                    .ok_or_else(|| format!("EvaluatorSnapshot: bad outcome key {}", items[0]))?;
+                Ok((key, EvalOutcome::from_json(&items[1])?))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(EvaluatorSnapshot {
+            eval_seed: want_u64("eval_seed")?,
+            evals: want_u64("evals")?,
+            cache_hits: want_u64("cache_hits")?,
+            instructions: want_u64("instructions")?,
+            outcomes,
+        })
+    }
 }
 
 /// A program under optimization: pristine kernels plus the machinery to
@@ -422,6 +571,71 @@ impl<'w> Evaluator<'w> {
             .iter()
             .map(|s| s.lock().expect("cache shard").len())
             .sum()
+    }
+
+    /// Captures the evaluator's logical content — seed, result-visible
+    /// counters, outcome-cache entries — for checkpointing. Entries are
+    /// sorted by content hash so the snapshot (and anything serialized
+    /// from it) is byte-stable across processes.
+    ///
+    /// # Panics
+    /// Panics if a cache lock is poisoned.
+    #[must_use]
+    pub fn export_snapshot(&self) -> EvaluatorSnapshot {
+        let mut outcomes: Vec<(u64, EvalOutcome)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .expect("cache shard")
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        outcomes.sort_by_key(|(k, _)| *k);
+        EvaluatorSnapshot {
+            eval_seed: *self.eval_seed.read().expect("seed lock"),
+            evals: self.evals.load(Ordering::Relaxed) as u64,
+            cache_hits: self.cache_hits.load(Ordering::Relaxed) as u64,
+            instructions: self.instructions.load(Ordering::Relaxed),
+            outcomes,
+        }
+    }
+
+    /// Restores a snapshot taken by [`Evaluator::export_snapshot`]:
+    /// replaces the outcome cache, seed, and counters so subsequent
+    /// evaluations hit and count exactly as they would have had the
+    /// original evaluator kept running.
+    ///
+    /// # Panics
+    /// Panics if a snapshot counter exceeds `usize` on this platform or
+    /// a cache lock is poisoned.
+    pub fn import_snapshot(&self, snapshot: &EvaluatorSnapshot) {
+        // Write-lock the seed for the whole restore so no concurrent
+        // evaluate() can interleave with a half-imported cache.
+        let mut seed = self.eval_seed.write().expect("seed lock");
+        *seed = snapshot.eval_seed;
+        for shard in &self.shards {
+            shard.lock().expect("cache shard").clear();
+        }
+        for (key, outcome) in &snapshot.outcomes {
+            self.shard(*key)
+                .lock()
+                .expect("cache shard")
+                .insert(*key, outcome.clone());
+        }
+        self.evals.store(
+            usize::try_from(snapshot.evals).expect("evals fits usize"),
+            Ordering::Relaxed,
+        );
+        self.cache_hits.store(
+            usize::try_from(snapshot.cache_hits).expect("cache_hits fits usize"),
+            Ordering::Relaxed,
+        );
+        self.instructions
+            .store(snapshot.instructions, Ordering::Relaxed);
     }
 
     /// Evaluates many patches in parallel with `threads` workers,
@@ -793,6 +1007,51 @@ mod tests {
             0,
             "failures are not cached as compiled"
         );
+    }
+
+    #[test]
+    fn snapshot_restores_cache_and_counters() {
+        let w = Stub::new();
+        let ev = Evaluator::new(&w);
+        let patches = distinct_patches(6);
+        let originals: Vec<EvalOutcome> = patches.iter().map(|p| ev.evaluate(p)).collect();
+        let _ = ev.evaluate(&patches[0]); // one cache hit
+        let snap = ev.export_snapshot();
+
+        // Round-trip the snapshot through its JSON form, as a real
+        // checkpoint file would.
+        let reparsed = serde_json::from_str(&snap.to_json().to_string()).unwrap();
+        let snap2 = EvaluatorSnapshot::from_json(&reparsed).unwrap();
+        assert_eq!(snap2, snap);
+
+        // A fresh evaluator with the snapshot imported behaves as if it
+        // had done all the work: same counters, all lookups hit.
+        let fresh = Evaluator::new(&w);
+        fresh.import_snapshot(&snap2);
+        assert_eq!(fresh.evals_performed(), ev.evals_performed());
+        assert_eq!(fresh.cache_hits(), ev.cache_hits());
+        assert_eq!(fresh.instructions_simulated(), ev.instructions_simulated());
+        for (p, expect) in patches.iter().zip(&originals) {
+            assert_eq!(&fresh.evaluate(p), expect);
+        }
+        assert_eq!(fresh.evals_performed(), ev.evals_performed(), "all hits");
+    }
+
+    #[test]
+    fn snapshot_captures_failing_outcomes() {
+        let w = Stub::new();
+        let ev = Evaluator::new(&w);
+        let bad = Patch::from_edits(vec![Edit::Delete {
+            kernel: 0,
+            target: w.store_id,
+        }]);
+        let out = ev.evaluate(&bad);
+        assert!(!out.is_valid());
+        assert!(out.error.is_infinite());
+        let snap = ev.export_snapshot();
+        let reparsed = serde_json::from_str(&snap.to_json().to_string()).unwrap();
+        let snap2 = EvaluatorSnapshot::from_json(&reparsed).unwrap();
+        assert_eq!(snap2, snap, "INFINITY error survives the JSON trip");
     }
 
     #[test]

@@ -87,13 +87,14 @@ pub mod ga;
 pub mod island;
 pub mod mutation;
 pub mod search;
+pub mod state;
 
 pub use analysis::{
     dependency_graph, minimize_weak_edits, split_independent, subset_analysis, EpistasisGraph,
     MinimizeReport, SplitReport, SubsetOutcome, SubsetTable, MAX_SUBSET_EDITS,
 };
 pub use edit::{Edit, Patch};
-pub use fitness::{EvalOutcome, Evaluator, Workload, CACHE_SHARDS};
+pub use fitness::{EvalOutcome, Evaluator, EvaluatorSnapshot, Workload, CACHE_SHARDS};
 #[allow(deprecated)]
 pub use ga::{
     run_ga, run_ga_with_weights, GaConfig, GaResult, GenerationRecord, History, Individual,
@@ -105,5 +106,6 @@ pub use island::{
 pub use mutation::{crossover_one_point, crossover_uniform, MutationSpace, MutationWeights};
 pub use search::{
     crowding_distances, dominates, non_dominated_sort, nsga2_order, Objective, ParetoPoint, Search,
-    SearchObserver, SearchResult, SearchSpec, Selection,
+    SearchObserver, SearchResult, SearchSpec, Selection, StepStatus,
 };
+pub use state::{IslandSnapshot, SearchState, STATE_FORMAT};

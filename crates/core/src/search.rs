@@ -52,12 +52,30 @@
 //! A streaming [`SearchObserver`] receives per-generation records and
 //! migration events as they happen, so harnesses and serving layers no
 //! longer post-hoc mine [`History`].
+//!
+//! ## The session as an explicit state machine
+//!
+//! [`Search::run`] is now sugar over a stepwise API: [`Search::step`]
+//! executes exactly one generation (evaluate → rank → record → observe →
+//! migrate-if-due → breed) and reports [`StepStatus`];
+//! [`Search::into_result`] finalizes. Between steps the *entire* run
+//! state — per-island populations and histories, RNG streams captured as
+//! `(seed, word position)` pairs, the Pareto archive, the evaluator's
+//! outcome cache and counters, the generation index — can be captured
+//! with [`Search::checkpoint`] into a serializable
+//! [`crate::state::SearchState`] and later rebuilt with
+//! [`Search::resume`], in the same process or a fresh one. The contract,
+//! pinned by tier-1 tests: *checkpoint at any generation k, resume, and
+//! the remaining trajectory — the final [`SearchResult`] and the
+//! observer event stream — is bit-identical to the uninterrupted run.*
 
 use crate::edit::Patch;
 use crate::fitness::{EvalOutcome, Evaluator, Workload};
 use crate::ga::{GaConfig, GenerationRecord, History, Individual};
 use crate::island::{IslandConfig, MigrationEvent, Topology};
 use crate::mutation::{crossover_one_point, MutationSpace, MutationWeights};
+use crate::state::{IslandSnapshot, SearchState};
+use gevo_ir::StreamState;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -236,6 +254,12 @@ pub struct ParetoPoint {
     pub fitness: f64,
     /// Per-objective scores, aligned with [`SearchSpec::objectives`].
     pub scores: Vec<f64>,
+    /// Generation at which this point entered the archive.
+    pub gen: usize,
+    /// Island that produced it.
+    pub island: usize,
+    /// Population slot it occupied on that island at offer time.
+    pub slot: usize,
 }
 
 /// Everything a [`Search`] run records.
@@ -291,15 +315,37 @@ impl SearchResult {
     }
 }
 
+/// What one [`Search::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// Generation `gen` (0-based) was executed; more remain or this was
+    /// the last one — either way the next call reports [`StepStatus::Done`]
+    /// once the budget is spent.
+    Advanced {
+        /// The generation index that just completed.
+        gen: usize,
+    },
+    /// The generation budget is exhausted; [`Search::into_result`] (or
+    /// [`Search::run`]) finalizes.
+    Done,
+}
+
 /// A composable search session: workload + [`SearchSpec`] + mutation
 /// weights + optional streaming observer. Build with the fluent
-/// methods, then [`Search::run`]. See the [module docs](self) for the
-/// full example and the legacy-equivalence guarantee.
+/// methods, then [`Search::run`] — or drive it one generation at a time
+/// with [`Search::step`], capturing [`Search::checkpoint`]s along the
+/// way. See the [module docs](self) for the full example and the
+/// legacy-equivalence and checkpoint/resume guarantees.
 pub struct Search<'a> {
     workload: &'a dyn Workload,
     spec: SearchSpec,
     weights: MutationWeights,
     observer: Option<&'a mut dyn SearchObserver>,
+    /// The live run state, materialized lazily on the first
+    /// [`Search::step`]/[`Search::checkpoint`] (or rebuilt by
+    /// [`Search::resume`]). `None` while the session is still being
+    /// configured.
+    engine: Option<Engine<'a>>,
 }
 
 impl<'a> Search<'a> {
@@ -312,6 +358,7 @@ impl<'a> Search<'a> {
             spec: SearchSpec::default(),
             weights: MutationWeights::default(),
             observer: None,
+            engine: None,
         }
     }
 
@@ -324,12 +371,50 @@ impl<'a> Search<'a> {
             spec,
             weights: MutationWeights::default(),
             observer: None,
+            engine: None,
         }
+    }
+
+    /// Rebuilds a session from a [`SearchState`] checkpoint, positioned
+    /// to run generation `state.gen` next. Stepping it to completion
+    /// reproduces the uninterrupted run's remaining trajectory
+    /// bit-identically (same [`SearchResult`], same observer events).
+    ///
+    /// # Panics
+    /// Panics if `workload` is not the workload the state was captured
+    /// from (names must match — resuming against a different program
+    /// would silently misinterpret every cached patch).
+    #[must_use]
+    pub fn resume(workload: &'a dyn Workload, state: &SearchState) -> Search<'a> {
+        assert_eq!(
+            workload.name(),
+            state.workload,
+            "checkpoint was captured from a different workload"
+        );
+        let engine = Engine::restore(workload, state);
+        Search {
+            workload,
+            spec: state.spec.clone(),
+            weights: state.weights.clone(),
+            observer: None,
+            engine: Some(engine),
+        }
+    }
+
+    /// Guards the builder methods: reconfiguring after the engine has
+    /// materialized would silently not apply (the run state was built
+    /// from the old spec).
+    fn assert_unstarted(&self) {
+        assert!(
+            self.engine.is_none(),
+            "Search cannot be reconfigured after stepping, checkpointing or resuming"
+        );
     }
 
     /// Sets the GA hyper-parameters.
     #[must_use]
     pub fn config(mut self, ga: GaConfig) -> Search<'a> {
+        self.assert_unstarted();
         self.spec.ga = ga;
         self
     }
@@ -337,6 +422,7 @@ impl<'a> Search<'a> {
     /// Sets the island count (1 = single panmictic population).
     #[must_use]
     pub fn islands(mut self, n: usize) -> Search<'a> {
+        self.assert_unstarted();
         self.spec.islands = n.max(1);
         self
     }
@@ -345,6 +431,7 @@ impl<'a> Search<'a> {
     /// migrates).
     #[must_use]
     pub fn migration_interval(mut self, gens: usize) -> Search<'a> {
+        self.assert_unstarted();
         self.spec.migration_interval = gens;
         self
     }
@@ -352,6 +439,7 @@ impl<'a> Search<'a> {
     /// Sets how many elites each island emits per migration wave.
     #[must_use]
     pub fn emigrants(mut self, n: usize) -> Search<'a> {
+        self.assert_unstarted();
         self.spec.emigrants = n;
         self
     }
@@ -359,6 +447,7 @@ impl<'a> Search<'a> {
     /// Sets the migration topology.
     #[must_use]
     pub fn topology(mut self, t: Topology) -> Search<'a> {
+        self.assert_unstarted();
         self.spec.topology = t;
         self
     }
@@ -366,6 +455,7 @@ impl<'a> Search<'a> {
     /// Sets the master seed (overrides the one in the [`GaConfig`]).
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Search<'a> {
+        self.assert_unstarted();
         self.spec.ga.seed = seed;
         self
     }
@@ -373,6 +463,7 @@ impl<'a> Search<'a> {
     /// Sets the mutation-operator weights.
     #[must_use]
     pub fn weights(mut self, weights: MutationWeights) -> Search<'a> {
+        self.assert_unstarted();
         self.weights = weights;
         self
     }
@@ -384,6 +475,7 @@ impl<'a> Search<'a> {
     /// [`Search::selection`] *after* this to override the inference.
     #[must_use]
     pub fn objectives(mut self, objectives: &[Objective]) -> Search<'a> {
+        self.assert_unstarted();
         if objectives.is_empty() {
             self.spec.objectives = vec![Objective::Cycles];
         } else {
@@ -401,12 +493,15 @@ impl<'a> Search<'a> {
     /// [`Search::objectives`]).
     #[must_use]
     pub fn selection(mut self, selection: Selection) -> Search<'a> {
+        self.assert_unstarted();
         self.spec.selection = selection;
         self
     }
 
     /// Attaches a streaming observer for per-generation records and
-    /// migration events.
+    /// migration events. Unlike the spec setters this is valid at any
+    /// point — a resumed session attaches its observer here and the
+    /// stream continues from the resumed generation.
     #[must_use]
     pub fn observer(mut self, observer: &'a mut dyn SearchObserver) -> Search<'a> {
         self.observer = Some(observer);
@@ -419,15 +514,74 @@ impl<'a> Search<'a> {
         &self.spec
     }
 
-    /// Runs the session to completion.
+    /// The next generation index to execute (0 before the first step).
+    /// Materializes the engine, like [`Search::step`].
+    pub fn generation(&mut self) -> usize {
+        self.ensure_engine();
+        self.engine.as_ref().expect("just ensured").gen
+    }
+
+    /// Materializes the run state (baseline evaluation, initial
+    /// populations, RNG streams) if this session has not started yet.
+    fn ensure_engine(&mut self) {
+        if self.engine.is_none() {
+            self.engine = Some(Engine::new(self.workload, &self.spec, &self.weights));
+        }
+    }
+
+    /// Executes exactly one generation: evaluate → rank → record →
+    /// observer → (unless this was the final generation) migrate-if-due
+    /// → breed. Returns [`StepStatus::Done`] without doing anything once
+    /// the budget is exhausted.
+    ///
+    /// # Panics
+    /// Panics if the pristine program fails its own test set (workload
+    /// bug).
+    pub fn step(&mut self) -> StepStatus {
+        self.ensure_engine();
+        let engine = self.engine.as_mut().expect("just ensured");
+        engine.step(&self.spec, self.observer.as_deref_mut())
+    }
+
+    /// Captures the complete run state as a serializable
+    /// [`SearchState`], positioned to run generation `gen` next.
+    /// Materializes the engine if needed, so a checkpoint before any
+    /// step captures the initial state (generation 0).
+    ///
+    /// # Panics
+    /// Panics if the pristine program fails its own test set (workload
+    /// bug).
+    pub fn checkpoint(&mut self) -> SearchState {
+        self.ensure_engine();
+        let engine = self.engine.as_ref().expect("just ensured");
+        engine.snapshot(self.workload, &self.spec, &self.weights)
+    }
+
+    /// Finalizes the session into its [`SearchResult`]: fans the
+    /// migration log out to per-island histories, orders the Pareto
+    /// archive by provenance, computes the speedup. Valid at any point —
+    /// finishing early yields the result of the generations run so far.
+    ///
+    /// # Panics
+    /// Panics if the pristine program fails its own test set (workload
+    /// bug).
+    #[must_use]
+    pub fn into_result(mut self) -> SearchResult {
+        self.ensure_engine();
+        let engine = self.engine.take().expect("just ensured");
+        engine.into_result(&self.spec)
+    }
+
+    /// Runs the session to completion: [`Search::step`] until the budget
+    /// is spent, then [`Search::into_result`].
     ///
     /// # Panics
     /// Panics if the pristine program fails its own test set (workload
     /// bug).
     #[must_use]
     pub fn run(mut self) -> SearchResult {
-        let observer = self.observer.take();
-        run_search_loop(self.workload, &self.spec, &self.weights, observer)
+        while matches!(self.step(), StepStatus::Advanced { .. }) {}
+        self.into_result()
     }
 }
 
@@ -855,7 +1009,16 @@ impl ParetoArchive {
         }
     }
 
-    fn offer(&mut self, patch: &Patch, fitness: f64, scores: &[f64]) {
+    #[allow(clippy::too_many_arguments)]
+    fn offer(
+        &mut self,
+        patch: &Patch,
+        fitness: f64,
+        scores: &[f64],
+        gen: usize,
+        island: usize,
+        slot: usize,
+    ) {
         if !self.seen.insert(patch.content_hash()) {
             return; // already offered (identical genome)
         }
@@ -871,69 +1034,196 @@ impl ParetoArchive {
             patch: patch.clone(),
             fitness,
             scores: scores.to_vec(),
+            gen,
+            island,
+            slot,
         });
     }
 }
 
-/// The generational island loop behind [`Search::run`]. With one
-/// objective and tournament selection this is line-for-line the legacy
-/// `run_islands_with_weights` loop (same RNG streams, same history).
-fn run_search_loop(
-    workload: &dyn Workload,
-    spec: &SearchSpec,
-    weights: &MutationWeights,
-    mut observer: Option<&mut dyn SearchObserver>,
-) -> SearchResult {
-    let evaluator = Evaluator::new(workload);
-    let baseline = evaluator.baseline();
-    let space = MutationSpace::new(workload.kernels(), weights.clone());
-    let ga = &spec.ga;
-    let selection = spec.selection;
-    let multi = spec.objectives.len() > 1;
-    // Budget semantics: population and elitism are totals. The
-    // population splits exactly (equal-budget comparisons stay equal);
-    // elitism splits with a floor of one elite per island — otherwise an
-    // island could lose its best between generations — except when the
-    // caller disabled elitism outright, which is honored everywhere.
-    let pops = spec.island_populations();
-    let n = pops.len();
-    let elitism = if n == 1 || ga.elitism == 0 {
-        ga.elitism
+/// Elitism split across `n` islands: totals divide with a floor of one
+/// elite per island — otherwise an island could lose its best between
+/// generations — except when the caller disabled elitism outright,
+/// which is honored everywhere.
+fn split_elitism(total: usize, n: usize) -> usize {
+    if n == 1 || total == 0 {
+        total
     } else {
-        (ga.elitism / n).max(1)
-    };
+        (total / n).max(1)
+    }
+}
 
-    let mut islands: Vec<Island> = pops
-        .iter()
-        .enumerate()
-        .map(|(i, &pop)| Island::new(island_seed(ga.seed, i), pop, baseline, &space))
-        .collect();
-    // Random-topology draws come from a dedicated stream so migration
-    // policy never perturbs the islands' evolutionary randomness.
-    let mut mig_rng = ChaCha8Rng::seed_from_u64(splitmix64(ga.seed ^ 0x4D69_6772_6174_6521));
+/// The live state of a running search: what used to be the local
+/// variables of the old monolithic loop, now an explicit machine that
+/// [`Search::step`] advances one generation at a time and
+/// [`Search::checkpoint`]/[`Engine::restore`] move across process
+/// boundaries. With one objective and tournament selection the step
+/// sequence is line-for-line the legacy `run_islands_with_weights` loop
+/// (same RNG streams, same history).
+struct Engine<'a> {
+    evaluator: Evaluator<'a>,
+    space: MutationSpace,
+    baseline: f64,
+    /// Per-island population sizes (fixed for the whole run).
+    pops: Vec<usize>,
+    /// Per-island elitism (see [`split_elitism`]).
+    elitism: usize,
+    islands: Vec<Island>,
+    /// Random-topology draws come from a dedicated stream so migration
+    /// policy never perturbs the islands' evolutionary randomness.
+    mig_rng: ChaCha8Rng,
+    history: History,
+    best: Individual,
+    archive: ParetoArchive,
+    /// The next generation to execute.
+    gen: usize,
+}
 
-    let mut history = History {
-        baseline,
-        records: Vec::with_capacity(ga.generations),
-        first_seen_in_best: HashMap::new(),
-        migrations: Vec::new(),
-    };
-    let mut best_overall = Individual {
-        patch: Patch::empty(),
-        fitness: Some(baseline),
-    };
-    let mut archive = ParetoArchive::new();
+impl<'a> Engine<'a> {
+    /// Fresh-run construction: evaluates the baseline, seeds the
+    /// initial populations and RNG streams. Identical to the preamble
+    /// of the old monolithic loop.
+    fn new(workload: &'a dyn Workload, spec: &SearchSpec, weights: &MutationWeights) -> Engine<'a> {
+        let evaluator = Evaluator::new(workload);
+        let baseline = evaluator.baseline();
+        let space = MutationSpace::new(workload.kernels(), weights.clone());
+        let ga = &spec.ga;
+        let pops = spec.island_populations();
+        let elitism = split_elitism(ga.elitism, pops.len());
+        let islands: Vec<Island> = pops
+            .iter()
+            .enumerate()
+            .map(|(i, &pop)| Island::new(island_seed(ga.seed, i), pop, baseline, &space))
+            .collect();
+        let mig_rng = ChaCha8Rng::seed_from_u64(splitmix64(ga.seed ^ 0x4D69_6772_6174_6521));
+        Engine {
+            evaluator,
+            space,
+            baseline,
+            pops,
+            elitism,
+            islands,
+            mig_rng,
+            history: History {
+                baseline,
+                records: Vec::with_capacity(ga.generations),
+                first_seen_in_best: HashMap::new(),
+                migrations: Vec::new(),
+            },
+            best: Individual {
+                patch: Patch::empty(),
+                fitness: Some(baseline),
+            },
+            archive: ParetoArchive::new(),
+            gen: 0,
+        }
+    }
 
-    for gen in 0..ga.generations {
+    /// Rebuilds the machine a [`SearchState`] describes: every stream at
+    /// its captured word position, the evaluator cache re-imported, the
+    /// mutation space re-derived (it is a pure function of workload ×
+    /// weights).
+    fn restore(workload: &'a dyn Workload, state: &SearchState) -> Engine<'a> {
+        let evaluator = Evaluator::new(workload);
+        evaluator.import_snapshot(&state.evaluator);
+        let space = MutationSpace::new(workload.kernels(), state.weights.clone());
+        let pops = state.spec.island_populations();
+        let elitism = split_elitism(state.spec.ga.elitism, pops.len());
+        let islands: Vec<Island> = state
+            .islands
+            .iter()
+            .map(|snap| Island {
+                rng: snap.rng.restore(),
+                population: snap.population.clone(),
+                scores: snap.scores.clone(),
+                ranked: snap.ranked.clone(),
+                history: snap.history.clone(),
+                best: snap.best.clone(),
+            })
+            .collect();
+        Engine {
+            evaluator,
+            space,
+            baseline: state.baseline,
+            pops,
+            elitism,
+            islands,
+            mig_rng: state.mig_rng.restore(),
+            history: state.history.clone(),
+            best: state.best.clone(),
+            archive: ParetoArchive {
+                points: state.pareto.clone(),
+                seen: state.pareto_seen.iter().copied().collect(),
+            },
+            gen: state.gen,
+        }
+    }
+
+    /// Captures the machine as a serializable [`SearchState`] (the
+    /// inverse of [`Engine::restore`]).
+    fn snapshot(
+        &self,
+        workload: &dyn Workload,
+        spec: &SearchSpec,
+        weights: &MutationWeights,
+    ) -> SearchState {
+        let mut pareto_seen: Vec<u64> = self.archive.seen.iter().copied().collect();
+        pareto_seen.sort_unstable();
+        SearchState {
+            workload: workload.name().to_string(),
+            spec: spec.clone(),
+            weights: weights.clone(),
+            gen: self.gen,
+            baseline: self.baseline,
+            islands: self
+                .islands
+                .iter()
+                .map(|isl| IslandSnapshot {
+                    rng: StreamState::capture(&isl.rng),
+                    population: isl.population.clone(),
+                    scores: isl.scores.clone(),
+                    ranked: isl.ranked.clone(),
+                    history: isl.history.clone(),
+                    best: isl.best.clone(),
+                })
+                .collect(),
+            mig_rng: StreamState::capture(&self.mig_rng),
+            history: self.history.clone(),
+            best: self.best.clone(),
+            pareto: self.archive.points.clone(),
+            pareto_seen,
+            evaluator: self.evaluator.export_snapshot(),
+        }
+    }
+
+    /// One full generation — the body of the old loop, verbatim in RNG
+    /// consumption order (the bit-identity pins depend on it):
+    /// evaluate → rank → record → observer → (unless final) migrate →
+    /// breed.
+    fn step(
+        &mut self,
+        spec: &SearchSpec,
+        mut observer: Option<&mut (dyn SearchObserver + '_)>,
+    ) -> StepStatus {
+        let ga = &spec.ga;
+        if self.gen >= ga.generations {
+            return StepStatus::Done;
+        }
+        let gen = self.gen;
+        let selection = spec.selection;
+        let multi = spec.objectives.len() > 1;
+        let n = self.islands.len();
+
         // Evaluate every island's population through one shared batch so
         // the worker pool (and the sharded cache) sees all of it at once.
-        let patches: Vec<Patch> = islands
+        let patches: Vec<Patch> = self
+            .islands
             .iter()
             .flat_map(|isl| isl.population.iter().map(|ind| ind.patch.clone()))
             .collect();
-        let outcomes = evaluator.evaluate_batch(&patches, ga.threads);
+        let outcomes = self.evaluator.evaluate_batch(&patches, ga.threads);
         let mut cursor = 0;
-        for isl in &mut islands {
+        for (island_id, isl) in self.islands.iter_mut().enumerate() {
             if selection == Selection::Nsga2 {
                 isl.scores = vec![Vec::new(); isl.population.len()];
             }
@@ -951,7 +1241,8 @@ fn run_search_loop(
                         .map(|o| o.score(outcome).expect("outcome is valid"))
                         .collect();
                     if multi {
-                        archive.offer(&ind.patch, f, &scores);
+                        self.archive
+                            .offer(&ind.patch, f, &scores, gen, island_id, slot);
                     }
                     if selection == Selection::Nsga2 {
                         isl.scores[slot] = scores;
@@ -961,12 +1252,13 @@ fn run_search_loop(
             }
             isl.rank(selection);
         }
-        for (id, isl) in islands.iter_mut().enumerate() {
-            isl.record(gen, id, baseline);
+        for (id, isl) in self.islands.iter_mut().enumerate() {
+            isl.record(gen, id, self.baseline);
         }
 
         // Global record: the best island this generation.
-        let winner = islands
+        let winner = self
+            .islands
             .iter()
             .enumerate()
             .filter_map(|(id, isl)| isl.gen_best().map(|gb| (id, gb)))
@@ -975,21 +1267,21 @@ fn run_search_loop(
                     .partial_cmp(&b.fitness)
                     .expect("valid fitness is never NaN")
             });
-        let valid_total: usize = islands.iter().map(|isl| isl.ranked.len()).sum();
+        let valid_total: usize = self.islands.iter().map(|isl| isl.ranked.len()).sum();
         let record = if let Some((id, gb)) = winner {
             let gb = gb.clone();
             let f = gb.fitness.expect("winner is valid");
-            if f < best_overall.fitness.expect("baseline valid") {
-                best_overall = gb.clone();
+            if f < self.best.fitness.expect("baseline valid") {
+                self.best = gb.clone();
             }
             for e in gb.patch.edits() {
-                history.first_seen_in_best.entry(*e).or_insert(gen);
+                self.history.first_seen_in_best.entry(*e).or_insert(gen);
             }
             GenerationRecord {
                 gen,
                 island: id,
                 best_fitness: f,
-                best_speedup: baseline / f,
+                best_speedup: self.baseline / f,
                 best_patch: gb.patch,
                 valid: valid_total,
             }
@@ -997,31 +1289,35 @@ fn run_search_loop(
             GenerationRecord {
                 gen,
                 island: 0,
-                best_fitness: baseline,
+                best_fitness: self.baseline,
                 best_speedup: 1.0,
                 best_patch: Patch::empty(),
                 valid: 0,
             }
         };
-        history.records.push(record);
+        self.history.records.push(record);
         if let Some(obs) = observer.as_deref_mut() {
-            obs.on_generation(history.records.last().expect("just pushed"));
+            obs.on_generation(self.history.records.last().expect("just pushed"));
         }
 
-        if gen + 1 == ga.generations {
-            break;
+        self.gen = gen + 1;
+        if self.gen == ga.generations {
+            // The final generation skips migration and breeding, exactly
+            // as the old loop's `break` did.
+            return StepStatus::Advanced { gen };
         }
 
         // Migration: collect everything against the pre-migration
         // populations first, then deliver, so a fast individual cannot
         // hop two islands in one wave.
-        if n > 1 && spec.migration_interval > 0 && (gen + 1) % spec.migration_interval == 0 {
+        if n > 1 && spec.migration_interval > 0 && (gen + 1).is_multiple_of(spec.migration_interval)
+        {
             let mut inboxes: Vec<Vec<(MigrationEvent, Individual, Vec<f64>)>> = vec![Vec::new(); n];
-            for (src, isl) in islands.iter().enumerate() {
+            for (src, isl) in self.islands.iter().enumerate() {
                 let dst = match spec.topology {
                     Topology::Ring => (src + 1) % n,
                     Topology::Random => {
-                        let pick = mig_rng.gen_range(0..n - 1);
+                        let pick = self.mig_rng.gen_range(0..n - 1);
                         if pick >= src {
                             pick + 1
                         } else {
@@ -1045,50 +1341,60 @@ fn run_search_loop(
             // Even with elitism disabled, an island's current champion
             // survives the wave — migration fills weak slots only, and
             // the log records only the crossings actually delivered.
-            let protect = elitism.max(1);
-            for (isl, inbox) in islands.iter_mut().zip(inboxes) {
+            let protect = self.elitism.max(1);
+            for (isl, inbox) in self.islands.iter_mut().zip(inboxes) {
                 let capacity = isl.receive_capacity(protect);
                 let mut delivered = Vec::with_capacity(inbox.len().min(capacity));
                 for (event, imm, scores) in inbox.into_iter().take(capacity) {
                     if let Some(obs) = observer.as_deref_mut() {
                         obs.on_migration(&event);
                     }
-                    history.migrations.push(event);
+                    self.history.migrations.push(event);
                     delivered.push((imm, scores));
                 }
                 isl.receive(delivered, protect, selection);
             }
         }
 
-        for (isl, &pop) in islands.iter_mut().zip(&pops) {
-            isl.breed(ga, pop, elitism, baseline, &space, selection);
+        let elitism = self.elitism;
+        let baseline = self.baseline;
+        for (isl, &pop) in self.islands.iter_mut().zip(&self.pops) {
+            isl.breed(ga, pop, elitism, baseline, &self.space, selection);
         }
+        StepStatus::Advanced { gen }
     }
 
-    // Fan the migration log out to the islands that took part.
-    for (id, isl) in islands.iter_mut().enumerate() {
-        isl.history.migrations = history
-            .migrations
-            .iter()
-            .filter(|m| m.from == id || m.to == id)
-            .cloned()
-            .collect();
-    }
-
-    let speedup = baseline
-        / best_overall
-            .fitness
-            .expect("best individual is always valid");
-    SearchResult {
-        best: best_overall,
-        speedup,
-        history,
-        islands: islands.into_iter().map(|isl| isl.history).collect(),
-        evals: evaluator.evals_performed(),
-        cache_hits: evaluator.cache_hits(),
-        instructions: evaluator.instructions_simulated(),
-        objectives: spec.objectives.clone(),
-        pareto: archive.points,
+    /// Finalization: fan the migration log out to per-island histories,
+    /// order the archive by provenance, compute the speedup.
+    fn into_result(mut self, spec: &SearchSpec) -> SearchResult {
+        for (id, isl) in self.islands.iter_mut().enumerate() {
+            isl.history.migrations = self
+                .history
+                .migrations
+                .iter()
+                .filter(|m| m.from == id || m.to == id)
+                .cloned()
+                .collect();
+        }
+        // Offers happen in (gen, island, slot) order, and the archive
+        // preserves relative order among survivors, so this sort is a
+        // stable no-op in-process. It is the *invariant* that matters:
+        // the final front is ordered by provenance, never by archive
+        // internals, so a resumed run cannot reorder it.
+        let mut pareto = self.archive.points;
+        pareto.sort_by_key(|p| (p.gen, p.island, p.slot));
+        let speedup = self.baseline / self.best.fitness.expect("best individual is always valid");
+        SearchResult {
+            best: self.best,
+            speedup,
+            history: self.history,
+            islands: self.islands.into_iter().map(|isl| isl.history).collect(),
+            evals: self.evaluator.evals_performed(),
+            cache_hits: self.evaluator.cache_hits(),
+            instructions: self.evaluator.instructions_simulated(),
+            objectives: spec.objectives.clone(),
+            pareto,
+        }
     }
 }
 

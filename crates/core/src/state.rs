@@ -1,0 +1,1159 @@
+//! Serializable search state: checkpoint/resume across process
+//! boundaries.
+//!
+//! [`SearchState`] is the complete run state of a [`crate::Search`]
+//! session between two generations — per-island populations and
+//! histories, every RNG stream captured as a `(seed, word position)`
+//! pair ([`gevo_ir::StreamState`]), the Pareto archive with its
+//! dedup set, the evaluator's outcome cache and counters, and the index
+//! of the next generation to execute. The contract, pinned by tier-1
+//! tests: *checkpoint at any generation, serialize to JSON, reload in a
+//! fresh process, resume — and the remaining trajectory is bit-identical
+//! to the uninterrupted run* (same [`crate::SearchResult`], same
+//! observer event stream).
+//!
+//! ## JSON conventions
+//!
+//! The in-tree `serde` shim provides marker traits only, so every type
+//! converts explicitly through inherent `to_json`/`from_json` methods
+//! over [`serde_json::Value`]. Two rules keep the byte stream
+//! deterministic across processes:
+//!
+//! 1. **Hash containers serialize sorted.** `History`'s
+//!    `first_seen_in_best` map is written as an array sorted by
+//!    `(generation, edit JSON)`; the Pareto dedup set as a sorted array
+//!    of hashes; the evaluator cache sorted by content hash.
+//! 2. **Non-finite floats are strings.** The only non-finite value in
+//!    the state is a failing outcome's `error` (`inf`), encoded as the
+//!    string `"inf"` by [`crate::EvalOutcome::to_json`]; everything else
+//!    is finite by construction and round-trips exactly through the
+//!    shim's shortest-representation float encoding.
+//!
+//! The envelope carries `"format": 1`; [`SearchState::from_json`]
+//! rejects anything else so a stale binary fails loudly instead of
+//! misreading a newer checkpoint.
+
+use crate::edit::{Edit, Patch};
+use crate::fitness::EvaluatorSnapshot;
+use crate::ga::{GaConfig, GenerationRecord, History, Individual};
+use crate::island::{MigrationEvent, Topology};
+use crate::mutation::MutationWeights;
+use crate::search::{Objective, ParetoPoint, SearchResult, SearchSpec, Selection};
+use gevo_ir::{InstId, Operand, StreamState};
+use serde_json::Value;
+
+/// The checkpoint format version this build reads and writes.
+pub const STATE_FORMAT: u64 = 1;
+
+/// One island's live state: its RNG stream position, population with
+/// cached fitness, NSGA-II score vectors, current ranking, recorded
+/// history and best-so-far individual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslandSnapshot {
+    /// The island's breeding RNG, captured mid-stream.
+    pub rng: StreamState,
+    /// The population as bred for the next generation.
+    pub population: Vec<Individual>,
+    /// Per-individual objective scores (NSGA-II mode only; empty vec =
+    /// invalid individual), parallel to `population`.
+    pub scores: Vec<Vec<f64>>,
+    /// Valid individuals of the last evaluated generation, best first.
+    pub ranked: Vec<usize>,
+    /// The island's own trajectory so far.
+    pub history: History,
+    /// Best individual this island has seen.
+    pub best: Individual,
+}
+
+/// The complete state of a search session between two generations —
+/// everything [`crate::Search::resume`] needs to continue the run
+/// bit-identically. Produced by [`crate::Search::checkpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchState {
+    /// Name of the workload the state was captured from.
+    /// [`crate::Search::resume`] refuses a mismatching workload.
+    pub workload: String,
+    /// The full declarative spec of the run.
+    pub spec: SearchSpec,
+    /// The mutation-operator weights in force.
+    pub weights: MutationWeights,
+    /// The next generation to execute (0 = nothing run yet).
+    pub gen: usize,
+    /// Baseline fitness of the pristine program.
+    pub baseline: f64,
+    /// Per-island state, in island order.
+    pub islands: Vec<IslandSnapshot>,
+    /// The dedicated migration-topology RNG, captured mid-stream.
+    pub mig_rng: StreamState,
+    /// The global trajectory recorded so far.
+    pub history: History,
+    /// Best individual across all islands so far.
+    pub best: Individual,
+    /// The Pareto archive (multi-objective runs; empty otherwise).
+    pub pareto: Vec<ParetoPoint>,
+    /// Content hashes of every genome ever offered to the archive,
+    /// sorted ascending (the archive's dedup set).
+    pub pareto_seen: Vec<u64>,
+    /// The evaluator's outcome cache and counters.
+    pub evaluator: EvaluatorSnapshot,
+}
+
+// ---------------------------------------------------------------------
+// Decode helpers.
+// ---------------------------------------------------------------------
+
+fn want<'v>(v: &'v Value, name: &str, ctx: &str) -> Result<&'v Value, String> {
+    v.get(name)
+        .ok_or_else(|| format!("{ctx}: missing field {name:?}"))
+}
+
+fn want_u64(v: &Value, name: &str, ctx: &str) -> Result<u64, String> {
+    want(v, name, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: field {name:?} is not a u64"))
+}
+
+fn want_usize(v: &Value, name: &str, ctx: &str) -> Result<usize, String> {
+    usize::try_from(want_u64(v, name, ctx)?)
+        .map_err(|_| format!("{ctx}: field {name:?} exceeds usize"))
+}
+
+fn want_u32(v: &Value, name: &str, ctx: &str) -> Result<u32, String> {
+    u32::try_from(want_u64(v, name, ctx)?).map_err(|_| format!("{ctx}: field {name:?} exceeds u32"))
+}
+
+fn want_f64(v: &Value, name: &str, ctx: &str) -> Result<f64, String> {
+    want(v, name, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: field {name:?} is not a number"))
+}
+
+fn want_str<'v>(v: &'v Value, name: &str, ctx: &str) -> Result<&'v str, String> {
+    want(v, name, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: field {name:?} is not a string"))
+}
+
+fn want_array<'v>(v: &'v Value, name: &str, ctx: &str) -> Result<&'v [Value], String> {
+    want(v, name, ctx)?
+        .as_array()
+        .map(Vec::as_slice)
+        .ok_or_else(|| format!("{ctx}: field {name:?} is not an array"))
+}
+
+fn f64_array(v: &Value, name: &str, ctx: &str) -> Result<Vec<f64>, String> {
+    want_array(v, name, ctx)?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("{ctx}: field {name:?} has a non-number element"))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Genome types.
+// ---------------------------------------------------------------------
+
+impl Edit {
+    /// Serializes to a tagged JSON object, e.g.
+    /// `{"op": "delete", "kernel": 0, "target": 3}`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        match self {
+            Edit::Delete { kernel, target } => {
+                obj.insert("op", "delete");
+                obj.insert("kernel", *kernel);
+                obj.insert("target", u64::from(target.0));
+            }
+            Edit::Copy {
+                kernel,
+                source,
+                before,
+            } => {
+                obj.insert("op", "copy");
+                obj.insert("kernel", *kernel);
+                obj.insert("source", u64::from(source.0));
+                obj.insert("before", u64::from(before.0));
+            }
+            Edit::Move {
+                kernel,
+                source,
+                before,
+            } => {
+                obj.insert("op", "move");
+                obj.insert("kernel", *kernel);
+                obj.insert("source", u64::from(source.0));
+                obj.insert("before", u64::from(before.0));
+            }
+            Edit::Swap { kernel, a, b } => {
+                obj.insert("op", "swap");
+                obj.insert("kernel", *kernel);
+                obj.insert("a", u64::from(a.0));
+                obj.insert("b", u64::from(b.0));
+            }
+            Edit::Replace {
+                kernel,
+                target,
+                source,
+            } => {
+                obj.insert("op", "replace");
+                obj.insert("kernel", *kernel);
+                obj.insert("target", u64::from(target.0));
+                obj.insert("source", u64::from(source.0));
+            }
+            Edit::OperandReplace {
+                kernel,
+                target,
+                arg,
+                new,
+            } => {
+                obj.insert("op", "operand_replace");
+                obj.insert("kernel", *kernel);
+                obj.insert("target", u64::from(target.0));
+                obj.insert("arg", *arg);
+                obj.insert("new", new.to_json());
+            }
+            Edit::CondReplace { kernel, term, new } => {
+                obj.insert("op", "cond_replace");
+                obj.insert("kernel", *kernel);
+                obj.insert("term", u64::from(term.0));
+                obj.insert("new", new.to_json());
+            }
+        }
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "Edit";
+        let op = want_str(v, "op", CTX)?;
+        let kernel = want_usize(v, "kernel", CTX)?;
+        let id = |name: &str| -> Result<InstId, String> { Ok(InstId(want_u32(v, name, CTX)?)) };
+        let operand =
+            |name: &str| -> Result<Operand, String> { Operand::from_json(want(v, name, CTX)?) };
+        match op {
+            "delete" => Ok(Edit::Delete {
+                kernel,
+                target: id("target")?,
+            }),
+            "copy" => Ok(Edit::Copy {
+                kernel,
+                source: id("source")?,
+                before: id("before")?,
+            }),
+            "move" => Ok(Edit::Move {
+                kernel,
+                source: id("source")?,
+                before: id("before")?,
+            }),
+            "swap" => Ok(Edit::Swap {
+                kernel,
+                a: id("a")?,
+                b: id("b")?,
+            }),
+            "replace" => Ok(Edit::Replace {
+                kernel,
+                target: id("target")?,
+                source: id("source")?,
+            }),
+            "operand_replace" => Ok(Edit::OperandReplace {
+                kernel,
+                target: id("target")?,
+                arg: want_usize(v, "arg", CTX)?,
+                new: operand("new")?,
+            }),
+            "cond_replace" => Ok(Edit::CondReplace {
+                kernel,
+                term: id("term")?,
+                new: operand("new")?,
+            }),
+            other => Err(format!("Edit: unknown op {other:?}")),
+        }
+    }
+}
+
+impl Patch {
+    /// Serializes to a JSON array of [`Edit::to_json`] objects.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Array(self.edits().iter().map(Edit::to_json).collect())
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the malformed edit.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let arr = v.as_array().ok_or("Patch: expected an array")?;
+        Ok(Patch::from_edits(
+            arr.iter().map(Edit::from_json).collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+impl Individual {
+    /// Serializes to `{"patch": [...], "fitness": <f64 or null>}`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("patch", self.patch.to_json());
+        match self.fitness {
+            Some(f) => obj.insert("fitness", f),
+            None => obj.insert("fitness", Value::Null),
+        };
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "Individual";
+        let fitness = match want(v, "fitness", CTX)? {
+            Value::Null => None,
+            other => Some(
+                other
+                    .as_f64()
+                    .ok_or_else(|| format!("{CTX}: fitness is not a number"))?,
+            ),
+        };
+        Ok(Individual {
+            patch: Patch::from_json(want(v, "patch", CTX)?)?,
+            fitness,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// History types.
+// ---------------------------------------------------------------------
+
+impl GenerationRecord {
+    /// Serializes to a flat JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("gen", self.gen);
+        obj.insert("island", self.island);
+        obj.insert("best_fitness", self.best_fitness);
+        obj.insert("best_speedup", self.best_speedup);
+        obj.insert("best_patch", self.best_patch.to_json());
+        obj.insert("valid", self.valid);
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "GenerationRecord";
+        Ok(GenerationRecord {
+            gen: want_usize(v, "gen", CTX)?,
+            island: want_usize(v, "island", CTX)?,
+            best_fitness: want_f64(v, "best_fitness", CTX)?,
+            best_speedup: want_f64(v, "best_speedup", CTX)?,
+            best_patch: Patch::from_json(want(v, "best_patch", CTX)?)?,
+            valid: want_usize(v, "valid", CTX)?,
+        })
+    }
+}
+
+impl MigrationEvent {
+    /// Serializes to a flat JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("gen", self.gen);
+        obj.insert("from", self.from);
+        obj.insert("to", self.to);
+        obj.insert("fitness", self.fitness);
+        obj.insert("patch", self.patch.to_json());
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "MigrationEvent";
+        Ok(MigrationEvent {
+            gen: want_usize(v, "gen", CTX)?,
+            from: want_usize(v, "from", CTX)?,
+            to: want_usize(v, "to", CTX)?,
+            fitness: want_f64(v, "fitness", CTX)?,
+            patch: Patch::from_json(want(v, "patch", CTX)?)?,
+        })
+    }
+}
+
+impl History {
+    /// Serializes to a JSON object. The `first_seen_in_best` map is
+    /// written as an array of `[edit, gen]` pairs sorted by
+    /// `(gen, edit JSON)` so the byte stream is independent of
+    /// `HashMap` iteration order (which varies across processes).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut first: Vec<(usize, String, Value)> = self
+            .first_seen_in_best
+            .iter()
+            .map(|(e, &g)| {
+                let j = e.to_json();
+                let key = j.to_string();
+                (g, key, j)
+            })
+            .collect();
+        first.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let mut obj = serde_json::Map::new();
+        obj.insert("baseline", self.baseline);
+        obj.insert(
+            "records",
+            Value::Array(self.records.iter().map(GenerationRecord::to_json).collect()),
+        );
+        obj.insert(
+            "first_seen_in_best",
+            Value::Array(
+                first
+                    .into_iter()
+                    .map(|(g, _, j)| Value::Array(vec![j, Value::from(g)]))
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "migrations",
+            Value::Array(
+                self.migrations
+                    .iter()
+                    .map(MigrationEvent::to_json)
+                    .collect(),
+            ),
+        );
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "History";
+        let mut first_seen_in_best = std::collections::HashMap::new();
+        for pair in want_array(v, "first_seen_in_best", CTX)? {
+            let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                format!("{CTX}: first_seen_in_best entry is not an [edit, gen] pair")
+            })?;
+            let edit = Edit::from_json(&pair[0])?;
+            let gen = usize::try_from(
+                pair[1]
+                    .as_u64()
+                    .ok_or_else(|| format!("{CTX}: first_seen_in_best gen is not a u64"))?,
+            )
+            .map_err(|_| format!("{CTX}: first_seen_in_best gen exceeds usize"))?;
+            first_seen_in_best.insert(edit, gen);
+        }
+        Ok(History {
+            baseline: want_f64(v, "baseline", CTX)?,
+            records: want_array(v, "records", CTX)?
+                .iter()
+                .map(GenerationRecord::from_json)
+                .collect::<Result<_, _>>()?,
+            first_seen_in_best,
+            migrations: want_array(v, "migrations", CTX)?
+                .iter()
+                .map(MigrationEvent::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spec types.
+// ---------------------------------------------------------------------
+
+impl Topology {
+    /// Serializes to `"ring"` or `"random"`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::from(match self {
+            Topology::Ring => "ring",
+            Topology::Random => "random",
+        })
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the unknown variant.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        match v.as_str() {
+            Some("ring") => Ok(Topology::Ring),
+            Some("random") => Ok(Topology::Random),
+            _ => Err(format!(
+                "Topology: expected \"ring\" or \"random\", got {v}"
+            )),
+        }
+    }
+}
+
+impl Objective {
+    /// Serializes to the objective's `snake_case` name.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::from(match self {
+            Objective::Cycles => "cycles",
+            Objective::Error => "error",
+            Objective::Instructions => "instructions",
+            Objective::MemoryTraffic => "memory_traffic",
+        })
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the unknown variant.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        match v.as_str() {
+            Some("cycles") => Ok(Objective::Cycles),
+            Some("error") => Ok(Objective::Error),
+            Some("instructions") => Ok(Objective::Instructions),
+            Some("memory_traffic") => Ok(Objective::MemoryTraffic),
+            _ => Err(format!("Objective: unknown variant {v}")),
+        }
+    }
+}
+
+impl Selection {
+    /// Serializes to `"tournament"` or `"nsga2"`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::from(match self {
+            Selection::Tournament => "tournament",
+            Selection::Nsga2 => "nsga2",
+        })
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the unknown variant.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        match v.as_str() {
+            Some("tournament") => Ok(Selection::Tournament),
+            Some("nsga2") => Ok(Selection::Nsga2),
+            _ => Err(format!(
+                "Selection: expected \"tournament\" or \"nsga2\", got {v}"
+            )),
+        }
+    }
+}
+
+impl GaConfig {
+    /// Serializes to a flat JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("population", self.population);
+        obj.insert("elitism", self.elitism);
+        obj.insert("crossover_p", self.crossover_p);
+        obj.insert("mutation_p", self.mutation_p);
+        obj.insert("generations", self.generations);
+        obj.insert("tournament", self.tournament);
+        obj.insert("seed", self.seed);
+        obj.insert("threads", self.threads);
+        obj.insert("max_patch_len", self.max_patch_len);
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "GaConfig";
+        Ok(GaConfig {
+            population: want_usize(v, "population", CTX)?,
+            elitism: want_usize(v, "elitism", CTX)?,
+            crossover_p: want_f64(v, "crossover_p", CTX)?,
+            mutation_p: want_f64(v, "mutation_p", CTX)?,
+            generations: want_usize(v, "generations", CTX)?,
+            tournament: want_usize(v, "tournament", CTX)?,
+            seed: want_u64(v, "seed", CTX)?,
+            threads: want_usize(v, "threads", CTX)?,
+            max_patch_len: want_usize(v, "max_patch_len", CTX)?,
+        })
+    }
+}
+
+impl MutationWeights {
+    /// Serializes to a flat JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("delete", self.delete);
+        obj.insert("operand_replace", self.operand_replace);
+        obj.insert("cond_replace", self.cond_replace);
+        obj.insert("copy", self.copy);
+        obj.insert("mov", self.mov);
+        obj.insert("swap", self.swap);
+        obj.insert("replace", self.replace);
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "MutationWeights";
+        Ok(MutationWeights {
+            delete: want_f64(v, "delete", CTX)?,
+            operand_replace: want_f64(v, "operand_replace", CTX)?,
+            cond_replace: want_f64(v, "cond_replace", CTX)?,
+            copy: want_f64(v, "copy", CTX)?,
+            mov: want_f64(v, "mov", CTX)?,
+            swap: want_f64(v, "swap", CTX)?,
+            replace: want_f64(v, "replace", CTX)?,
+        })
+    }
+}
+
+impl SearchSpec {
+    /// Serializes to a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("ga", self.ga.to_json());
+        obj.insert("islands", self.islands);
+        obj.insert("migration_interval", self.migration_interval);
+        obj.insert("emigrants", self.emigrants);
+        obj.insert("topology", self.topology.to_json());
+        obj.insert(
+            "objectives",
+            Value::Array(self.objectives.iter().map(Objective::to_json).collect()),
+        );
+        obj.insert("selection", self.selection.to_json());
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "SearchSpec";
+        Ok(SearchSpec {
+            ga: GaConfig::from_json(want(v, "ga", CTX)?)?,
+            islands: want_usize(v, "islands", CTX)?,
+            migration_interval: want_usize(v, "migration_interval", CTX)?,
+            emigrants: want_usize(v, "emigrants", CTX)?,
+            topology: Topology::from_json(want(v, "topology", CTX)?)?,
+            objectives: want_array(v, "objectives", CTX)?
+                .iter()
+                .map(Objective::from_json)
+                .collect::<Result<_, _>>()?,
+            selection: Selection::from_json(want(v, "selection", CTX)?)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Archive and result types.
+// ---------------------------------------------------------------------
+
+impl ParetoPoint {
+    /// Serializes to a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("patch", self.patch.to_json());
+        obj.insert("fitness", self.fitness);
+        obj.insert(
+            "scores",
+            Value::Array(self.scores.iter().map(|&s| Value::from(s)).collect()),
+        );
+        obj.insert("gen", self.gen);
+        obj.insert("island", self.island);
+        obj.insert("slot", self.slot);
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "ParetoPoint";
+        Ok(ParetoPoint {
+            patch: Patch::from_json(want(v, "patch", CTX)?)?,
+            fitness: want_f64(v, "fitness", CTX)?,
+            scores: f64_array(v, "scores", CTX)?,
+            gen: want_usize(v, "gen", CTX)?,
+            island: want_usize(v, "island", CTX)?,
+            slot: want_usize(v, "slot", CTX)?,
+        })
+    }
+}
+
+impl SearchResult {
+    /// Serializes to a JSON object. Byte-deterministic: two processes
+    /// producing equal results emit identical strings (the harness
+    /// checkpoint tests compare them directly).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("best", self.best.to_json());
+        obj.insert("speedup", self.speedup);
+        obj.insert("history", self.history.to_json());
+        obj.insert(
+            "islands",
+            Value::Array(self.islands.iter().map(History::to_json).collect()),
+        );
+        obj.insert("evals", self.evals);
+        obj.insert("cache_hits", self.cache_hits);
+        obj.insert("instructions", self.instructions);
+        obj.insert(
+            "objectives",
+            Value::Array(self.objectives.iter().map(Objective::to_json).collect()),
+        );
+        obj.insert(
+            "pareto",
+            Value::Array(self.pareto.iter().map(ParetoPoint::to_json).collect()),
+        );
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "SearchResult";
+        Ok(SearchResult {
+            best: Individual::from_json(want(v, "best", CTX)?)?,
+            speedup: want_f64(v, "speedup", CTX)?,
+            history: History::from_json(want(v, "history", CTX)?)?,
+            islands: want_array(v, "islands", CTX)?
+                .iter()
+                .map(History::from_json)
+                .collect::<Result<_, _>>()?,
+            evals: want_usize(v, "evals", CTX)?,
+            cache_hits: want_usize(v, "cache_hits", CTX)?,
+            instructions: want_u64(v, "instructions", CTX)?,
+            objectives: want_array(v, "objectives", CTX)?
+                .iter()
+                .map(Objective::from_json)
+                .collect::<Result<_, _>>()?,
+            pareto: want_array(v, "pareto", CTX)?
+                .iter()
+                .map(ParetoPoint::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The state envelope.
+// ---------------------------------------------------------------------
+
+impl IslandSnapshot {
+    /// Serializes to a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("rng", self.rng.to_json());
+        obj.insert(
+            "population",
+            Value::Array(self.population.iter().map(Individual::to_json).collect()),
+        );
+        obj.insert(
+            "scores",
+            Value::Array(
+                self.scores
+                    .iter()
+                    .map(|s| Value::Array(s.iter().map(|&x| Value::from(x)).collect()))
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "ranked",
+            Value::Array(self.ranked.iter().map(|&i| Value::from(i)).collect()),
+        );
+        obj.insert("history", self.history.to_json());
+        obj.insert("best", self.best.to_json());
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "IslandSnapshot";
+        let scores = want_array(v, "scores", CTX)?
+            .iter()
+            .map(|s| {
+                s.as_array()
+                    .ok_or_else(|| format!("{CTX}: scores element is not an array"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| format!("{CTX}: score is not a number"))
+                    })
+                    .collect::<Result<Vec<f64>, String>>()
+            })
+            .collect::<Result<_, _>>()?;
+        let ranked = want_array(v, "ranked", CTX)?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .and_then(|u| usize::try_from(u).ok())
+                    .ok_or_else(|| format!("{CTX}: ranked index is not a usize"))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(IslandSnapshot {
+            rng: StreamState::from_json(want(v, "rng", CTX)?)?,
+            population: want_array(v, "population", CTX)?
+                .iter()
+                .map(Individual::from_json)
+                .collect::<Result<_, _>>()?,
+            scores,
+            ranked,
+            history: History::from_json(want(v, "history", CTX)?)?,
+            best: Individual::from_json(want(v, "best", CTX)?)?,
+        })
+    }
+}
+
+impl SearchState {
+    /// Serializes the full checkpoint, wrapped in a
+    /// `"format": `[`STATE_FORMAT`] envelope.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("format", STATE_FORMAT);
+        obj.insert("workload", self.workload.clone());
+        obj.insert("spec", self.spec.to_json());
+        obj.insert("weights", self.weights.to_json());
+        obj.insert("gen", self.gen);
+        obj.insert("baseline", self.baseline);
+        obj.insert(
+            "islands",
+            Value::Array(self.islands.iter().map(IslandSnapshot::to_json).collect()),
+        );
+        obj.insert("mig_rng", self.mig_rng.to_json());
+        obj.insert("history", self.history.to_json());
+        obj.insert("best", self.best.to_json());
+        obj.insert(
+            "pareto",
+            Value::Array(self.pareto.iter().map(ParetoPoint::to_json).collect()),
+        );
+        obj.insert(
+            "pareto_seen",
+            Value::Array(self.pareto_seen.iter().map(|&h| Value::from(h)).collect()),
+        );
+        obj.insert("evaluator", self.evaluator.to_json());
+        Value::Object(obj)
+    }
+
+    /// Deserializes a checkpoint produced by
+    /// [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field, or an
+    /// unsupported format version.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        const CTX: &str = "SearchState";
+        let format = want_u64(v, "format", CTX)?;
+        if format != STATE_FORMAT {
+            return Err(format!(
+                "{CTX}: unsupported checkpoint format {format} (this build reads {STATE_FORMAT})"
+            ));
+        }
+        let pareto_seen = want_array(v, "pareto_seen", CTX)?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .ok_or_else(|| format!("{CTX}: pareto_seen hash is not a u64"))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(SearchState {
+            workload: want_str(v, "workload", CTX)?.to_string(),
+            spec: SearchSpec::from_json(want(v, "spec", CTX)?)?,
+            weights: MutationWeights::from_json(want(v, "weights", CTX)?)?,
+            gen: want_usize(v, "gen", CTX)?,
+            baseline: want_f64(v, "baseline", CTX)?,
+            islands: want_array(v, "islands", CTX)?
+                .iter()
+                .map(IslandSnapshot::from_json)
+                .collect::<Result<_, _>>()?,
+            mig_rng: StreamState::from_json(want(v, "mig_rng", CTX)?)?,
+            history: History::from_json(want(v, "history", CTX)?)?,
+            best: Individual::from_json(want(v, "best", CTX)?)?,
+            pareto: want_array(v, "pareto", CTX)?
+                .iter()
+                .map(ParetoPoint::from_json)
+                .collect::<Result<_, _>>()?,
+            pareto_seen,
+            evaluator: EvaluatorSnapshot::from_json(want(v, "evaluator", CTX)?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::EvalOutcome;
+    use gevo_ir::Special;
+
+    fn sample_edits() -> Vec<Edit> {
+        vec![
+            Edit::Delete {
+                kernel: 0,
+                target: InstId(3),
+            },
+            Edit::Copy {
+                kernel: 1,
+                source: InstId(4),
+                before: InstId(9),
+            },
+            Edit::Move {
+                kernel: 0,
+                source: InstId(2),
+                before: InstId(1),
+            },
+            Edit::Swap {
+                kernel: 2,
+                a: InstId(5),
+                b: InstId(6),
+            },
+            Edit::Replace {
+                kernel: 0,
+                target: InstId(7),
+                source: InstId(8),
+            },
+            Edit::OperandReplace {
+                kernel: 0,
+                target: InstId(1),
+                arg: 1,
+                new: Operand::ImmI32(-7),
+            },
+            Edit::CondReplace {
+                kernel: 0,
+                term: InstId(10),
+                new: Operand::Special(Special::LaneId),
+            },
+        ]
+    }
+
+    fn reparse(v: &Value) -> Value {
+        serde_json::from_str(&v.to_string()).expect("self-produced JSON parses")
+    }
+
+    #[test]
+    fn edit_json_round_trips_every_variant() {
+        for e in sample_edits() {
+            let v = reparse(&e.to_json());
+            assert_eq!(Edit::from_json(&v).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn edit_json_rejects_malformed() {
+        for bad in [
+            "{}",
+            r#"{"op":"teleport","kernel":0}"#,
+            r#"{"op":"delete","kernel":0}"#,
+            r#"{"op":"delete","target":1}"#,
+        ] {
+            let v = serde_json::from_str(bad).unwrap();
+            assert!(Edit::from_json(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn history_serializes_first_seen_sorted() {
+        let mut h = History {
+            baseline: 1000.0,
+            records: vec![GenerationRecord {
+                gen: 0,
+                island: 1,
+                best_fitness: 900.0,
+                best_speedup: 1000.0 / 900.0,
+                best_patch: Patch::from_edits(vec![sample_edits()[0]]),
+                valid: 7,
+            }],
+            first_seen_in_best: std::collections::HashMap::new(),
+            migrations: vec![MigrationEvent {
+                gen: 4,
+                from: 0,
+                to: 1,
+                fitness: 950.0,
+                patch: Patch::empty(),
+            }],
+        };
+        for (i, e) in sample_edits().into_iter().enumerate() {
+            h.first_seen_in_best.insert(e, i / 2);
+        }
+        let text = h.to_json().to_string();
+        let round = History::from_json(&reparse(&h.to_json())).unwrap();
+        assert_eq!(round, h);
+        // Deterministic bytes regardless of HashMap iteration order.
+        assert_eq!(round.to_json().to_string(), text);
+        let entries = h.to_json();
+        let entries = entries
+            .get("first_seen_in_best")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        let gens: Vec<u64> = entries
+            .iter()
+            .map(|p| p.as_array().unwrap()[1].as_u64().unwrap())
+            .collect();
+        let mut sorted = gens.clone();
+        sorted.sort_unstable();
+        assert_eq!(gens, sorted, "entries must be sorted by generation first");
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = SearchSpec {
+            ga: GaConfig {
+                population: 24,
+                elitism: 3,
+                crossover_p: 0.85,
+                mutation_p: 0.6,
+                generations: 17,
+                tournament: 4,
+                seed: 0xDEAD_BEEF_CAFE,
+                threads: 2,
+                max_patch_len: 9,
+            },
+            islands: 4,
+            migration_interval: 3,
+            emigrants: 2,
+            topology: Topology::Random,
+            objectives: vec![
+                Objective::Cycles,
+                Objective::Error,
+                Objective::MemoryTraffic,
+            ],
+            selection: Selection::Nsga2,
+        };
+        let v = reparse(&spec.to_json());
+        assert_eq!(SearchSpec::from_json(&v).unwrap(), spec);
+    }
+
+    #[test]
+    fn search_state_round_trips_and_pins_format() {
+        let launch_stats = gevo_gpu::LaunchStats::default();
+        let state = SearchState {
+            workload: "toy".to_string(),
+            spec: SearchSpec::default(),
+            weights: MutationWeights::default(),
+            gen: 5,
+            baseline: 1234.5,
+            islands: vec![IslandSnapshot {
+                rng: StreamState {
+                    seed: [7; 32],
+                    word_pos: 42,
+                },
+                population: vec![Individual {
+                    patch: Patch::from_edits(sample_edits()),
+                    fitness: Some(999.25),
+                }],
+                scores: vec![vec![999.25, 0.5]],
+                ranked: vec![0],
+                history: History {
+                    baseline: 1234.5,
+                    records: Vec::new(),
+                    first_seen_in_best: std::collections::HashMap::new(),
+                    migrations: Vec::new(),
+                },
+                best: Individual {
+                    patch: Patch::empty(),
+                    fitness: Some(1234.5),
+                },
+            }],
+            mig_rng: StreamState {
+                seed: [9; 32],
+                word_pos: 0,
+            },
+            history: History {
+                baseline: 1234.5,
+                records: Vec::new(),
+                first_seen_in_best: std::collections::HashMap::new(),
+                migrations: Vec::new(),
+            },
+            best: Individual {
+                patch: Patch::empty(),
+                fitness: Some(1234.5),
+            },
+            pareto: vec![ParetoPoint {
+                patch: Patch::from_edits(vec![sample_edits()[0]]),
+                fitness: 999.25,
+                scores: vec![999.25, 0.5],
+                gen: 2,
+                island: 0,
+                slot: 3,
+            }],
+            pareto_seen: vec![1, 17, 0xFFFF_FFFF_FFFF_FFFF],
+            evaluator: crate::fitness::EvaluatorSnapshot {
+                eval_seed: 11,
+                evals: 3,
+                cache_hits: 2,
+                instructions: 456,
+                outcomes: vec![
+                    (5, EvalOutcome::fail("broken")),
+                    (9, EvalOutcome::pass(999.25, launch_stats)),
+                ],
+            },
+        };
+        let v = reparse(&state.to_json());
+        assert_eq!(SearchState::from_json(&v).unwrap(), state);
+
+        // A future format is refused, not misread.
+        let mut bumped = state.to_json();
+        if let Value::Object(obj) = &mut bumped {
+            obj.insert("format", 2u64);
+        }
+        let err = SearchState::from_json(&bumped).unwrap_err();
+        assert!(err.contains("unsupported checkpoint format"), "{err}");
+    }
+
+    #[test]
+    fn search_result_round_trips() {
+        let result = SearchResult {
+            best: Individual {
+                patch: Patch::from_edits(vec![sample_edits()[0]]),
+                fitness: Some(800.0),
+            },
+            speedup: 1.25,
+            history: History {
+                baseline: 1000.0,
+                records: Vec::new(),
+                first_seen_in_best: std::collections::HashMap::new(),
+                migrations: Vec::new(),
+            },
+            islands: vec![History {
+                baseline: 1000.0,
+                records: Vec::new(),
+                first_seen_in_best: std::collections::HashMap::new(),
+                migrations: Vec::new(),
+            }],
+            evals: 100,
+            cache_hits: 40,
+            instructions: 123_456,
+            objectives: vec![Objective::Cycles],
+            pareto: Vec::new(),
+        };
+        let v = reparse(&result.to_json());
+        assert_eq!(SearchResult::from_json(&v).unwrap(), result);
+    }
+}

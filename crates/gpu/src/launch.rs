@@ -153,6 +153,67 @@ impl LaunchStats {
         self.blocks += other.blocks;
         self.warps_per_block = self.warps_per_block.max(other.warps_per_block);
     }
+
+    /// Field table shared by the JSON conversions so the two directions
+    /// cannot drift apart.
+    fn counter_fields(&mut self) -> [(&'static str, &mut u64); 16] {
+        [
+            ("cycles", &mut self.cycles),
+            ("instructions", &mut self.instructions),
+            ("alu_instructions", &mut self.alu_instructions),
+            ("shared_accesses", &mut self.shared_accesses),
+            ("shared_conflicts", &mut self.shared_conflicts),
+            ("global_accesses", &mut self.global_accesses),
+            ("global_segments", &mut self.global_segments),
+            ("cache_hits", &mut self.cache_hits),
+            ("cache_misses", &mut self.cache_misses),
+            ("row_hits", &mut self.row_hits),
+            ("row_misses", &mut self.row_misses),
+            ("divergent_branches", &mut self.divergent_branches),
+            ("barriers", &mut self.barriers),
+            ("ballots", &mut self.ballots),
+            ("shfls", &mut self.shfls),
+            ("atomics", &mut self.atomics),
+        ]
+    }
+
+    /// Serializes every counter to a flat JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut copy = *self;
+        let mut obj = serde_json::Map::new();
+        for (name, value) in copy.counter_fields() {
+            obj.insert(name, *value);
+        }
+        obj.insert("blocks", self.blocks);
+        obj.insert("warps_per_block", self.warps_per_block);
+        serde_json::Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &serde_json::Value) -> Result<Self, String> {
+        let mut stats = LaunchStats::default();
+        for (name, value) in stats.counter_fields() {
+            *value = v
+                .get(name)
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| format!("LaunchStats: missing or invalid field {name:?}"))?;
+        }
+        for (name, slot) in [
+            ("blocks", &mut stats.blocks),
+            ("warps_per_block", &mut stats.warps_per_block),
+        ] {
+            *slot = v
+                .get(name)
+                .and_then(serde_json::Value::as_u64)
+                .and_then(|u| u32::try_from(u).ok())
+                .ok_or_else(|| format!("LaunchStats: missing or invalid field {name:?}"))?;
+        }
+        Ok(stats)
+    }
 }
 
 impl fmt::Display for LaunchStats {
@@ -192,6 +253,21 @@ mod tests {
         assert_eq!(KernelArg::F32(0.5).value(), Value::F32(0.5));
         let b = Buffer { addr: 512, len: 64 };
         assert_eq!(KernelArg::from(b).value(), Value::I64(512));
+    }
+
+    #[test]
+    fn launch_stats_json_round_trips() {
+        let mut stats = LaunchStats::default();
+        // Make every field distinct so a swapped pair of keys would fail.
+        for (i, (_, value)) in stats.counter_fields().iter_mut().enumerate() {
+            **value = (i as u64 + 1) * 1_000_000_007;
+        }
+        stats.blocks = 96;
+        stats.warps_per_block = 8;
+        let text = stats.to_json().to_string();
+        let reparsed = serde_json::from_str(&text).unwrap();
+        assert_eq!(LaunchStats::from_json(&reparsed).unwrap(), stats);
+        assert!(LaunchStats::from_json(&serde_json::Value::Null).is_err());
     }
 
     #[test]

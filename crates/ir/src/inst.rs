@@ -118,6 +118,40 @@ impl Special {
     ];
 }
 
+impl Special {
+    /// Serializes to a JSON string (the display name without the `%`).
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        let s = match self {
+            Special::ThreadId => "tid",
+            Special::BlockId => "bid",
+            Special::BlockDim => "bdim",
+            Special::GridDim => "gdim",
+            Special::LaneId => "lane",
+            Special::WarpId => "warp",
+            Special::WarpSize => "wsz",
+        };
+        serde_json::Value::from(s)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the unrecognized value.
+    pub fn from_json(v: &serde_json::Value) -> Result<Self, String> {
+        match v.as_str() {
+            Some("tid") => Ok(Special::ThreadId),
+            Some("bid") => Ok(Special::BlockId),
+            Some("bdim") => Ok(Special::BlockDim),
+            Some("gdim") => Ok(Special::GridDim),
+            Some("lane") => Ok(Special::LaneId),
+            Some("warp") => Ok(Special::WarpId),
+            Some("wsz") => Ok(Special::WarpSize),
+            _ => Err(format!("Special: unrecognized value {v}")),
+        }
+    }
+}
+
 impl fmt::Display for Special {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -163,6 +197,68 @@ impl Operand {
     #[must_use]
     pub fn is_reg(&self) -> bool {
         matches!(self, Operand::Reg(_))
+    }
+
+    /// Serializes to a single-key tagged JSON object, e.g. `{"reg": 3}`
+    /// or `{"special": "tid"}`. Float immediates serialize as their
+    /// exact bit pattern (`{"f32": <u32>}`), so round-trips are
+    /// bit-identical even for payloads JSON text would mangle.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut obj = serde_json::Map::new();
+        match self {
+            Operand::Reg(r) => obj.insert("reg", r.0),
+            Operand::ImmI32(v) => obj.insert("i32", i64::from(*v)),
+            Operand::ImmI64(v) => obj.insert("i64", *v),
+            Operand::ImmF32(bits) => obj.insert("f32", bits.0),
+            Operand::ImmBool(v) => obj.insert("bool", *v),
+            Operand::Special(s) => obj.insert("special", s.to_json()),
+            Operand::Param(i) => obj.insert("param", u32::from(*i)),
+        };
+        serde_json::Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message describing the malformed payload.
+    pub fn from_json(v: &serde_json::Value) -> Result<Self, String> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| format!("Operand: expected object, got {v}"))?;
+        let (tag, payload) = obj.iter().next().ok_or("Operand: empty object")?;
+        if obj.len() != 1 {
+            return Err(format!("Operand: expected one tag, got {}", obj.len()));
+        }
+        let want_u32 = |p: &serde_json::Value| {
+            p.as_u64()
+                .and_then(|u| u32::try_from(u).ok())
+                .ok_or_else(|| format!("Operand: {tag} payload out of range: {p}"))
+        };
+        match tag.as_str() {
+            "reg" => Ok(Operand::Reg(Reg(want_u32(payload)?))),
+            "i32" => payload
+                .as_i64()
+                .and_then(|i| i32::try_from(i).ok())
+                .map(Operand::ImmI32)
+                .ok_or_else(|| format!("Operand: i32 payload out of range: {payload}")),
+            "i64" => payload
+                .as_i64()
+                .map(Operand::ImmI64)
+                .ok_or_else(|| format!("Operand: i64 payload invalid: {payload}")),
+            "f32" => Ok(Operand::ImmF32(F32Bits(want_u32(payload)?))),
+            "bool" => payload
+                .as_bool()
+                .map(Operand::ImmBool)
+                .ok_or_else(|| format!("Operand: bool payload invalid: {payload}")),
+            "special" => Special::from_json(payload).map(Operand::Special),
+            "param" => want_u32(payload)
+                .and_then(|u| {
+                    u16::try_from(u).map_err(|_| format!("Operand: param index out of range: {u}"))
+                })
+                .map(Operand::Param),
+            other => Err(format!("Operand: unrecognized tag {other:?}")),
+        }
     }
 }
 
@@ -700,5 +796,45 @@ mod tests {
         assert_eq!(Operand::ImmI64(9).to_string(), "9l");
         assert_eq!(Operand::Param(2).to_string(), "%p2");
         assert_eq!(Operand::Special(Special::LaneId).to_string(), "%lane");
+    }
+
+    #[test]
+    fn operand_json_round_trips() {
+        let cases = [
+            Operand::Reg(Reg(4)),
+            Operand::ImmI32(i32::MIN),
+            Operand::ImmI32(-1),
+            Operand::ImmI64(i64::MIN),
+            Operand::ImmI64(i64::MAX),
+            Operand::ImmF32(F32Bits(f32::NAN.to_bits())),
+            Operand::f32(-0.0),
+            Operand::ImmBool(true),
+            Operand::Param(u16::MAX),
+        ];
+        for op in cases {
+            let text = op.to_json().to_string();
+            let back = serde_json::from_str(&text).unwrap();
+            assert_eq!(Operand::from_json(&back).unwrap(), op, "via {text}");
+        }
+        for s in Special::ALL {
+            let back = serde_json::from_str(&s.to_json().to_string()).unwrap();
+            assert_eq!(Special::from_json(&back).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn operand_json_rejects_malformed() {
+        for bad in [
+            "{}",
+            r#"{"reg":-1}"#,
+            r#"{"i32":3000000000}"#,
+            r#"{"param":70000}"#,
+            r#"{"special":"nope"}"#,
+            r#"{"reg":1,"i32":2}"#,
+            "5",
+        ] {
+            let v = serde_json::from_str(bad).unwrap();
+            assert!(Operand::from_json(&v).is_err(), "accepted {bad}");
+        }
     }
 }

@@ -75,5 +75,6 @@ pub use inst::{
     TermKind, Terminator, LOC_NONE,
 };
 pub use kernel::{Block, InstPos, Kernel, Param};
+pub use rng::StreamState;
 pub use types::{AddrSpace, CmpPred, MemTy, ParamTy, Ty};
 pub use verify::VerifyError;

@@ -11,6 +11,93 @@
 //! `(seed, counter)` — statistically solid for simulation purposes and,
 //! critically, stateless: a thread's draw depends only on its logical
 //! coordinates, never on scheduling order.
+//!
+//! The engine's *stateful* streams (per-island breeding RNGs, the
+//! migration RNG) are `ChaCha8Rng` instances; [`StreamState`] captures
+//! one as its `(seed, word position)` pair so a checkpoint can restore
+//! the stream mid-flight and continue bit-identically.
+
+use rand_chacha::ChaCha8Rng;
+
+/// A serializable snapshot of a [`ChaCha8Rng`] stream: the 256-bit seed
+/// plus the number of 32-bit words already consumed.
+///
+/// `ChaCha` output is counter-addressed, so this pair pinpoints the
+/// stream exactly and [`restore`](Self::restore) is O(1) — no
+/// fast-forwarding through discarded output. The invariant checkpoints
+/// rely on: `StreamState::capture(&rng).restore()` yields a generator
+/// whose future output is bit-identical to `rng`'s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamState {
+    /// The seed the generator was constructed from.
+    pub seed: [u8; 32],
+    /// 32-bit words consumed since construction.
+    pub word_pos: u64,
+}
+
+impl StreamState {
+    /// Captures the current position of `rng` without perturbing it.
+    ///
+    /// # Panics
+    /// Panics if the stream has consumed more than `u64::MAX` words
+    /// (unreachable in practice: that is 2^70 bytes of output).
+    #[must_use]
+    pub fn capture(rng: &ChaCha8Rng) -> Self {
+        StreamState {
+            seed: rng.get_seed(),
+            word_pos: u64::try_from(rng.get_word_pos()).expect("word position fits in u64"),
+        }
+    }
+
+    /// Reconstructs the generator at the captured position.
+    #[must_use]
+    pub fn restore(&self) -> ChaCha8Rng {
+        let mut rng = <ChaCha8Rng as rand::SeedableRng>::from_seed(self.seed);
+        rng.set_word_pos(u128::from(self.word_pos));
+        rng
+    }
+
+    /// Serializes to a JSON object `{"seed": "<64 hex chars>",
+    /// "word_pos": <u64>}`.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut hex = String::with_capacity(64);
+        for b in self.seed {
+            use std::fmt::Write as _;
+            write!(hex, "{b:02x}").expect("writing to String cannot fail");
+        }
+        let mut obj = serde_json::Map::new();
+        obj.insert("seed", hex);
+        obj.insert("word_pos", self.word_pos);
+        serde_json::Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the malformed field.
+    pub fn from_json(v: &serde_json::Value) -> Result<Self, String> {
+        let hex = v
+            .get("seed")
+            .and_then(serde_json::Value::as_str)
+            .ok_or("StreamState: missing seed")?;
+        if hex.len() != 64 || !hex.is_ascii() {
+            return Err(format!(
+                "StreamState: seed must be 64 hex chars, got {hex:?}"
+            ));
+        }
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16)
+                .map_err(|e| format!("StreamState: bad seed hex: {e}"))?;
+        }
+        let word_pos = v
+            .get("word_pos")
+            .and_then(serde_json::Value::as_u64)
+            .ok_or("StreamState: missing word_pos")?;
+        Ok(StreamState { seed, word_pos })
+    }
+}
 
 /// Mixes two 64-bit values into 64 well-scrambled bits.
 #[must_use]
@@ -47,6 +134,43 @@ pub fn mix_to_unit_f64(seed: i64, counter: i64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn stream_state_restores_midflight() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+        for _ in 0..23 {
+            rng.next_u32();
+        }
+        let snap = StreamState::capture(&rng);
+        let mut restored = snap.restore();
+        for i in 0..100 {
+            assert_eq!(restored.next_u64(), rng.next_u64(), "diverged at draw {i}");
+        }
+    }
+
+    #[test]
+    fn stream_state_json_round_trips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        rng.next_u64();
+        let snap = StreamState::capture(&rng);
+        let json = snap.to_json();
+        let reparsed = serde_json::from_str(&json.to_string()).unwrap();
+        assert_eq!(StreamState::from_json(&reparsed).unwrap(), snap);
+    }
+
+    #[test]
+    fn stream_state_rejects_malformed_json() {
+        for bad in [
+            "{}",
+            r#"{"seed":"zz","word_pos":0}"#,
+            r#"{"seed":"00","word_pos":0}"#,
+            r#"{"seed":"0000000000000000000000000000000000000000000000000000000000000000"}"#,
+        ] {
+            let v = serde_json::from_str(bad).unwrap();
+            assert!(StreamState::from_json(&v).is_err(), "accepted {bad}");
+        }
+    }
 
     #[test]
     fn deterministic() {

@@ -142,3 +142,109 @@ proptest! {
         prop_assert!(res.speedup >= 1.0, "baseline is always in the population");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24).with_rng_seed(0x5E2D_E001))]
+
+    /// `SearchSpec` JSON round-trips exactly for arbitrary knob
+    /// settings (the serde satellite of the checkpoint/resume work:
+    /// whatever a harness logs, a later session can reload verbatim).
+    #[test]
+    fn search_spec_json_round_trips(
+        population in 1usize..512,
+        elitism in 0usize..16,
+        crossover_milli in 0u32..1_000,
+        mutation_milli in 0u32..1_000,
+        generations in 1usize..100,
+        tournament in 1usize..8,
+        seed in 0u64..u64::MAX,
+        threads in 1usize..8,
+        max_patch_len in 1usize..64,
+        islands in 1usize..8,
+        interval in 0usize..10,
+        emigrants in 0usize..4,
+        topo in 0usize..2,
+        obj_mask in 1usize..16,
+    ) {
+        let all = [
+            Objective::Cycles,
+            Objective::Error,
+            Objective::Instructions,
+            Objective::MemoryTraffic,
+        ];
+        let objectives: Vec<Objective> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| obj_mask & (1 << i) != 0)
+            .map(|(_, o)| *o)
+            .collect();
+        let spec = SearchSpec {
+            ga: GaConfig {
+                population,
+                elitism,
+                crossover_p: f64::from(crossover_milli) / 1_000.0,
+                mutation_p: f64::from(mutation_milli) / 1_000.0,
+                generations,
+                tournament,
+                seed,
+                threads,
+                max_patch_len,
+            },
+            islands,
+            migration_interval: interval,
+            emigrants,
+            topology: if topo == 0 { Topology::Ring } else { Topology::Random },
+            selection: if objectives.len() > 1 { Selection::Nsga2 } else { Selection::Tournament },
+            objectives,
+        };
+        let text = spec.to_json().to_string();
+        let parsed = serde_json::from_str(&text).expect("self-produced JSON parses");
+        let back = SearchSpec::from_json(&parsed).expect("self-produced JSON decodes");
+        prop_assert_eq!(&back, &spec);
+        // Canonical bytes: re-serializing the decoded spec is identity.
+        prop_assert_eq!(back.to_json().to_string(), text);
+    }
+}
+
+proptest! {
+    // Each case checkpoints a real (tiny) search mid-run, so the states
+    // carry genuine populations, caches, rankings and RNG positions.
+    #![proptest_config(ProptestConfig::with_cases(8).with_rng_seed(0x57A7_E0F5))]
+
+    /// `SearchState` JSON round-trips exactly for checkpoints captured
+    /// from live runs, and serialization is canonical (decode → encode
+    /// reproduces the same bytes).
+    #[test]
+    fn search_state_json_round_trips(
+        seed in 0u64..1_000,
+        islands in 1usize..4,
+        k in 1usize..4,
+        multi in 0usize..2,
+    ) {
+        let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+        let ga = GaConfig {
+            population: 8,
+            generations: 4,
+            threads: 1,
+            seed,
+            ..GaConfig::scaled()
+        };
+        let mut search = Search::new(&w)
+            .config(ga)
+            .islands(islands)
+            .migration_interval(2);
+        if multi == 1 {
+            search = search.objectives(&[Objective::Cycles, Objective::Instructions]);
+        }
+        for _ in 0..k {
+            search.step();
+        }
+        let state = search.checkpoint();
+        prop_assert_eq!(state.gen, k);
+        let text = state.to_json().to_string();
+        let parsed = serde_json::from_str(&text).expect("self-produced JSON parses");
+        let back = SearchState::from_json(&parsed).expect("self-produced JSON decodes");
+        prop_assert_eq!(&back, &state);
+        prop_assert_eq!(back.to_json().to_string(), text);
+    }
+}

@@ -37,6 +37,54 @@ fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
 }
 
 impl ChaCha8Rng {
+    /// The 256-bit seed this generator was constructed from (upstream
+    /// `rand_chacha` API).
+    #[must_use]
+    pub fn get_seed(&self) -> [u8; 32] {
+        let mut seed = [0u8; 32];
+        for (i, chunk) in seed.chunks_exact_mut(4).enumerate() {
+            chunk.copy_from_slice(&self.state[4 + i].to_le_bytes());
+        }
+        seed
+    }
+
+    /// Number of 32-bit words produced so far (upstream `rand_chacha`
+    /// API). Together with [`get_seed`](Self::get_seed) this pinpoints
+    /// the stream position, so `from_seed` + `set_word_pos` restores a
+    /// generator exactly.
+    #[must_use]
+    pub fn get_word_pos(&self) -> u128 {
+        // Words 12/13 hold the 64-bit block counter, incremented at the
+        // *end* of each refill: counter == number of blocks generated.
+        let counter = u64::from(self.state[12]) | (u64::from(self.state[13]) << 32);
+        if counter == 0 {
+            0 // Never refilled; idx is 16 but no words were produced.
+        } else {
+            u128::from(counter - 1) * 16 + self.idx as u128
+        }
+    }
+
+    /// Repositions the keystream to `word_pos` 32-bit words from the
+    /// start (upstream `rand_chacha` API). O(1): ChaCha blocks are
+    /// counter-addressed, so no fast-forwarding through output.
+    ///
+    /// # Panics
+    /// Panics if `word_pos` exceeds the 64-bit block counter range.
+    pub fn set_word_pos(&mut self, word_pos: u128) {
+        let block = u64::try_from(word_pos / 16).expect("word_pos within counter range");
+        let rem = (word_pos % 16) as usize;
+        self.state[12] = (block & 0xFFFF_FFFF) as u32;
+        self.state[13] = (block >> 32) as u32;
+        if rem == 0 {
+            // On the block boundary: next read refills block `block`.
+            self.idx = 16;
+        } else {
+            // Mid-block: regenerate the block, then skip `rem` words.
+            self.refill();
+            self.idx = rem;
+        }
+    }
+
     fn refill(&mut self) {
         let mut work = self.state;
         for _ in 0..ROUNDS / 2 {
@@ -125,6 +173,49 @@ mod tests {
         let block1: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
         let block2: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
         assert_ne!(block1, block2);
+    }
+
+    #[test]
+    fn word_pos_tracks_consumption() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(r.get_word_pos(), 0);
+        for expect in 1..=40u128 {
+            r.next_u32();
+            assert_eq!(r.get_word_pos(), expect);
+        }
+        r.next_u64(); // two words
+        assert_eq!(r.get_word_pos(), 42);
+    }
+
+    #[test]
+    fn seed_and_word_pos_restore_the_stream() {
+        let seed = ChaCha8Rng::seed_from_u64(123).get_seed();
+        // Positions on and off block boundaries, including 0.
+        for consumed in [0usize, 1, 15, 16, 17, 31, 32, 100] {
+            let mut orig = ChaCha8Rng::from_seed(seed);
+            for _ in 0..consumed {
+                orig.next_u32();
+            }
+            let mut restored = ChaCha8Rng::from_seed(seed);
+            restored.set_word_pos(orig.get_word_pos());
+            assert_eq!(restored.get_word_pos(), orig.get_word_pos());
+            for i in 0..64 {
+                assert_eq!(
+                    restored.next_u64(),
+                    orig.next_u64(),
+                    "diverged at draw {i} after {consumed} consumed words"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn get_seed_round_trips() {
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(5);
+        }
+        assert_eq!(ChaCha8Rng::from_seed(seed).get_seed(), seed);
     }
 
     #[test]

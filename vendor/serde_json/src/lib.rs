@@ -1,0 +1,829 @@
+//! Offline stand-in for the `Value` half of `serde_json`, vendored
+//! because this workspace builds fully offline (no crates.io access).
+//!
+//! The sibling `vendor/serde` crate stubs `Serialize`/`Deserialize` as
+//! marker traits, so the derive-driven half of the real `serde_json`
+//! (`to_string(&anything)`) cannot exist here. What in-tree code
+//! actually needs — checkpoint files, the `gevo-serve` line protocol,
+//! harness `--json` output — is the *document* half, which this shim
+//! provides with upstream-shaped APIs:
+//!
+//! * [`Value`] / [`Number`] / [`Map`] — the JSON tree, with the usual
+//!   `as_*` accessors, `get`, indexing-free builders and `From` impls;
+//! * [`from_str`] — a strict JSON parser (depth-limited, full string
+//!   escapes including surrogate pairs);
+//! * [`to_string`] / `Value: Display` — compact printing.
+//!
+//! Differences from upstream worth knowing:
+//!
+//! * [`Map`] preserves **insertion order** (upstream needs the
+//!   `preserve_order` feature for that). In-tree serialization relies
+//!   on it for deterministic, byte-stable output.
+//! * Number printing is exact-round-trip: integers print as integers,
+//!   floats print with Rust's shortest-round-trip formatting plus a
+//!   forced `.0`/exponent marker so a reparse classifies them as
+//!   floats again. `f64 -> text -> f64` is bit-identical for every
+//!   finite value — the property the checkpoint/resume machinery's
+//!   bit-identical guarantee rests on.
+//! * Non-finite floats are unrepresentable, as upstream:
+//!   [`Number::from_f64`] returns `None` and `From<f64> for Value`
+//!   maps them to `Value::Null`.
+
+use std::fmt;
+
+/// Any JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON number (integer or float; see [`Number`]).
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object (insertion-ordered; see [`Map`]).
+    Object(Map),
+}
+
+/// A JSON number: an unsigned integer, a negative integer, or a finite
+/// float — the same three-way split the real crate uses, so integers
+/// up to `u64::MAX`/`i64::MIN` round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// A float number, `None` if `v` is NaN or infinite (JSON cannot
+    /// represent them).
+    #[must_use]
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number(N::Float(v)))
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(v) => Some(v),
+            N::NegInt(_) | N::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert losslessly up to 2^53).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::PosInt(v) => Some(v as f64),
+            N::NegInt(v) => Some(v as f64),
+            N::Float(v) => Some(v),
+        }
+    }
+
+    /// True when the number is stored as a float.
+    #[must_use]
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::Float(_))
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Number {
+        Number(N::PosInt(v))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Number {
+        if let Ok(u) = u64::try_from(v) {
+            Number(N::PosInt(u))
+        } else {
+            Number(N::NegInt(v))
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(v) => write!(f, "{v}"),
+            N::NegInt(v) => write!(f, "{v}"),
+            N::Float(v) => {
+                // Shortest representation that parses back to the same
+                // bits; force a float marker so reparsing keeps the
+                // integer/float classification stable.
+                let s = format!("{v}");
+                if s.contains(['.', 'e', 'E']) || s.contains("inf") || s.contains("NaN") {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (upstream's `Map` with the
+/// `preserve_order` feature): iteration and printing follow insertion
+/// order, which keeps in-tree serialization byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value under `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Inserts (or replaces in place) `key`, returning any previous
+    /// value. A replaced key keeps its original position.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Map {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl Value {
+    /// Member of an object by key (`None` on non-objects, like upstream).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if this is a non-negative integer number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if this is an in-range integer number.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if this is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `String`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an `Array`.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The map, if this is an `Object`.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Number(Number::from(v))
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Number(Number::from(u64::from(v)))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Number(Number::from(v as u64))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Number(Number::from(v))
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Number(Number::from(i64::from(v)))
+    }
+}
+impl From<f64> for Value {
+    /// Non-finite floats become `Value::Null`, exactly as upstream.
+    fn from(v: f64) -> Value {
+        Number::from_f64(v).map_or(Value::Null, Value::Number)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    /// Compact printing (no whitespace), matching upstream `to_string`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Serializes a [`Value`] to a compact JSON string. Always succeeds —
+/// the `Result` mirrors the upstream signature so call sites are
+/// source-compatible with the real crate.
+///
+/// # Errors
+/// Never fails in this shim.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// A parse error: what went wrong and the byte offset it was noticed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Nesting guard: deeper documents are rejected rather than risking a
+/// stack overflow on hostile input (the serve protocol parses
+/// arbitrary lines).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, Error> {
+        Err(Error {
+            msg: msg.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{lit}'"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => self.err(format!("unexpected character '{}'", other as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error {
+                msg: "truncated \\u escape".into(),
+                offset: self.pos,
+            })?;
+        let s = std::str::from_utf8(slice).map_err(|_| Error {
+            msg: "non-ASCII in \\u escape".into(),
+            offset: self.pos,
+        })?;
+        let v = u16::from_str_radix(s, 16).map_err(|_| Error {
+            msg: "bad \\u escape".into(),
+            offset: self.pos,
+        })?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..=0xDBFF).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return self.err("lone high surrogate");
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return self.err("lone high surrogate");
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let cp = 0x1_0000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(u32::from(hi))
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                            continue; // hex4 already advanced
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return self.err("control character in string"),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| Error {
+                        msg: "invalid UTF-8".into(),
+                        offset: start,
+                    })?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number(N::PosInt(u))));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number(N::NegInt(i))));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Number(Number(N::Float(f)))),
+            _ => self.err(format!("invalid number '{text}'")),
+        }
+    }
+}
+
+/// Parses a JSON document (exactly one value, possibly surrounded by
+/// whitespace).
+///
+/// # Errors
+/// Returns an [`Error`] with a byte offset on malformed input,
+/// trailing garbage, or nesting deeper than 128 levels.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        from_str(&v.to_string()).expect("own output reparses")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::from(0u64),
+            Value::from(u64::MAX),
+            Value::from(i64::MIN),
+            Value::from(-1i64),
+            Value::from(1.5f64),
+            Value::from(0.1f64),
+            Value::from(f64::MIN_POSITIVE),
+            Value::from(1e300f64),
+            Value::from(-0.0f64),
+            Value::from("plain"),
+            Value::from("esc \"\\ \n\t\r \u{8} \u{c} \u{1} héllo 🚀"),
+        ] {
+            assert_eq!(roundtrip(&v), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn float_bits_roundtrip_exactly() {
+        for bits in [
+            0x3FF0_0000_0000_0001u64, // 1.0 + ulp
+            0x0000_0000_0000_0001,    // smallest subnormal
+            0x7FEF_FFFF_FFFF_FFFF,    // f64::MAX
+            0xBFD5_5555_5555_5555,    // -1/3
+        ] {
+            let f = f64::from_bits(bits);
+            let v = Value::from(f);
+            let back = roundtrip(&v).as_f64().unwrap();
+            assert_eq!(back.to_bits(), bits, "bits 0x{bits:016x}");
+        }
+    }
+
+    #[test]
+    fn floats_stay_floats_and_ints_stay_ints() {
+        let f = roundtrip(&Value::from(1.0f64));
+        assert!(matches!(f, Value::Number(n) if n.is_f64()));
+        let i = roundtrip(&Value::from(1u64));
+        assert!(matches!(i, Value::Number(n) if !n.is_f64()));
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert!(Value::from(f64::NAN).is_null());
+        assert!(Value::from(f64::INFINITY).is_null());
+        assert_eq!(Number::from_f64(f64::NEG_INFINITY), None);
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("zebra", 1u64);
+        m.insert("alpha", 2u64);
+        m.insert("zebra", 3u64); // replace keeps position
+        let v = Value::Object(m);
+        assert_eq!(v.to_string(), "{\"zebra\":3,\"alpha\":2}");
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn nested_documents_parse() {
+        let src = r#" {"a":[1,2.5,{"b":null},"x"],"c":{"d":[[]]},"e":-3} "#;
+        let v = from_str(src).unwrap();
+        assert_eq!(v.get("e").and_then(Value::as_i64), Some(-3));
+        assert_eq!(v.get("a").and_then(Value::as_array).map(Vec::len), Some(4));
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = from_str(r#""\u0041\u00e9\ud83d\ude80""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé🚀"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "\"\\ud800x\"",
+            "01a",
+            "nan",
+        ] {
+            assert!(from_str(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_bombs() {
+        let bomb = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&bomb).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors_coerce_like_upstream() {
+        let v = from_str(r#"{"u":7,"i":-7,"f":7.5}"#).unwrap();
+        assert_eq!(v.get("u").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("u").and_then(Value::as_i64), Some(7));
+        assert_eq!(v.get("u").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("i").and_then(Value::as_u64), None);
+        assert_eq!(v.get("i").and_then(Value::as_i64), Some(-7));
+        assert_eq!(v.get("f").and_then(Value::as_u64), None);
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(7.5));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("x"), None);
+    }
+
+    #[test]
+    fn to_string_matches_display() {
+        let v = from_str(r#"{"a":[1,true,null]}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), v.to_string());
+    }
+}
