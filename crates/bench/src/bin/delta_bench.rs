@@ -1,0 +1,295 @@
+//! Delta-compilation A/B harness: the same fixed-seed island search
+//! with the delta-patch path ON (the workload as shipped) vs OFF
+//! (wrapped in [`NoDelta`]), interleaved within one process
+//! ([`gevo_bench::ab`]) so both sides see the same instantaneous
+//! machine speed.
+//!
+//! Three things are measured and written to `BENCH_delta.json`:
+//!
+//! 1. **Equivalence, enforced** — the A and B runs must produce
+//!    byte-identical `SearchResult` JSON (fitness, `LaunchStats`,
+//!    trajectories). Any divergence aborts the bench; the numbers are
+//!    only meaningful for a result-invisible optimization.
+//! 2. **Compile path** — per-variant cost of a full recompile
+//!    (verify → DCE → lower, what every compiled-cache miss used to
+//!    pay) vs patching the parent's cached image with an eligible
+//!    delta. This isolates the work the delta path deletes.
+//! 3. **End to end** — evals/sec and warp-instructions/sec at the
+//!    islands budget, plus the evaluator's own counters: outcome- and
+//!    compiled-cache hit rates, delta patches vs fallbacks vs full
+//!    compiles.
+//!
+//! Budget knobs as everywhere else: `GEVO_POP` / `GEVO_GENS` /
+//! `GEVO_SEED` / `--islands N` / `GEVO_ISLANDS` (default 4 here — the
+//! point is the standard multi-island budget), plus `GEVO_ROUNDS` for
+//! the A/B round count and `--out PATH` for the JSON destination.
+
+use gevo_bench::ab::interleaved_ab;
+use gevo_bench::{
+    adept_on, budget_banner, env_usize, harness_spec, islands_knob, run_search,
+    scaled_table1_specs, simcov_on,
+};
+use gevo_engine::{Edit, EvalStats, NoDelta, Search, SearchSpec, StepStatus, Workload};
+use gevo_gpu::{CompiledKernel, GpuSpec};
+use gevo_ir::{Kernel, Operand};
+use gevo_workloads::pipeline::compile_variant;
+use std::fmt::Write as _;
+
+/// Finds a deterministic delta-eligible edit on the workload program:
+/// the first integer-immediate operand anywhere in the kernels, nudged
+/// by one. Immediate-for-immediate replacement is exactly the edit
+/// class `CompiledKernel::patch` accepts (DESIGN.md §3.7), and it
+/// cannot invalidate verification, so the micro-benchmark below never
+/// has to retry.
+fn eligible_edit(kernels: &[Kernel]) -> Option<Edit> {
+    for (ki, k) in kernels.iter().enumerate() {
+        for (_pos, inst) in k.iter_insts() {
+            for (ai, op) in inst.args.iter().enumerate() {
+                if let Operand::ImmI32(v) = *op {
+                    return Some(Edit::OperandReplace {
+                        kernel: ki,
+                        target: inst.id,
+                        arg: ai,
+                        new: Operand::ImmI32(v.wrapping_add(1)),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Compile-path micro-comparison on the workload's real kernels:
+/// A = full `compile_variant` of the edited program (what a
+/// compiled-cache miss costs without the delta path), B = clone the
+/// parent's image vector and patch one kernel (what the delta chain
+/// does per step). Returns `(full_ns, patch_ns)` medians.
+fn compile_path_ab(w: &dyn Workload, spec: &GpuSpec, rounds: usize) -> Option<(f64, f64)> {
+    let pristine = w.kernels();
+    let edit = eligible_edit(pristine)?;
+    let base: Vec<CompiledKernel> = compile_variant(pristine, spec).ok()?;
+    let mut edited = pristine.to_vec();
+    let ki = edit.kernel();
+    let (applied, delta) = edit.apply_delta(&mut edited[ki]);
+    let delta = delta.filter(|d| applied && d.is_patchable())?;
+    // Sanity: the patched image must equal the recompile before we
+    // time anything (the differential suite pins this; cheap to
+    // re-check here so a bad bench build can't report garbage).
+    let fresh = compile_variant(&edited, spec).ok()?;
+    let patched = base[ki].patch(&delta).ok()?;
+    assert!(
+        patched == fresh[ki],
+        "patched image diverges from recompile; refusing to time"
+    );
+    let rep = interleaved_ab(
+        rounds.max(3),
+        8,
+        || {
+            std::hint::black_box(compile_variant(std::hint::black_box(&edited), spec).ok());
+        },
+        || {
+            let mut images = base.clone();
+            images[ki] = images[ki].patch(&delta).expect("eligible delta");
+            std::hint::black_box(images);
+        },
+    );
+    Some((rep.a_ns, rep.b_ns))
+}
+
+/// Runs the search with the delta path live and returns the result
+/// JSON plus the evaluator's counters (which `run_search` cannot
+/// surface — the counters are deliberately absent from the result).
+fn instrumented_run(w: &dyn Workload, spec: &SearchSpec) -> (String, EvalStats) {
+    let mut search = Search::from_spec(w, spec.clone());
+    while matches!(search.step(), StepStatus::Advanced { .. }) {}
+    let stats = search.eval_stats();
+    (search.into_result().to_json().to_string(), stats)
+}
+
+struct WorkloadReport {
+    name: String,
+    json: String,
+}
+
+#[allow(clippy::cast_precision_loss, clippy::similar_names)]
+fn bench_workload(
+    name: &str,
+    w: &dyn Workload,
+    spec: &SearchSpec,
+    rounds: usize,
+) -> WorkloadReport {
+    let off = NoDelta(w);
+
+    // 1. Equivalence gate — delta ON vs OFF must be byte-identical.
+    //    The ON side doubles as the counter probe.
+    let plain = run_search(&off, spec).to_json().to_string();
+    let (delta_result, stats) = instrumented_run(w, spec);
+    assert_eq!(
+        plain, delta_result,
+        "{name}: delta evaluation changed the search result — not benching a broken build"
+    );
+
+    // 2. Compile-path micro (per-variant lowering cost).
+    let gpu_spec = &scaled_table1_specs()[0];
+    let compile_ab = compile_path_ab(w, gpu_spec, rounds);
+
+    // 3. End-to-end interleaved A/B at the islands budget.
+    let rep = interleaved_ab(
+        rounds,
+        1,
+        || {
+            std::hint::black_box(run_search(&off, spec));
+        },
+        || {
+            std::hint::black_box(run_search(w, spec));
+        },
+    );
+
+    let evals = stats.evals as f64;
+    let instructions = stats.instructions as f64;
+    let a_secs = rep.a_ns / 1e9;
+    let b_secs = rep.b_ns / 1e9;
+    let lookups = (stats.evals + stats.cache_hits) as f64;
+    let outcome_hit_rate = if lookups > 0.0 {
+        stats.cache_hits as f64 / lookups
+    } else {
+        0.0
+    };
+    let compiled_lookups =
+        (stats.compiled_hits + stats.delta_patched + stats.delta_fallbacks + stats.compiles) as f64;
+    let compiled_hit_rate = if compiled_lookups > 0.0 {
+        stats.compiled_hits as f64 / compiled_lookups
+    } else {
+        0.0
+    };
+
+    println!("## {name}");
+    println!();
+    if let Some((full_ns, patch_ns)) = compile_ab {
+        println!(
+            "compile path: full recompile {:.1} us, delta patch {:.1} us ({:.0}x)",
+            full_ns / 1e3,
+            patch_ns / 1e3,
+            full_ns / patch_ns
+        );
+    }
+    println!(
+        "end to end:   delta off {a_secs:.2} s/run, on {b_secs:.2} s/run \
+         ({:+.2}% time, ratio {:.4})",
+        -rep.b_improvement_pct(),
+        rep.ratio
+    );
+    println!(
+        "              evals/sec {:.1} -> {:.1}, Mwinstr/sec {:.2} -> {:.2}",
+        evals / a_secs,
+        evals / b_secs,
+        instructions / a_secs / 1e6,
+        instructions / b_secs / 1e6
+    );
+    println!(
+        "evaluator:    {} evals ({:.1}% outcome-cache hits), \
+         {} delta patches / {} fallbacks / {} full compiles, \
+         compiled-cache hit rate {:.1}%",
+        stats.evals,
+        100.0 * outcome_hit_rate,
+        stats.delta_patched,
+        stats.delta_fallbacks,
+        stats.compiles,
+        100.0 * compiled_hit_rate
+    );
+    println!();
+
+    // Hand-rolled JSON (the offline serde shim has no serializer);
+    // every string here is a fixed workload name, escape-free.
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "{{\"workload\":\"{name}\",\"pop\":{},\"gens\":{},\"islands\":{},\
+         \"seed\":{},\"rounds\":{},\"identical_results\":true",
+        spec.ga.population, spec.ga.generations, spec.islands, spec.ga.seed, rep.rounds
+    );
+    if let Some((full_ns, patch_ns)) = compile_ab {
+        let _ = write!(
+            j,
+            ",\"recompile_us\":{:.3},\"patch_us\":{:.3},\"patch_speedup\":{:.1}",
+            full_ns / 1e3,
+            patch_ns / 1e3,
+            full_ns / patch_ns
+        );
+    }
+    let _ = write!(
+        j,
+        ",\"off_secs\":{a_secs:.4},\"on_secs\":{b_secs:.4},\"ratio\":{:.5},\
+         \"evals\":{},\"evals_per_sec_off\":{:.2},\"evals_per_sec_on\":{:.2},\
+         \"winstr_per_sec_off\":{:.0},\"winstr_per_sec_on\":{:.0},\
+         \"outcome_hit_rate\":{outcome_hit_rate:.4},\
+         \"compiled_hit_rate\":{compiled_hit_rate:.4},\
+         \"delta_patched\":{},\"delta_fallbacks\":{},\"compiles\":{},\
+         \"compiled_hits\":{}}}",
+        rep.ratio,
+        stats.evals,
+        evals / a_secs,
+        evals / b_secs,
+        instructions / a_secs,
+        instructions / b_secs,
+        stats.delta_patched,
+        stats.delta_fallbacks,
+        stats.compiles,
+        stats.compiled_hits
+    );
+    WorkloadReport {
+        name: name.to_string(),
+        json: j,
+    }
+}
+
+fn out_path() -> String {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(p) = args.next() {
+                return p;
+            }
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            return p.to_string();
+        }
+    }
+    "BENCH_delta.json".to_string()
+}
+
+fn main() {
+    let islands = match islands_knob() {
+        1 => 4, // the delta path earns its keep at the multi-island budget
+        n => n,
+    };
+    let rounds = env_usize("GEVO_ROUNDS", 5);
+    let mut spec = harness_spec(env_usize("GEVO_POP", 16), env_usize("GEVO_GENS", 10));
+    spec.islands = islands;
+
+    println!("Delta compilation A/B: identical fixed-seed searches, patch path off vs on");
+    println!("budget: {} ({rounds} rounds)", budget_banner(&spec));
+    println!();
+
+    let p100 = &scaled_table1_specs()[0];
+    let reports = [
+        bench_workload(
+            "ADEPT-V0 / P100",
+            &adept_on(gevo_workloads::adept::Version::V0, p100),
+            &spec,
+            rounds,
+        ),
+        bench_workload("SIMCoV / P100", &simcov_on(p100), &spec, rounds),
+    ];
+
+    let out = out_path();
+    let body: Vec<&str> = reports.iter().map(|r| r.json.as_str()).collect();
+    std::fs::write(&out, format!("[\n{}\n]\n", body.join(",\n"))).expect("write bench json");
+    println!(
+        "wrote {out} ({})",
+        reports
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

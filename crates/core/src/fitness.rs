@@ -52,10 +52,10 @@
 //! assert_eq!(ev.cache_hits(), 1);
 //! ```
 
-use crate::edit::Patch;
+use crate::edit::{edits_hash, Patch};
 use gevo_gpu::{CompiledKernel, LaunchStats};
-use gevo_ir::Kernel;
-use std::collections::HashMap;
+use gevo_ir::{Kernel, KernelDelta};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -304,6 +304,56 @@ pub trait Workload: Sync {
         let _ = (compiled, eval_seed);
         EvalOutcome::fail("workload has no compiled-launch path")
     }
+
+    /// True when the [`Evaluator`] may build this workload's compiled
+    /// form by **delta-patching** a cached ancestor's compiled kernels
+    /// ([`CompiledKernel::patch`]) instead of calling
+    /// [`Workload::compile`].
+    ///
+    /// Opt in (return `true`) only when `compile` is *exactly* the
+    /// shared verify → DCE → lower pipeline over the variant kernels
+    /// (`gevo_workloads::pipeline::compile_variant`) — the patch API
+    /// reproduces precisely that pipeline's output for eligible local
+    /// edits (DESIGN.md §3.7). A workload whose `compile` does anything
+    /// else (rewrites kernels, injects state, compiles against a
+    /// per-call spec) must keep the default `false`, otherwise patched
+    /// and freshly compiled images can diverge silently.
+    fn supports_delta_patch(&self) -> bool {
+        false
+    }
+}
+
+/// A workload wrapper with the delta-patch path disabled:
+/// [`Workload::supports_delta_patch`] forced to `false`, everything
+/// else forwarded verbatim.
+///
+/// This is the control arm of the delta machinery's own acceptance
+/// tests: the fixed-seed trajectory pins (`tests/search_equiv.rs`,
+/// `tests/checkpoint_resume.rs`) and the interleaved A/B bench run the
+/// same search over `w` and `NoDelta(&w)` — byte-identical results
+/// prove the delta path is result-invisible, and the wall-clock gap
+/// measures what it saves.
+pub struct NoDelta<'w>(pub &'w dyn Workload);
+
+impl Workload for NoDelta<'_> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn kernels(&self) -> &[Kernel] {
+        self.0.kernels()
+    }
+    fn evaluate(&self, kernels: &[Kernel], eval_seed: u64) -> EvalOutcome {
+        self.0.evaluate(kernels, eval_seed)
+    }
+    fn compile(&self, kernels: &[Kernel]) -> Option<Result<Vec<CompiledKernel>, String>> {
+        self.0.compile(kernels)
+    }
+    fn evaluate_compiled(&self, compiled: &[CompiledKernel], eval_seed: u64) -> EvalOutcome {
+        self.0.evaluate_compiled(compiled, eval_seed)
+    }
+    fn supports_delta_patch(&self) -> bool {
+        false
+    }
 }
 
 /// Number of cache shards. A fixed power of two so shard selection is a
@@ -317,11 +367,70 @@ pub const CACHE_SHARDS: usize = 16;
 /// (small entries, cleared on every reseed), compiled entries are
 /// multi-kilobyte and intentionally survive [`Evaluator::set_eval_seed`],
 /// so an unbounded version would grow resident memory for the lifetime
-/// of a long search. Once a shard is full, further variants still
-/// evaluate correctly — they just aren't retained. 256 × 16 = 4096
+/// of a long search. A full shard evicts its **oldest** entry (FIFO —
+/// the deterministic choice; see [`Evaluator`]'s eviction notes), so
+/// recent parents stay available for delta patching. 256 × 16 = 4096
 /// variants comfortably covers the population × elitism working set
 /// that actually recurs across reseeds.
 pub const COMPILED_CACHE_PER_SHARD: usize = 256;
+
+/// One shard of the compiled-kernel cache: the entries plus their FIFO
+/// insertion order, so eviction at capacity is deterministic (never a
+/// function of `HashMap` iteration order, which varies per process).
+#[derive(Default)]
+struct CompiledShard {
+    map: HashMap<u64, Arc<Vec<CompiledKernel>>>,
+    order: VecDeque<u64>,
+}
+
+impl CompiledShard {
+    fn get(&self, key: u64) -> Option<Arc<Vec<CompiledKernel>>> {
+        self.map.get(&key).map(Arc::clone)
+    }
+
+    /// Inserts an entry, evicting the oldest one when the shard is at
+    /// [`COMPILED_CACHE_PER_SHARD`]. Eviction only drops a *cache
+    /// entry*: compiled images are immutable [`Arc`] snapshots, and a
+    /// delta-patched child holds (or rebuilds) its own full image, so
+    /// evicting a parent can never corrupt a child — later chains just
+    /// fall back to a full recompile with identical outcomes.
+    fn insert(&mut self, key: u64, val: Arc<Vec<CompiledKernel>>) {
+        if self.map.insert(key, val).is_some() {
+            return; // Same patch, same image: order is unchanged.
+        }
+        self.order.push_back(key);
+        if self.map.len() > COMPILED_CACHE_PER_SHARD {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+    }
+}
+
+/// Point-in-time view of the [`Evaluator`]'s throughput counters, for
+/// benches and tests. Only `evals`, `cache_hits` and `instructions` are
+/// result-visible (checkpointed in [`EvaluatorSnapshot`]); the rest
+/// describe work *avoided* and never influence a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStats {
+    /// Evaluations actually performed (outcome-cache misses).
+    pub evals: usize,
+    /// Outcome-cache hits served.
+    pub cache_hits: usize,
+    /// Full compilations performed ([`Workload::compile`] calls).
+    pub compiles: usize,
+    /// Compiled-kernel cache hits (a lowered variant was reused).
+    pub compiled_hits: usize,
+    /// Evaluations whose compiled form was produced entirely by
+    /// delta-patching a cached ancestor — no verify/CFG/lowering.
+    pub delta_patched: usize,
+    /// Evaluations where delta patching was attempted but the chain
+    /// refused (structural or register-involving edit, or no cached
+    /// ancestor) and a full recompile ran instead.
+    pub delta_fallbacks: usize,
+    /// Warp-instructions simulated across performed evaluations.
+    pub instructions: u64,
+}
 
 /// Memoizing evaluator: maps patches to outcomes through a workload,
 /// caching by patch content hash. The analysis algorithms (§V) re-evaluate
@@ -345,12 +454,17 @@ pub struct Evaluator<'w> {
     /// Compiled kernels per patch, sharded like the outcome cache.
     /// Compilation is seed-independent, so — unlike outcomes — these
     /// survive [`Evaluator::set_eval_seed`]: a reseeded re-evaluation of
-    /// a known patch skips verify/CFG/lowering entirely.
-    compiled_shards: Vec<Mutex<HashMap<u64, Arc<Vec<CompiledKernel>>>>>,
+    /// a known patch skips verify/CFG/lowering entirely. Entries double
+    /// as **delta-patch parents**: an uncached patch first looks for a
+    /// cached prefix of itself and replays the remaining local edits
+    /// with [`CompiledKernel::patch`] (see [`Evaluator::evaluate`]).
+    compiled_shards: Vec<Mutex<CompiledShard>>,
     evals: AtomicUsize,
     cache_hits: AtomicUsize,
     compiles: AtomicUsize,
     compiled_hits: AtomicUsize,
+    delta_patched: AtomicUsize,
+    delta_fallbacks: AtomicUsize,
     /// Total simulated warp-instructions across performed evaluations
     /// (cache hits simulate nothing and add nothing).
     instructions: AtomicU64,
@@ -367,12 +481,14 @@ impl<'w> Evaluator<'w> {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             compiled_shards: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(CompiledShard::default()))
                 .collect(),
             evals: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             compiles: AtomicUsize::new(0),
             compiled_hits: AtomicUsize::new(0),
+            delta_patched: AtomicUsize::new(0),
+            delta_fallbacks: AtomicUsize::new(0),
             instructions: AtomicU64::new(0),
             eval_seed: RwLock::new(0),
         }
@@ -392,32 +508,84 @@ impl<'w> Evaluator<'w> {
 
     /// The compiled-kernel shard holding a given patch hash.
     #[allow(clippy::cast_possible_truncation)]
-    fn compiled_shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<Vec<CompiledKernel>>>> {
+    fn compiled_shard(&self, key: u64) -> &Mutex<CompiledShard> {
         &self.compiled_shards[(key as usize) & (CACHE_SHARDS - 1)]
     }
 
-    /// Cached compiled kernels for a patch hash, if present.
+    /// Cached compiled kernels for a patch hash, if present (counted as
+    /// a compiled-cache hit).
     fn compiled_hit(&self, key: u64) -> Option<Arc<Vec<CompiledKernel>>> {
-        let hit = self
-            .compiled_shard(key)
-            .lock()
-            .expect("compiled shard")
-            .get(&key)
-            .map(Arc::clone)?;
+        let hit = self.compiled_peek(key)?;
         self.compiled_hits.fetch_add(1, Ordering::Relaxed);
         Some(hit)
     }
 
-    /// Records a freshly compiled variant, respecting the per-shard
-    /// bound: once a shard is full, new entries are evaluated but not
-    /// retained (outcomes are unaffected — the cache is a pure
-    /// memoization of seed-independent work).
+    /// Cached compiled kernels for a patch hash without touching the
+    /// hit counter — the delta chain's prefix probes are speculative
+    /// and must not skew the reuse statistics.
+    fn compiled_peek(&self, key: u64) -> Option<Arc<Vec<CompiledKernel>>> {
+        self.compiled_shard(key)
+            .lock()
+            .expect("compiled shard")
+            .get(key)
+    }
+
+    /// Records a **freshly compiled** variant (counts a compilation and
+    /// retains the image; a full shard evicts its oldest entry).
     fn compiled_insert(&self, key: u64, compiled: &Arc<Vec<CompiledKernel>>) {
         self.compiles.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.compiled_shard(key).lock().expect("compiled shard");
-        if shard.len() < COMPILED_CACHE_PER_SHARD {
-            shard.insert(key, Arc::clone(compiled));
+        self.compiled_retain(key, compiled);
+    }
+
+    /// Retains a compiled image without counting a compilation — the
+    /// delta path derives its images from a cached parent, so nothing
+    /// was verified or lowered.
+    fn compiled_retain(&self, key: u64, compiled: &Arc<Vec<CompiledKernel>>) {
+        self.compiled_shard(key)
+            .lock()
+            .expect("compiled shard")
+            .insert(key, Arc::clone(compiled));
+    }
+
+    /// Attempts to build the variant's compiled form by patching a
+    /// cached ancestor instead of recompiling from scratch.
+    ///
+    /// Walks the patch's prefixes from longest to shortest for a cached
+    /// compiled image (mutation appends edits, so an offspring's direct
+    /// parent sits at `len − 1`; the pristine program's empty prefix is
+    /// the universal anchor). The remaining edits are replayed on IR
+    /// clones — exactly what [`Patch::apply`] would do — to learn each
+    /// edit's [`KernelDelta`], and every eligible delta is forwarded to
+    /// [`CompiledKernel::patch`]. Returns `None` the moment any applied
+    /// edit is structural, register-involving, or refused by `patch`
+    /// (or when no prefix is cached): the caller must fully recompile.
+    fn try_delta_chain(&self, patch: &Patch) -> Option<Arc<Vec<CompiledKernel>>> {
+        let edits = patch.edits();
+        let (start, mut compiled) = (0..edits.len()).rev().find_map(|k| {
+            let parent = self.compiled_peek(edits_hash(&edits[..k]))?;
+            Some((k, parent))
+        })?;
+        // Rebuild the IR state at the cached prefix: `apply_delta` needs
+        // the kernel context to mirror plain application bit-for-bit
+        // (applicability checks, displaced-operand capture).
+        let (mut kernels, _) =
+            Patch::from_edits(edits[..start].to_vec()).apply(self.workload.kernels());
+        for e in &edits[start..] {
+            let ki = e.kernel();
+            if ki >= kernels.len() {
+                continue; // `Patch::apply` skips out-of-range edits too.
+            }
+            let (applied, delta) = e.apply_delta(&mut kernels[ki]);
+            if !applied {
+                continue; // A skipped edit changes nothing to patch.
+            }
+            let delta = delta.filter(KernelDelta::is_patchable)?;
+            let patched = compiled.get(ki).and_then(|ck| ck.patch(&delta).ok())?;
+            let mut next = (*compiled).clone();
+            next[ki] = patched;
+            compiled = Arc::new(next);
         }
+        Some(compiled)
     }
 
     /// Sets the scheduler seed used for subsequent evaluations and clears
@@ -453,21 +621,33 @@ impl<'w> Evaluator<'w> {
         }
         // Compile once per patch (cached across reseeds), then score the
         // compiled form; workloads without a compiled path fall back to
-        // interpreting the applied kernels directly. The patch is
-        // applied at most once per call, and not at all on a
-        // compiled-cache hit.
+        // interpreting the applied kernels directly. On a compiled-cache
+        // miss, workloads on the shared pipeline first try to *patch* a
+        // cached ancestor's image (the delta path) before paying for a
+        // full recompile. The patch is applied at most once per call,
+        // and not at all on a compiled-cache hit.
         let outcome = if let Some(compiled) = self.compiled_hit(key) {
             self.workload.evaluate_compiled(&compiled, *seed)
         } else {
-            let (kernels, _) = patch.apply(self.workload.kernels());
-            match self.workload.compile(&kernels) {
-                Some(Ok(compiled)) => {
-                    let compiled = Arc::new(compiled);
-                    self.compiled_insert(key, &compiled);
-                    self.workload.evaluate_compiled(&compiled, *seed)
+            let try_delta = self.workload.supports_delta_patch() && !patch.is_empty();
+            if let Some(compiled) = try_delta.then(|| self.try_delta_chain(patch)).flatten() {
+                self.delta_patched.fetch_add(1, Ordering::Relaxed);
+                self.compiled_retain(key, &compiled);
+                self.workload.evaluate_compiled(&compiled, *seed)
+            } else {
+                if try_delta {
+                    self.delta_fallbacks.fetch_add(1, Ordering::Relaxed);
                 }
-                Some(Err(reason)) => EvalOutcome::fail(reason),
-                None => self.workload.evaluate(&kernels, *seed),
+                let (kernels, _) = patch.apply(self.workload.kernels());
+                match self.workload.compile(&kernels) {
+                    Some(Ok(compiled)) => {
+                        let compiled = Arc::new(compiled);
+                        self.compiled_insert(key, &compiled);
+                        self.workload.evaluate_compiled(&compiled, *seed)
+                    }
+                    Some(Err(reason)) => EvalOutcome::fail(reason),
+                    None => self.workload.evaluate(&kernels, *seed),
+                }
             }
         };
         self.evals.fetch_add(1, Ordering::Relaxed);
@@ -541,12 +721,41 @@ impl<'w> Evaluator<'w> {
         self.compiled_hits.load(Ordering::Relaxed)
     }
 
+    /// Evaluations whose compiled form was produced entirely by
+    /// delta-patching a cached ancestor (no verify/CFG/lowering ran).
+    #[must_use]
+    pub fn delta_patches_applied(&self) -> usize {
+        self.delta_patched.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations where the delta chain was attempted but refused and
+    /// a full recompile ran instead.
+    #[must_use]
+    pub fn delta_fallbacks(&self) -> usize {
+        self.delta_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// All throughput counters in one consistent-enough view (each
+    /// counter is read atomically; the set is not a single snapshot).
+    #[must_use]
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            evals: self.evals_performed(),
+            cache_hits: self.cache_hits(),
+            compiles: self.compiles_performed(),
+            compiled_hits: self.compiled_cache_hits(),
+            delta_patched: self.delta_patches_applied(),
+            delta_fallbacks: self.delta_fallbacks(),
+            instructions: self.instructions_simulated(),
+        }
+    }
+
     /// Compiled variants currently cached, summed over every shard.
     #[must_use]
     pub fn compiled_cache_len(&self) -> usize {
         self.compiled_shards
             .iter()
-            .map(|s| s.lock().expect("compiled shard").len())
+            .map(|s| s.lock().expect("compiled shard").map.len())
             .sum()
     }
 
@@ -647,6 +856,16 @@ impl<'w> Evaluator<'w> {
     /// once, so two workers can never race the same uncached key and
     /// [`Evaluator::evals_performed`] stays deterministic across thread
     /// schedules.
+    ///
+    /// Unique patches are **dispatched generation-grouped**: shorter
+    /// patches first, then by parent prefix, so an offspring's parent
+    /// is compiled and cached before the offspring tries to delta-patch
+    /// off it, and siblings of one parent run back-to-back while that
+    /// parent's image, the `ExecScratch` pool and the memory model are
+    /// hot. This is purely a scheduling choice — dedup guarantees one
+    /// evaluation per unique patch, outcomes are functions of
+    /// `(patch, seed)`, and no result-visible counter depends on order,
+    /// so trajectories are bit-identical to unsorted dispatch.
     pub fn evaluate_batch(&self, patches: &[Patch], threads: usize) -> Vec<EvalOutcome> {
         let mut first_seen: HashMap<u64, usize> = HashMap::new();
         let mut reps: Vec<&Patch> = Vec::new();
@@ -662,19 +881,41 @@ impl<'w> Evaluator<'w> {
             }
         }
 
+        // Dispatch order: parents (shorter patches) before children,
+        // siblings (same parent prefix) adjacent, batch position as the
+        // deterministic tiebreak.
+        let mut order: Vec<usize> = (0..reps.len()).collect();
+        order.sort_by_key(|&i| {
+            let edits = reps[i].edits();
+            let parent = edits
+                .len()
+                .checked_sub(1)
+                .map_or(0, |k| edits_hash(&edits[..k]));
+            (edits.len(), parent, i)
+        });
+
         let rep_outcomes: Vec<EvalOutcome> = if threads <= 1 || reps.len() <= 1 {
-            reps.iter().map(|p| self.evaluate(p)).collect()
+            let mut slots: Vec<Option<EvalOutcome>> = vec![None; reps.len()];
+            for &i in &order {
+                slots[i] = Some(self.evaluate(reps[i]));
+            }
+            slots
+                .into_iter()
+                .map(|o| o.expect("every rep evaluated"))
+                .collect()
         } else {
             let next = AtomicUsize::new(0);
             let results: Vec<Mutex<Option<EvalOutcome>>> =
                 reps.iter().map(|_| Mutex::new(None)).collect();
+            let order = &order;
             std::thread::scope(|s| {
                 for _ in 0..threads.min(reps.len()) {
                     s.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= reps.len() {
+                        let pos = next.fetch_add(1, Ordering::Relaxed);
+                        if pos >= order.len() {
                             break;
                         }
+                        let i = order[pos];
                         let out = self.evaluate(reps[i]);
                         *results[i].lock().expect("result slot") = Some(out);
                     });
@@ -795,6 +1036,65 @@ mod tests {
                 1000.0 * (1.0 + seed as f64) + insts as f64,
                 LaunchStats::default(),
             )
+        }
+    }
+
+    /// A workload on the shared verify → DCE → lower pipeline (the
+    /// `compile_variant` contract), opted into delta patching. Its
+    /// fitness hashes the *entire compiled form*, so any divergence
+    /// between a patched image and a from-scratch compile flips the
+    /// fitness: outcome equality below is instruction-stream equality.
+    struct PipelineStub {
+        kernels: Vec<Kernel>,
+        spec: gevo_gpu::GpuSpec,
+    }
+
+    impl PipelineStub {
+        fn new() -> PipelineStub {
+            PipelineStub {
+                kernels: Stub::new().kernels,
+                spec: gevo_gpu::GpuSpec::p100().scaled(8),
+            }
+        }
+    }
+
+    impl Workload for PipelineStub {
+        fn name(&self) -> &'static str {
+            "pipeline-stub"
+        }
+        fn kernels(&self) -> &[Kernel] {
+            &self.kernels
+        }
+        fn evaluate(&self, kernels: &[Kernel], seed: u64) -> EvalOutcome {
+            match self.compile(kernels).expect("has a compiled path") {
+                Ok(compiled) => self.evaluate_compiled(&compiled, seed),
+                Err(reason) => EvalOutcome::fail(reason),
+            }
+        }
+        fn compile(&self, kernels: &[Kernel]) -> Option<Result<Vec<CompiledKernel>, String>> {
+            Some(
+                kernels
+                    .iter()
+                    .map(|k| {
+                        gevo_ir::verify::verify(k).map_err(|e| format!("verify: {e}"))?;
+                        let mut slim = k.clone();
+                        gevo_ir::transform::dce(&mut slim);
+                        CompiledKernel::compile(&slim, &self.spec)
+                            .map_err(|e| format!("verify: {e}"))
+                    })
+                    .collect(),
+            )
+        }
+        fn evaluate_compiled(&self, compiled: &[CompiledKernel], seed: u64) -> EvalOutcome {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            format!("{compiled:?}").hash(&mut h);
+            seed.hash(&mut h);
+            #[allow(clippy::cast_precision_loss)]
+            EvalOutcome::pass((h.finish() >> 11) as f64, LaunchStats::default())
+        }
+        fn supports_delta_patch(&self) -> bool {
+            true
         }
     }
 
@@ -974,6 +1274,191 @@ mod tests {
         for (a, b) in first.iter().zip(&second) {
             assert_ne!(a.fitness, b.fitness, "fitness tracks the new seed");
         }
+    }
+
+    #[test]
+    fn delta_chain_patches_from_cached_parent() {
+        let w = PipelineStub::new();
+        let ev = Evaluator::new(&w);
+        let ids = w.kernels[0].inst_ids();
+        let child = Patch::from_edits(vec![Edit::OperandReplace {
+            kernel: 0,
+            target: ids[1], // add tid, 1 — ids[0] is the arity-0 special
+            arg: 1,
+            new: Operand::ImmI32(7),
+        }]);
+        let _ = ev.evaluate(&Patch::empty()); // cache the pristine image
+        assert_eq!(ev.compiles_performed(), 1);
+
+        let patched = ev.evaluate(&child);
+        assert_eq!(ev.delta_patches_applied(), 1, "child was patched");
+        assert_eq!(ev.compiles_performed(), 1, "no second compile");
+
+        // The patched image scores identically to a from-scratch compile
+        // (the stub's fitness hashes the full compiled form).
+        let fresh = Evaluator::new(&w);
+        assert_eq!(fresh.evaluate(&child), patched);
+        assert_eq!(fresh.delta_patches_applied(), 0);
+
+        // The delta-built image is cached under the child's *own* key
+        // and survives a reseed: re-scoring hits the compiled cache, the
+        // chain does not run a second time.
+        ev.set_eval_seed(9);
+        let hits = ev.compiled_cache_hits();
+        let _ = ev.evaluate(&child);
+        assert_eq!(ev.compiled_cache_hits(), hits + 1);
+        assert_eq!(ev.delta_patches_applied(), 1, "no second chain");
+        assert_eq!(ev.compiles_performed(), 1);
+    }
+
+    #[test]
+    fn ineligible_edits_fall_back_to_recompile() {
+        let w = PipelineStub::new();
+        let ids = w.kernels[0].inst_ids();
+        let ev = Evaluator::new(&w);
+        let _ = ev.evaluate(&Patch::empty());
+        let bad_edits = [
+            // Structural: no delta at all.
+            Edit::Swap {
+                kernel: 0,
+                a: ids[0],
+                b: ids[1],
+            },
+            // Deletes an instruction that reads a register.
+            Edit::Delete {
+                kernel: 0,
+                target: ids[2],
+            },
+            // Displaces a register operand.
+            Edit::OperandReplace {
+                kernel: 0,
+                target: ids[1],
+                arg: 0,
+                new: Operand::ImmI32(5),
+            },
+        ];
+        for (i, bad) in bad_edits.into_iter().enumerate() {
+            let p = Patch::from_edits(vec![bad]);
+            let out = ev.evaluate(&p);
+            assert_eq!(ev.delta_fallbacks(), i + 1, "chain refused");
+            assert_eq!(ev.delta_patches_applied(), 0);
+            let fresh = Evaluator::new(&w);
+            assert_eq!(fresh.evaluate(&p), out, "fallback ≡ from scratch");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_possible_wrap)]
+    fn parent_eviction_forces_fallback_not_corruption() {
+        let w = PipelineStub::new();
+        let ids = w.kernels[0].inst_ids();
+        // The parent's only edit is structural, so a chain can never
+        // rebuild the child from the empty prefix — once the parent is
+        // evicted, the child *must* fall back to a full recompile.
+        let parent = Patch::from_edits(vec![Edit::Swap {
+            kernel: 0,
+            a: ids[0],
+            b: ids[1],
+        }]);
+        let child = {
+            let mut p = parent.clone();
+            p.push(Edit::OperandReplace {
+                kernel: 0,
+                target: ids[1],
+                arg: 1,
+                new: Operand::ImmI32(7),
+            });
+            p
+        };
+
+        // Pre-eviction: the child delta-patches off the cached parent.
+        let ev = Evaluator::new(&w);
+        let _ = ev.evaluate(&parent);
+        let before = ev.evaluate(&child);
+        assert_eq!(ev.delta_patches_applied(), 1);
+
+        // Fresh evaluator: cache the parent, then flood its shard with
+        // distinct compiled entries until FIFO eviction pushes it out.
+        let ev2 = Evaluator::new(&w);
+        let _ = ev2.evaluate(&parent);
+        let shard_of = |p: &Patch| (p.content_hash() as usize) & (CACHE_SHARDS - 1);
+        let mut landed = 0usize;
+        let mut i = 0i32;
+        while landed < COMPILED_CACHE_PER_SHARD {
+            let filler = Patch::from_edits(vec![Edit::OperandReplace {
+                kernel: 0,
+                target: ids[1],
+                arg: 1,
+                new: Operand::ImmI32(i),
+            }]);
+            i += 1;
+            if shard_of(&filler) != shard_of(&parent) {
+                continue;
+            }
+            let _ = ev2.evaluate(&filler);
+            landed += 1;
+        }
+        // The evicted parent can't be patched from; the child recompiles
+        // with a bit-identical outcome. Immutable Arc images mean
+        // eviction can only ever cost time, never correctness.
+        let fallbacks = ev2.delta_fallbacks();
+        let after = ev2.evaluate(&child);
+        assert_eq!(ev2.delta_fallbacks(), fallbacks + 1, "fell back");
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn compiled_shard_evicts_fifo() {
+        let mut shard = CompiledShard::default();
+        let img: Arc<Vec<CompiledKernel>> = Arc::new(Vec::new());
+        for key in 0..=(COMPILED_CACHE_PER_SHARD as u64 + 1) {
+            shard.insert(key, Arc::clone(&img));
+        }
+        assert_eq!(shard.map.len(), COMPILED_CACHE_PER_SHARD);
+        assert!(shard.get(0).is_none(), "oldest evicted first");
+        assert!(shard.get(1).is_none());
+        assert!(shard.get(2).is_some());
+        // Re-inserting an existing key refreshes in place: no eviction,
+        // no change to the FIFO order.
+        shard.insert(5, Arc::clone(&img));
+        assert_eq!(shard.map.len(), COMPILED_CACHE_PER_SHARD);
+        assert!(shard.get(2).is_some());
+    }
+
+    #[test]
+    fn batch_orders_parents_before_children() {
+        let w = PipelineStub::new();
+        let ids = w.kernels[0].inst_ids();
+        let e1 = Edit::OperandReplace {
+            kernel: 0,
+            target: ids[1],
+            arg: 1,
+            new: Operand::ImmI32(3),
+        };
+        let e2 = Edit::OperandReplace {
+            kernel: 0,
+            target: ids[2],
+            arg: 1,
+            new: Operand::ImmI32(4),
+        };
+        let parent = Patch::from_edits(vec![e1]);
+        let child = Patch::from_edits(vec![e1, e2]);
+
+        // Child listed *first*: grouped dispatch still evaluates the
+        // parent before it, so the child delta-patches off the parent's
+        // just-cached image instead of recompiling.
+        let ev = Evaluator::new(&w);
+        let grouped = ev.evaluate_batch(&[child.clone(), parent.clone()], 1);
+        assert_eq!(ev.delta_patches_applied(), 1, "child chained");
+        assert_eq!(ev.compiles_performed(), 1, "only the parent compiled");
+
+        // Results stay in input order and match naive evaluation.
+        let fresh = Evaluator::new(&w);
+        assert_eq!(
+            grouped,
+            vec![fresh.evaluate(&child), fresh.evaluate(&parent)]
+        );
     }
 
     #[test]

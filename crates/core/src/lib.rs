@@ -94,7 +94,9 @@ pub use analysis::{
     MinimizeReport, SplitReport, SubsetOutcome, SubsetTable, MAX_SUBSET_EDITS,
 };
 pub use edit::{Edit, Patch};
-pub use fitness::{EvalOutcome, Evaluator, EvaluatorSnapshot, Workload, CACHE_SHARDS};
+pub use fitness::{
+    EvalOutcome, EvalStats, Evaluator, EvaluatorSnapshot, NoDelta, Workload, CACHE_SHARDS,
+};
 #[allow(deprecated)]
 pub use ga::{
     run_ga, run_ga_with_weights, GaConfig, GaResult, GenerationRecord, History, Individual,

@@ -521,6 +521,21 @@ impl<'a> Search<'a> {
         self.engine.as_ref().expect("just ensured").gen
     }
 
+    /// The evaluator's throughput counters so far — evals, cache hits,
+    /// compiles, delta patches and fallbacks ([`crate::EvalStats`]).
+    /// The bench harnesses read these to report how much verify/lower
+    /// work the delta path avoided; none of the delta/compile counters
+    /// are result-visible (see [`crate::EvaluatorSnapshot`]).
+    /// Materializes the engine, like [`Search::step`].
+    pub fn eval_stats(&mut self) -> crate::EvalStats {
+        self.ensure_engine();
+        self.engine
+            .as_ref()
+            .expect("just ensured")
+            .evaluator
+            .stats()
+    }
+
     /// Materializes the run state (baseline evaluation, initial
     /// populations, RNG streams) if this session has not started yet.
     fn ensure_engine(&mut self) {

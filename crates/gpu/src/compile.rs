@@ -32,7 +32,8 @@
 use crate::spec::GpuSpec;
 use crate::value::Value;
 use gevo_ir::verify::{verify, VerifyError};
-use gevo_ir::{Cfg, Kernel, Op, Operand, Param, Reg};
+use gevo_ir::{Cfg, Kernel, KernelDelta, Op, Operand, Param, Reg};
+use std::fmt;
 
 /// Sentinel block index meaning "reconverges at thread exit".
 pub(crate) const EXIT: u32 = u32::MAX;
@@ -49,6 +50,9 @@ pub(crate) const EXIT: u32 = u32::MAX;
 /// in the pre-multiplied register base and the decoded `f32`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Slot {
+    // PartialEq is manual (bitwise on `ImmF32`): the differential test
+    // layer compares compiled streams for *bit* identity, and a NaN
+    // float immediate must compare equal to itself there.
     /// Register-file base index, pre-multiplied (`reg × lanes`); add the
     /// lane to address one thread's copy.
     Reg(u32),
@@ -64,6 +68,21 @@ pub(crate) enum Slot {
     Special(gevo_ir::Special),
     /// Kernel parameter index (resolved against the launch's arguments).
     Param(u16),
+}
+
+impl PartialEq for Slot {
+    fn eq(&self, other: &Slot) -> bool {
+        match (self, other) {
+            (Slot::Reg(a), Slot::Reg(b)) => a == b,
+            (Slot::ImmI32(a), Slot::ImmI32(b)) => a == b,
+            (Slot::ImmI64(a), Slot::ImmI64(b)) => a == b,
+            (Slot::ImmF32(a), Slot::ImmF32(b)) => a.to_bits() == b.to_bits(),
+            (Slot::ImmBool(a), Slot::ImmBool(b)) => a == b,
+            (Slot::Special(a), Slot::Special(b)) => a == b,
+            (Slot::Param(a), Slot::Param(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Slot {
@@ -147,7 +166,7 @@ fn op_class(op: Op) -> OpClass {
 /// to make that possible; register-file bases never reach `u32::MAX`
 /// (the file is `regs × lanes` values long and allocation would fail
 /// far earlier).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[repr(C)]
 pub(crate) struct CInst {
     /// The operation (shared with the IR; `Copy` and match-dispatched).
@@ -165,7 +184,7 @@ pub(crate) struct CInst {
 }
 
 /// A lowered block terminator.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum CTerm {
     /// Unconditional jump.
     Br(u32),
@@ -188,7 +207,12 @@ pub(crate) enum CTerm {
 /// Compile once with [`CompiledKernel::compile`], launch many times with
 /// [`crate::Gpu::launch_compiled`]. See the module docs for what is
 /// precomputed.
-#[derive(Debug, Clone)]
+///
+/// Equality compares every lowered table — instruction stream, bounds,
+/// terminators, reconvergence, register file — so the delta-compilation
+/// differential suite can assert that a [`patch`](Self::patch)ed kernel
+/// is byte-for-byte what a full recompile produces.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledKernel {
     /// Kernel name (diagnostics only).
     pub(crate) name: String,
@@ -219,6 +243,42 @@ pub struct CompiledKernel {
     /// Prebuilt per-warp register-file image: `regs × lanes` typed
     /// sentinels, reg-major.
     pub(crate) reg_file: Vec<Value>,
+    /// Source [`gevo_ir::InstId`] of each entry in `code` — the handle
+    /// [`Self::patch`] uses to find a delta's target in the flattened
+    /// stream (DCE may have dropped it; absence is meaningful).
+    pub(crate) src_ids: Vec<u32>,
+    /// Source [`gevo_ir::InstId`] of each block's terminator, for
+    /// condition-replacement patches.
+    pub(crate) term_ids: Vec<u32>,
+}
+
+/// Why [`CompiledKernel::patch`] declined to patch and the caller must
+/// fall back to a full recompile. Refusal is the *designed* outcome for
+/// edits outside the eligibility contract (DESIGN.md §3.7) — it is not
+/// an error in the failure sense, just the slow path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchRefusal {
+    /// The delta involves a register operand, so it can change the DCE
+    /// use-set; only a full recompile sees that globally.
+    RegisterInvolved,
+    /// The delta's operand index is outside the instruction's arity.
+    BadArgIndex,
+    /// The targeted terminator does not exist in this compiled kernel.
+    NoSuchTerminator,
+    /// The targeted terminator is not a conditional branch.
+    NotACondBr,
+}
+
+impl fmt::Display for PatchRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PatchRefusal::RegisterInvolved => "delta involves a register operand",
+            PatchRefusal::BadArgIndex => "operand index out of range",
+            PatchRefusal::NoSuchTerminator => "no terminator with that id",
+            PatchRefusal::NotACondBr => "terminator is not a conditional branch",
+        };
+        f.write_str(s)
+    }
 }
 
 impl CompiledKernel {
@@ -234,8 +294,10 @@ impl CompiledKernel {
         let lanes = spec.warp_size;
 
         let mut code = Vec::with_capacity(kernel.inst_count());
+        let mut src_ids = Vec::with_capacity(kernel.inst_count());
         let mut block_bounds = Vec::with_capacity(kernel.blocks.len() + 1);
         let mut terms = Vec::with_capacity(kernel.blocks.len());
+        let mut term_ids = Vec::with_capacity(kernel.blocks.len());
         block_bounds.push(0u32);
         for block in &kernel.blocks {
             for inst in &block.instrs {
@@ -250,7 +312,9 @@ impl CompiledKernel {
                     args,
                     cost: scalar_cost(inst.op, spec),
                 });
+                src_ids.push(inst.id.0);
             }
+            term_ids.push(block.term.id.0);
             block_bounds.push(u32::try_from(code.len()).expect("code stream fits u32"));
             terms.push(match block.term.kind {
                 gevo_ir::TermKind::Br(t) => CTerm::Br(t.0),
@@ -299,7 +363,69 @@ impl CompiledKernel {
             reconv,
             uniform_cond,
             reg_file,
+            src_ids,
+            term_ids,
         })
+    }
+
+    /// Replays a patch-eligible [`KernelDelta`] on this compiled image,
+    /// producing the kernel a full recompile of the edited IR would —
+    /// without re-running verify, CFG analysis, or lowering.
+    ///
+    /// Targets are located by stable [`gevo_ir::InstId`]. A target that
+    /// is absent from the stream was eliminated by DCE in the parent; a
+    /// use-set-preserving delta cannot resurrect it, so the patch is a
+    /// no-op clone — exactly what recompiling the edited kernel yields.
+    ///
+    /// # Errors
+    /// Refuses (see [`PatchRefusal`]) whenever equivalence with a full
+    /// recompile is not guaranteed; the caller must recompile. Refusal
+    /// is deliberately conservative — it is always sound to take the
+    /// slow path.
+    pub fn patch(&self, delta: &KernelDelta) -> Result<CompiledKernel, PatchRefusal> {
+        if !delta.is_patchable() {
+            return Err(PatchRefusal::RegisterInvolved);
+        }
+        match *delta {
+            KernelDelta::SetArg { inst, arg, new, .. } => {
+                let Some(idx) = self.src_ids.iter().position(|&id| id == inst.0) else {
+                    return Ok(self.clone()); // DCE'd in the parent; still dead.
+                };
+                if arg >= self.code[idx].op.arity() {
+                    return Err(PatchRefusal::BadArgIndex);
+                }
+                let mut out = self.clone();
+                out.code[idx].args[arg] = lower_operand(&new, self.lanes);
+                Ok(out)
+            }
+            KernelDelta::SetCond { term, new, .. } => {
+                let Some(b) = self.term_ids.iter().position(|&id| id == term.0) else {
+                    return Err(PatchRefusal::NoSuchTerminator);
+                };
+                let mut out = self.clone();
+                let CTerm::CondBr { cond, .. } = &mut out.terms[b] else {
+                    return Err(PatchRefusal::NotACondBr);
+                };
+                *cond = lower_operand(&new, self.lanes);
+                out.uniform_cond[b] = cond.is_warp_uniform();
+                Ok(out)
+            }
+            KernelDelta::RemoveInst { inst, .. } => {
+                let Some(idx) = self.src_ids.iter().position(|&id| id == inst.0) else {
+                    return Ok(self.clone()); // Already DCE'd away.
+                };
+                let mut out = self.clone();
+                out.code.remove(idx);
+                out.src_ids.remove(idx);
+                let cut = u32::try_from(idx).expect("code stream fits u32");
+                for bound in &mut out.block_bounds {
+                    if *bound > cut {
+                        *bound -= 1;
+                    }
+                }
+                Ok(out)
+            }
+        }
     }
 
     /// The kernel's name.
@@ -512,6 +638,189 @@ mod tests {
         k.blocks[3].instrs[0].args.clear();
         let spec = GpuSpec::p100().scaled(8);
         assert!(CompiledKernel::compile(&k, &spec).is_err());
+    }
+
+    /// Finds the id of the first instruction satisfying a predicate.
+    fn find_inst(k: &Kernel, pred: impl Fn(&gevo_ir::Instr) -> bool) -> gevo_ir::InstId {
+        k.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .find(|i| pred(i))
+            .expect("instruction present")
+            .id
+    }
+
+    #[test]
+    fn patch_set_arg_matches_full_recompile() {
+        let spec = GpuSpec::p100().scaled(8);
+        let k = diamond_kernel();
+        let parent = CompiledKernel::compile(&k, &spec).expect("verifies");
+
+        // Retarget the icmp's immediate: `tid < 4` → `tid < 2`.
+        let id = find_inst(&k, |i| matches!(i.op, Op::Icmp(_)));
+        let delta = KernelDelta::SetArg {
+            inst: id,
+            arg: 1,
+            old: Operand::ImmI32(4),
+            new: Operand::ImmI32(2),
+        };
+        let patched = parent.patch(&delta).expect("eligible");
+
+        let mut edited = k.clone();
+        for b in &mut edited.blocks {
+            for i in &mut b.instrs {
+                if i.id == id {
+                    i.args[1] = Operand::ImmI32(2);
+                }
+            }
+        }
+        let recompiled = CompiledKernel::compile(&edited, &spec).expect("verifies");
+        assert_eq!(patched, recompiled);
+        assert_ne!(patched, parent, "the patch actually changed the stream");
+    }
+
+    #[test]
+    fn patch_remove_inst_matches_full_recompile() {
+        let spec = GpuSpec::p100().scaled(8);
+        // A kernel with a register-free instruction in its first block.
+        let mut b = KernelBuilder::new("rm");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let _unused = b.add(Operand::ImmI32(1), Operand::ImmI32(2));
+        let tid = b.special_i32(Special::ThreadId);
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let k = b.finish();
+        let parent = CompiledKernel::compile(&k, &spec).expect("verifies");
+
+        let id = find_inst(&k, |i| {
+            matches!(i.op, Op::IBin(gevo_ir::IntBinOp::Add)) && !i.args.iter().any(Operand::is_reg)
+        });
+        let delta = KernelDelta::RemoveInst {
+            inst: id,
+            read_regs: false,
+        };
+        let patched = parent.patch(&delta).expect("eligible");
+
+        let mut edited = k.clone();
+        for blk in &mut edited.blocks {
+            blk.instrs.retain(|i| i.id != id);
+        }
+        let recompiled = CompiledKernel::compile(&edited, &spec).expect("verifies");
+        assert_eq!(patched, recompiled);
+        assert_eq!(patched.inst_count(), parent.inst_count() - 1);
+    }
+
+    #[test]
+    fn patch_set_cond_matches_recompile_and_updates_uniform_flag() {
+        let spec = GpuSpec::p100().scaled(8);
+        let mut b = KernelBuilder::new("sc");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let t = b.new_block("t");
+        let j = b.new_block("j");
+        b.cond_br(Operand::ImmBool(false), t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        let tid = b.special_i32(Special::ThreadId);
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let k = b.finish();
+        let parent = CompiledKernel::compile(&k, &spec).expect("verifies");
+
+        let term = k.blocks[0].term.id;
+        let delta = KernelDelta::SetCond {
+            term,
+            old: Operand::ImmBool(false),
+            new: Operand::ImmBool(true),
+        };
+        let patched = parent.patch(&delta).expect("eligible");
+
+        let mut edited = k.clone();
+        if let gevo_ir::TermKind::CondBr { cond, .. } = &mut edited.blocks[0].term.kind {
+            *cond = Operand::ImmBool(true);
+        }
+        let recompiled = CompiledKernel::compile(&edited, &spec).expect("verifies");
+        assert_eq!(patched, recompiled);
+        assert!(patched.uniform_cond[0], "flag recomputed for the new cond");
+    }
+
+    #[test]
+    fn patch_of_dce_eliminated_target_is_a_noop() {
+        let spec = GpuSpec::p100().scaled(8);
+        let mut b = KernelBuilder::new("dce");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let dead = b.add(Operand::ImmI32(1), Operand::ImmI32(2));
+        let tid = b.special_i32(Special::ThreadId);
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let k = b.finish();
+        let id = find_inst(&k, |i| i.dst == Some(dead));
+
+        // The pipeline compiles the DCE'd kernel; `dead` is gone there.
+        let mut slim = k.clone();
+        gevo_ir::transform::dce(&mut slim);
+        let parent = CompiledKernel::compile(&slim, &spec).expect("verifies");
+        let delta = KernelDelta::SetArg {
+            inst: id,
+            arg: 0,
+            old: Operand::ImmI32(1),
+            new: Operand::ImmI32(7),
+        };
+        let patched = parent.patch(&delta).expect("eligible");
+        assert_eq!(patched, parent, "editing a dead instruction is a no-op");
+    }
+
+    #[test]
+    fn patch_refuses_outside_the_eligibility_contract() {
+        let spec = GpuSpec::p100().scaled(8);
+        let k = diamond_kernel();
+        let parent = CompiledKernel::compile(&k, &spec).expect("verifies");
+        let id = find_inst(&k, |i| matches!(i.op, Op::Icmp(_)));
+
+        // Register on either side of a replacement.
+        let reg_in = KernelDelta::SetArg {
+            inst: id,
+            arg: 0,
+            old: Operand::ImmI32(4),
+            new: Operand::Reg(Reg(0)),
+        };
+        assert_eq!(parent.patch(&reg_in), Err(PatchRefusal::RegisterInvolved));
+
+        // Operand index beyond the op's arity.
+        let bad_idx = KernelDelta::SetArg {
+            inst: id,
+            arg: 2,
+            old: Operand::ImmI32(4),
+            new: Operand::ImmI32(5),
+        };
+        assert_eq!(parent.patch(&bad_idx), Err(PatchRefusal::BadArgIndex));
+
+        // A register-reading deletion can change other instructions' DCE
+        // fate; must recompile.
+        let reads = KernelDelta::RemoveInst {
+            inst: id,
+            read_regs: true,
+        };
+        assert_eq!(parent.patch(&reads), Err(PatchRefusal::RegisterInvolved));
+
+        // Condition replacement on a non-CondBr terminator (the join
+        // block ends in Ret) and on a terminator id that does not exist.
+        let ret_term = k.blocks[3].term.id;
+        let not_cond = KernelDelta::SetCond {
+            term: ret_term,
+            old: Operand::ImmBool(true),
+            new: Operand::ImmBool(false),
+        };
+        assert_eq!(parent.patch(&not_cond), Err(PatchRefusal::NotACondBr));
+        let missing = KernelDelta::SetCond {
+            term: gevo_ir::InstId(9999),
+            old: Operand::ImmBool(true),
+            new: Operand::ImmBool(false),
+        };
+        assert_eq!(parent.patch(&missing), Err(PatchRefusal::NoSuchTerminator));
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub mod mem;
 pub mod spec;
 pub mod value;
 
-pub use compile::CompiledKernel;
+pub use compile::{CompiledKernel, PatchRefusal};
 pub use error::ExecError;
 pub use exec::{ExecScratch, Gpu, MAX_WARP};
 pub use launch::{KernelArg, LaunchConfig, LaunchStats};

@@ -1,0 +1,147 @@
+//! Deltas: the effect of a single local edit, in a form a compiled
+//! artifact can replay without recompiling.
+//!
+//! The search loop spends nearly all of its wall-clock compiling and
+//! launching variants that differ from an already-compiled parent by one
+//! edit. A [`KernelDelta`] captures what such an edit *did* to the kernel
+//! — which operand slot changed, which instruction vanished — so the
+//! backend can patch the parent's compiled image in place instead of
+//! re-running verify → CFG → lower from scratch.
+//!
+//! ## The eligibility contract (DESIGN.md §3.7)
+//!
+//! A delta is **patchable** ([`KernelDelta::is_patchable`]) only when
+//! replaying it on the compiled image is *provably* equivalent to a full
+//! recompile of the edited kernel. Two pipeline stages could observe the
+//! difference, and both are register-driven:
+//!
+//! 1. **Dead-code elimination** keeps an instruction iff it is impure or
+//!    its destination register appears in the *global register use-set*
+//!    (any register read anywhere in the kernel). An edit that neither
+//!    adds nor removes a register read leaves that use-set — and hence
+//!    every other instruction's DCE fate — untouched.
+//! 2. **Verification** checks operand types/ranges per instruction and
+//!    deliberately has no def-before-use rule, so a use-set-preserving
+//!    edit on a verified kernel can never introduce a verify failure.
+//!
+//! Hence the rule: a delta is patchable iff **no register operand is
+//! involved** — the replaced/inserted operands are immediates, specials,
+//! or params, and a removed instruction read no registers. (A removed
+//! instruction's *destination* register is irrelevant: removing a writer
+//! only shrinks the set of defs, which neither stage inspects.)
+//!
+//! Everything else — structural edits (copy/move/swap/replace) and any
+//! register-touching local edit — must take the full recompile path.
+
+use crate::inst::{InstId, Operand};
+
+/// The replayable effect of one applied edit. Produced by the engine's
+/// edit layer (which sees the IR mutation happen) and consumed by the
+/// backend's `patch` entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelDelta {
+    /// Operand `arg` of instruction `inst` changed from `old` to `new`.
+    SetArg {
+        /// Identity of the mutated instruction.
+        inst: InstId,
+        /// Index of the mutated operand slot.
+        arg: usize,
+        /// The operand before the edit.
+        old: Operand,
+        /// The operand after the edit.
+        new: Operand,
+    },
+    /// The branch condition of terminator `term` changed from `old` to
+    /// `new`.
+    SetCond {
+        /// Identity of the mutated terminator.
+        term: InstId,
+        /// The condition before the edit.
+        old: Operand,
+        /// The condition after the edit.
+        new: Operand,
+    },
+    /// Instruction `inst` was removed from its block.
+    RemoveInst {
+        /// Identity of the removed instruction.
+        inst: InstId,
+        /// True if the removed instruction read at least one register
+        /// (any [`Operand::Reg`] among its args). Recorded at removal
+        /// time because the instruction is gone afterwards.
+        read_regs: bool,
+    },
+}
+
+impl KernelDelta {
+    /// True when replaying this delta on a compiled parent is equivalent
+    /// to fully recompiling the edited kernel (see the module docs for
+    /// the proof sketch). Non-patchable deltas must recompile.
+    #[must_use]
+    pub fn is_patchable(&self) -> bool {
+        match self {
+            KernelDelta::SetArg { old, new, .. } | KernelDelta::SetCond { old, new, .. } => {
+                !old.is_reg() && !new.is_reg()
+            }
+            KernelDelta::RemoveInst { read_regs, .. } => !read_regs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Reg, Special};
+
+    #[test]
+    fn register_free_deltas_are_patchable() {
+        let d = KernelDelta::SetArg {
+            inst: InstId(3),
+            arg: 1,
+            old: Operand::ImmI32(4),
+            new: Operand::Special(Special::LaneId),
+        };
+        assert!(d.is_patchable());
+        let c = KernelDelta::SetCond {
+            term: InstId(9),
+            old: Operand::ImmBool(true),
+            new: Operand::ImmBool(false),
+        };
+        assert!(c.is_patchable());
+        let r = KernelDelta::RemoveInst {
+            inst: InstId(5),
+            read_regs: false,
+        };
+        assert!(r.is_patchable());
+    }
+
+    #[test]
+    fn register_involvement_forces_recompile() {
+        // A register on either side of a replacement changes the global
+        // use-set, which can flip another instruction's DCE fate.
+        let gained = KernelDelta::SetArg {
+            inst: InstId(3),
+            arg: 0,
+            old: Operand::ImmI32(4),
+            new: Operand::Reg(Reg(2)),
+        };
+        assert!(!gained.is_patchable());
+        let lost = KernelDelta::SetArg {
+            inst: InstId(3),
+            arg: 0,
+            old: Operand::Reg(Reg(2)),
+            new: Operand::ImmI32(4),
+        };
+        assert!(!lost.is_patchable());
+        let cond = KernelDelta::SetCond {
+            term: InstId(9),
+            old: Operand::Reg(Reg(1)),
+            new: Operand::ImmBool(false),
+        };
+        assert!(!cond.is_patchable());
+        let reader = KernelDelta::RemoveInst {
+            inst: InstId(5),
+            read_regs: true,
+        };
+        assert!(!reader.is_patchable());
+    }
+}

@@ -130,3 +130,56 @@ fn two_objective_nsga2_yields_a_real_pareto_front_on_adept_v0() {
         .fold(f64::INFINITY, f64::min);
     assert_eq!(fastest, res.best.fitness.unwrap());
 }
+
+/// The delta-compilation path (PR 7) is **result-invisible**: a
+/// fixed-seed search over the real workload (delta patching on) and
+/// over [`NoDelta`] (same workload, delta patching off) produce
+/// byte-identical `SearchResult`s — while the delta path demonstrably
+/// fired. This is the trajectory pin the delta cache must never break.
+#[test]
+fn delta_evaluation_is_result_invisible_on_adept_v0() {
+    let w = AdeptWorkload::new(AdeptConfig::scaled(Version::V0));
+    let cfg = tiny(3, 12, 6);
+
+    let mut real = Search::new(&w).config(cfg.clone());
+    while matches!(real.step(), StepStatus::Advanced { .. }) {}
+    let stats = real.eval_stats();
+    assert!(
+        stats.delta_patched > 0,
+        "delta path never fired at this budget: {stats:?}"
+    );
+    let real = real.into_result();
+
+    let plain_w = NoDelta(&w);
+    let plain = Search::new(&plain_w).config(cfg).run();
+    assert_eq!(
+        real.to_json().to_string(),
+        plain.to_json().to_string(),
+        "delta-patched search diverged from the recompile-only search"
+    );
+}
+
+/// The same pin on `SIMCoV` with islands — the configuration whose
+/// batches actually interleave several parents per generation.
+#[test]
+fn delta_evaluation_is_result_invisible_on_simcov_islands() {
+    let w = SimcovWorkload::new(SimcovConfig::scaled());
+    let cfg = tiny(5, 9, 4);
+
+    let mut real = Search::new(&w).config(cfg.clone()).islands(3);
+    while matches!(real.step(), StepStatus::Advanced { .. }) {}
+    let stats = real.eval_stats();
+    assert!(
+        stats.delta_patched + stats.delta_fallbacks > 0,
+        "delta path never attempted: {stats:?}"
+    );
+    let real = real.into_result();
+
+    let plain_w = NoDelta(&w);
+    let plain = Search::new(&plain_w).config(cfg).islands(3).run();
+    assert_eq!(
+        real.to_json().to_string(),
+        plain.to_json().to_string(),
+        "delta-patched search diverged from the recompile-only search"
+    );
+}
