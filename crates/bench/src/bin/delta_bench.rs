@@ -197,6 +197,14 @@ fn bench_workload(
         stats.compiles,
         100.0 * compiled_hit_rate
     );
+    println!(
+        "lowering:     {} insts lowered, {} uniform-tagged, {} folded \
+         ({:.1}% scalarized)",
+        stats.lowered_insts,
+        stats.uniform_insts,
+        stats.folded_insts,
+        100.0 * stats.scalarized_fraction()
+    );
     println!();
 
     // Hand-rolled JSON (the offline serde shim has no serializer);
@@ -225,7 +233,9 @@ fn bench_workload(
          \"outcome_hit_rate\":{outcome_hit_rate:.4},\
          \"compiled_hit_rate\":{compiled_hit_rate:.4},\
          \"delta_patched\":{},\"delta_fallbacks\":{},\"compiles\":{},\
-         \"compiled_hits\":{}}}",
+         \"compiled_hits\":{},\
+         \"lowered_insts\":{},\"uniform_insts\":{},\"folded_insts\":{},\
+         \"scalarized_fraction\":{:.4}}}",
         rep.ratio,
         stats.evals,
         evals / a_secs,
@@ -235,7 +245,11 @@ fn bench_workload(
         stats.delta_patched,
         stats.delta_fallbacks,
         stats.compiles,
-        stats.compiled_hits
+        stats.compiled_hits,
+        stats.lowered_insts,
+        stats.uniform_insts,
+        stats.folded_insts,
+        stats.scalarized_fraction()
     );
     WorkloadReport {
         name: name.to_string(),

@@ -18,21 +18,23 @@
 //! ```text
 //! {"workload":"ADEPT-V0 / P100","islands":4,"best_speedup":...,
 //!  "evals":...,"cache_hit_rate":...,"evals_per_sec":...,
-//!  "winstr_per_sec":...,"migrations":...}
+//!  "winstr_per_sec":...,"migrations":...,
+//!  "lowered_insts":...,"uniform_insts":...,"folded_insts":...,
+//!  "scalarized_fraction":...}
 //! ```
 
 use gevo_bench::{
-    adept_on, env_usize, harness_spec, islands_knob, row, run_search, scaled_table1_specs,
+    adept_on, env_usize, harness_spec, islands_knob, row, run_search_stats, scaled_table1_specs,
     simcov_on,
 };
-use gevo_engine::{SearchResult, SearchSpec, Workload};
+use gevo_engine::{EvalStats, SearchResult, SearchSpec, Workload};
 use gevo_workloads::adept::Version;
 use std::time::Instant;
 
 #[allow(clippy::cast_precision_loss)]
-fn measure(w: &dyn Workload, spec: &SearchSpec) -> (SearchResult, f64, f64) {
+fn measure(w: &dyn Workload, spec: &SearchSpec) -> (SearchResult, EvalStats, f64, f64) {
     let start = Instant::now();
-    let res = run_search(w, spec);
+    let (res, stats) = run_search_stats(w, spec);
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     let lookups = res.evals + res.cache_hits;
     let hit_rate = if lookups == 0 {
@@ -40,7 +42,7 @@ fn measure(w: &dyn Workload, spec: &SearchSpec) -> (SearchResult, f64, f64) {
     } else {
         res.cache_hits as f64 / lookups as f64
     };
-    (res, hit_rate, secs)
+    (res, stats, hit_rate, secs)
 }
 
 #[allow(clippy::cast_precision_loss)]
@@ -70,7 +72,7 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize,
     for n in [1, islands] {
         let mut spec = harness_spec(pop, gens);
         spec.islands = n;
-        let (res, hit_rate, secs) = measure(w, &spec);
+        let (res, stats, hit_rate, secs) = measure(w, &spec);
         if json {
             // Hand-rolled JSON: the offline serde shim has no serializer,
             // and every field here is a number or an escaped-free name.
@@ -79,7 +81,9 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize,
                  \"best_speedup\":{:.6},\"best_fitness\":{:.1},\"evals\":{},\
                  \"cache_hits\":{},\"cache_hit_rate\":{:.4},\"evals_per_sec\":{:.1},\
                  \"instructions\":{},\"winstr_per_sec\":{:.0},\
-                 \"migrations\":{},\"wall_secs\":{secs:.3}}}",
+                 \"migrations\":{},\"wall_secs\":{secs:.3},\
+                 \"lowered_insts\":{},\"uniform_insts\":{},\"folded_insts\":{},\
+                 \"scalarized_fraction\":{:.4}}}",
                 res.speedup,
                 res.best.fitness.expect("best is valid"),
                 res.evals,
@@ -89,6 +93,10 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize,
                 res.instructions,
                 res.instructions as f64 / secs,
                 res.history.migrations.len(),
+                stats.lowered_insts,
+                stats.uniform_insts,
+                stats.folded_insts,
+                stats.scalarized_fraction(),
             );
         } else {
             row(&[

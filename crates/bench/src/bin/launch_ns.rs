@@ -10,9 +10,15 @@
 //! fresh vs reused scratch).
 //!
 //! Usage: `launch_ns <adept_v0|simcov_cdiff|simcov_eval> [iters]`
+//!
+//! Honors `GEVO_OPT` (`0` = O0 control arm, else the O2 lowering
+//! passes); the JSON line records the level in force plus the compiled
+//! case's static pass counts, so an A/B of two invocations is
+//! self-describing.
 
-use gevo_bench::cases;
+use gevo_bench::{cases, opt_knob};
 use gevo_engine::Workload;
+use gevo_gpu::CompiledKernel;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -29,11 +35,12 @@ fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    let opt = opt_knob();
     let mut args = std::env::args().skip(1);
     let case = args.next().unwrap_or_else(|| "adept_v0".into());
     let mut iters: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(2000);
 
-    let (ns_per_iter, launches_per_iter) = match case.as_str() {
+    let (ns_per_iter, launches_per_iter, mix) = match case.as_str() {
         "adept_v0" | "simcov_cdiff" => {
             let (mut gpu, kernel, cfg, kargs) = if case == "adept_v0" {
                 cases::adept_v0_case()
@@ -60,7 +67,8 @@ fn main() {
             let ns = time_ns(iters, || {
                 black_box(gpu.launch_compiled(&compiled, cfg, &kargs).expect("launch"));
             });
-            (ns, 1.0)
+            let mix = static_mix(std::slice::from_ref(&compiled));
+            (ns, 1.0, mix)
         }
         "simcov_eval" => {
             let (w, compiled, launches) = cases::simcov_eval_case();
@@ -70,16 +78,32 @@ fn main() {
             let ns = time_ns(iters, || {
                 assert!(black_box(w.evaluate_compiled(&compiled, 0)).is_valid());
             });
-            (ns, launches)
+            let mix = static_mix(&compiled);
+            (ns, launches, mix)
         }
         other => {
             eprintln!("unknown case {other}; want adept_v0|simcov_cdiff|simcov_eval");
             std::process::exit(2);
         }
     };
+    let (insts, uniform, folded) = mix;
     println!(
-        "{{\"case\":\"{case}\",\"iters\":{iters},\"ns_per_iter\":{ns_per_iter:.1},\
-         \"ns_per_launch\":{:.1}}}",
+        "{{\"case\":\"{case}\",\"opt\":\"{opt:?}\",\"iters\":{iters},\
+         \"ns_per_iter\":{ns_per_iter:.1},\"ns_per_launch\":{:.1},\
+         \"insts\":{insts},\"uniform_insts\":{uniform},\"folded_insts\":{folded}}}",
         ns_per_iter / launches_per_iter
     );
+}
+
+/// Static pass counts of the compiled case: total instructions lowered,
+/// uniform-tagged and folded (both zero at O0).
+fn static_mix(compiled: &[CompiledKernel]) -> (usize, usize, usize) {
+    (
+        compiled.iter().map(CompiledKernel::inst_count).sum(),
+        compiled
+            .iter()
+            .map(CompiledKernel::uniform_inst_count)
+            .sum(),
+        compiled.iter().map(CompiledKernel::folded_inst_count).sum(),
+    )
 }

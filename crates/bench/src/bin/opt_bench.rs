@@ -1,0 +1,276 @@
+//! Optimizing-pipeline A/B harness: the O0 control arm vs the O2
+//! lowering passes (warp-uniformity scalarization + constant folding,
+//! DESIGN.md §3.8), interleaved within one process ([`gevo_bench::ab`])
+//! so both sides see the same instantaneous machine speed.
+//!
+//! Three things are measured and written to `BENCH_opt.json`:
+//!
+//! 1. **Equivalence, enforced** — a fixed-seed search at O0 and at O2
+//!    must produce byte-identical `SearchResult` JSON (fitness,
+//!    `LaunchStats`, trajectories). Any divergence aborts the bench:
+//!    the numbers are only meaningful for a result-invisible pipeline.
+//!    The O2 arm doubles as the pass-counter probe (instructions
+//!    lowered / scalarized / folded across the whole run).
+//! 2. **Launch micro** — ns/launch on the interpreter's standing cases
+//!    (`adept_v0`, `simcov_cdiff`) with an O0 image vs an O2 image of
+//!    the same kernel, after asserting their `LaunchStats` match.
+//! 3. **Evaluation macro** — one full `SIMCoV` fitness evaluation
+//!    (140 launches) through `evaluate_compiled`, O0 vs O2 images.
+//!
+//! Knobs: `GEVO_POP` / `GEVO_GENS` / `GEVO_SEED` for the gate budget,
+//! `GEVO_ROUNDS` for A/B rounds, `GEVO_OPT` (via [`harness_spec`]) as
+//! everywhere, `--out PATH` for the JSON destination.
+
+use gevo_bench::ab::{interleaved_ab, AbReport};
+use gevo_bench::scaled_table1_specs;
+use gevo_bench::{adept_on, budget_banner, cases, env_usize, harness_spec, simcov_on};
+use gevo_engine::{EvalStats, Search, SearchSpec, StepStatus, Workload};
+use gevo_gpu::{set_opt_level, CompiledKernel, OptLevel};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+/// Runs the fixed-seed search at an explicit level on a freshly built
+/// workload (construction may pre-compile, so each arm builds its own)
+/// and returns the result JSON plus the evaluator's counters.
+fn arm_run(
+    build: &dyn Fn() -> Box<dyn Workload>,
+    spec: &SearchSpec,
+    level: OptLevel,
+) -> (String, EvalStats) {
+    set_opt_level(level);
+    let w = build();
+    let mut search = Search::from_spec(w.as_ref(), spec.clone());
+    while matches!(search.step(), StepStatus::Advanced { .. }) {}
+    let stats = search.eval_stats();
+    (search.into_result().to_json().to_string(), stats)
+}
+
+/// The equivalence gate on one workload: O0 and O2 fixed-seed runs must
+/// be byte-identical. Returns the O2 arm's pass counters.
+fn gate(name: &str, build: &dyn Fn() -> Box<dyn Workload>, spec: &SearchSpec) -> EvalStats {
+    let (r0, _) = arm_run(build, spec, OptLevel::O0);
+    let (r2, stats) = arm_run(build, spec, OptLevel::O2);
+    assert_eq!(
+        r0, r2,
+        "{name}: O2 changed the fixed-seed search result — not benching a broken build"
+    );
+    stats
+}
+
+struct CaseReport {
+    json: String,
+}
+
+/// Launch-micro A/B on one standing case: two identical devices, one
+/// holding the O0 image and one the O2 image of the same kernel.
+#[allow(clippy::similar_names)]
+fn launch_case(
+    name: &str,
+    setup: fn() -> (
+        gevo_gpu::Gpu,
+        gevo_ir::Kernel,
+        gevo_gpu::LaunchConfig,
+        Vec<gevo_gpu::KernelArg>,
+    ),
+    rounds: usize,
+) -> CaseReport {
+    let spec = cases::scaled_spec();
+    let (mut gpu0, kernel, cfg, args0) = setup();
+    let (mut gpu2, _, _, args2) = setup();
+    let img0 = CompiledKernel::compile_with(&kernel, &spec, OptLevel::O0).expect("compiles");
+    let img2 = CompiledKernel::compile_with(&kernel, &spec, OptLevel::O2).expect("compiles");
+
+    // Sanity before timing: identical stats on identical devices (the
+    // differential suite pins this; cheap to re-check here so a bad
+    // bench build can't report garbage).
+    let s0 = gpu0.launch_compiled(&img0, cfg, &args0).expect("launch");
+    let s2 = gpu2.launch_compiled(&img2, cfg, &args2).expect("launch");
+    assert!(
+        s0 == s2,
+        "{name}: O0 and O2 images diverge in LaunchStats; refusing to time"
+    );
+
+    let rep = interleaved_ab(
+        rounds,
+        100,
+        || {
+            black_box(gpu0.launch_compiled(&img0, cfg, &args0).expect("launch"));
+        },
+        || {
+            black_box(gpu2.launch_compiled(&img2, cfg, &args2).expect("launch"));
+        },
+    );
+    report(name, &rep, &img2)
+}
+
+/// One case's console block + JSON object.
+fn report(name: &str, rep: &AbReport, img2: &CompiledKernel) -> CaseReport {
+    let insts = img2.inst_count();
+    let uniform = img2.uniform_inst_count();
+    let folded = img2.folded_inst_count();
+    println!(
+        "{name}: O0 {:.0} ns, O2 {:.0} ns per launch ({:+.1}% time, ratio {:.4})",
+        rep.a_ns,
+        rep.b_ns,
+        -rep.b_improvement_pct(),
+        rep.ratio
+    );
+    println!("        static mix: {insts} insts, {uniform} uniform-tagged, {folded} folded");
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "{{\"case\":\"{name}\",\"o0_ns\":{:.1},\"o2_ns\":{:.1},\"ratio\":{:.5},\
+         \"improvement_pct\":{:.2},\"rounds\":{},\"inner\":{},\
+         \"insts\":{insts},\"uniform_insts\":{uniform},\"folded_insts\":{folded}}}",
+        rep.a_ns,
+        rep.b_ns,
+        rep.ratio,
+        rep.b_improvement_pct(),
+        rep.rounds,
+        rep.inner
+    );
+    CaseReport { json: j }
+}
+
+/// The full-evaluation macro case: `SIMCoV`'s `evaluate_compiled` with
+/// O0 vs O2 images (each arm compiles its own under its level).
+fn eval_case(rounds: usize) -> CaseReport {
+    set_opt_level(OptLevel::O0);
+    let (w0, c0, launches) = cases::simcov_eval_case();
+    set_opt_level(OptLevel::O2);
+    let (w2, c2, _) = cases::simcov_eval_case();
+    let o0 = w0.evaluate_compiled(&c0, 0);
+    let o2 = w2.evaluate_compiled(&c2, 0);
+    assert!(
+        o0.is_valid() && o2.is_valid() && o0.fitness == o2.fitness,
+        "simcov_eval: O0 and O2 evaluations diverge; refusing to time"
+    );
+    let rep = interleaved_ab(
+        rounds,
+        1,
+        || {
+            black_box(w0.evaluate_compiled(&c0, 0));
+        },
+        || {
+            black_box(w2.evaluate_compiled(&c2, 0));
+        },
+    );
+    // Normalize to ns/launch like launch_ns does for this case.
+    let scaled = AbReport {
+        a_ns: rep.a_ns / launches,
+        b_ns: rep.b_ns / launches,
+        ..rep
+    };
+    let insts: usize = c2.iter().map(CompiledKernel::inst_count).sum();
+    let uniform: usize = c2.iter().map(CompiledKernel::uniform_inst_count).sum();
+    let folded: usize = c2.iter().map(CompiledKernel::folded_inst_count).sum();
+    println!(
+        "simcov_eval: O0 {:.0} ns, O2 {:.0} ns per launch ({:+.1}% time, ratio {:.4})",
+        scaled.a_ns,
+        scaled.b_ns,
+        -scaled.b_improvement_pct(),
+        scaled.ratio
+    );
+    println!("        static mix: {insts} insts, {uniform} uniform-tagged, {folded} folded");
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "{{\"case\":\"simcov_eval\",\"o0_ns\":{:.1},\"o2_ns\":{:.1},\"ratio\":{:.5},\
+         \"improvement_pct\":{:.2},\"rounds\":{},\"inner\":{},\
+         \"insts\":{insts},\"uniform_insts\":{uniform},\"folded_insts\":{folded}}}",
+        scaled.a_ns,
+        scaled.b_ns,
+        scaled.ratio,
+        scaled.b_improvement_pct(),
+        scaled.rounds,
+        scaled.inner
+    );
+    CaseReport { json: j }
+}
+
+fn gate_json(name: &str, spec: &SearchSpec, stats: &EvalStats) -> String {
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "{{\"gate\":\"{name}\",\"pop\":{},\"gens\":{},\"seed\":{},\
+         \"identical_results\":true,\"evals\":{},\
+         \"lowered_insts\":{},\"uniform_insts\":{},\"folded_insts\":{},\
+         \"scalarized_fraction\":{:.4}}}",
+        spec.ga.population,
+        spec.ga.generations,
+        spec.ga.seed,
+        stats.evals,
+        stats.lowered_insts,
+        stats.uniform_insts,
+        stats.folded_insts,
+        stats.scalarized_fraction()
+    );
+    j
+}
+
+fn out_path() -> String {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(p) = args.next() {
+                return p;
+            }
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            return p.to_string();
+        }
+    }
+    "BENCH_opt.json".to_string()
+}
+
+fn main() {
+    let rounds = env_usize("GEVO_ROUNDS", 7);
+    let spec = harness_spec(env_usize("GEVO_POP", 16), env_usize("GEVO_GENS", 8));
+
+    println!("Lowering-pass A/B: identical fixed-seed searches, O0 control arm vs O2");
+    println!("budget: {} ({rounds} rounds)", budget_banner(&spec));
+    println!();
+
+    // 1. Equivalence gates (abort on any divergence) + run counters.
+    let p100 = scaled_table1_specs().remove(0);
+    let adept_spec = p100.clone();
+    let adept_build = move || -> Box<dyn Workload> {
+        Box::new(adept_on(gevo_workloads::adept::Version::V0, &adept_spec))
+    };
+    let simcov_spec = p100;
+    let simcov_build = move || -> Box<dyn Workload> { Box::new(simcov_on(&simcov_spec)) };
+    let adept_stats = gate("ADEPT-V0 / P100", &adept_build, &spec);
+    let simcov_stats = gate("SIMCoV / P100", &simcov_build, &spec);
+    println!("gate: O0 == O2 byte-identical on both workloads");
+    println!(
+        "      ADEPT-V0 run: {} lowered, {} uniform, {} folded ({:.1}% scalarized)",
+        adept_stats.lowered_insts,
+        adept_stats.uniform_insts,
+        adept_stats.folded_insts,
+        100.0 * adept_stats.scalarized_fraction()
+    );
+    println!(
+        "      SIMCoV   run: {} lowered, {} uniform, {} folded ({:.1}% scalarized)",
+        simcov_stats.lowered_insts,
+        simcov_stats.uniform_insts,
+        simcov_stats.folded_insts,
+        100.0 * simcov_stats.scalarized_fraction()
+    );
+    println!();
+
+    // 2–3. Interleaved launch/evaluation timings.
+    let reports = [
+        launch_case("adept_v0", cases::adept_v0_case, rounds),
+        launch_case("simcov_cdiff", cases::simcov_cdiff_case, rounds),
+        eval_case(rounds),
+    ];
+
+    let out = out_path();
+    let mut body: Vec<String> = vec![
+        gate_json("ADEPT-V0 / P100", &spec, &adept_stats),
+        gate_json("SIMCoV / P100", &spec, &simcov_stats),
+    ];
+    body.extend(reports.into_iter().map(|r| r.json));
+    std::fs::write(&out, format!("[\n{}\n]\n", body.join(",\n"))).expect("write bench json");
+    println!();
+    println!("wrote {out}");
+}

@@ -25,7 +25,7 @@
 //! intact, never a torn one.
 
 use gevo_engine::{
-    Search, SearchObserver, SearchResult, SearchSpec, SearchState, StepStatus, Workload,
+    EvalStats, Search, SearchObserver, SearchResult, SearchSpec, SearchState, StepStatus, Workload,
 };
 use std::path::{Path, PathBuf};
 
@@ -155,6 +155,12 @@ pub fn load_state(path: &Path) -> Result<SearchState, String> {
 /// [`STOPPED_EXIT_CODE`] — the deterministic stand-in for a kill that
 /// the recovery tests use.
 ///
+/// Returns the result plus the evaluator's own counters, which are
+/// deliberately absent from the result (and from checkpoints): cache
+/// hit rates, delta-patch counts and the lowering-pass counters only
+/// describe how this process computed the trajectory, not the
+/// trajectory itself.
+///
 /// # Panics
 /// Panics if a due checkpoint cannot be written.
 #[must_use]
@@ -163,7 +169,7 @@ pub fn drive_search(
     ckpt: Option<&Path>,
     every: usize,
     stop_after: Option<usize>,
-) -> SearchResult {
+) -> (SearchResult, EvalStats) {
     let every = every.max(1);
     while let StepStatus::Advanced { gen } = search.step() {
         let completed = gen + 1;
@@ -178,7 +184,8 @@ pub fn drive_search(
             std::process::exit(STOPPED_EXIT_CODE);
         }
     }
-    search.into_result()
+    let stats = search.eval_stats();
+    (search.into_result(), stats)
 }
 
 /// The checkpoint-aware search runner behind [`crate::run_search`]:
@@ -196,7 +203,7 @@ pub fn run_search_with(
     spec: &SearchSpec,
     knobs: &CheckpointKnobs,
     observer: Option<&mut dyn SearchObserver>,
-) -> SearchResult {
+) -> (SearchResult, EvalStats) {
     let ckpt = knobs
         .path
         .as_ref()

@@ -18,6 +18,7 @@
 //! | `GEVO_CHECKPOINT` | checkpoint path (also `--checkpoint`); see [`checkpoint`] | off |
 //! | `GEVO_CHECKPOINT_EVERY` | generations between checkpoints | 5 |
 //! | `GEVO_STOP_AFTER` | checkpoint + exit(3) after k generations | off |
+//! | `GEVO_OPT` | lowering passes: `0` = O0 control arm, else O2 | O2 |
 //!
 //! The GA-driven harnesses (fig4, fig5, fig6, islands, pareto) all
 //! build their engine session through ONE shared helper,
@@ -39,7 +40,9 @@ pub mod cases;
 pub mod checkpoint;
 pub mod kernel_gen;
 
-use gevo_engine::{Evaluator, GaConfig, Objective, Patch, SearchResult, SearchSpec, Workload};
+use gevo_engine::{
+    EvalStats, Evaluator, GaConfig, Objective, Patch, SearchResult, SearchSpec, Workload,
+};
 use gevo_gpu::GpuSpec;
 use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
 use gevo_workloads::simcov::{SimcovConfig, SimcovWorkload};
@@ -134,13 +137,37 @@ pub fn islands_knob() -> usize {
     env_usize("GEVO_ISLANDS", 1).max(1)
 }
 
+/// Applies the `GEVO_OPT` knob to the process-wide lowering pipeline
+/// and returns the level in force: `GEVO_OPT=0` keeps the O0 control
+/// arm, anything else (including unset) enables the O2 passes
+/// (warp-uniformity scalarization + constant folding, DESIGN.md §3.8).
+///
+/// Harnesses default to **O2** while the library default stays O0: the
+/// passes are result-invisible by contract (pinned by the `opt_diff`
+/// differential suite and the `opt_bench` byte-identical gate), so the
+/// knob changes only wall-clock, never a trajectory — and every harness
+/// binary can A/B the pipeline with `GEVO_OPT=0` without code changes.
+#[must_use = "the returned level says which arm this process is running"]
+pub fn opt_knob() -> gevo_gpu::OptLevel {
+    let level = match std::env::var("GEVO_OPT") {
+        Ok(v) if v.trim() == "0" => gevo_gpu::OptLevel::O0,
+        _ => gevo_gpu::OptLevel::O2,
+    };
+    gevo_gpu::set_opt_level(level);
+    level
+}
+
 /// The ONE place every harness binary's engine configuration is built:
 /// the GA budget (`GEVO_POP`/`GEVO_GENS`/`GEVO_SEED`/`GEVO_THREADS`)
-/// plus `--islands`/`GEVO_ISLANDS`, `GEVO_MIGRATION` and
-/// `GEVO_OBJECTIVES`, folded into a `gevo_engine::SearchSpec` ready for
+/// plus `--islands`/`GEVO_ISLANDS`, `GEVO_MIGRATION`, `GEVO_OBJECTIVES`
+/// and `GEVO_OPT`, folded into a `gevo_engine::SearchSpec` ready for
 /// [`run_search`].
 #[must_use]
 pub fn harness_spec(pop: usize, gens: usize) -> SearchSpec {
+    // Engine config and device config travel together: every GA harness
+    // that builds its spec here also picks up the lowering level, so
+    // workloads constructed *after* this call compile accordingly.
+    let _ = opt_knob();
     let mut spec = SearchSpec {
         ga: harness_ga(pop, gens),
         islands: islands_knob(),
@@ -163,6 +190,15 @@ pub fn harness_spec(pop: usize, gens: usize) -> SearchSpec {
 /// [`checkpoint`]) work identically in all of them.
 #[must_use]
 pub fn run_search(w: &dyn Workload, spec: &SearchSpec) -> SearchResult {
+    run_search_stats(w, spec).0
+}
+
+/// [`run_search`] plus the evaluator's own counters (cache hit rates,
+/// delta patches, lowering-pass counters) — observability the result
+/// deliberately omits, for the harnesses whose reports include them
+/// (`islands --json`, `delta_bench`, `opt_bench`).
+#[must_use]
+pub fn run_search_stats(w: &dyn Workload, spec: &SearchSpec) -> (SearchResult, EvalStats) {
     checkpoint::run_search_with(w, spec, &checkpoint::checkpoint_knobs(), None)
 }
 

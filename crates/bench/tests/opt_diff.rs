@@ -1,0 +1,235 @@
+//! Differential property tests for the optimizing lowering passes: on
+//! randomly generated kernels, [`CompiledKernel::compile_with`] at `O2`
+//! (warp-uniformity scalarization + constant folding) must be
+//! **result-invisible** against the `O0` control arm — identical
+//! [`LaunchStats`] (cold and warm L2), identical final device memory and
+//! identical faults, on every spec of the paper's Table I. Random
+//! single-edit chains drawn from the engine's own mutation operators pin
+//! the same property across the whole reachable variant space, and the
+//! O2 patch path is pinned from both sides of its refusal boundary:
+//! every delta `patch` accepts at O2 must reproduce the O2 recompile
+//! bit-for-bit, and every delta that would invalidate a baked
+//! optimization fact must be refused with
+//! [`PatchRefusal::OptimizationFact`], never silently mis-applied.
+
+use gevo_bench::kernel_gen::random_kernel;
+use gevo_bench::scaled_table1_specs;
+use gevo_engine::{Edit, MutationSpace, MutationWeights};
+use gevo_gpu::{
+    CompiledKernel, Gpu, GpuSpec, KernelArg, LaunchConfig, LaunchStats, OptLevel, PatchRefusal,
+};
+use gevo_ir::Kernel;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Launches a compiled image on a fresh device twice (cold and warm L2)
+/// and returns both results plus the final output buffer. Evolved
+/// variants fault routinely, so faults are part of the behaviour being
+/// compared: the O0 and O2 images must fault identically.
+type LaunchResults = Vec<Result<LaunchStats, gevo_gpu::ExecError>>;
+
+fn launch_image(spec: &GpuSpec, image: &CompiledKernel) -> (LaunchResults, Vec<i32>) {
+    const THREADS: u32 = 32;
+    let cfg = LaunchConfig::new(2, 16);
+    let mut gpu = Gpu::new(spec.clone());
+    let out = gpu.mem_mut().alloc(u64::from(THREADS) * 4).expect("alloc");
+    let args = [KernelArg::from(out)];
+    let s1 = gpu.launch_compiled(image, cfg, &args);
+    let s2 = gpu.launch_compiled(image, cfg, &args);
+    (vec![s1, s2], gpu.mem().read_i32s(out, 0, THREADS as usize))
+}
+
+/// Compiles `kernel` at both levels on `spec` and checks the full
+/// observable surface: stats, faults and memory.
+fn check_arms(spec: &GpuSpec, kernel: &Kernel) -> Result<(), String> {
+    let o0 = CompiledKernel::compile_with(kernel, spec, OptLevel::O0).expect("verified kernel");
+    let o2 = CompiledKernel::compile_with(kernel, spec, OptLevel::O2).expect("verified kernel");
+    let (s0, m0) = launch_image(spec, &o0);
+    let (s2, m2) = launch_image(spec, &o2);
+    prop_assert!(
+        s0 == s2,
+        "LaunchStats diverge between O0 and O2 on {}",
+        spec.name
+    );
+    prop_assert!(
+        m0 == m2,
+        "memory diverges between O0 and O2 on {}",
+        spec.name
+    );
+    Ok(())
+}
+
+/// The O2 side of the delta chain: kernel + its O2 image, advanced one
+/// engine edit at a time. Mirrors the evaluator's compile pipeline
+/// (verify → DCE → lower) at an explicit opt level.
+fn compile_o2(spec: &GpuSpec, kernel: &Kernel) -> Option<CompiledKernel> {
+    gevo_ir::verify::verify(kernel).ok()?;
+    let mut k = kernel.clone();
+    let _ = gevo_ir::transform::dce(&mut k);
+    Some(CompiledKernel::compile_with(&k, spec, OptLevel::O2).expect("verified kernel lowers"))
+}
+
+struct Chain {
+    spec: GpuSpec,
+    kernel: Kernel,
+    image: CompiledKernel,
+}
+
+impl Chain {
+    fn start(spec: &GpuSpec, pristine: &Kernel) -> Chain {
+        let image = compile_o2(spec, pristine).expect("pristine kernel compiles");
+        Chain {
+            spec: spec.clone(),
+            kernel: pristine.clone(),
+            image,
+        }
+    }
+
+    /// Advances by one edit; returns `Ok(true)` when the step exercised
+    /// the O2 patch path (either an accepted patch or a fact refusal).
+    fn step(&mut self, edit: &Edit) -> Result<bool, String> {
+        let mut next = self.kernel.clone();
+        let (applied, delta) = edit.apply_delta(&mut next);
+        let Some(fresh) = compile_o2(&self.spec, &next) else {
+            // The edit broke verification: scored invalid, never
+            // compiled or patched.
+            return Ok(false);
+        };
+
+        let mut exercised = false;
+        match delta {
+            Some(d) if applied && d.is_patchable() => {
+                match self.image.patch(&d) {
+                    // An accepted O2 patch must reproduce the O2
+                    // recompile bit-for-bit, then behave identically.
+                    Ok(patched) => {
+                        prop_assert!(
+                            patched == fresh,
+                            "O2 patch diverges from O2 recompile on {} ({edit:?})",
+                            self.spec.name
+                        );
+                        let (ps, pm) = launch_image(&self.spec, &patched);
+                        let (fs, fm) = launch_image(&self.spec, &fresh);
+                        prop_assert!(ps == fs, "LaunchStats diverge on {}", self.spec.name);
+                        prop_assert!(pm == fm, "outputs diverge on {}", self.spec.name);
+                        self.image = patched;
+                    }
+                    // The only legitimate refusal of an eligible delta
+                    // at O2 is a baked fact going stale — the evaluator
+                    // falls back to the recompile, exactly as we do.
+                    Err(PatchRefusal::OptimizationFact) => {
+                        self.image = fresh;
+                    }
+                    Err(other) => {
+                        prop_assert!(
+                            false,
+                            "eligible delta refused with {other} on {}",
+                            self.spec.name
+                        );
+                    }
+                }
+                exercised = true;
+            }
+            _ => {
+                // Ineligible delta or structural edit: recompile, as the
+                // evaluator does.
+                self.image = fresh;
+            }
+        }
+        self.kernel = next;
+        Ok(exercised)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24).with_rng_seed(0x0B71_F01D))]
+
+    /// O2 is result-invisible on random kernels across all three
+    /// Table-I specs: identical stats, faults and memory.
+    #[test]
+    fn o2_matches_o0_on_random_kernels(
+        seed in 0u64..u64::MAX,
+        n_ops in 0u64..32,
+    ) {
+        let kernel = random_kernel(seed, n_ops);
+        for spec in scaled_table1_specs() {
+            check_arms(&spec, &kernel)?;
+        }
+    }
+
+    /// The same invisibility holds along random mutation chains — every
+    /// verifiable variant the GA can reach lowers identically under O0
+    /// and O2.
+    #[test]
+    fn o2_matches_o0_along_mutation_chains(
+        seed in 0u64..u64::MAX,
+        n_ops in 4u64..24,
+        chain_len in 1usize..6,
+    ) {
+        let pristine = vec![random_kernel(seed, n_ops)];
+        let space = MutationSpace::new(&pristine, MutationWeights::default());
+        let spec = &scaled_table1_specs()[0];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0002_D1FF);
+        let mut kernel = pristine[0].clone();
+        for _ in 0..chain_len {
+            let Some(edit) = space.sample(&mut rng) else { break };
+            let mut next = kernel.clone();
+            let (_, _) = edit.apply_delta(&mut next);
+            if gevo_ir::verify::verify(&next).is_err() {
+                continue;
+            }
+            check_arms(spec, &next)?;
+            kernel = next;
+        }
+    }
+
+    /// O2 delta chains: accepted patches equal the O2 recompile
+    /// bit-for-bit; fact refusals fall back to the recompile; nothing is
+    /// silently mis-applied.
+    #[test]
+    fn o2_patch_equals_recompile_along_edit_chains(
+        seed in 0u64..u64::MAX,
+        n_ops in 4u64..24,
+        chain_len in 1usize..8,
+    ) {
+        let pristine = vec![random_kernel(seed, n_ops)];
+        let space = MutationSpace::new(&pristine, MutationWeights::default());
+        for spec in scaled_table1_specs() {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0003_FAC7);
+            let mut chain = Chain::start(&spec, &pristine[0]);
+            for _ in 0..chain_len {
+                let Some(edit) = space.sample(&mut rng) else { break };
+                chain.step(&edit)?;
+            }
+        }
+    }
+
+    /// Local-operator chains weighted so long runs of eligible deltas
+    /// occur: composed O2 patches never drift from a from-scratch O2
+    /// compile.
+    #[test]
+    fn o2_local_chains_stay_in_sync(
+        seed in 0u64..u64::MAX,
+        chain_len in 4usize..12,
+    ) {
+        let pristine = vec![random_kernel(seed, 16)];
+        let local = MutationWeights {
+            delete: 0.4,
+            operand_replace: 0.4,
+            cond_replace: 0.2,
+            copy: 0.0,
+            mov: 0.0,
+            swap: 0.0,
+            replace: 0.0,
+        };
+        let space = MutationSpace::new(&pristine, local);
+        let spec = &scaled_table1_specs()[0];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0004_10CA);
+        let mut chain = Chain::start(spec, &pristine[0]);
+        for _ in 0..chain_len {
+            let Some(edit) = space.sample(&mut rng) else { break };
+            chain.step(&edit)?;
+        }
+    }
+}

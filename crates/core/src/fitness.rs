@@ -430,6 +430,32 @@ pub struct EvalStats {
     pub delta_fallbacks: usize,
     /// Warp-instructions simulated across performed evaluations.
     pub instructions: u64,
+    /// Statically lowered instructions across every compiled image this
+    /// evaluator produced (full compiles and delta-patched variants) —
+    /// the denominator for the scalarization fraction.
+    pub lowered_insts: u64,
+    /// Of those, instructions the O2 uniformity pass scalarized
+    /// (executed once per warp with a broadcast write). Zero at O0.
+    pub uniform_insts: u64,
+    /// Compile-time-folded facts across those images (constant-folded
+    /// instructions plus branch terminators resolved to jumps). Zero
+    /// at O0.
+    pub folded_insts: u64,
+}
+
+impl EvalStats {
+    /// Fraction of lowered instructions the uniformity pass scalarized,
+    /// over every compiled image produced (0 when nothing compiled).
+    #[must_use]
+    pub fn scalarized_fraction(&self) -> f64 {
+        if self.lowered_insts == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.uniform_insts as f64 / self.lowered_insts as f64
+        }
+    }
 }
 
 /// Memoizing evaluator: maps patches to outcomes through a workload,
@@ -468,6 +494,13 @@ pub struct Evaluator<'w> {
     /// Total simulated warp-instructions across performed evaluations
     /// (cache hits simulate nothing and add nothing).
     instructions: AtomicU64,
+    /// Lowering-pass counters, accumulated over every compiled image
+    /// this evaluator produces (full compiles and delta-patched
+    /// variants). Observability only — never checkpointed, so O0 and
+    /// O2 runs keep byte-identical snapshots.
+    lowered_insts: AtomicU64,
+    uniform_insts: AtomicU64,
+    folded_insts: AtomicU64,
     eval_seed: RwLock<u64>,
 }
 
@@ -490,6 +523,9 @@ impl<'w> Evaluator<'w> {
             delta_patched: AtomicUsize::new(0),
             delta_fallbacks: AtomicUsize::new(0),
             instructions: AtomicU64::new(0),
+            lowered_insts: AtomicU64::new(0),
+            uniform_insts: AtomicU64::new(0),
+            folded_insts: AtomicU64::new(0),
             eval_seed: RwLock::new(0),
         }
     }
@@ -534,7 +570,23 @@ impl<'w> Evaluator<'w> {
     /// retains the image; a full shard evicts its oldest entry).
     fn compiled_insert(&self, key: u64, compiled: &Arc<Vec<CompiledKernel>>) {
         self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.count_pass_facts(compiled);
         self.compiled_retain(key, compiled);
+    }
+
+    /// Accumulates the lowering-pass counters over a newly produced
+    /// compiled image set (all zeros at O0; see [`EvalStats`]).
+    fn count_pass_facts(&self, compiled: &[CompiledKernel]) {
+        let as_u64 = |n: usize| u64::try_from(n).expect("count fits u64");
+        let (mut lowered, mut uniform, mut folded) = (0u64, 0u64, 0u64);
+        for ck in compiled {
+            lowered += as_u64(ck.inst_count());
+            uniform += as_u64(ck.uniform_inst_count());
+            folded += as_u64(ck.folded_inst_count());
+        }
+        self.lowered_insts.fetch_add(lowered, Ordering::Relaxed);
+        self.uniform_insts.fetch_add(uniform, Ordering::Relaxed);
+        self.folded_insts.fetch_add(folded, Ordering::Relaxed);
     }
 
     /// Retains a compiled image without counting a compilation — the
@@ -632,6 +684,7 @@ impl<'w> Evaluator<'w> {
             let try_delta = self.workload.supports_delta_patch() && !patch.is_empty();
             if let Some(compiled) = try_delta.then(|| self.try_delta_chain(patch)).flatten() {
                 self.delta_patched.fetch_add(1, Ordering::Relaxed);
+                self.count_pass_facts(&compiled);
                 self.compiled_retain(key, &compiled);
                 self.workload.evaluate_compiled(&compiled, *seed)
             } else {
@@ -735,6 +788,26 @@ impl<'w> Evaluator<'w> {
         self.delta_fallbacks.load(Ordering::Relaxed)
     }
 
+    /// Instructions statically lowered across every compiled image this
+    /// evaluator produced (see [`EvalStats::lowered_insts`]).
+    #[must_use]
+    pub fn insts_lowered(&self) -> u64 {
+        self.lowered_insts.load(Ordering::Relaxed)
+    }
+
+    /// Instructions the O2 uniformity pass scalarized across those
+    /// images (zero at O0).
+    #[must_use]
+    pub fn insts_scalarized(&self) -> u64 {
+        self.uniform_insts.load(Ordering::Relaxed)
+    }
+
+    /// Compile-time-folded facts across those images (zero at O0).
+    #[must_use]
+    pub fn insts_folded(&self) -> u64 {
+        self.folded_insts.load(Ordering::Relaxed)
+    }
+
     /// All throughput counters in one consistent-enough view (each
     /// counter is read atomically; the set is not a single snapshot).
     #[must_use]
@@ -747,6 +820,9 @@ impl<'w> Evaluator<'w> {
             delta_patched: self.delta_patches_applied(),
             delta_fallbacks: self.delta_fallbacks(),
             instructions: self.instructions_simulated(),
+            lowered_insts: self.insts_lowered(),
+            uniform_insts: self.insts_scalarized(),
+            folded_insts: self.insts_folded(),
         }
     }
 
@@ -1274,6 +1350,48 @@ mod tests {
         for (a, b) in first.iter().zip(&second) {
             assert_ne!(a.fitness, b.fitness, "fitness tracks the new seed");
         }
+    }
+
+    /// Regression companion to `BENCH_delta.json`'s
+    /// `compiled_hit_rate: 0.0000`: that number is structural, not a
+    /// bug. [`Evaluator::evaluate`] consults the **outcome** cache
+    /// before the compiled cache, so a re-seen patch returns its cached
+    /// outcome without ever probing for its compiled image — and
+    /// [`crate::Search`] never calls [`Evaluator::set_eval_seed`]
+    /// mid-run, so the outcome cache is never cleared. Under a single
+    /// fixed seed, compiled hits are therefore *impossible* through the
+    /// public path; they appear exactly when a reseed clears outcomes
+    /// while compiled images survive. This test pins both halves.
+    #[test]
+    fn outcome_cache_shields_compiled_cache_until_reseed() {
+        let w = CompilingStub::new();
+        let ev = Evaluator::new(&w);
+        let ids = w.kernels[0].inst_ids();
+        let patch = Patch::from_edits(vec![Edit::Delete {
+            kernel: 0,
+            target: ids[1],
+        }]);
+
+        // Same patch, same seed, any number of times: the outcome cache
+        // answers and the compiled cache is never even consulted.
+        for _ in 0..3 {
+            let _ = ev.evaluate(&patch);
+        }
+        assert_eq!(ev.compiles_performed(), 1);
+        assert_eq!(ev.cache_hits(), 2, "outcome cache served the repeats");
+        assert_eq!(
+            ev.compiled_cache_hits(),
+            0,
+            "under a fixed seed the outcome cache shields the compiled \
+             cache — the delta_bench hit rate of 0 is by construction"
+        );
+
+        // Forcing a hit through the public path: reseed (clears
+        // outcomes, keeps compiled images), then re-evaluate.
+        ev.set_eval_seed(99);
+        let _ = ev.evaluate(&patch);
+        assert_eq!(ev.compiled_cache_hits(), 1, "now the image is reused");
+        assert_eq!(ev.compiles_performed(), 1, "without recompiling");
     }
 
     #[test]

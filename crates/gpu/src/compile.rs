@@ -31,9 +31,62 @@
 
 use crate::spec::GpuSpec;
 use crate::value::Value;
+use gevo_ir::analysis::uniformity;
 use gevo_ir::verify::{verify, VerifyError};
 use gevo_ir::{Cfg, Kernel, KernelDelta, Op, Operand, Param, Reg};
 use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Optimization level of the lowering pipeline (DESIGN.md §3.8).
+///
+/// `O0` is the direct lowering this module has always performed — kept
+/// as the differential control arm: every `O2` behaviour is pinned
+/// result-invisible (fitness, [`crate::LaunchStats`], memory, faults)
+/// against it. `O2` additionally runs the warp-uniformity analysis
+/// ([`gevo_ir::analysis::uniformity`]) and constant folding over the
+/// lowered stream, baking per-instruction facts into `OpClass` tags
+/// so the interpreter executes uniform work once per warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Direct lowering, no optimizing passes (the differential control
+    /// arm, and the process default).
+    #[default]
+    O0,
+    /// Warp-uniformity scalarization + constant folding.
+    O2,
+}
+
+/// Process-wide default optimization level consumed by
+/// [`CompiledKernel::compile`]. `0` ⇒ `O0`, anything else ⇒ `O2`.
+///
+/// A global (rather than a parameter threaded through every workload's
+/// compile path) keeps the knob result-invisible by construction: no
+/// serialized artifact — checkpoints, search results, compiled-image
+/// equality — depends on it, so flipping it cannot perturb a
+/// trajectory, only the wall-clock of reaching it. Harness binaries set
+/// it from the `GEVO_OPT` environment knob before building workloads.
+static OPT_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default optimization level (see [`OptLevel`]).
+pub fn set_opt_level(level: OptLevel) {
+    OPT_LEVEL.store(
+        match level {
+            OptLevel::O0 => 0,
+            OptLevel::O2 => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The process-wide default optimization level.
+#[must_use]
+pub fn opt_level() -> OptLevel {
+    if OPT_LEVEL.load(Ordering::Relaxed) == 0 {
+        OptLevel::O0
+    } else {
+        OptLevel::O2
+    }
+}
 
 /// Sentinel block index meaning "reconverges at thread exit".
 pub(crate) const EXIT: u32 = u32::MAX;
@@ -141,6 +194,23 @@ pub(crate) enum OpClass {
     Ballot,
     /// `activemask`.
     ActiveMask,
+    /// Scalar op whose operands are all warp-uniform (O2): every active
+    /// lane would compute the same value, so the interpreter evaluates
+    /// it **once per warp** and broadcasts the result to the active
+    /// lanes instead of bit-walking the mask.
+    UniformScalar,
+    /// Scalar op over immediate-only operands, evaluated at compile
+    /// time (O2): `args[0]` holds the precomputed result and execution
+    /// is a broadcast write. Cost and stats charges are those of the
+    /// original op — folding is result-invisible by contract.
+    Folded,
+    /// Load whose address is warp-uniform (O2): one address read and
+    /// one memory access serve the whole warp; coalescing/cache stats
+    /// are charged analytically for the single segment.
+    UniformLoad,
+    /// Store whose address *and* value are warp-uniform (O2): all
+    /// active lanes write the same word, one store suffices.
+    UniformStore,
 }
 
 /// Classifies an op once, at compile time.
@@ -235,11 +305,22 @@ pub struct CompiledKernel {
     /// [`EXIT`] for blocks that reconverge only at thread exit.
     pub(crate) reconv: Vec<u32>,
     /// Per-block flag: the terminator is a [`CTerm::CondBr`] whose
-    /// condition slot is statically warp-uniform
-    /// ([`Slot::is_warp_uniform`]), so the branch can never diverge and
-    /// the interpreter decides it with a single operand read. `false`
-    /// for unconditional terminators.
+    /// condition is warp-uniform — statically ([`Slot::is_warp_uniform`])
+    /// at every level, and additionally by dataflow analysis
+    /// ([`gevo_ir::analysis::uniformity`]) for register conditions at
+    /// O2 — so the branch can never diverge and the interpreter decides
+    /// it with a single operand read. `false` for unconditional
+    /// terminators.
     pub(crate) uniform_cond: Vec<bool>,
+    /// Per-block flag (O2): the source terminator was a conditional
+    /// branch on a boolean immediate and was folded to [`CTerm::Br`].
+    /// The un-taken target is gone from `terms`, so condition patches
+    /// against the block must fall back to recompile. All-`false` at O0.
+    pub(crate) term_folded: Vec<bool>,
+    /// Optimization level this image was lowered at. Governs which
+    /// deltas [`Self::patch`] may replay: O2 bakes analysis facts into
+    /// the tables, and a patch that could invalidate one refuses.
+    pub(crate) opt: OptLevel,
     /// Prebuilt per-warp register-file image: `regs × lanes` typed
     /// sentinels, reg-major.
     pub(crate) reg_file: Vec<Value>,
@@ -267,6 +348,11 @@ pub enum PatchRefusal {
     NoSuchTerminator,
     /// The targeted terminator is not a conditional branch.
     NotACondBr,
+    /// The delta would invalidate a fact the O2 passes baked into this
+    /// image (a folded instruction's original operands, a folded
+    /// terminator's dropped target, or the uniformity profile other
+    /// tags were derived from). Only a recompile re-derives the facts.
+    OptimizationFact,
 }
 
 impl fmt::Display for PatchRefusal {
@@ -276,6 +362,7 @@ impl fmt::Display for PatchRefusal {
             PatchRefusal::BadArgIndex => "operand index out of range",
             PatchRefusal::NoSuchTerminator => "no terminator with that id",
             PatchRefusal::NotACondBr => "terminator is not a conditional branch",
+            PatchRefusal::OptimizationFact => "delta invalidates a baked optimization fact",
         };
         f.write_str(s)
     }
@@ -289,9 +376,35 @@ impl CompiledKernel {
     /// Returns the structural defect if the kernel fails verification —
     /// the same check [`crate::Gpu::launch`] has always applied.
     pub fn compile(kernel: &Kernel, spec: &GpuSpec) -> Result<CompiledKernel, VerifyError> {
+        Self::compile_with(kernel, spec, opt_level())
+    }
+
+    /// [`Self::compile`] at an explicit [`OptLevel`], bypassing the
+    /// process-wide default — the differential test layer compiles the
+    /// same kernel at `O0` and `O2` side by side through this.
+    ///
+    /// # Errors
+    /// Returns the structural defect if the kernel fails verification.
+    pub fn compile_with(
+        kernel: &Kernel,
+        spec: &GpuSpec,
+        opt: OptLevel,
+    ) -> Result<CompiledKernel, VerifyError> {
         verify(kernel)?;
         let cfg = Cfg::build(kernel);
         let lanes = spec.warp_size;
+        // The uniformity fixpoint is the O2 passes' single source of
+        // analysis facts; O0 skips it and lowers exactly as before.
+        let info = match opt {
+            OptLevel::O0 => None,
+            OptLevel::O2 => Some(uniformity(kernel, &cfg)),
+        };
+        let slot_uniform = |s: &Slot| match (&info, s) {
+            // Register slots are pre-multiplied bases; divide the warp
+            // width back out to index the analysis result.
+            (Some(i), Slot::Reg(base)) => i.uniform_regs[(base / lanes) as usize],
+            _ => s.is_warp_uniform(),
+        };
 
         let mut code = Vec::with_capacity(kernel.inst_count());
         let mut src_ids = Vec::with_capacity(kernel.inst_count());
@@ -305,13 +418,17 @@ impl CompiledKernel {
                 for (i, a) in inst.args.iter().enumerate() {
                     args[i] = lower_operand(a, lanes);
                 }
-                code.push(CInst {
+                let mut ci = CInst {
                     op: inst.op,
                     tag: op_class(inst.op),
                     dst: inst.dst.map_or(NO_DST, |r| reg_base(r, lanes)),
                     args,
                     cost: scalar_cost(inst.op, spec),
-                });
+                };
+                if info.is_some() {
+                    optimize_inst(&mut ci, &slot_uniform);
+                }
+                code.push(ci);
                 src_ids.push(inst.id.0);
             }
             term_ids.push(block.term.id.0);
@@ -331,9 +448,29 @@ impl CompiledKernel {
             });
         }
 
+        // O2 folds already-resolved conditional branches — the dominant
+        // product of `CondReplace(ImmBool)` mutations — to plain jumps.
+        // The interpreter charges every terminator kind identically
+        // (one instruction, one issue, one ALU cycle), so the fold is
+        // `LaunchStats`-invisible by construction.
+        let mut term_folded = vec![false; terms.len()];
+        if info.is_some() {
+            for (b, t) in terms.iter_mut().enumerate() {
+                if let CTerm::CondBr {
+                    cond: Slot::ImmBool(v),
+                    if_true,
+                    if_false,
+                } = *t
+                {
+                    *t = CTerm::Br(if v { if_true } else { if_false });
+                    term_folded[b] = true;
+                }
+            }
+        }
+
         let uniform_cond = terms
             .iter()
-            .map(|t| matches!(t, CTerm::CondBr { cond, .. } if cond.is_warp_uniform()))
+            .map(|t| matches!(t, CTerm::CondBr { cond, .. } if slot_uniform(cond)))
             .collect();
 
         let reconv = (0..kernel.blocks.len())
@@ -362,6 +499,8 @@ impl CompiledKernel {
             terms,
             reconv,
             uniform_cond,
+            term_folded,
+            opt,
             reg_file,
             src_ids,
             term_ids,
@@ -387,21 +526,67 @@ impl CompiledKernel {
             return Err(PatchRefusal::RegisterInvolved);
         }
         match *delta {
-            KernelDelta::SetArg { inst, arg, new, .. } => {
+            KernelDelta::SetArg {
+                inst,
+                arg,
+                old,
+                new,
+            } => {
                 let Some(idx) = self.src_ids.iter().position(|&id| id == inst.0) else {
                     return Ok(self.clone()); // DCE'd in the parent; still dead.
                 };
                 if arg >= self.code[idx].op.arity() {
                     return Err(PatchRefusal::BadArgIndex);
                 }
+                if self.opt == OptLevel::O2 {
+                    // A folded instruction's original operands were
+                    // rewritten away — there is nothing to patch.
+                    if self.code[idx].tag == OpClass::Folded {
+                        return Err(PatchRefusal::OptimizationFact);
+                    }
+                    // Both sides are non-register (is_patchable), so
+                    // slot-level uniformity IS analysis-level operand
+                    // uniformity. If it changes, the defined register's
+                    // uniformity — and every tag derived downstream of
+                    // it — could change with it: recompile.
+                    if lower_operand(&old, self.lanes).is_warp_uniform()
+                        != lower_operand(&new, self.lanes).is_warp_uniform()
+                    {
+                        return Err(PatchRefusal::OptimizationFact);
+                    }
+                }
                 let mut out = self.clone();
                 out.code[idx].args[arg] = lower_operand(&new, self.lanes);
+                if out.opt == OptLevel::O2 {
+                    // The uniformity profile is preserved (checked
+                    // above), so the tag carries over — but the edit may
+                    // have made the operands all-immediate, and a
+                    // recompile would fold. Re-run the same fold.
+                    let ci = &mut out.code[idx];
+                    if matches!(ci.tag, OpClass::Scalar | OpClass::UniformScalar)
+                        && ci.dst != NO_DST
+                    {
+                        if let Some(folded) = fold_value(ci) {
+                            ci.tag = OpClass::Folded;
+                            ci.args = [folded, Slot::ImmI32(0), Slot::ImmI32(0)];
+                        }
+                    }
+                }
                 Ok(out)
             }
             KernelDelta::SetCond { term, new, .. } => {
                 let Some(b) = self.term_ids.iter().position(|&id| id == term.0) else {
                     return Err(PatchRefusal::NoSuchTerminator);
                 };
+                if self.opt == OptLevel::O2 {
+                    // The only non-register `b1` operand is `ImmBool`,
+                    // so a patchable condition replacement always moves
+                    // to (and, in a verified chain, from) an immediate
+                    // — and O2 folds immediate-cond branches to `Br`,
+                    // dropping the un-taken target from the image.
+                    // Either direction crosses a folded fact: recompile.
+                    return Err(PatchRefusal::OptimizationFact);
+                }
                 let mut out = self.clone();
                 let CTerm::CondBr { cond, .. } = &mut out.terms[b] else {
                     return Err(PatchRefusal::NotACondBr);
@@ -414,6 +599,15 @@ impl CompiledKernel {
                 let Some(idx) = self.src_ids.iter().position(|&id| id == inst.0) else {
                     return Ok(self.clone()); // Already DCE'd away.
                 };
+                if self.opt == OptLevel::O2 && self.code[idx].dst != NO_DST {
+                    // Removing a definition shrinks registers' reaching
+                    // def-sets, which can only *raise* uniformity — a
+                    // recompile might tag more instructions than this
+                    // image does, so the streams would disagree.
+                    // (Removing a store or sync defines nothing and
+                    // leaves every fact intact; those still splice.)
+                    return Err(PatchRefusal::OptimizationFact);
+                }
                 let mut out = self.clone();
                 out.code.remove(idx);
                 out.src_ids.remove(idx);
@@ -464,6 +658,40 @@ impl CompiledKernel {
         self.terms.len()
     }
 
+    /// Optimization level this image was lowered at.
+    #[must_use]
+    pub fn opt(&self) -> OptLevel {
+        self.opt
+    }
+
+    /// Number of instructions the uniformity pass scalarized (tagged
+    /// `OpClass::UniformScalar`/`OpClass::UniformLoad`/
+    /// `OpClass::UniformStore`). Zero at O0.
+    #[must_use]
+    pub fn uniform_inst_count(&self) -> usize {
+        self.code
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.tag,
+                    OpClass::UniformScalar | OpClass::UniformLoad | OpClass::UniformStore
+                )
+            })
+            .count()
+    }
+
+    /// Number of compile-time-folded facts in this image: instructions
+    /// evaluated to constants plus conditional branches resolved to
+    /// plain jumps. Zero at O0.
+    #[must_use]
+    pub fn folded_inst_count(&self) -> usize {
+        self.code
+            .iter()
+            .filter(|c| c.tag == OpClass::Folded)
+            .count()
+            + self.term_folded.iter().filter(|&&f| f).count()
+    }
+
     /// True when this kernel can execute on a device with the given spec:
     /// the warp width matches the register-file stride and the baked
     /// costs match the device's table.
@@ -488,6 +716,73 @@ fn lower_operand(op: &Operand, lanes: u32) -> Slot {
         Operand::ImmBool(v) => Slot::ImmBool(*v),
         Operand::Special(s) => Slot::Special(*s),
         Operand::Param(p) => Slot::Param(*p),
+    }
+}
+
+/// O2 per-instruction pass: constant folding first (an all-immediate
+/// op is trivially uniform, and the folded form is strictly cheaper to
+/// execute), then uniformity tagging. `uniform` decides slot-level
+/// operand uniformity against the analysis result.
+fn optimize_inst(ci: &mut CInst, uniform: &impl Fn(&Slot) -> bool) {
+    if ci.tag == OpClass::Scalar && ci.dst != NO_DST {
+        if let Some(folded) = fold_value(ci) {
+            ci.tag = OpClass::Folded;
+            ci.args = [folded, Slot::ImmI32(0), Slot::ImmI32(0)];
+            return;
+        }
+    }
+    let n = ci.op.arity();
+    if !ci.args[..n].iter().all(uniform) {
+        return;
+    }
+    ci.tag = match ci.tag {
+        // Pure per-lane compute over uniform inputs computes one value
+        // per warp. (`RngNext` is pure too: the counter-mix is a
+        // function of its operands alone.)
+        OpClass::Scalar => OpClass::UniformScalar,
+        OpClass::Load => OpClass::UniformLoad,
+        OpClass::Store => OpClass::UniformStore,
+        // Atomics serialize per lane (each RMW observes the previous
+        // lane's write) and shuffles read lane-indexed state — never
+        // uniform. Ballot/ActiveMask/Sync are mask ops, left alone.
+        other => other,
+    };
+}
+
+/// Attempts compile-time evaluation of a scalar op whose operands are
+/// all immediates, through the interpreter's own [`crate::exec`]
+/// evaluator — the single source of truth, so a folded result (and any
+/// fault, by declining to fold) is exactly what per-lane execution
+/// would produce.
+fn fold_value(ci: &CInst) -> Option<Slot> {
+    let n = ci.op.arity();
+    let mut vals = [Value::I32(0); 3];
+    for (v, s) in vals.iter_mut().zip(&ci.args[..n]) {
+        *v = slot_imm_value(s)?;
+    }
+    let out = crate::exec::eval_pure(ci.op, |i| vals[i]).ok()?;
+    Some(value_slot(out))
+}
+
+/// The immediate payload of a slot, if it is one. `Param` and `Special`
+/// are warp-uniform but not compile-time constants.
+fn slot_imm_value(s: &Slot) -> Option<Value> {
+    match s {
+        Slot::ImmI32(v) => Some(Value::I32(*v)),
+        Slot::ImmI64(v) => Some(Value::I64(*v)),
+        Slot::ImmF32(v) => Some(Value::F32(*v)),
+        Slot::ImmBool(v) => Some(Value::Bool(*v)),
+        Slot::Reg(_) | Slot::Special(_) | Slot::Param(_) => None,
+    }
+}
+
+/// Re-encodes a folded result as an immediate slot.
+fn value_slot(v: Value) -> Slot {
+    match v {
+        Value::I32(x) => Slot::ImmI32(x),
+        Value::I64(x) => Slot::ImmI64(x),
+        Value::F32(x) => Slot::ImmF32(x),
+        Value::Bool(x) => Slot::ImmBool(x),
     }
 }
 
@@ -821,6 +1116,291 @@ mod tests {
             new: Operand::ImmBool(false),
         };
         assert_eq!(parent.patch(&missing), Err(PatchRefusal::NoSuchTerminator));
+    }
+
+    /// Applies a `SetArg` edit to the IR the way the evaluator does, so
+    /// patch results can be checked against a recompile of the edit.
+    fn apply_set_arg(k: &Kernel, id: gevo_ir::InstId, arg: usize, new: Operand) -> Kernel {
+        let mut edited = k.clone();
+        for b in &mut edited.blocks {
+            for i in &mut b.instrs {
+                if i.id == id {
+                    i.args[arg] = new;
+                }
+            }
+        }
+        edited
+    }
+
+    #[test]
+    fn o2_folds_immediate_only_ops() {
+        let spec = GpuSpec::p100().scaled(8);
+        let mut b = KernelBuilder::new("fold");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let c = b.add(Operand::ImmI32(20), Operand::ImmI32(22));
+        let tid = b.special_i32(Special::ThreadId);
+        let sum = b.add(c.into(), tid.into());
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), sum.into());
+        b.ret();
+        let k = b.finish();
+
+        let o0 = CompiledKernel::compile_with(&k, &spec, OptLevel::O0).expect("verifies");
+        let o2 = CompiledKernel::compile_with(&k, &spec, OptLevel::O2).expect("verifies");
+        assert_eq!(o0.folded_inst_count(), 0);
+        assert_eq!(o0.uniform_inst_count(), 0);
+
+        let folded = &o2.code[0];
+        assert_eq!(folded.tag, OpClass::Folded);
+        assert_eq!(folded.args[0], Slot::ImmI32(42), "20 + 22 folded");
+        assert_eq!(folded.op, o0.code[0].op, "op (and its cost) kept");
+        assert_eq!(folded.cost, o0.code[0].cost);
+        assert_eq!(o2.folded_inst_count(), 1);
+    }
+
+    #[test]
+    fn o2_tags_uniform_and_leaves_divergent_work_alone() {
+        let spec = GpuSpec::p100().scaled(8);
+        let mut b = KernelBuilder::new("tags");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let n = b.param_i32("n");
+        // Uniform: params and block-level specials only.
+        let bid = b.special_i32(Special::BlockId);
+        let base = b.mul(bid.into(), Operand::Param(n));
+        // Non-uniform: seeded by the thread id.
+        let tid = b.special_i32(Special::ThreadId);
+        let off = b.add(base.into(), tid.into());
+        let addr = b.index_addr(Operand::Param(out), off.into(), 4);
+        b.store_global_i32(addr.into(), off.into());
+        b.ret();
+        let k = b.finish();
+
+        let o2 = CompiledKernel::compile_with(&k, &spec, OptLevel::O2).expect("verifies");
+        // `mul bid, n` is uniform; the tid-seeded adds and the store are not.
+        let mul = o2
+            .code
+            .iter()
+            .find(|c| matches!(c.op, Op::IBin(gevo_ir::IntBinOp::Mul)))
+            .expect("mul present");
+        assert_eq!(mul.tag, OpClass::UniformScalar);
+        let store = o2
+            .code
+            .iter()
+            .find(|c| matches!(c.op, Op::Store { .. }))
+            .expect("store present");
+        assert_eq!(store.tag, OpClass::Store, "tid-addressed store untouched");
+        assert!(o2.uniform_inst_count() >= 1);
+    }
+
+    #[test]
+    fn o2_folds_immediate_cond_branches_to_plain_jumps() {
+        let spec = GpuSpec::p100().scaled(8);
+        let mut b = KernelBuilder::new("termfold");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let t = b.new_block("t");
+        let j = b.new_block("j");
+        b.cond_br(Operand::ImmBool(false), t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        let tid = b.special_i32(Special::ThreadId);
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let k = b.finish();
+
+        let o0 = CompiledKernel::compile_with(&k, &spec, OptLevel::O0).expect("verifies");
+        let o2 = CompiledKernel::compile_with(&k, &spec, OptLevel::O2).expect("verifies");
+        assert!(matches!(o0.terms[0], CTerm::CondBr { .. }));
+        assert!(o0.uniform_cond[0]);
+        assert!(!o0.term_folded[0]);
+        // `cond_br false` takes the else edge: block 2 (the join).
+        assert_eq!(o2.terms[0], CTerm::Br(2));
+        assert!(o2.term_folded[0]);
+        assert!(!o2.uniform_cond[0], "folded terminator is not a CondBr");
+        assert_eq!(o2.folded_inst_count(), 1);
+    }
+
+    #[test]
+    fn o2_flags_analysis_uniform_register_branches() {
+        let spec = GpuSpec::p100().scaled(8);
+        let mut b = KernelBuilder::new("ubr");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let n = b.param_i32("n");
+        let cond = b.icmp_lt(Operand::Param(n), Operand::ImmI32(4));
+        let then_b = b.new_block("t");
+        let join = b.new_block("j");
+        b.cond_br(cond.into(), then_b, join);
+        b.switch_to(then_b);
+        b.br(join);
+        b.switch_to(join);
+        let tid = b.special_i32(Special::ThreadId);
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let k = b.finish();
+
+        let o0 = CompiledKernel::compile_with(&k, &spec, OptLevel::O0).expect("verifies");
+        let o2 = CompiledKernel::compile_with(&k, &spec, OptLevel::O2).expect("verifies");
+        assert!(
+            !o0.uniform_cond[0],
+            "register cond is not *statically* uniform"
+        );
+        assert!(o2.uniform_cond[0], "but the dataflow analysis proves it");
+        assert!(!o2.term_folded[0], "not resolvable at compile time");
+    }
+
+    #[test]
+    fn o2_patch_matches_recompile_when_facts_survive() {
+        let spec = GpuSpec::p100().scaled(8);
+        let mut b = KernelBuilder::new("o2p");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        // Uniform but unfoldable: WarpId is not a compile-time constant.
+        let u = b.add(Operand::ImmI32(1), Operand::Special(Special::WarpId));
+        let tid = b.special_i32(Special::ThreadId);
+        let sum = b.add(u.into(), tid.into());
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), sum.into());
+        b.ret();
+        let k = b.finish();
+        let parent = CompiledKernel::compile_with(&k, &spec, OptLevel::O2).expect("verifies");
+        let id = find_inst(&k, |i| i.args.contains(&Operand::Special(Special::WarpId)));
+
+        // Uniform special → uniform special: profile preserved, patches.
+        let d1 = KernelDelta::SetArg {
+            inst: id,
+            arg: 1,
+            old: Operand::Special(Special::WarpId),
+            new: Operand::Special(Special::BlockId),
+        };
+        let p1 = parent.patch(&d1).expect("eligible");
+        let e1 = apply_set_arg(&k, id, 1, Operand::Special(Special::BlockId));
+        assert_eq!(
+            p1,
+            CompiledKernel::compile_with(&e1, &spec, OptLevel::O2).expect("verifies")
+        );
+
+        // Uniform special → immediate: the patched op becomes all-imm,
+        // and the patch must fold it exactly as a recompile would.
+        let d2 = KernelDelta::SetArg {
+            inst: id,
+            arg: 1,
+            old: Operand::Special(Special::WarpId),
+            new: Operand::ImmI32(41),
+        };
+        let p2 = parent.patch(&d2).expect("eligible");
+        let e2 = apply_set_arg(&k, id, 1, Operand::ImmI32(41));
+        let r2 = CompiledKernel::compile_with(&e2, &spec, OptLevel::O2).expect("verifies");
+        assert_eq!(p2, r2);
+        assert_eq!(p2.code[0].tag, OpClass::Folded);
+        assert_eq!(p2.code[0].args[0], Slot::ImmI32(42));
+    }
+
+    #[test]
+    fn o2_patch_refuses_when_a_baked_fact_would_go_stale() {
+        let spec = GpuSpec::p100().scaled(8);
+        let mut b = KernelBuilder::new("o2r");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let c = b.add(Operand::ImmI32(20), Operand::ImmI32(22));
+        let then_b = b.new_block("t");
+        let join = b.new_block("j");
+        b.cond_br(Operand::ImmBool(false), then_b, join);
+        b.switch_to(then_b);
+        b.br(join);
+        b.switch_to(join);
+        let tid = b.special_i32(Special::ThreadId);
+        let sum = b.add(c.into(), tid.into());
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), sum.into());
+        b.ret();
+        let k = b.finish();
+        let parent = CompiledKernel::compile_with(&k, &spec, OptLevel::O2).expect("verifies");
+
+        // Editing a folded instruction: its original operands are gone.
+        let folded_id = find_inst(&k, |i| i.args.contains(&Operand::ImmI32(20)));
+        let on_folded = KernelDelta::SetArg {
+            inst: folded_id,
+            arg: 0,
+            old: Operand::ImmI32(20),
+            new: Operand::ImmI32(7),
+        };
+        assert_eq!(
+            parent.patch(&on_folded),
+            Err(PatchRefusal::OptimizationFact)
+        );
+
+        // Uniformity flip: immediate → lane-dependent special.
+        let flip = KernelDelta::SetArg {
+            inst: folded_id,
+            arg: 0,
+            old: Operand::ImmI32(20),
+            new: Operand::Special(Special::LaneId),
+        };
+        assert_eq!(parent.patch(&flip), Err(PatchRefusal::OptimizationFact));
+
+        // Condition replacement against a folded terminator.
+        let term = k.blocks[0].term.id;
+        let cond = KernelDelta::SetCond {
+            term,
+            old: Operand::ImmBool(false),
+            new: Operand::ImmBool(true),
+        };
+        assert_eq!(parent.patch(&cond), Err(PatchRefusal::OptimizationFact));
+
+        // Removing a definition can raise other registers' uniformity.
+        let rm = KernelDelta::RemoveInst {
+            inst: folded_id,
+            read_regs: false,
+        };
+        assert_eq!(parent.patch(&rm), Err(PatchRefusal::OptimizationFact));
+
+        // All four remain patchable on the O0 control image.
+        let o0 = CompiledKernel::compile_with(&k, &spec, OptLevel::O0).expect("verifies");
+        assert!(o0.patch(&on_folded).is_ok());
+        assert!(o0.patch(&flip).is_ok());
+        assert!(o0.patch(&cond).is_ok());
+        assert!(o0.patch(&rm).is_ok());
+    }
+
+    #[test]
+    fn o2_patch_still_splices_fact_free_removals() {
+        let spec = GpuSpec::p100().scaled(8);
+        // A store with a constant address defines nothing; removing it
+        // invalidates no analysis fact and must splice at O2.
+        let mut b = KernelBuilder::new("rm2");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        b.store_global_i32(Operand::ImmI64(0), Operand::ImmI32(9));
+        let tid = b.special_i32(Special::ThreadId);
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), tid.into());
+        b.ret();
+        let k = b.finish();
+        let parent = CompiledKernel::compile_with(&k, &spec, OptLevel::O2).expect("verifies");
+        let id = find_inst(&k, |i| i.args.contains(&Operand::ImmI32(9)));
+
+        let delta = KernelDelta::RemoveInst {
+            inst: id,
+            read_regs: false,
+        };
+        let patched = parent.patch(&delta).expect("eligible at O2");
+        let mut edited = k.clone();
+        for blk in &mut edited.blocks {
+            blk.instrs.retain(|i| i.id != id);
+        }
+        let recompiled =
+            CompiledKernel::compile_with(&edited, &spec, OptLevel::O2).expect("verifies");
+        assert_eq!(patched, recompiled);
+    }
+
+    #[test]
+    fn opt_level_defaults_off() {
+        // The global default protects every pre-existing trajectory: a
+        // process that never touches the knob compiles at O0. (The
+        // set/get round trip is exercised in a dedicated integration
+        // test process — flipping the global here would race the other
+        // unit tests in this binary, which compile through the default.)
+        assert_eq!(OptLevel::default(), OptLevel::O0);
+        assert_eq!(opt_level(), OptLevel::O0);
     }
 
     #[test]

@@ -528,8 +528,18 @@ fn eval_scalar(
     lane: u32,
     inst: &CInst,
 ) -> Result<Value, ExecError> {
-    let a0 = |i: usize| read_operand(regs, ctx, warp_idx, lane, &inst.args[i]);
-    Ok(match inst.op {
+    eval_pure(inst.op, |i| {
+        read_operand(regs, ctx, warp_idx, lane, &inst.args[i])
+    })
+}
+
+/// The pure scalar evaluator: one op over already-resolved operand
+/// values. This single match is shared between per-lane execution
+/// ([`eval_scalar`]) and O2 compile-time constant folding
+/// (`compile::fold_value`) — keeping them one function is what makes
+/// folding trivially fault- and result-preserving.
+pub(crate) fn eval_pure(op: Op, a0: impl Fn(usize) -> Value) -> Result<Value, ExecError> {
+    Ok(match op {
         Op::IBin(op) => eval_ibin(op, a0(0), a0(1))?,
         Op::FBin(op) => {
             let x = expect_f32(a0(0))?;
@@ -599,7 +609,7 @@ fn eval_scalar(
             let c = expect_i64(a0(1))?;
             Value::I32(rng::mix_to_u31(s, c))
         }
-        _ => unreachable!("non-scalar op routed to exec_scalar: {:?}", inst.op),
+        _ => unreachable!("non-scalar op routed to the scalar evaluator: {op:?}"),
     })
 }
 
@@ -791,18 +801,23 @@ impl<'a> BlockExec<'a> {
                 let cur_block = self.warps[wi].block as usize;
                 let active = self.warps[wi].active;
                 // Warp-uniform fast path: the compiler flagged this
-                // block's condition as statically identical across
-                // lanes (immediate, parameter, or lane-independent
-                // special — e.g. a `CondReplace(ImmBool)` edit), so one
-                // read decides the whole mask and divergence is
-                // impossible. Lane 0 is a safe probe even when
-                // inactive: uniform slots by definition do not read
-                // lane state, and the error a non-boolean condition
-                // raises is the same one every active lane would raise.
+                // block's condition as identical across lanes — either
+                // statically (immediate, parameter, or lane-independent
+                // special — e.g. a `CondReplace(ImmBool)` edit) or, at
+                // O2, a register the uniformity analysis proved holds
+                // one value in every active lane — so one read decides
+                // the whole mask and divergence is impossible. The
+                // first *active* lane is the probe: a uniform register
+                // is only guaranteed equal across lanes that were
+                // active at its definition, which the active set here
+                // is a subset of (for statically uniform slots any lane
+                // works, so this is also valid at O0). The error a
+                // non-boolean condition raises is the same one every
+                // active lane would raise.
                 let ctx = self.lane_ctx();
                 if active != 0 && self.kernel.uniform_cond[cur_block] {
                     let w = &self.warps[wi];
-                    let v = read_operand(&w.regs, &ctx, w.idx, 0, &cond);
+                    let v = read_operand(&w.regs, &ctx, w.idx, active.trailing_zeros(), &cond);
                     let b = v.as_bool().ok_or(ExecError::TypeMismatch {
                         expected: Ty::Bool,
                         found: v.ty(),
@@ -1003,6 +1018,20 @@ impl<'a> BlockExec<'a> {
                 self.issue += 1;
             }
             OpClass::Scalar => self.exec_scalar(wi, inst, active)?,
+            OpClass::UniformScalar => self.exec_uniform_scalar(wi, inst, active)?,
+            OpClass::Folded => self.exec_folded(wi, inst, active),
+            OpClass::UniformLoad => {
+                let Op::Load { space, ty } = inst.op else {
+                    unreachable!("UniformLoad tag on non-load op")
+                };
+                self.exec_uniform_load(wi, inst, space, ty, active)?;
+            }
+            OpClass::UniformStore => {
+                let Op::Store { space, ty } = inst.op else {
+                    unreachable!("UniformStore tag on non-store op")
+                };
+                self.exec_uniform_store(wi, inst, space, ty, active)?;
+            }
         }
         Ok(false)
     }
@@ -1031,6 +1060,60 @@ impl<'a> BlockExec<'a> {
         self.stats.alu_instructions += 1;
         self.issue += 1;
         Ok(())
+    }
+
+    /// Scalar op the uniformity analysis proved warp-uniform: evaluate
+    /// once on the first active lane and broadcast the result, instead
+    /// of bit-walking the mask. Charges are identical to
+    /// [`Self::exec_scalar`] — the cycle/issue model never depended on
+    /// the active-lane count for scalar ops.
+    fn exec_uniform_scalar(
+        &mut self,
+        wi: usize,
+        inst: &CInst,
+        active: u64,
+    ) -> Result<(), ExecError> {
+        let ctx = self.lane_ctx();
+        let dst = inst.dst;
+        let w = &mut self.warps[wi];
+        if active != 0 {
+            // The slow path evaluates nothing (and faults nowhere) with
+            // no active lanes, so neither does this one.
+            let result = eval_scalar(&w.regs, &ctx, w.idx, active.trailing_zeros(), inst)?;
+            if dst != NO_DST {
+                let mut mask = active;
+                while mask != 0 {
+                    let lane = mask.trailing_zeros();
+                    mask &= mask - 1;
+                    w.regs[dst as usize + lane as usize] = result;
+                }
+            }
+        }
+        w.cycles += inst.cost;
+        self.stats.alu_instructions += 1;
+        self.issue += 1;
+        Ok(())
+    }
+
+    /// Constant-folded op: the result was computed at compile time and
+    /// sits in `args[0]` as an immediate — broadcast it to the active
+    /// lanes. Charges are those of the original op; folding is result-
+    /// and stats-invisible.
+    fn exec_folded(&mut self, wi: usize, inst: &CInst, active: u64) {
+        let ctx = self.lane_ctx();
+        let dst = inst.dst;
+        debug_assert_ne!(dst, NO_DST, "folded ops have a dst");
+        let w = &mut self.warps[wi];
+        let result = read_operand(&w.regs, &ctx, w.idx, 0, &inst.args[0]);
+        let mut mask = active;
+        while mask != 0 {
+            let lane = mask.trailing_zeros();
+            mask &= mask - 1;
+            w.regs[dst as usize + lane as usize] = result;
+        }
+        w.cycles += inst.cost;
+        self.stats.alu_instructions += 1;
+        self.issue += 1;
     }
 
     // ---- memory ---------------------------------------------------------
@@ -1103,6 +1186,87 @@ impl<'a> BlockExec<'a> {
             }
         }
         self.charge_mem(wi, space, active, &addrs, true);
+        Ok(())
+    }
+
+    /// Load whose address is warp-uniform (O2): one address read, one
+    /// memory access, result broadcast to the active lanes. Stats are
+    /// charged analytically for the single address — exactly what
+    /// [`Self::charge_mem`] computes when every active lane presents
+    /// the same address.
+    fn exec_uniform_load(
+        &mut self,
+        wi: usize,
+        inst: &CInst,
+        space: AddrSpace,
+        ty: MemTy,
+        active: u64,
+    ) -> Result<(), ExecError> {
+        if active == 0 {
+            // Slow path with no active lanes: no reads, no access
+            // counters, one issue slot (`charge_mem`'s empty-mask exit).
+            self.issue += 1;
+            return Ok(());
+        }
+        let ctx = self.lane_ctx();
+        let dst = inst.dst;
+        debug_assert_ne!(dst, NO_DST, "load has dst");
+        let shared_bytes = self.kernel.shared_bytes;
+        let addr;
+        {
+            let w = &mut self.warps[wi];
+            let lane = active.trailing_zeros();
+            addr = expect_i64(read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[0]))?;
+            let v = match space {
+                AddrSpace::Global => self.mem.load(addr, ty)?,
+                AddrSpace::Shared => shared_load(self.shared, shared_bytes, addr, ty)?,
+            };
+            let mut mask = active;
+            while mask != 0 {
+                let lane = mask.trailing_zeros();
+                mask &= mask - 1;
+                w.regs[dst as usize + lane as usize] = v;
+            }
+        }
+        self.charge_mem_uniform(wi, space, active, addr, false);
+        Ok(())
+    }
+
+    /// Store whose address *and* value are warp-uniform (O2): all
+    /// active lanes write the same word to the same place, so one store
+    /// suffices (the slow path's last writer wrote this exact value).
+    fn exec_uniform_store(
+        &mut self,
+        wi: usize,
+        inst: &CInst,
+        space: AddrSpace,
+        ty: MemTy,
+        active: u64,
+    ) -> Result<(), ExecError> {
+        if active == 0 {
+            self.issue += 1;
+            return Ok(());
+        }
+        let ctx = self.lane_ctx();
+        let shared_bytes = self.kernel.shared_bytes;
+        let addr;
+        {
+            let w = &self.warps[wi];
+            let lane = active.trailing_zeros();
+            addr = expect_i64(read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[0]))?;
+            let v = read_operand(&w.regs, &ctx, w.idx, lane, &inst.args[1]);
+            if v.ty() != ty.value_ty() {
+                return Err(ExecError::TypeMismatch {
+                    expected: ty.value_ty(),
+                    found: v.ty(),
+                });
+            }
+            match space {
+                AddrSpace::Global => self.mem.store(addr, v)?,
+                AddrSpace::Shared => shared_store(self.shared, shared_bytes, addr, v)?,
+            }
+        }
+        self.charge_mem_uniform(wi, space, active, addr, true);
         Ok(())
     }
 
@@ -1229,6 +1393,73 @@ impl<'a> BlockExec<'a> {
                 };
                 self.warps[wi].cycles += stall + (nseg - 1) * self.spec.costs.global_segment;
                 self.issue += nseg * 2;
+            }
+        }
+    }
+
+    /// [`Self::charge_mem`] specialized to a single distinct address —
+    /// the warp-uniform case. Every arithmetic step below is
+    /// `charge_mem` with one deduplicated word/segment: zero bank
+    /// conflicts (`ways == 1`), one coalesced segment, one L2 tag and
+    /// row-buffer probe. Must stay charge-for-charge identical so O2
+    /// images produce bit-identical [`LaunchStats`].
+    fn charge_mem_uniform(
+        &mut self,
+        wi: usize,
+        space: AddrSpace,
+        active: u64,
+        addr: i64,
+        is_store: bool,
+    ) {
+        debug_assert_ne!(active, 0, "callers handle the empty mask");
+        match space {
+            AddrSpace::Shared => {
+                self.stats.shared_accesses += 1;
+                // Scalarized single-lane-0 store fast path, as in
+                // `charge_mem`.
+                if is_store && active == 1 {
+                    self.warps[wi].cycles += self.spec.costs.shared_scalar;
+                    self.issue += 1;
+                    return;
+                }
+                // One distinct word → one bank → `ways == 1`: no
+                // conflicts recorded, base cost only.
+                let base = if is_store {
+                    self.spec.costs.shared_store
+                } else {
+                    self.spec.costs.shared
+                };
+                self.warps[wi].cycles += base;
+                self.issue += 1;
+            }
+            AddrSpace::Global => {
+                self.stats.global_accesses += 1;
+                let seg = addr.unsigned_abs() / self.spec.coalesce_bytes;
+                let slot = (seg % self.spec.cache_lines) as usize;
+                let lat = if self.l2.cache[slot] == seg {
+                    self.stats.cache_hits += 1;
+                    self.spec.costs.global_hit
+                } else {
+                    self.l2.cache[slot] = seg;
+                    self.stats.cache_misses += 1;
+                    let row = seg * self.spec.coalesce_bytes / self.spec.dram_row_bytes;
+                    if row == self.l2.open_row {
+                        self.stats.row_hits += 1;
+                        self.spec.costs.global_row_hit
+                    } else {
+                        self.l2.open_row = row;
+                        self.stats.row_misses += 1;
+                        self.spec.costs.global_row_miss
+                    }
+                };
+                self.stats.global_segments += 1;
+                let stall = if is_store {
+                    self.spec.costs.global_store
+                } else {
+                    lat
+                };
+                self.warps[wi].cycles += stall;
+                self.issue += 2;
             }
         }
     }
@@ -1516,5 +1747,140 @@ mod layout_tests {
         assert!(s.order.is_empty());
         assert!(s.params.is_empty());
         assert!(s.sm_cycles.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod uniformity_soundness {
+    //! Soundness oracle for the O2 warp-uniformity analysis (ISSUE 8
+    //! satellite): on randomly generated kernels, every register the
+    //! analysis marks uniform must hold **identical values across the
+    //! live lanes** after per-lane execution at O0. The oracle runs the
+    //! plain mask-walking interpreter on the unoptimized image — it is
+    //! completely independent of the O2 fast paths it certifies.
+
+    use super::*;
+    use crate::compile::OptLevel;
+    use crate::spec::GpuSpec;
+    use gevo_ir::analysis::uniformity;
+    use gevo_ir::{AddrSpace, Cfg, IntBinOp, Kernel, KernelBuilder, Operand, Special};
+    use proptest::prelude::*;
+
+    /// Tiny deterministic generator (LCG); the gpu crate cannot depend
+    /// on `gevo-bench`'s richer kernel generator without a cycle.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            self.0 >> 33
+        }
+
+        fn pick(&mut self, n: usize) -> usize {
+            usize::try_from(self.next()).expect("lcg output") % n
+        }
+    }
+
+    /// A random straight-line i32 dataflow over a mixed uniform /
+    /// lane-dependent seed pool, closed by a data-dependent diamond
+    /// that overwrites a random register on its then-path — exactly the
+    /// shape that exercises the fixpoint's divergence demotion — and a
+    /// per-thread store (always in bounds: the fault surface is not
+    /// under test here).
+    fn random_kernel(seed: u64, n_ops: usize) -> Kernel {
+        let mut r = Lcg(seed | 1);
+        let mut b = KernelBuilder::new("sound");
+        let out = b.param_ptr("out", AddrSpace::Global);
+        let n = b.param_i32("n");
+        let tid = b.special_i32(Special::ThreadId);
+        let bid = b.special_i32(Special::BlockId);
+        let nv = b.mov(Operand::Param(n));
+        let mut pool = vec![tid, bid, nv];
+        let ops = [
+            IntBinOp::Add,
+            IntBinOp::Sub,
+            IntBinOp::Mul,
+            IntBinOp::Min,
+            IntBinOp::Max,
+            IntBinOp::And,
+            IntBinOp::Or,
+            IntBinOp::Xor,
+        ];
+        for _ in 0..n_ops {
+            let op = ops[r.pick(ops.len())];
+            let lhs = Operand::Reg(pool[r.pick(pool.len())]);
+            let rhs = if r.pick(3) == 0 {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                Operand::ImmI32((r.next() % 64) as i32)
+            } else {
+                Operand::Reg(pool[r.pick(pool.len())])
+            };
+            pool.push(b.ibin(op, lhs, rhs));
+        }
+        // Data-dependent diamond; whether it can actually diverge
+        // depends on whether the scrutinee is uniform — both cases
+        // occur across seeds, and the analysis must sort them out.
+        let scrut = pool[r.pick(pool.len())];
+        #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+        let cut = (r.next() % 16) as i32;
+        let cond = b.icmp_lt(scrut.into(), Operand::ImmI32(cut));
+        let then_b = b.new_block("t");
+        let join_b = b.new_block("j");
+        b.cond_br(cond.into(), then_b, join_b);
+        b.switch_to(then_b);
+        let victim = pool[r.pick(pool.len())];
+        b.ibin_to(victim, IntBinOp::Add, victim.into(), Operand::ImmI32(1));
+        b.br(join_b);
+        b.switch_to(join_b);
+        let val = pool[r.pick(pool.len())];
+        let addr = b.index_addr(Operand::Param(out), tid.into(), 4);
+        b.store_global_i32(addr.into(), val.into());
+        b.ret();
+        b.finish()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        #[test]
+        fn uniform_marked_regs_are_lane_invariant_under_o0(
+            seed in 0u64..u64::MAX,
+            n_ops in 1usize..14,
+            threads in 1u32..9,
+        ) {
+            let spec = GpuSpec::p100().scaled(8);
+            let k = random_kernel(seed, n_ops);
+            let info = uniformity(&k, &Cfg::build(&k));
+            // The oracle interpreter: plain O0 per-lane execution.
+            let ck = CompiledKernel::compile_with(&k, &spec, OptLevel::O0)
+                .expect("generated kernels verify");
+            let mut gpu = Gpu::new(spec);
+            let buf = gpu.mem_mut().alloc(8 * 4).expect("arena fits");
+            let args = [KernelArg::from(buf), KernelArg::I32(7)];
+            let mut scratch = ExecScratch::new();
+            gpu.launch_compiled_in(&ck, LaunchConfig::new(1, threads), &args, &mut scratch)
+                .expect("generated kernels cannot fault");
+
+            // One block, one warp: its final register file is visible in
+            // the scratch. Lanes at or above `threads` never executed
+            // (they still hold sentinels) — uniformity claims cover the
+            // live lanes only.
+            let live = threads as usize;
+            let warp = &scratch.warps[0];
+            for reg in 0..k.reg_count() {
+                if !info.uniform_regs[reg] {
+                    continue;
+                }
+                let base = reg * 8;
+                for lane in 1..live {
+                    prop_assert!(
+                        warp.regs[base + lane] == warp.regs[base],
+                        "analysis marked r{reg} uniform but lane {lane} disagrees (seed {seed})"
+                    );
+                }
+            }
+        }
     }
 }

@@ -58,6 +58,7 @@
 // comparison is the intended semantics.
 #![allow(clippy::float_cmp)]
 
+pub mod analysis;
 pub mod builder;
 pub mod cfg;
 pub mod delta;
