@@ -2,11 +2,12 @@
 //!
 //! Accepts line-delimited JSON jobs on **stdin** or over a plain
 //! `std::net::TcpListener` (`--listen ADDR`; no web framework), runs
-//! each search on its own worker thread, streams engine events back as
-//! they happen, and checkpoints every N generations so a `SIGKILL` at
-//! any moment loses at most N generations of work: on restart the
-//! server rescans its state directory and resumes every unfinished job
-//! from its last checkpoint. DESIGN.md §3.6 documents the protocol.
+//! each search on its own supervised worker thread, streams engine
+//! events back as they happen, and checkpoints every N generations so
+//! a `SIGKILL` at any moment loses at most N generations of work: on
+//! restart the server rescans its state directory and resumes every
+//! unfinished job from its last checkpoint. DESIGN.md §3.6 documents
+//! the protocol, §3.9 the supervision/recovery contract.
 //!
 //! ```text
 //! gevo-serve --state-dir DIR [--listen ADDR] [--exit-when-idle]
@@ -15,10 +16,15 @@
 //! Operations (one JSON object per line):
 //!
 //! ```text
-//! {"op":"submit","id":"j1","workload":"adept-v0","pop":8,"gens":6,"seed":3}
+//! {"op":"submit","id":"j1","workload":"adept-v0","pop":8,"gens":6,"seed":3,
+//!  "deadline_s":600}
 //! {"op":"status"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! Malformed submissions are rejected with one `error` event **per bad
+//! field** — a present-but-wrong-type `pop`/`gens`/`seed`/... never
+//! silently coerces to a default (absent fields still default).
 //!
 //! Events (one JSON object per line, to the submitting stream):
 //!
@@ -26,19 +32,38 @@
 //! {"event":"accepted","id":"j1","recovered":false}
 //! {"event":"generation","id":"j1","gen":0,"best_fitness":..,"best_speedup":..}
 //! {"event":"migration","id":"j1","gen":..,"from":0,"to":1}
-//! {"event":"done","id":"j1","speedup":..,"result":"<path>.done.json"}
+//! {"event":"rollback","id":"j1","message":"checkpoint .. rolled back .."}
+//! {"event":"failed","id":"j1","attempt":1,"error":"panic: .."}
+//! {"event":"suspended","id":"j1","gen":4}
+//! {"event":"done","id":"j1","speedup":..,"result":"<path>.done.json",
+//!  "attempts":1,"evals":..,"step_limit_kills":..,"faults":{..}}
 //! {"event":"error","id":"j1","message":".."}
-//! {"event":"status","jobs":[{"id":"j1","state":"running"}, ..]}
+//! {"event":"status","jobs":[{"id":"j1","state":"running","attempts":1}, ..]}
 //! ```
 //!
+//! Supervision: each job runs under a per-attempt `catch_unwind` with
+//! an optional wall-clock deadline (`deadline_s` on the submit, else
+//! `GEVO_JOB_DEADLINE`). A panicked or deadline-blown attempt emits a
+//! `failed` event and is retried with exponential backoff
+//! (`GEVO_JOB_RETRIES` / `GEVO_JOB_BACKOFF_MS`, see
+//! `gevo_bench::supervise`) — and because the attempt resumes from the
+//! job's last checkpoint, a retry repeats at most one checkpoint
+//! interval, never the whole search. The `shutdown` op checkpoints
+//! every in-flight job (`suspended` event) before the server exits, so
+//! the next start resumes them rather than re-running from
+//! generation 0.
+//!
 //! Durability: `<id>.job.json` (the resolved job, written atomically on
-//! accept), `<id>.ckpt.json` (checkpoint, cadence
-//! `GEVO_CHECKPOINT_EVERY`, default 5), `<id>.done.json` (final
-//! [`gevo_engine::SearchResult`]). All writes are atomic
-//! (temp + rename), so a kill can truncate nothing.
+//! accept), `<id>.ckpt.json` (CRC-sealed checkpoint with `.ckpt.json.1`
+//! rotation, cadence `GEVO_CHECKPOINT_EVERY`, default 5),
+//! `<id>.done.json` (final [`gevo_engine::SearchResult`]). All writes
+//! are atomic (temp + rename), so a kill can truncate nothing; a
+//! corrupted checkpoint rolls back to its `.1` snapshot (`rollback`
+//! event) instead of failing the job.
 
-use gevo_bench::checkpoint::{load_state, write_atomic};
-use gevo_bench::{env_usize, workload_by_name};
+use gevo_bench::checkpoint::{load_state_with_rollback, write_atomic, write_checkpoint};
+use gevo_bench::supervise::{job_deadline, RetryPolicy};
+use gevo_bench::{chaos, env_usize, quarantine_knob, workload_by_name};
 use gevo_engine::{
     GaConfig, GenerationRecord, MigrationEvent, Search, SearchObserver, SearchSpec, SearchState,
     StepStatus,
@@ -48,8 +73,9 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Where a job's events go: the stdout printer thread, or the TCP
 /// connection that submitted it.
@@ -75,24 +101,55 @@ impl Sink {
     }
 }
 
-/// Shared server state: job table + idle signaling.
+/// One row of the job table.
+#[derive(Clone, Copy)]
+struct JobInfo {
+    state: &'static str,
+    attempts: usize,
+}
+
+/// Shared server state: job table + idle signaling + shutdown latch.
 struct Manager {
     dir: PathBuf,
     every: usize,
-    jobs: Mutex<BTreeMap<String, &'static str>>,
+    jobs: Mutex<BTreeMap<String, JobInfo>>,
     idle: Condvar,
+    /// Set by the `shutdown` op: workers checkpoint and suspend at
+    /// their next step boundary instead of running to completion.
+    shutting_down: AtomicBool,
 }
 
 impl Manager {
     fn set_state(&self, id: &str, state: &'static str) {
         let mut jobs = self.jobs.lock().expect("job table poisoned");
-        jobs.insert(id.to_string(), state);
+        let info = jobs
+            .entry(id.to_string())
+            .or_insert(JobInfo { state, attempts: 0 });
+        info.state = state;
         self.idle.notify_all();
+    }
+
+    fn set_attempts(&self, id: &str, attempts: usize) {
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        if let Some(info) = jobs.get_mut(id) {
+            info.attempts = attempts;
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
     }
 
     fn wait_idle(&self) {
         let mut jobs = self.jobs.lock().expect("job table poisoned");
-        while jobs.values().any(|s| *s == "queued" || *s == "running") {
+        while jobs
+            .values()
+            .any(|j| j.state == "queued" || j.state == "running")
+        {
             jobs = self.idle.wait(jobs).expect("job table poisoned");
         }
     }
@@ -101,10 +158,11 @@ impl Manager {
         let jobs = self.jobs.lock().expect("job table poisoned");
         let rows: Vec<Value> = jobs
             .iter()
-            .map(|(id, state)| {
+            .map(|(id, info)| {
                 let mut row = serde_json::Map::new();
                 row.insert("id", id.clone());
-                row.insert("state", *state);
+                row.insert("state", info.state);
+                row.insert("attempts", info.attempts as u64);
                 Value::Object(row)
             })
             .collect();
@@ -115,12 +173,14 @@ impl Manager {
     }
 }
 
-/// One accepted job: id + workload registry name + fully resolved spec.
+/// One accepted job: id + workload registry name + fully resolved spec
+/// + optional per-job deadline.
 #[derive(Clone)]
 struct Job {
     id: String,
     workload: String,
     spec: SearchSpec,
+    deadline_s: Option<u64>,
 }
 
 impl Job {
@@ -129,6 +189,9 @@ impl Job {
         obj.insert("id", self.id.clone());
         obj.insert("workload", self.workload.clone());
         obj.insert("spec", self.spec.to_json());
+        if let Some(s) = self.deadline_s {
+            obj.insert("deadline_s", s);
+        }
         Value::Object(obj)
     }
 
@@ -146,6 +209,7 @@ impl Job {
             id: id.to_string(),
             workload: workload.to_string(),
             spec,
+            deadline_s: v.get("deadline_s").and_then(Value::as_u64),
         })
     }
 }
@@ -185,32 +249,47 @@ fn job_path(dir: &Path, id: &str, kind: &str) -> PathBuf {
     dir.join(format!("{id}.{kind}.json"))
 }
 
-/// The worker: resume from the job's checkpoint if one exists, stream
-/// events, checkpoint on cadence, persist the final result, report.
-fn run_job(mgr: &Arc<Manager>, job: &Job, sink: &Sink) {
-    mgr.set_state(&job.id, "running");
-    let fail = |msg: String| {
-        let mut obj = event("error", &job.id);
-        obj.insert("message", msg);
-        sink.emit(&Value::Object(obj).to_string());
-        mgr.set_state(&job.id, "error");
-    };
+/// How one supervised attempt ended.
+enum Attempt {
+    /// Result persisted, `done` event emitted.
+    Done,
+    /// Shutdown checkpointed the job mid-run; the next server start
+    /// resumes it.
+    Suspended,
+    /// Recoverable failure (deadline blown); retry from checkpoint.
+    Failed(String),
+    /// Unrecoverable (unknown workload, both checkpoint snapshots
+    /// corrupt): retrying cannot help.
+    Fatal(String),
+}
+
+/// One attempt at a job: resume from its checkpoint (rolling back to
+/// the previous snapshot if the latest is corrupt), stream events,
+/// checkpoint on cadence, honor the deadline and the shutdown latch,
+/// persist the final result.
+fn run_job_once(mgr: &Arc<Manager>, job: &Job, sink: &Sink, attempt: usize) -> Attempt {
     let Some(w) = workload_by_name(&job.workload) else {
-        fail(format!("unknown workload {:?}", job.workload));
-        return;
+        return Attempt::Fatal(format!("unknown workload {:?}", job.workload));
     };
+    let w = chaos::wrap(w);
     let ckpt = job_path(&mgr.dir, &job.id, "ckpt");
     let state: Option<SearchState> = if ckpt.exists() {
-        match load_state(&ckpt) {
-            Ok(s) => Some(s),
-            Err(e) => {
-                fail(e);
-                return;
+        match load_state_with_rollback(&ckpt) {
+            Ok((s, note)) => {
+                if let Some(note) = note {
+                    let mut obj = event("rollback", &job.id);
+                    obj.insert("message", note);
+                    sink.emit(&Value::Object(obj).to_string());
+                }
+                Some(s)
             }
+            Err(e) => return Attempt::Fatal(e),
         }
     } else {
         None
     };
+    let deadline = job_deadline(job.deadline_s);
+    let started = Instant::now();
     let mut obs = ServeObserver {
         id: job.id.clone(),
         sink: sink.clone(),
@@ -222,17 +301,100 @@ fn run_job(mgr: &Arc<Manager>, job: &Job, sink: &Sink) {
     .observer(&mut obs);
     while let StepStatus::Advanced { gen } = search.step() {
         if (gen + 1) % mgr.every == 0 {
-            write_atomic(&ckpt, &search.checkpoint().to_json().to_string());
+            write_checkpoint(&ckpt, &search.checkpoint());
+        }
+        // Chaos worker panics fire at the step boundary, after any due
+        // checkpoint — caught by the supervisor, retried from that
+        // checkpoint (see `gevo_bench::chaos`).
+        chaos::maybe_worker_panic(search.eval_stats().evals);
+        if mgr.shutting_down() {
+            write_checkpoint(&ckpt, &search.checkpoint());
+            let mut obj = event("suspended", &job.id);
+            obj.insert("gen", gen + 1);
+            sink.emit(&Value::Object(obj).to_string());
+            return Attempt::Suspended;
+        }
+        if let Some(limit) = deadline {
+            if started.elapsed() > limit {
+                write_checkpoint(&ckpt, &search.checkpoint());
+                return Attempt::Failed(format!(
+                    "deadline {}s exceeded at generation {}",
+                    limit.as_secs(),
+                    gen + 1
+                ));
+            }
         }
     }
+    let stats = search.eval_stats();
     let result = search.into_result();
     let done = job_path(&mgr.dir, &job.id, "done");
     write_atomic(&done, &result.to_json().to_string());
     let mut obj = event("done", &job.id);
     obj.insert("speedup", result.speedup);
     obj.insert("result", done.display().to_string());
+    obj.insert("attempts", attempt as u64);
+    obj.insert("evals", stats.evals as u64);
+    obj.insert("step_limit_kills", stats.faults.step_limit as u64);
+    obj.insert("faults", stats.faults.to_json());
     sink.emit(&Value::Object(obj).to_string());
-    mgr.set_state(&job.id, "done");
+    Attempt::Done
+}
+
+/// The supervisor: runs attempts under `catch_unwind`, emits `failed`
+/// events, and retries from the last checkpoint with exponential
+/// backoff until the policy is exhausted.
+fn run_job(mgr: &Arc<Manager>, job: &Job, sink: &Sink) {
+    let policy = RetryPolicy::from_env();
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        mgr.set_state(&job.id, "running");
+        mgr.set_attempts(&job.id, attempt);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job_once(mgr, job, sink, attempt)
+        }));
+        let error = match outcome {
+            Ok(Attempt::Done) => {
+                mgr.set_state(&job.id, "done");
+                return;
+            }
+            Ok(Attempt::Suspended) => {
+                mgr.set_state(&job.id, "suspended");
+                return;
+            }
+            Ok(Attempt::Fatal(msg)) => {
+                let mut obj = event("error", &job.id);
+                obj.insert("message", msg);
+                sink.emit(&Value::Object(obj).to_string());
+                mgr.set_state(&job.id, "error");
+                return;
+            }
+            Ok(Attempt::Failed(msg)) => msg,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                format!("panic: {msg}")
+            }
+        };
+        let mut obj = event("failed", &job.id);
+        obj.insert("attempt", attempt as u64);
+        obj.insert("error", error.clone());
+        sink.emit(&Value::Object(obj).to_string());
+        if attempt > policy.retries {
+            let mut obj = event("error", &job.id);
+            obj.insert(
+                "message",
+                format!("giving up after {attempt} attempts: {error}"),
+            );
+            sink.emit(&Value::Object(obj).to_string());
+            mgr.set_state(&job.id, "error");
+            return;
+        }
+        std::thread::sleep(policy.backoff(attempt));
+    }
 }
 
 /// Accepts a job (persist + queue + spawn worker). `recovered` marks
@@ -266,55 +428,107 @@ fn accept_job(mgr: &Arc<Manager>, job: Job, sink: &Sink, recovered: bool) {
 }
 
 /// Builds the resolved job from a submit op: either an explicit
-/// `"spec"` object, or the shorthand pop/gens/seed/islands/migration
-/// fields over scaled defaults (threads pinned to 1 — determinism
-/// before latency for durable jobs).
-fn job_from_submit(v: &Value) -> Result<Job, String> {
-    let id = v
-        .get("id")
-        .and_then(Value::as_str)
-        .ok_or("submit: missing id")?;
-    if id.is_empty()
-        || !id
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
-    {
-        return Err(format!(
-            "submit: id {id:?} must be non-empty [A-Za-z0-9_-] (it names state files)"
-        ));
-    }
-    let workload = v
-        .get("workload")
-        .and_then(Value::as_str)
-        .ok_or("submit: missing workload")?;
+/// `"spec"` object, or the shorthand pop/gens/seed/islands/migration/
+/// deadline_s fields over scaled defaults (threads pinned to 1 —
+/// determinism before latency for durable jobs).
+///
+/// Absent shorthand fields default; **present-but-malformed fields are
+/// errors**, one per field, so a typo'd `"pop":"32"` is rejected
+/// loudly instead of silently running at the default budget.
+fn job_from_submit(v: &Value) -> Result<Job, Vec<String>> {
+    let mut errors: Vec<String> = Vec::new();
+    let mut field_u64 = |name: &str, default: u64| -> u64 {
+        match v.get(name) {
+            None | Some(Value::Null) => default,
+            Some(val) => val.as_u64().unwrap_or_else(|| {
+                errors.push(format!(
+                    "submit: field {name:?} must be a non-negative integer, got {val}"
+                ));
+                default
+            }),
+        }
+    };
+    let pop = field_u64("pop", 8);
+    let gens = field_u64("gens", 6);
+    let seed = field_u64("seed", 1);
+    let islands = field_u64("islands", 1).max(1);
+    // u64::MAX marks "absent": keep the spec's own default interval.
+    let migration = field_u64("migration", u64::MAX);
+    let deadline_s = match v.get("deadline_s") {
+        None | Some(Value::Null) => None,
+        Some(val) => {
+            let parsed = val.as_u64();
+            if parsed.is_none() {
+                errors.push(format!(
+                    "submit: field \"deadline_s\" must be a non-negative integer, got {val}"
+                ));
+            }
+            parsed
+        }
+    };
+    let id = match v.get("id").and_then(Value::as_str) {
+        Some(id)
+            if !id.is_empty()
+                && id
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') =>
+        {
+            id.to_string()
+        }
+        Some(id) => {
+            errors.push(format!(
+                "submit: id {id:?} must be non-empty [A-Za-z0-9_-] (it names state files)"
+            ));
+            String::new()
+        }
+        None => {
+            errors.push("submit: missing id".to_string());
+            String::new()
+        }
+    };
+    let workload = match v.get("workload").and_then(Value::as_str) {
+        Some(w) => w.to_string(),
+        None => {
+            errors.push("submit: missing workload".to_string());
+            String::new()
+        }
+    };
     let spec = if let Some(s) = v.get("spec") {
-        SearchSpec::from_json(s)?
+        match SearchSpec::from_json(s) {
+            Ok(spec) => spec,
+            Err(e) => {
+                errors.push(format!("submit: bad spec: {e}"));
+                SearchSpec::default()
+            }
+        }
     } else {
-        let num = |name: &str, default: usize| -> usize {
-            v.get(name)
-                .and_then(Value::as_u64)
-                .and_then(|u| usize::try_from(u).ok())
-                .unwrap_or(default)
-        };
+        let clamp = |n: u64| usize::try_from(n).unwrap_or(usize::MAX);
         let mut spec = SearchSpec {
             ga: GaConfig {
-                population: num("pop", 8),
-                generations: num("gens", 6),
-                seed: v.get("seed").and_then(Value::as_u64).unwrap_or(1),
+                population: clamp(pop),
+                generations: clamp(gens),
+                seed,
                 threads: 1,
                 ..GaConfig::scaled()
             },
-            islands: num("islands", 1).max(1),
+            islands: clamp(islands),
             ..SearchSpec::default()
         };
-        spec.migration_interval = num("migration", spec.migration_interval);
+        if migration != u64::MAX {
+            spec.migration_interval = clamp(migration);
+        }
         spec
     };
-    Ok(Job {
-        id: id.to_string(),
-        workload: workload.to_string(),
-        spec,
-    })
+    if errors.is_empty() {
+        Ok(Job {
+            id,
+            workload,
+            spec,
+            deadline_s,
+        })
+    } else {
+        Err(errors)
+    }
 }
 
 /// Handles one op line; returns `true` when the server should shut
@@ -336,14 +550,23 @@ fn handle_line(mgr: &Arc<Manager>, line: &str, sink: &Sink) -> bool {
     match v.get("op").and_then(Value::as_str).unwrap_or("") {
         "submit" => match job_from_submit(&v) {
             Ok(job) => accept_job(mgr, job, sink, false),
-            Err(msg) => {
-                let mut obj = event("error", v.get("id").and_then(Value::as_str).unwrap_or(""));
-                obj.insert("message", msg);
-                sink.emit(&Value::Object(obj).to_string());
+            Err(messages) => {
+                let id = v.get("id").and_then(Value::as_str).unwrap_or("");
+                for msg in messages {
+                    let mut obj = event("error", id);
+                    obj.insert("message", msg);
+                    sink.emit(&Value::Object(obj).to_string());
+                }
             }
         },
         "status" => sink.emit(&mgr.status_line()),
-        "shutdown" => return true,
+        "shutdown" => {
+            // Graceful: every in-flight job checkpoints and suspends at
+            // its next step boundary; the main/TCP path then drains and
+            // exits. The next start resumes the suspended jobs.
+            mgr.begin_shutdown();
+            return true;
+        }
         _ => {
             let mut obj = event("error", "");
             obj.insert("message", format!("unknown op in {line:?}"));
@@ -410,12 +633,14 @@ fn main() {
         eprintln!("cannot create state dir {}: {e}", dir.display());
         std::process::exit(2);
     });
+    let _ = quarantine_knob();
     let exit_when_idle = std::env::args().any(|a| a == "--exit-when-idle");
     let mgr = Arc::new(Manager {
         dir,
         every: env_usize("GEVO_CHECKPOINT_EVERY", 5).max(1),
         jobs: Mutex::new(BTreeMap::new()),
         idle: Condvar::new(),
+        shutting_down: AtomicBool::new(false),
     });
 
     // Printer thread owns stdout; every stdin-submitted or recovered
@@ -448,7 +673,8 @@ fn main() {
                     let sink = Sink::Socket(Arc::new(Mutex::new(stream)));
                     for line in reader.lines().map_while(Result::ok) {
                         if handle_line(&mgr, &line, &sink) {
-                            // Shutdown over TCP: drain and exit.
+                            // Shutdown over TCP: wait for every worker
+                            // to suspend or finish, then exit.
                             mgr.wait_idle();
                             std::process::exit(0);
                         }
@@ -471,8 +697,10 @@ fn main() {
         let _ = printer.join();
         std::process::exit(0);
     }
-    // Without --exit-when-idle, stdin EOF still drains the queue before
-    // exiting (a TCP listener, if any, dies with the process).
+    // Without --exit-when-idle, stdin EOF (or the shutdown op) still
+    // drains in-flight work — to completion normally, to a suspended
+    // checkpoint under shutdown — before exiting (a TCP listener, if
+    // any, dies with the process).
     mgr.wait_idle();
     drop(stdout_sink);
     let _ = printer.join();

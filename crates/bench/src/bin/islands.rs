@@ -20,7 +20,8 @@
 //!  "evals":...,"cache_hit_rate":...,"evals_per_sec":...,
 //!  "winstr_per_sec":...,"migrations":...,
 //!  "lowered_insts":...,"uniform_insts":...,"folded_insts":...,
-//!  "scalarized_fraction":...}
+//!  "scalarized_fraction":...,
+//!  "step_limit_kills":...,"faults":{"step_limit":...,...}}
 //! ```
 
 use gevo_bench::{
@@ -83,7 +84,8 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize,
                  \"instructions\":{},\"winstr_per_sec\":{:.0},\
                  \"migrations\":{},\"wall_secs\":{secs:.3},\
                  \"lowered_insts\":{},\"uniform_insts\":{},\"folded_insts\":{},\
-                 \"scalarized_fraction\":{:.4}}}",
+                 \"scalarized_fraction\":{:.4},\
+                 \"step_limit_kills\":{},\"faults\":{}}}",
                 res.speedup,
                 res.best.fitness.expect("best is valid"),
                 res.evals,
@@ -97,6 +99,8 @@ fn report(name: &str, w: &dyn Workload, islands: usize, pop: usize, gens: usize,
                 stats.uniform_insts,
                 stats.folded_insts,
                 stats.scalarized_fraction(),
+                stats.faults.step_limit,
+                stats.faults.to_json(),
             );
         } else {
             row(&[

@@ -17,7 +17,7 @@
 //! Budget via `GEVO_POP` / `GEVO_GENS` / `GEVO_SEED` /
 //! `GEVO_MIGRATION`; checkpoint cadence via `GEVO_CHECKPOINT_EVERY`.
 
-use gevo_bench::{harness_spec, run_search, workload_by_name};
+use gevo_bench::{chaos, harness_spec, run_search, workload_by_name};
 
 fn arg_value(flag: &str) -> Option<String> {
     let prefix = format!("{flag}=");
@@ -41,6 +41,10 @@ fn main() {
         eprintln!("unknown workload {name:?} (expected adept-v0, adept-v1 or simcov)");
         std::process::exit(2);
     };
+    // Fault-injection wrapper (a pass-through unless GEVO_CHAOS names
+    // evaluation-level faults): this is the binary the chaos harness
+    // drives to assert the recovery invariant.
+    let w = chaos::wrap(w);
     let spec = harness_spec(8, 6);
     let result = run_search(w.as_ref(), &spec);
     println!("{}", result.to_json());

@@ -23,6 +23,22 @@
 //! Checkpoint files are written atomically (temp file + rename in the
 //! same directory), so a kill mid-write leaves the previous checkpoint
 //! intact, never a torn one.
+//!
+//! ## Integrity and rollback (DESIGN.md §3.9)
+//!
+//! Atomic rename keeps a *kill* from tearing a file, but not a bad
+//! disk, a truncating copy, or a stray editor from corrupting one.
+//! Every checkpoint is therefore sealed with a CRC-32 footer line
+//! ([`seal`]/[`unseal`]), and each write first rotates the existing
+//! file to `<file>.1` ([`write_checkpoint`]). On read,
+//! [`load_state`] demands a valid footer *and* a decodable
+//! [`SearchState`]; [`load_state_with_rollback`] falls back to the
+//! rotated `.1` snapshot when the primary fails either check, so a
+//! corrupted latest checkpoint costs at most one checkpoint interval
+//! of work instead of the whole run. The footer is mandatory — a file
+//! without one is treated as corrupt, because accepting it would let
+//! a truncation that happens to end on the JSON boundary pass
+//! silently.
 
 use gevo_engine::{
     EvalStats, Search, SearchObserver, SearchResult, SearchSpec, SearchState, StepStatus, Workload,
@@ -137,16 +153,139 @@ pub fn write_atomic(path: &Path, text: &str) {
         .unwrap_or_else(|e| panic!("cannot rename {} -> {}: {e}", tmp.display(), path.display()));
 }
 
-/// Loads and decodes a checkpoint file.
+/// CRC-32 (IEEE 802.3, reflected) of `bytes` — the checksum sealing
+/// every checkpoint file. Bitwise (no table): checkpoints are a few
+/// hundred KB at most and written once per generation interval, so
+/// simplicity beats throughput here.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The footer line tag. The body is one line of compact JSON (the
+/// serializer emits no newlines), so the last occurrence of
+/// `"\n" + tag` unambiguously splits body from footer.
+const FOOTER_TAG: &str = "#gevo-ckpt-crc32:";
+
+/// Seals checkpoint text with its CRC-32 footer line.
+#[must_use]
+pub fn seal(text: &str) -> String {
+    format!("{text}\n{FOOTER_TAG}{:08x}\n", crc32(text.as_bytes()))
+}
+
+/// Verifies and strips the [`seal`] footer, returning the body.
 ///
 /// # Errors
-/// Returns a message when the file cannot be read or decoded.
+/// Returns a message when the footer is missing, malformed, truncated,
+/// or the checksum does not match the body. A missing footer is an
+/// error by design: a legacy/unsealed file is indistinguishable from a
+/// sealed file truncated exactly at the body boundary.
+pub fn unseal(raw: &str) -> Result<&str, String> {
+    let marker = format!("\n{FOOTER_TAG}");
+    let body_end = raw
+        .rfind(&marker)
+        .ok_or_else(|| "missing integrity footer".to_string())?;
+    let body = &raw[..body_end];
+    let footer = &raw[body_end + marker.len()..];
+    let hex = footer
+        .strip_suffix('\n')
+        .ok_or_else(|| "truncated integrity footer".to_string())?;
+    if hex.len() != 8 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("malformed integrity footer {hex:?}"));
+    }
+    let want = u32::from_str_radix(hex, 16).expect("checked hex digits");
+    let got = crc32(body.as_bytes());
+    if want == got {
+        Ok(body)
+    } else {
+        Err(format!(
+            "checksum mismatch: footer says {want:08x}, content is {got:08x}"
+        ))
+    }
+}
+
+/// The rotation target holding the previous good snapshot:
+/// `run.ckpt.json` → `run.ckpt.json.1`.
+#[must_use]
+pub fn previous_path(path: &Path) -> PathBuf {
+    let name = path.file_name().map_or_else(
+        || "checkpoint".to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    path.with_file_name(format!("{name}.1"))
+}
+
+/// Writes a sealed checkpoint: rotates any existing file to
+/// [`previous_path`] (same-directory rename, atomic), then writes the
+/// CRC-sealed state atomically. After both steps at most one of the
+/// two files can be damaged by any single fault, which is exactly what
+/// [`load_state_with_rollback`] needs. Chaos fault injection
+/// ([`crate::chaos`]) hooks in after the write to corrupt the fresh
+/// file when a plan says so.
+///
+/// # Panics
+/// Panics if the write fails — losing checkpoints silently would
+/// defeat their purpose.
+pub fn write_checkpoint(path: &Path, state: &SearchState) {
+    if path.exists() {
+        let prev = previous_path(path);
+        std::fs::rename(path, &prev).unwrap_or_else(|e| {
+            panic!(
+                "cannot rotate {} -> {}: {e}",
+                path.display(),
+                prev.display()
+            )
+        });
+    }
+    write_atomic(path, &seal(&state.to_json().to_string()));
+    crate::chaos::on_checkpoint_written(path);
+}
+
+/// Loads, verifies and decodes a sealed checkpoint file.
+///
+/// # Errors
+/// Returns a message when the file cannot be read, fails its checksum,
+/// or does not decode as a [`SearchState`].
 pub fn load_state(path: &Path) -> Result<SearchState, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
-    let value = serde_json::from_str(&text)
+    let body = unseal(&text).map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+    let value = serde_json::from_str(body)
         .map_err(|e| format!("checkpoint {} is not valid JSON: {e}", path.display()))?;
     SearchState::from_json(&value).map_err(|e| format!("checkpoint {}: {e}", path.display()))
+}
+
+/// [`load_state`], falling back to the rotated previous snapshot when
+/// the primary file is corrupt. Returns the state plus a rollback note
+/// (`None` when the primary loaded cleanly) so callers can surface the
+/// recovery instead of hiding it.
+///
+/// # Errors
+/// Returns the combined failure when both snapshots are unreadable.
+pub fn load_state_with_rollback(path: &Path) -> Result<(SearchState, Option<String>), String> {
+    let primary_err = match load_state(path) {
+        Ok(state) => return Ok((state, None)),
+        Err(e) => e,
+    };
+    let prev = previous_path(path);
+    match load_state(&prev) {
+        Ok(state) => Ok((
+            state,
+            Some(format!(
+                "{primary_err}; rolled back to previous snapshot {}",
+                prev.display()
+            )),
+        )),
+        Err(fallback_err) => Err(format!("{primary_err}; rollback failed: {fallback_err}")),
+    }
 }
 
 /// Drives a configured [`Search`] session to completion, writing a
@@ -178,11 +317,16 @@ pub fn drive_search(
         if due || (stopping && ckpt.is_some()) {
             let state = search.checkpoint();
             let path = ckpt.expect("checked above");
-            write_atomic(path, &state.to_json().to_string());
+            write_checkpoint(path, &state);
         }
         if stopping {
             std::process::exit(STOPPED_EXIT_CODE);
         }
+        // Chaos worker panics fire here, at the step boundary *after*
+        // any due checkpoint — outside the evaluation isolation, so a
+        // rerun resumes from the checkpoint and replays the identical
+        // trajectory (the recovery invariant chaos_check asserts).
+        crate::chaos::maybe_worker_panic(search.eval_stats().evals);
     }
     let stats = search.eval_stats();
     (search.into_result(), stats)
@@ -212,8 +356,13 @@ pub fn run_search_with(
         .resume
         .clone()
         .or_else(|| ckpt.clone().filter(|p| p.exists()));
-    let state = resume_from.map(|p| match load_state(&p) {
-        Ok(state) => state,
+    let state = resume_from.map(|p| match load_state_with_rollback(&p) {
+        Ok((state, note)) => {
+            if let Some(note) = note {
+                eprintln!("gevo: {note}");
+            }
+            state
+        }
         Err(e) => panic!("{e}"),
     });
     let mut search = match &state {
@@ -254,6 +403,39 @@ mod tests {
         assert_eq!(verbatim, Path::new("/tmp/x/run.json"));
         let dir = resolve_checkpoint_path(Path::new("/tmp/ckpts"), "adept-v0[P100]", &spec);
         assert_eq!(dir, Path::new("/tmp/ckpts/adept-v0-p100-s9-i4.ckpt.json"));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_round_trips_and_detects_damage() {
+        let sealed = seal("{\"format\":1}");
+        assert_eq!(unseal(&sealed).unwrap(), "{\"format\":1}");
+        // Flip one body byte: checksum must catch it.
+        let mut bytes = sealed.clone().into_bytes();
+        bytes[2] ^= 0x01;
+        let flipped = String::from_utf8(bytes).unwrap();
+        assert!(unseal(&flipped).unwrap_err().contains("checksum mismatch"));
+        // Truncations anywhere are rejected (footer missing/truncated
+        // or checksum mismatch — never a silent accept).
+        for cut in 0..sealed.len() {
+            assert!(unseal(&sealed[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // A footer-less legacy file is corrupt by definition.
+        assert!(unseal("{\"format\":1}").unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn previous_path_appends_dot_one() {
+        assert_eq!(
+            previous_path(Path::new("/tmp/a/run.ckpt.json")),
+            Path::new("/tmp/a/run.ckpt.json.1")
+        );
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! | `GEVO_CHECKPOINT_EVERY` | generations between checkpoints | 5 |
 //! | `GEVO_STOP_AFTER` | checkpoint + exit(3) after k generations | off |
 //! | `GEVO_OPT` | lowering passes: `0` = O0 control arm, else O2 | O2 |
+//! | `GEVO_QUARANTINE` | directory for panic-provoking variants (see [`quarantine_knob`]) | off |
+//! | `GEVO_CHAOS` | fault-injection plan (see [`chaos`]) | off |
+//! | `GEVO_JOB_DEADLINE` / `GEVO_JOB_RETRIES` / `GEVO_JOB_BACKOFF_MS` | `gevo-serve` supervision (see [`supervise`]) | — |
 //!
 //! The GA-driven harnesses (fig4, fig5, fig6, islands, pareto) all
 //! build their engine session through ONE shared helper,
@@ -37,8 +40,10 @@
 
 pub mod ab;
 pub mod cases;
+pub mod chaos;
 pub mod checkpoint;
 pub mod kernel_gen;
+pub mod supervise;
 
 use gevo_engine::{
     EvalStats, Evaluator, GaConfig, Objective, Patch, SearchResult, SearchSpec, Workload,
@@ -157,6 +162,19 @@ pub fn opt_knob() -> gevo_gpu::OptLevel {
     level
 }
 
+/// Applies the `GEVO_QUARANTINE` knob: when set, panic-provoking
+/// variants caught by the engine's evaluation isolation are serialized
+/// into this directory as `*.quarantine.json`
+/// ([`gevo_engine::QuarantineRecord`]) for deterministic replay.
+/// Returns the directory in force.
+pub fn quarantine_knob() -> Option<std::path::PathBuf> {
+    let dir = std::env::var("GEVO_QUARANTINE")
+        .ok()
+        .map(std::path::PathBuf::from);
+    gevo_engine::quarantine::set_dir(dir.clone());
+    dir
+}
+
 /// The ONE place every harness binary's engine configuration is built:
 /// the GA budget (`GEVO_POP`/`GEVO_GENS`/`GEVO_SEED`/`GEVO_THREADS`)
 /// plus `--islands`/`GEVO_ISLANDS`, `GEVO_MIGRATION`, `GEVO_OBJECTIVES`
@@ -165,9 +183,11 @@ pub fn opt_knob() -> gevo_gpu::OptLevel {
 #[must_use]
 pub fn harness_spec(pop: usize, gens: usize) -> SearchSpec {
     // Engine config and device config travel together: every GA harness
-    // that builds its spec here also picks up the lowering level, so
-    // workloads constructed *after* this call compile accordingly.
+    // that builds its spec here also picks up the lowering level (and
+    // the quarantine directory), so workloads constructed *after* this
+    // call compile accordingly.
     let _ = opt_knob();
+    let _ = quarantine_knob();
     let mut spec = SearchSpec {
         ga: harness_ga(pop, gens),
         islands: islands_knob(),

@@ -407,6 +407,128 @@ impl CompiledShard {
     }
 }
 
+/// Extracts the human-readable message from a caught panic payload
+/// (`panic!("...")` carries `&str` or `String`; anything else is
+/// opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload.downcast_ref::<&'static str>().map_or_else(
+        || {
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "opaque panic payload".to_string())
+        },
+        |s| (*s).to_string(),
+    )
+}
+
+/// Coarse classification of an evaluation failure, recovered from the
+/// failure string [`EvalOutcome::failure`] carries (the outcome itself
+/// stays a plain string — its serialized form is checkpointed and must
+/// not change shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The interpreter's step budget killed a runaway mutant
+    /// (`gevo_gpu::ExecError::StepLimit`) — the paper's timeout analog.
+    StepLimit,
+    /// Static verification rejected the variant before it ran.
+    Verify,
+    /// A simulated runtime fault (memory fault, misaligned access,
+    /// barrier divergence, invalid launch, ...).
+    Exec,
+    /// The variant ran to completion but produced wrong output.
+    Mismatch,
+    /// The evaluation itself panicked and was caught by the
+    /// [`Evaluator`]'s isolation boundary (see [`crate::quarantine`]).
+    Panic,
+    /// Anything else.
+    Other,
+}
+
+impl FaultClass {
+    /// Classifies a failure string. The match is on the stable phrasing
+    /// each layer uses: `ExecError::StepLimit` displays "step limit",
+    /// the shared compile pipeline prefixes verification failures with
+    /// "verify:", launch-time exec errors all mention "fault",
+    /// "misaligned", "barrier" or "launch", output comparators phrase
+    /// mismatches as "... expected ...", and the isolation boundary
+    /// prefixes caught panics with "panic:".
+    #[must_use]
+    pub fn classify(reason: &str) -> FaultClass {
+        if reason.starts_with("panic:") {
+            FaultClass::Panic
+        } else if reason.contains("step limit") {
+            FaultClass::StepLimit
+        } else if reason.starts_with("verify:") || reason.contains("verification failed") {
+            FaultClass::Verify
+        } else if ["fault", "misaligned", "barrier", "launch", "deadlock"]
+            .iter()
+            .any(|kw| reason.contains(kw))
+        {
+            FaultClass::Exec
+        } else if reason.contains("expected") {
+            FaultClass::Mismatch
+        } else {
+            FaultClass::Other
+        }
+    }
+
+    const COUNT: usize = 6;
+
+    fn index(self) -> usize {
+        match self {
+            FaultClass::StepLimit => 0,
+            FaultClass::Verify => 1,
+            FaultClass::Exec => 2,
+            FaultClass::Mismatch => 3,
+            FaultClass::Panic => 4,
+            FaultClass::Other => 5,
+        }
+    }
+}
+
+/// Per-class counts of failing evaluations actually performed.
+/// Observability only: like the delta/lowering counters these are
+/// process-local (they reset on resume) and are deliberately absent
+/// from [`EvaluatorSnapshot`] and [`crate::SearchResult`], so
+/// checkpointed runs stay byte-identical to uninterrupted ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTallies {
+    /// Runaway mutants killed by the interpreter's step budget.
+    pub step_limit: usize,
+    /// Variants rejected by static verification.
+    pub verify: usize,
+    /// Simulated runtime faults.
+    pub exec: usize,
+    /// Wrong-output variants.
+    pub mismatch: usize,
+    /// Evaluation panics caught at the isolation boundary.
+    pub panic: usize,
+    /// Unclassified failures.
+    pub other: usize,
+}
+
+impl FaultTallies {
+    /// Total failing evaluations across all classes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.step_limit + self.verify + self.exec + self.mismatch + self.panic + self.other
+    }
+
+    /// Serializes to a JSON object (one integer field per class).
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("step_limit", self.step_limit as u64);
+        obj.insert("verify", self.verify as u64);
+        obj.insert("exec", self.exec as u64);
+        obj.insert("mismatch", self.mismatch as u64);
+        obj.insert("panic", self.panic as u64);
+        obj.insert("other", self.other as u64);
+        serde_json::Value::Object(obj)
+    }
+}
+
 /// Point-in-time view of the [`Evaluator`]'s throughput counters, for
 /// benches and tests. Only `evals`, `cache_hits` and `instructions` are
 /// result-visible (checkpointed in [`EvaluatorSnapshot`]); the rest
@@ -441,6 +563,11 @@ pub struct EvalStats {
     /// instructions plus branch terminators resolved to jumps). Zero
     /// at O0.
     pub folded_insts: u64,
+    /// Failing evaluations actually performed, classified by fault
+    /// class — the paper's timeout-kill analog made visible
+    /// (`step_limit` counts runaway mutants the interpreter's step
+    /// budget killed). Cache hits re-serving a failure add nothing.
+    pub faults: FaultTallies,
 }
 
 impl EvalStats {
@@ -501,6 +628,9 @@ pub struct Evaluator<'w> {
     lowered_insts: AtomicU64,
     uniform_insts: AtomicU64,
     folded_insts: AtomicU64,
+    /// Failing performed evaluations by [`FaultClass`] index. Like the
+    /// lowering counters: observability only, never checkpointed.
+    faults: [AtomicUsize; FaultClass::COUNT],
     eval_seed: RwLock<u64>,
 }
 
@@ -526,6 +656,7 @@ impl<'w> Evaluator<'w> {
             lowered_insts: AtomicU64::new(0),
             uniform_insts: AtomicU64::new(0),
             folded_insts: AtomicU64::new(0),
+            faults: std::array::from_fn(|_| AtomicUsize::new(0)),
             eval_seed: RwLock::new(0),
         }
     }
@@ -666,7 +797,7 @@ impl<'w> Evaluator<'w> {
         // Hold the seed read-lock across lookup, evaluation and insert so
         // a concurrent set_eval_seed cannot slip its clear between our
         // evaluation and our insert (see the type-level docs).
-        let seed = self.eval_seed.read().expect("seed lock");
+        let seed_guard = self.eval_seed.read().expect("seed lock");
         if let Some(hit) = self.shard(key).lock().expect("cache shard").get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
@@ -678,31 +809,55 @@ impl<'w> Evaluator<'w> {
         // cached ancestor's image (the delta path) before paying for a
         // full recompile. The patch is applied at most once per call,
         // and not at all on a compiled-cache hit.
-        let outcome = if let Some(compiled) = self.compiled_hit(key) {
-            self.workload.evaluate_compiled(&compiled, *seed)
-        } else {
-            let try_delta = self.workload.supports_delta_patch() && !patch.is_empty();
-            if let Some(compiled) = try_delta.then(|| self.try_delta_chain(patch)).flatten() {
-                self.delta_patched.fetch_add(1, Ordering::Relaxed);
-                self.count_pass_facts(&compiled);
-                self.compiled_retain(key, &compiled);
-                self.workload.evaluate_compiled(&compiled, *seed)
+        //
+        // The whole computation runs behind `catch_unwind`: a mutant
+        // that finds a simulator or compiler panic is a worst-fitness
+        // individual (quarantined for replay), never a dead search.
+        // The caught failure is cached and checkpointed like any other
+        // outcome, so a genuine (deterministic) panic scores the same
+        // across resume — byte-identity holds.
+        let seed = *seed_guard;
+        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(compiled) = self.compiled_hit(key) {
+                self.workload.evaluate_compiled(&compiled, seed)
             } else {
-                if try_delta {
-                    self.delta_fallbacks.fetch_add(1, Ordering::Relaxed);
-                }
-                let (kernels, _) = patch.apply(self.workload.kernels());
-                match self.workload.compile(&kernels) {
-                    Some(Ok(compiled)) => {
-                        let compiled = Arc::new(compiled);
-                        self.compiled_insert(key, &compiled);
-                        self.workload.evaluate_compiled(&compiled, *seed)
+                let try_delta = self.workload.supports_delta_patch() && !patch.is_empty();
+                if let Some(compiled) = try_delta.then(|| self.try_delta_chain(patch)).flatten() {
+                    self.delta_patched.fetch_add(1, Ordering::Relaxed);
+                    self.count_pass_facts(&compiled);
+                    self.compiled_retain(key, &compiled);
+                    self.workload.evaluate_compiled(&compiled, seed)
+                } else {
+                    if try_delta {
+                        self.delta_fallbacks.fetch_add(1, Ordering::Relaxed);
                     }
-                    Some(Err(reason)) => EvalOutcome::fail(reason),
-                    None => self.workload.evaluate(&kernels, *seed),
+                    let (kernels, _) = patch.apply(self.workload.kernels());
+                    match self.workload.compile(&kernels) {
+                        Some(Ok(compiled)) => {
+                            let compiled = Arc::new(compiled);
+                            self.compiled_insert(key, &compiled);
+                            self.workload.evaluate_compiled(&compiled, seed)
+                        }
+                        Some(Err(reason)) => EvalOutcome::fail(reason),
+                        None => self.workload.evaluate(&kernels, seed),
+                    }
                 }
             }
-        };
+        }));
+        let outcome = computed.unwrap_or_else(|payload| {
+            let reason = format!("panic: {}", panic_message(payload.as_ref()));
+            crate::quarantine::quarantine(&crate::quarantine::QuarantineRecord {
+                workload: self.workload.name().to_string(),
+                patch: patch.clone(),
+                eval_seed: seed,
+                reason: reason.clone(),
+            });
+            EvalOutcome::fail(reason)
+        });
+        if let Some(reason) = &outcome.failure {
+            let class = FaultClass::classify(reason);
+            self.faults[class.index()].fetch_add(1, Ordering::Relaxed);
+        }
         self.evals.fetch_add(1, Ordering::Relaxed);
         if let Some(stats) = &outcome.stats {
             self.instructions
@@ -808,6 +963,20 @@ impl<'w> Evaluator<'w> {
         self.folded_insts.load(Ordering::Relaxed)
     }
 
+    /// Per-class counts of failing evaluations actually performed.
+    #[must_use]
+    pub fn fault_tallies(&self) -> FaultTallies {
+        let load = |class: FaultClass| self.faults[class.index()].load(Ordering::Relaxed);
+        FaultTallies {
+            step_limit: load(FaultClass::StepLimit),
+            verify: load(FaultClass::Verify),
+            exec: load(FaultClass::Exec),
+            mismatch: load(FaultClass::Mismatch),
+            panic: load(FaultClass::Panic),
+            other: load(FaultClass::Other),
+        }
+    }
+
     /// All throughput counters in one consistent-enough view (each
     /// counter is read atomically; the set is not a single snapshot).
     #[must_use]
@@ -823,6 +992,7 @@ impl<'w> Evaluator<'w> {
             lowered_insts: self.insts_lowered(),
             uniform_insts: self.insts_scalarized(),
             folded_insts: self.insts_folded(),
+            faults: self.fault_tallies(),
         }
     }
 

@@ -86,6 +86,7 @@ pub mod fitness;
 pub mod ga;
 pub mod island;
 pub mod mutation;
+pub mod quarantine;
 pub mod search;
 pub mod state;
 
@@ -95,7 +96,8 @@ pub use analysis::{
 };
 pub use edit::{Edit, Patch};
 pub use fitness::{
-    EvalOutcome, EvalStats, Evaluator, EvaluatorSnapshot, NoDelta, Workload, CACHE_SHARDS,
+    EvalOutcome, EvalStats, Evaluator, EvaluatorSnapshot, FaultClass, FaultTallies, NoDelta,
+    Workload, CACHE_SHARDS,
 };
 #[allow(deprecated)]
 pub use ga::{
@@ -106,6 +108,7 @@ pub use island::{
     run_islands, run_islands_with_weights, IslandConfig, IslandResult, MigrationEvent, Topology,
 };
 pub use mutation::{crossover_one_point, crossover_uniform, MutationSpace, MutationWeights};
+pub use quarantine::QuarantineRecord;
 pub use search::{
     crowding_distances, dominates, non_dominated_sort, nsga2_order, Objective, ParetoPoint, Search,
     SearchObserver, SearchResult, SearchSpec, Selection, StepStatus,

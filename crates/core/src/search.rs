@@ -522,10 +522,13 @@ impl<'a> Search<'a> {
     }
 
     /// The evaluator's throughput counters so far — evals, cache hits,
-    /// compiles, delta patches and fallbacks ([`crate::EvalStats`]).
-    /// The bench harnesses read these to report how much verify/lower
-    /// work the delta path avoided; none of the delta/compile counters
-    /// are result-visible (see [`crate::EvaluatorSnapshot`]).
+    /// compiles, delta patches and fallbacks, plus the per-class fault
+    /// tallies ([`crate::EvalStats`], [`crate::FaultTallies`]: how many
+    /// mutants the step budget killed, failed verification, faulted,
+    /// mis-computed, or panicked into quarantine). The bench harnesses
+    /// read these to report how much verify/lower work the delta path
+    /// avoided and how hostile the mutant population was; none of these
+    /// counters are result-visible (see [`crate::EvaluatorSnapshot`]).
     /// Materializes the engine, like [`Search::step`].
     pub fn eval_stats(&mut self) -> crate::EvalStats {
         self.ensure_engine();

@@ -32,6 +32,13 @@
 //! The envelope carries `"format": 1`; [`SearchState::from_json`]
 //! rejects anything else so a stale binary fails loudly instead of
 //! misreading a newer checkpoint.
+//!
+//! This module validates *structure* (format version, field shapes);
+//! *integrity* of checkpoint files against torn writes and bit rot is
+//! the storage layer's job: `gevo_bench::checkpoint` seals every file
+//! with a CRC-32 footer, rotates the previous snapshot to
+//! `<file>.1`, and rolls back to it when verification fails (DESIGN.md
+//! §3.9). Decode errors from here are what trigger that rollback.
 
 use crate::edit::{Edit, Patch};
 use crate::fitness::EvaluatorSnapshot;
