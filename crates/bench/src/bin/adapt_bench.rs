@@ -1,0 +1,214 @@
+//! Adaptive-scheduling A/B harness: the legacy uniform operator draw
+//! (control arm) vs the UCB1 bandit scheduler (`gevo_engine::adapt`,
+//! DESIGN.md §3.10), equal fixed budgets per arm, over `GEVO_RUNS`
+//! seeds on the Table-1 ADEPT-V0 / P100 workload.
+//!
+//! Unlike `opt_bench`, the arms here are *supposed* to diverge — the
+//! scheduler changes which operators get tried — so the comparison is
+//! search **quality** under an identical evaluation budget, not
+//! wall-clock:
+//!
+//! 1. **Determinism gate** — the uniform arm run twice at the base
+//!    seed must be byte-identical `SearchResult` JSON, and so must the
+//!    UCB1 arm. A nondeterministic arm aborts the bench: per-seed
+//!    deltas are only meaningful for reproducible trajectories.
+//! 2. **Per-seed rows** — for each seed, both arms run the same
+//!    `pop × gens` budget (interleaved uniform-then-ucb1 so neither
+//!    arm systematically sees a warmer process). Recorded per arm:
+//!    final best fitness, speedup, and the *discovery generation* —
+//!    the first generation whose global best already equals the final
+//!    best (earlier ⇒ the budget could have been cut there).
+//! 3. **Summary** — win/loss/tie counts on final fitness, the mean
+//!    and median fitness delta (% of the uniform arm's best; positive
+//!    ⇒ UCB1 found a faster variant — the median is robust against a
+//!    single-seed blowup), the mean discovery-generation delta
+//!    (positive ⇒ UCB1 converged earlier), and the last UCB1 run's
+//!    merged per-operator credit report.
+//!
+//! Knobs: `GEVO_POP` / `GEVO_GENS` for the per-arm budget, `GEVO_RUNS`
+//! for the seed count, `GEVO_SEED` for the base seed, `--out PATH`
+//! (default `BENCH_adapt.json`). `GEVO_ADAPT` is deliberately ignored:
+//! both arms are pinned explicitly.
+
+use gevo_bench::{adept_on, budget_banner, env_usize, harness_spec, scaled_table1_specs};
+use gevo_engine::{AdaptPolicy, AdaptReport, Search, SearchResult, SearchSpec, StepStatus};
+use gevo_workloads::adept::Version;
+use std::fmt::Write as _;
+
+/// Runs one arm to completion on a freshly built workload and returns
+/// the result plus the scheduler's merged report (`None` for uniform).
+fn arm_run(
+    spec: &SearchSpec,
+    policy: AdaptPolicy,
+    seed: u64,
+) -> (SearchResult, Option<AdaptReport>) {
+    let mut spec = spec.clone();
+    spec.adapt = policy;
+    spec.ga.seed = seed;
+    let p100 = scaled_table1_specs().remove(0);
+    let w = adept_on(Version::V0, &p100);
+    let mut search = Search::from_spec(&w, spec);
+    while matches!(search.step(), StepStatus::Advanced { .. }) {}
+    let report = search.adapt_report();
+    (search.into_result(), report)
+}
+
+/// First generation whose global best already equals the run's final
+/// best — the budget beyond it bought nothing.
+fn discovery_gen(result: &SearchResult) -> Option<usize> {
+    let last = result.history.records.last()?;
+    result
+        .history
+        .records
+        .iter()
+        .find(|r| r.best_fitness <= last.best_fitness)
+        .map(|r| r.gen)
+}
+
+fn best_fitness(result: &SearchResult) -> f64 {
+    result.best.fitness.unwrap_or(f64::INFINITY)
+}
+
+/// The determinism gate on one arm: two identical runs must serialize
+/// byte-identically.
+fn gate(spec: &SearchSpec, policy: AdaptPolicy, seed: u64) {
+    let (r1, _) = arm_run(spec, policy, seed);
+    let (r2, _) = arm_run(spec, policy, seed);
+    assert_eq!(
+        r1.to_json().to_string(),
+        r2.to_json().to_string(),
+        "{}: arm is not deterministic — per-seed deltas would be noise",
+        policy.name()
+    );
+}
+
+fn out_path() -> String {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(p) = args.next() {
+                return p;
+            }
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            return p.to_string();
+        }
+    }
+    "BENCH_adapt.json".to_string()
+}
+
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+fn main() {
+    let runs = env_usize("GEVO_RUNS", 5);
+    let spec = harness_spec(env_usize("GEVO_POP", 16), env_usize("GEVO_GENS", 10));
+    let base_seed = spec.ga.seed;
+
+    println!("Adaptive-scheduling A/B: uniform control arm vs UCB1, equal budgets");
+    println!("workload: ADEPT-V0 / P100");
+    println!("budget: {} per arm, {runs} seeds", budget_banner(&spec));
+    println!();
+
+    // 1. Determinism gates (abort on any divergence).
+    gate(&spec, AdaptPolicy::Uniform, base_seed);
+    gate(&spec, AdaptPolicy::Ucb1, base_seed);
+    println!("gate: both arms byte-identical across repeated fixed-seed runs");
+    println!();
+
+    // 2. Per-seed rows, arms interleaved within each seed.
+    let mut rows: Vec<String> = Vec::new();
+    let mut ucb1_wins = 0usize;
+    let mut uniform_wins = 0usize;
+    let mut ties = 0usize;
+    let mut fit_deltas: Vec<f64> = Vec::new();
+    let mut disc_deltas: Vec<f64> = Vec::new();
+    let mut last_report: Option<AdaptReport> = None;
+    for i in 0..runs {
+        let seed = base_seed + i as u64;
+        let (ru, _) = arm_run(&spec, AdaptPolicy::Uniform, seed);
+        let (rb, report) = arm_run(&spec, AdaptPolicy::Ucb1, seed);
+        if report.is_some() {
+            last_report = report;
+        }
+        let (fu, fb) = (best_fitness(&ru), best_fitness(&rb));
+        let (du, db) = (discovery_gen(&ru), discovery_gen(&rb));
+        let winner = if fb < fu {
+            ucb1_wins += 1;
+            "ucb1"
+        } else if fu < fb {
+            uniform_wins += 1;
+            "uniform"
+        } else {
+            ties += 1;
+            "tie"
+        };
+        if fu.is_finite() && fb.is_finite() && fu > 0.0 {
+            fit_deltas.push((fu - fb) / fu * 100.0);
+        }
+        if let (Some(du), Some(db)) = (du, db) {
+            disc_deltas.push(du as f64 - db as f64);
+        }
+        println!(
+            "seed {seed}: uniform best {fu:.1} (gen {}), ucb1 best {fb:.1} (gen {}) -> {winner}",
+            du.map_or_else(|| "-".to_string(), |g| g.to_string()),
+            db.map_or_else(|| "-".to_string(), |g| g.to_string()),
+        );
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            "{{\"seed\":{seed},\"uniform_best\":{fu:.3},\"ucb1_best\":{fb:.3},\
+             \"uniform_speedup\":{:.5},\"ucb1_speedup\":{:.5},\
+             \"uniform_discovery_gen\":{},\"ucb1_discovery_gen\":{},\
+             \"winner\":\"{winner}\"}}",
+            ru.speedup,
+            rb.speedup,
+            du.map_or_else(|| "null".to_string(), |g| g.to_string()),
+            db.map_or_else(|| "null".to_string(), |g| g.to_string()),
+        );
+        rows.push(j);
+    }
+
+    // 3. Summary.
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let median = |xs: &[f64]| {
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite deltas"));
+        match s.len() {
+            0 => 0.0,
+            n if n % 2 == 1 => s[n / 2],
+            n => f64::midpoint(s[n / 2 - 1], s[n / 2]),
+        }
+    };
+    let mean_fit = mean(&fit_deltas);
+    let median_fit = median(&fit_deltas);
+    let mean_disc = mean(&disc_deltas);
+    println!();
+    println!("summary: ucb1 {ucb1_wins} wins / {uniform_wins} losses / {ties} ties");
+    println!(
+        "         fitness delta mean {mean_fit:+.2}% / median {median_fit:+.2}% (positive = ucb1 better)"
+    );
+    println!("         mean discovery delta {mean_disc:+.2} gens (positive = ucb1 earlier)");
+    let mut summary = String::new();
+    let _ = write!(
+        summary,
+        "{{\"summary\":true,\"workload\":\"ADEPT-V0 / P100\",\
+         \"pop\":{},\"gens\":{},\"runs\":{runs},\"base_seed\":{base_seed},\
+         \"ucb1_wins\":{ucb1_wins},\"uniform_wins\":{uniform_wins},\"ties\":{ties},\
+         \"mean_best_delta_pct\":{mean_fit:.3},\"median_best_delta_pct\":{median_fit:.3},\
+         \"mean_discovery_delta_gens\":{mean_disc:.3},\
+         \"adapt\":{}}}",
+        spec.ga.population,
+        spec.ga.generations,
+        last_report.map_or_else(|| "null".to_string(), |r| r.to_json().to_string()),
+    );
+    rows.push(summary);
+
+    let out = out_path();
+    std::fs::write(&out, format!("[\n{}\n]\n", rows.join(",\n"))).expect("write bench json");
+    println!();
+    println!("wrote {out}");
+}

@@ -41,7 +41,8 @@
 //! silently.
 
 use gevo_engine::{
-    EvalStats, Search, SearchObserver, SearchResult, SearchSpec, SearchState, StepStatus, Workload,
+    AdaptReport, EvalStats, Search, SearchObserver, SearchResult, SearchSpec, SearchState,
+    StepStatus, Workload,
 };
 use std::path::{Path, PathBuf};
 
@@ -294,11 +295,12 @@ pub fn load_state_with_rollback(path: &Path) -> Result<(SearchState, Option<Stri
 /// [`STOPPED_EXIT_CODE`] — the deterministic stand-in for a kill that
 /// the recovery tests use.
 ///
-/// Returns the result plus the evaluator's own counters, which are
-/// deliberately absent from the result (and from checkpoints): cache
-/// hit rates, delta-patch counts and the lowering-pass counters only
-/// describe how this process computed the trajectory, not the
-/// trajectory itself.
+/// Returns the result plus the evaluator's own counters and the
+/// adaptive scheduler's merged report, both of which are deliberately
+/// absent from the result (and the report from checkpoints' identity
+/// contract): cache hit rates, delta-patch counts, lowering-pass
+/// counters and operator-credit tallies only describe how this process
+/// computed the trajectory, not the trajectory itself.
 ///
 /// # Panics
 /// Panics if a due checkpoint cannot be written.
@@ -308,7 +310,7 @@ pub fn drive_search(
     ckpt: Option<&Path>,
     every: usize,
     stop_after: Option<usize>,
-) -> (SearchResult, EvalStats) {
+) -> (SearchResult, EvalStats, Option<AdaptReport>) {
     let every = every.max(1);
     while let StepStatus::Advanced { gen } = search.step() {
         let completed = gen + 1;
@@ -329,7 +331,8 @@ pub fn drive_search(
         crate::chaos::maybe_worker_panic(search.eval_stats().evals);
     }
     let stats = search.eval_stats();
-    (search.into_result(), stats)
+    let adapt = search.adapt_report();
+    (search.into_result(), stats, adapt)
 }
 
 /// The checkpoint-aware search runner behind [`crate::run_search`]:
@@ -347,7 +350,7 @@ pub fn run_search_with(
     spec: &SearchSpec,
     knobs: &CheckpointKnobs,
     observer: Option<&mut dyn SearchObserver>,
-) -> (SearchResult, EvalStats) {
+) -> (SearchResult, EvalStats, Option<AdaptReport>) {
     let ckpt = knobs
         .path
         .as_ref()
@@ -365,9 +368,16 @@ pub fn run_search_with(
         }
         Err(e) => panic!("{e}"),
     });
-    let mut search = match &state {
-        Some(state) => Search::resume(w, state),
-        None => Search::from_spec(w, spec.clone()),
+    let mut search = if let Some(state) = &state {
+        Search::resume(w, state)
+    } else {
+        let mut fresh = Search::from_spec(w, spec.clone());
+        // GEVO_MUT_WEIGHTS applies to fresh sessions only: resumed
+        // states already carry the weights their run started with.
+        if let Some(weights) = crate::mut_weights_knob() {
+            fresh = fresh.weights(weights);
+        }
+        fresh
     };
     if let Some(obs) = observer {
         search = search.observer(obs);

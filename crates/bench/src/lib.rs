@@ -15,6 +15,8 @@
 //! | `GEVO_MIGRATION` | generations between migrations | 5 |
 //! | `GEVO_THREADS` | evaluation workers (clamped to host cores) | 1 |
 //! | `GEVO_OBJECTIVES` | comma-separated [`Objective`]s (two+ = NSGA-II) | `cycles` |
+//! | `GEVO_ADAPT` | mutation scheduling: `uniform`, `weighted`, `ucb1` (see [`adapt_knob`]) | `uniform` |
+//! | `GEVO_MUT_WEIGHTS` | 7 comma-separated operator weights (see [`mut_weights_knob`]) | built-in |
 //! | `GEVO_CHECKPOINT` | checkpoint path (also `--checkpoint`); see [`checkpoint`] | off |
 //! | `GEVO_CHECKPOINT_EVERY` | generations between checkpoints | 5 |
 //! | `GEVO_STOP_AFTER` | checkpoint + exit(3) after k generations | off |
@@ -46,7 +48,8 @@ pub mod kernel_gen;
 pub mod supervise;
 
 use gevo_engine::{
-    EvalStats, Evaluator, GaConfig, Objective, Patch, SearchResult, SearchSpec, Workload,
+    AdaptPolicy, AdaptReport, EvalStats, Evaluator, GaConfig, MutationWeights, Objective, Patch,
+    SearchResult, SearchSpec, Workload,
 };
 use gevo_gpu::GpuSpec;
 use gevo_workloads::adept::{AdeptConfig, AdeptWorkload, Version};
@@ -121,6 +124,67 @@ pub fn objectives_knob() -> Vec<Objective> {
     } else {
         objs
     }
+}
+
+/// The adaptive mutation-scheduling policy in force: `GEVO_ADAPT` as
+/// `uniform` (the legacy static draw, default), `weighted` or `ucb1`
+/// (`gevo_engine::adapt`, DESIGN.md §3.10).
+///
+/// # Panics
+/// Panics on an unknown policy name — silently falling back to uniform
+/// would invalidate an A/B run.
+#[must_use]
+pub fn adapt_knob() -> AdaptPolicy {
+    match std::env::var("GEVO_ADAPT") {
+        Err(_) => AdaptPolicy::Uniform,
+        Ok(raw) => AdaptPolicy::parse(raw.trim()).unwrap_or_else(|e| panic!("GEVO_ADAPT: {e}")),
+    }
+}
+
+/// The mutation-operator weight override in force: `GEVO_MUT_WEIGHTS`
+/// as seven comma-separated non-negative numbers in declaration order
+/// (`delete,operand_replace,cond_replace,copy,mov,swap,replace`), or
+/// `None` when unset (the built-in defaults apply).
+///
+/// Applied by [`checkpoint::run_search_with`] to **fresh** sessions
+/// only: a resumed checkpoint already carries the weights its run
+/// started with, and silently re-weighting mid-run would fork the
+/// trajectory from the uninterrupted one.
+///
+/// # Panics
+/// Panics when the value is not exactly seven parseable numbers — a
+/// typo'd weight table must not silently run the defaults.
+#[must_use]
+pub fn mut_weights_knob() -> Option<MutationWeights> {
+    let raw = std::env::var("GEVO_MUT_WEIGHTS").ok()?;
+    let parts: Vec<f64> = raw
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|w| w.is_finite() && *w >= 0.0)
+                .unwrap_or_else(|| panic!("GEVO_MUT_WEIGHTS: bad weight {p:?} in {raw:?}"))
+        })
+        .collect();
+    assert!(
+        parts.len() == 7,
+        "GEVO_MUT_WEIGHTS: expected 7 comma-separated weights          (delete,operand_replace,cond_replace,copy,mov,swap,replace), got {} in {raw:?}",
+        parts.len()
+    );
+    assert!(
+        parts.iter().sum::<f64>() > 0.0,
+        "GEVO_MUT_WEIGHTS: weights must not all be zero"
+    );
+    Some(MutationWeights {
+        delete: parts[0],
+        operand_replace: parts[1],
+        cond_replace: parts[2],
+        copy: parts[3],
+        mov: parts[4],
+        swap: parts[5],
+        replace: parts[6],
+    })
 }
 
 /// The island count in force: `--islands N` (or `--islands=N`) on the
@@ -199,6 +263,7 @@ pub fn harness_spec(pop: usize, gens: usize) -> SearchSpec {
         spec.selection = gevo_engine::Selection::Nsga2;
     }
     spec.objectives = objectives;
+    spec.adapt = adapt_knob();
     spec
 }
 
@@ -219,6 +284,20 @@ pub fn run_search(w: &dyn Workload, spec: &SearchSpec) -> SearchResult {
 /// (`islands --json`, `delta_bench`, `opt_bench`).
 #[must_use]
 pub fn run_search_stats(w: &dyn Workload, spec: &SearchSpec) -> (SearchResult, EvalStats) {
+    let (result, stats, _) = run_search_report(w, spec);
+    (result, stats)
+}
+
+/// [`run_search_stats`] plus the adaptive scheduler's merged
+/// [`AdaptReport`] (`None` under the uniform policy) — per-operator
+/// credit tallies and weights for the observability surfaces
+/// (`islands --json`, the `gevo-serve` `done` event). Like the eval
+/// counters, the report is deliberately absent from [`SearchResult`].
+#[must_use]
+pub fn run_search_report(
+    w: &dyn Workload,
+    spec: &SearchSpec,
+) -> (SearchResult, EvalStats, Option<AdaptReport>) {
     checkpoint::run_search_with(w, spec, &checkpoint::checkpoint_knobs(), None)
 }
 
@@ -395,6 +474,58 @@ mod tests {
             "{}",
             budget_banner(&multi_objective)
         );
+    }
+
+    #[test]
+    fn mut_weights_knob_parses_seven_weights_in_declaration_order() {
+        std::env::remove_var("GEVO_MUT_WEIGHTS");
+        assert!(mut_weights_knob().is_none(), "unset means built-ins");
+        std::env::set_var("GEVO_MUT_WEIGHTS", "7, 6,5,4 ,3,2,1");
+        let w = mut_weights_knob().expect("parses");
+        assert_eq!(
+            [
+                w.delete,
+                w.operand_replace,
+                w.cond_replace,
+                w.copy,
+                w.mov,
+                w.swap,
+                w.replace
+            ],
+            [7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0]
+        );
+        std::env::remove_var("GEVO_MUT_WEIGHTS");
+    }
+
+    #[test]
+    fn mut_weights_knob_rejects_wrong_arity() {
+        // A typo'd table must panic, not silently run the defaults —
+        // exercised via catch_unwind so the env var is always restored
+        // for sibling tests.
+        std::env::set_var("GEVO_MUT_WEIGHTS", "1,2,3");
+        let short = std::panic::catch_unwind(mut_weights_knob);
+        std::env::set_var("GEVO_MUT_WEIGHTS", "0,0,0,0,0,0,0");
+        let zeroed = std::panic::catch_unwind(mut_weights_knob);
+        std::env::set_var("GEVO_MUT_WEIGHTS", "1,2,3,4,5,6,banana");
+        let garbled = std::panic::catch_unwind(mut_weights_knob);
+        std::env::remove_var("GEVO_MUT_WEIGHTS");
+        assert!(short.is_err(), "six weights must be rejected");
+        assert!(zeroed.is_err(), "all-zero weights must be rejected");
+        assert!(garbled.is_err(), "unparseable weight must be rejected");
+    }
+
+    #[test]
+    fn adapt_knob_parses_policies() {
+        std::env::remove_var("GEVO_ADAPT");
+        assert_eq!(adapt_knob(), AdaptPolicy::Uniform);
+        std::env::set_var("GEVO_ADAPT", " ucb1 ");
+        assert_eq!(adapt_knob(), AdaptPolicy::Ucb1);
+        std::env::set_var("GEVO_ADAPT", "weighted");
+        assert_eq!(adapt_knob(), AdaptPolicy::Weighted);
+        std::env::set_var("GEVO_ADAPT", "bogus");
+        let bad = std::panic::catch_unwind(adapt_knob);
+        std::env::remove_var("GEVO_ADAPT");
+        assert!(bad.is_err(), "unknown policy must not silently fall back");
     }
 
     #[test]

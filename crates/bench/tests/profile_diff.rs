@@ -1,0 +1,132 @@
+//! Differential property tests for per-block cycle attribution
+//! ([`gevo_gpu::collect_profiles`], DESIGN.md §3.10): on randomly
+//! generated kernels across the paper's Table-I specs,
+//!
+//! 1. **The sum invariant holds exactly** — a launch's attributed
+//!    block cycles plus its unattributed remainder equal that launch's
+//!    [`LaunchStats::cycles`], not approximately but to the cycle, and
+//!    the per-block row has exactly one entry per source block.
+//! 2. **Attribution is lowering-invariant** — the O0 and O2 images of
+//!    the same kernel produce identical profiles launch for launch,
+//!    so a hotspot map computed under either level steers the adaptive
+//!    scheduler identically (`gevo_engine::adapt` relies on this to
+//!    keep O0/O2 trajectories in lockstep).
+//! 3. **Profiling is result-invisible** — the stats of a profiled
+//!    launch equal the stats of the same launch unprofiled.
+//!
+//! Every comparison launches on a **fresh device**: L2 and DRAM state
+//! persist across launches on one `Gpu`, so reusing a device would
+//! compare a cold launch against a warm one.
+
+use gevo_bench::kernel_gen::random_kernel;
+use gevo_bench::scaled_table1_specs;
+use gevo_gpu::{
+    collect_profiles, CompiledKernel, Gpu, GpuSpec, KernelArg, LaunchConfig, LaunchProfile,
+    LaunchStats, OptLevel,
+};
+use proptest::prelude::*;
+
+/// One launch of `image` on a fresh device with profiling armed.
+/// Returns the launch outcome and whatever profiles were recorded
+/// (one on success, none on fault).
+fn profiled_launch(
+    spec: &GpuSpec,
+    image: &CompiledKernel,
+) -> (Result<LaunchStats, gevo_gpu::ExecError>, Vec<LaunchProfile>) {
+    const THREADS: u32 = 32;
+    let cfg = LaunchConfig::new(2, 16);
+    let mut gpu = Gpu::new(spec.clone());
+    let out = gpu.mem_mut().alloc(u64::from(THREADS) * 4).expect("alloc");
+    let args = [KernelArg::from(out)];
+    collect_profiles(|| gpu.launch_compiled(image, cfg, &args))
+}
+
+/// The same launch unprofiled, also on a fresh device.
+fn plain_launch(
+    spec: &GpuSpec,
+    image: &CompiledKernel,
+) -> Result<LaunchStats, gevo_gpu::ExecError> {
+    const THREADS: u32 = 32;
+    let cfg = LaunchConfig::new(2, 16);
+    let mut gpu = Gpu::new(spec.clone());
+    let out = gpu.mem_mut().alloc(u64::from(THREADS) * 4).expect("alloc");
+    gpu.launch_compiled(image, cfg, &[KernelArg::from(out)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24).with_rng_seed(0x0B10_C4A7))]
+
+    /// Attributed + unattributed cycles equal `LaunchStats::cycles`
+    /// exactly, with one row entry per source block — and arming the
+    /// collector never changes the launch result.
+    #[test]
+    fn attribution_sums_to_launch_cycles_exactly(
+        seed in 0u64..u64::MAX,
+        n_ops in 0u64..32,
+    ) {
+        let kernel = random_kernel(seed, n_ops);
+        for spec in scaled_table1_specs() {
+            let image = CompiledKernel::compile_with(&kernel, &spec, OptLevel::O0)
+                .expect("verified kernel");
+            let (outcome, profiles) = profiled_launch(&spec, &image);
+            let plain = plain_launch(&spec, &image);
+            prop_assert!(
+                outcome == plain,
+                "profiling changed the launch result on {}",
+                spec.name
+            );
+            match outcome {
+                Err(_) => prop_assert!(
+                    profiles.is_empty(),
+                    "faulting launch must record no profile on {}",
+                    spec.name
+                ),
+                Ok(stats) => {
+                    prop_assert!(profiles.len() == 1, "one profile per launch");
+                    let p = &profiles[0];
+                    prop_assert!(
+                        p.block_cycles.len() == kernel.blocks.len(),
+                        "one row entry per source block on {}",
+                        spec.name
+                    );
+                    prop_assert!(
+                        p.total() == stats.cycles,
+                        "attribution sums to {} but the launch cost {} on {}",
+                        p.total(),
+                        stats.cycles,
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// O0 and O2 images of the same kernel attribute identically: the
+    /// hotspot map the adaptive scheduler consumes is a property of the
+    /// kernel, not of the lowering level.
+    #[test]
+    fn o2_profiles_match_o0_profiles(
+        seed in 0u64..u64::MAX,
+        n_ops in 0u64..32,
+    ) {
+        let kernel = random_kernel(seed, n_ops);
+        for spec in scaled_table1_specs() {
+            let o0 = CompiledKernel::compile_with(&kernel, &spec, OptLevel::O0)
+                .expect("verified kernel");
+            let o2 = CompiledKernel::compile_with(&kernel, &spec, OptLevel::O2)
+                .expect("verified kernel");
+            let (s0, p0) = profiled_launch(&spec, &o0);
+            let (s2, p2) = profiled_launch(&spec, &o2);
+            prop_assert!(
+                s0 == s2,
+                "O0 and O2 launches diverge in stats on {}",
+                spec.name
+            );
+            prop_assert!(
+                p0 == p2,
+                "O0 and O2 launches diverge in attribution on {}",
+                spec.name
+            );
+        }
+    }
+}

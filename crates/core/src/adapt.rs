@@ -1,0 +1,620 @@
+//! Diagnosis-driven adaptive mutation scheduling (DESIGN.md §3.10).
+//!
+//! The paper's §V analysis shows wins concentrate in a few edit classes
+//! and hot regions, yet the legacy engine draws operators from a static
+//! [`crate::MutationWeights`] table and sites uniformly. This module
+//! closes the loop: the generational loop records per-island,
+//! per-operator **credit** (GEVO-style `mutStats` — attempts, accepted
+//! children, fitness improvements), and an [`AdaptPolicy`] turns those
+//! tallies into the next generation's operator choices.
+//!
+//! ## Determinism contract
+//!
+//! The scheduler is bit-reproducible and checkpoint-complete:
+//!
+//! * Each island's scheduler owns a **dedicated RNG stream**, seeded
+//!   from the island seed xor a fixed salt. Scheduling draws therefore
+//!   never perturb the island's breeding stream — which is exactly why
+//!   [`AdaptPolicy::Uniform`] (no scheduler at all) stays byte-identical
+//!   to the pre-adapt engine, pinned by `tests/adapt_pin.rs`.
+//! * [`OperatorStats`] decays by [`DECAY`] once per generation, so the
+//!   bandit weighs a sliding window of recent evidence rather than the
+//!   whole run (stale credit would pin early winners forever).
+//! * Everything the scheduler is — tallies, the RNG stream position,
+//!   credits still awaiting evaluation — serializes into
+//!   [`crate::SearchState`] via [`AdaptSnapshot`], so checkpoint-at-k
+//!   plus resume replays the adaptive trajectory bit-identically.
+//!
+//! Credit resolution is one generation delayed by construction: breeding
+//! tags each mutated child with a [`PendingCredit`], and the next
+//! [`crate::Search::step`] resolves it against the child's measured
+//! fitness before re-ranking feeds the scheduler's next choices.
+
+use gevo_ir::StreamState;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// Number of mutation operator kinds (the fixed operator alphabet of
+/// [`crate::MutationSpace`]).
+pub const OPERATORS: usize = 7;
+
+/// Operator names, indexed by operator kind — same order as
+/// [`crate::MutationWeights`]'s fields.
+pub const OPERATOR_NAMES: [&str; OPERATORS] = [
+    "delete",
+    "operand_replace",
+    "cond_replace",
+    "copy",
+    "mov",
+    "swap",
+    "replace",
+];
+
+/// Per-generation decay applied to [`OperatorStats`] before new credit
+/// lands: the scheduler's evidence window.
+pub const DECAY: f64 = 0.9;
+
+/// Exploration weight of the UCB1 confidence bound (`sqrt(2)` — the
+/// textbook constant).
+const UCB_C: f64 = std::f64::consts::SQRT_2;
+
+/// Salt folded into the island seed to derive the scheduler's dedicated
+/// RNG stream (distinct from the breeding stream and the migration
+/// stream's `0x4D69_6772_6174_6521`).
+const ADAPT_SALT: u64 = 0x4164_6170_7442_6474; // "AdaptBdt"
+
+/// How the engine picks the next mutation operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdaptPolicy {
+    /// No scheduling: the legacy static [`crate::MutationWeights`] draw
+    /// on the breeding stream. The control arm, byte-identical to the
+    /// pre-adapt engine.
+    Uniform,
+    /// Probability matching: operators drawn with probability
+    /// proportional to their smoothed improvement rate
+    /// `(improves + 1) / (attempts + 2)`.
+    Weighted,
+    /// UCB1 bandit over the decayed window: argmax of
+    /// `reward + c·sqrt(ln(N+1)/n)` with deterministic lowest-index
+    /// tie-breaking; unexplored operators are drawn first (uniformly on
+    /// the scheduler stream).
+    Ucb1,
+}
+
+impl AdaptPolicy {
+    /// Short lowercase name (`uniform`, `weighted`, `ucb1`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AdaptPolicy::Uniform => "uniform",
+            AdaptPolicy::Weighted => "weighted",
+            AdaptPolicy::Ucb1 => "ucb1",
+        }
+    }
+
+    /// Parses [`AdaptPolicy::name`] output (case-insensitive).
+    ///
+    /// # Errors
+    /// Returns a message naming the unknown policy.
+    pub fn parse(s: &str) -> Result<AdaptPolicy, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" => Ok(AdaptPolicy::Uniform),
+            "weighted" => Ok(AdaptPolicy::Weighted),
+            "ucb1" => Ok(AdaptPolicy::Ucb1),
+            other => Err(format!(
+                "unknown adapt policy {other:?} (expected uniform, weighted or ucb1)"
+            )),
+        }
+    }
+
+    /// Serializes to the policy's name.
+    #[must_use]
+    pub fn to_json(self) -> Value {
+        Value::from(self.name())
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the unknown policy.
+    pub fn from_json(v: &Value) -> Result<AdaptPolicy, String> {
+        v.as_str()
+            .ok_or_else(|| format!("AdaptPolicy: expected a string, got {v}"))
+            .and_then(AdaptPolicy::parse)
+    }
+
+    /// Picks the operator kind for the next mutation. Consumes `rng`
+    /// (the island's dedicated scheduler stream) only where the policy
+    /// is stochastic; the UCB1 argmax itself is deterministic.
+    pub fn choose(self, stats: &OperatorStats, rng: &mut ChaCha8Rng) -> usize {
+        match self {
+            AdaptPolicy::Uniform => rng.gen_range(0..OPERATORS),
+            AdaptPolicy::Weighted => {
+                let weights: Vec<f64> = (0..OPERATORS)
+                    .map(|i| (stats.improves[i] + 1.0) / (stats.attempts[i] + 2.0))
+                    .collect();
+                let sum: f64 = weights.iter().sum();
+                let mut x = rng.gen_range(0.0..sum);
+                for (i, w) in weights.iter().enumerate() {
+                    if x < *w {
+                        return i;
+                    }
+                    x -= w;
+                }
+                OPERATORS - 1
+            }
+            AdaptPolicy::Ucb1 => {
+                // Unexplored operators first (uniform among them, on the
+                // scheduler stream, so early generations spread over the
+                // alphabet instead of marching through it in order).
+                let unexplored: Vec<usize> = (0..OPERATORS)
+                    .filter(|&i| stats.attempts[i] <= f64::EPSILON)
+                    .collect();
+                if !unexplored.is_empty() {
+                    return unexplored[rng.gen_range(0..unexplored.len())];
+                }
+                let total: f64 = stats.attempts.iter().sum();
+                let mut best = 0;
+                let mut best_score = f64::NEG_INFINITY;
+                for i in 0..OPERATORS {
+                    let n = stats.attempts[i];
+                    let reward = (stats.improves[i] + 0.2 * stats.accepts[i]) / n;
+                    let score = reward + UCB_C * ((total + 1.0).ln() / n).sqrt();
+                    // Strict > keeps the lowest-index argmax: ties are
+                    // broken deterministically, never by float noise.
+                    if score > best_score {
+                        best = i;
+                        best_score = score;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+/// Per-operator credit tallies — GEVO's `mutStats`, decayed per
+/// generation so they describe a sliding window. Stored as `f64`
+/// because decay makes them fractional.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorStats {
+    /// Mutations proposed per operator (children actually carrying an
+    /// edit of this kind).
+    pub attempts: [f64; OPERATORS],
+    /// Of those, children that evaluated valid.
+    pub accepts: [f64; OPERATORS],
+    /// Of those, children strictly fitter than their primary parent.
+    pub improves: [f64; OPERATORS],
+}
+
+impl Default for OperatorStats {
+    fn default() -> Self {
+        OperatorStats {
+            attempts: [0.0; OPERATORS],
+            accepts: [0.0; OPERATORS],
+            improves: [0.0; OPERATORS],
+        }
+    }
+}
+
+impl OperatorStats {
+    /// Multiplies every tally by `gamma` (called once per generation
+    /// before fresh credit lands).
+    pub fn decay(&mut self, gamma: f64) {
+        for i in 0..OPERATORS {
+            self.attempts[i] *= gamma;
+            self.accepts[i] *= gamma;
+            self.improves[i] *= gamma;
+        }
+    }
+
+    /// Lands one resolved credit.
+    pub fn record(&mut self, op: usize, accepted: bool, improved: bool) {
+        self.attempts[op] += 1.0;
+        if accepted {
+            self.accepts[op] += 1.0;
+        }
+        if improved {
+            self.improves[op] += 1.0;
+        }
+    }
+
+    /// Merges another island's tallies into this one (for the global
+    /// [`AdaptReport`]).
+    pub fn merge(&mut self, other: &OperatorStats) {
+        for i in 0..OPERATORS {
+            self.attempts[i] += other.attempts[i];
+            self.accepts[i] += other.accepts[i];
+            self.improves[i] += other.improves[i];
+        }
+    }
+
+    /// The smoothed, normalized weight the scheduler's report surfaces
+    /// per operator: `(improves + 0.2·accepts + 1) / (attempts + 2)`,
+    /// normalized to sum to 1 across the alphabet.
+    #[must_use]
+    pub fn report_weights(&self) -> [f64; OPERATORS] {
+        let mut w = [0.0; OPERATORS];
+        for (i, x) in w.iter_mut().enumerate() {
+            *x = (self.improves[i] + 0.2 * self.accepts[i] + 1.0) / (self.attempts[i] + 2.0);
+        }
+        let sum: f64 = w.iter().sum();
+        for x in &mut w {
+            *x /= sum;
+        }
+        w
+    }
+}
+
+/// A mutation awaiting credit: which operator produced the child and
+/// the primary parent's fitness at breeding time (None = parent was
+/// itself unevaluated — improvement then cannot be claimed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PendingCredit {
+    /// Operator kind (index into [`OPERATOR_NAMES`]).
+    pub op: usize,
+    /// The primary parent's fitness when the child was bred.
+    pub parent_fitness: Option<f64>,
+}
+
+/// One island's live scheduler state: its dedicated RNG stream, the
+/// decayed credit tallies, and the credits bred into the current
+/// population but not yet resolved against measured fitness.
+#[derive(Debug, Clone)]
+pub struct IslandAdapt {
+    /// The scheduler's dedicated stream (never the breeding stream).
+    pub rng: ChaCha8Rng,
+    /// The decayed credit window.
+    pub stats: OperatorStats,
+    /// Per-population-slot unresolved credit, parallel to the island's
+    /// population (None = elite, unmutated, or fallback-exhausted).
+    pub pending: Vec<Option<PendingCredit>>,
+}
+
+impl IslandAdapt {
+    /// Fresh scheduler for an island, deriving the dedicated stream
+    /// from the island's seed.
+    #[must_use]
+    pub fn new(island_seed: u64) -> IslandAdapt {
+        IslandAdapt {
+            rng: ChaCha8Rng::seed_from_u64(crate::search::splitmix64(island_seed ^ ADAPT_SALT)),
+            stats: OperatorStats::default(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Captures the scheduler as a serializable [`AdaptSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> AdaptSnapshot {
+        AdaptSnapshot {
+            rng: StreamState::capture(&self.rng),
+            stats: self.stats.clone(),
+            pending: self.pending.clone(),
+        }
+    }
+
+    /// Rebuilds the scheduler a snapshot describes, stream position and
+    /// all.
+    #[must_use]
+    pub fn restore(snap: &AdaptSnapshot) -> IslandAdapt {
+        IslandAdapt {
+            rng: snap.rng.restore(),
+            stats: snap.stats.clone(),
+            pending: snap.pending.clone(),
+        }
+    }
+}
+
+/// Serializable form of [`IslandAdapt`] — what
+/// [`crate::IslandSnapshot`] embeds for adaptive runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptSnapshot {
+    /// The scheduler stream, captured mid-run.
+    pub rng: StreamState,
+    /// The decayed credit window.
+    pub stats: OperatorStats,
+    /// Unresolved per-slot credits.
+    pub pending: Vec<Option<PendingCredit>>,
+}
+
+impl AdaptSnapshot {
+    /// Serializes to a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let arr =
+            |xs: &[f64; OPERATORS]| Value::Array(xs.iter().map(|&x| Value::from(x)).collect());
+        let mut obj = serde_json::Map::new();
+        obj.insert("rng", self.rng.to_json());
+        obj.insert("attempts", arr(&self.stats.attempts));
+        obj.insert("accepts", arr(&self.stats.accepts));
+        obj.insert("improves", arr(&self.stats.improves));
+        obj.insert(
+            "pending",
+            Value::Array(
+                self.pending
+                    .iter()
+                    .map(|p| match p {
+                        None => Value::Null,
+                        Some(c) => {
+                            let mut o = serde_json::Map::new();
+                            o.insert("op", c.op);
+                            match c.parent_fitness {
+                                Some(f) => o.insert("parent_fitness", f),
+                                None => o.insert("parent_fitness", Value::Null),
+                            };
+                            Value::Object(o)
+                        }
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(obj)
+    }
+
+    /// Deserializes the [`to_json`](Self::to_json) representation.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<AdaptSnapshot, String> {
+        const CTX: &str = "AdaptSnapshot";
+        let tallies = |name: &str| -> Result<[f64; OPERATORS], String> {
+            let arr = v
+                .get(name)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("{CTX}: field {name:?} is not an array"))?;
+            if arr.len() != OPERATORS {
+                return Err(format!(
+                    "{CTX}: field {name:?} must have {OPERATORS} entries"
+                ));
+            }
+            let mut out = [0.0; OPERATORS];
+            for (o, x) in out.iter_mut().zip(arr) {
+                *o = x
+                    .as_f64()
+                    .ok_or_else(|| format!("{CTX}: field {name:?} has a non-number element"))?;
+            }
+            Ok(out)
+        };
+        let pending = v
+            .get("pending")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{CTX}: field \"pending\" is not an array"))?
+            .iter()
+            .map(|p| match p {
+                Value::Null => Ok(None),
+                other => {
+                    let op = other
+                        .get("op")
+                        .and_then(Value::as_u64)
+                        .and_then(|u| usize::try_from(u).ok())
+                        .filter(|&op| op < OPERATORS)
+                        .ok_or_else(|| format!("{CTX}: pending op is not a valid operator"))?;
+                    let parent_fitness = match other.get("parent_fitness") {
+                        None | Some(Value::Null) => None,
+                        Some(f) => Some(f.as_f64().ok_or_else(|| {
+                            format!("{CTX}: pending parent_fitness is not a number")
+                        })?),
+                    };
+                    Ok(Some(PendingCredit { op, parent_fitness }))
+                }
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(AdaptSnapshot {
+            rng: StreamState::from_json(
+                v.get("rng")
+                    .ok_or_else(|| format!("{CTX}: missing field \"rng\""))?,
+            )?,
+            stats: OperatorStats {
+                attempts: tallies("attempts")?,
+                accepts: tallies("accepts")?,
+                improves: tallies("improves")?,
+            },
+            pending,
+        })
+    }
+}
+
+/// One operator's row of the observability report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorReport {
+    /// The operator's name (see [`OPERATOR_NAMES`]).
+    pub name: &'static str,
+    /// Decayed-window attempts across all islands.
+    pub attempts: f64,
+    /// Decayed-window accepted children.
+    pub accepts: f64,
+    /// Decayed-window fitness improvements.
+    pub improves: f64,
+    /// Normalized scheduler weight ([`OperatorStats::report_weights`]).
+    pub weight: f64,
+}
+
+/// Merged cross-island scheduler tallies and weights — the
+/// observability surface (`islands --json`, `gevo-serve` `done`
+/// events). **Deliberately absent** from [`crate::SearchResult`] and
+/// [`crate::EvaluatorSnapshot`]: checkpoint byte-identity compares
+/// those, and observability counters must never enter that contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptReport {
+    /// The policy that ran.
+    pub policy: AdaptPolicy,
+    /// Per-operator rows, in [`OPERATOR_NAMES`] order.
+    pub operators: Vec<OperatorReport>,
+}
+
+impl AdaptReport {
+    /// Builds the report from merged tallies.
+    #[must_use]
+    pub fn new(policy: AdaptPolicy, merged: &OperatorStats) -> AdaptReport {
+        let weights = merged.report_weights();
+        AdaptReport {
+            policy,
+            operators: (0..OPERATORS)
+                .map(|i| OperatorReport {
+                    name: OPERATOR_NAMES[i],
+                    attempts: merged.attempts[i],
+                    accepts: merged.accepts[i],
+                    improves: merged.improves[i],
+                    weight: weights[i],
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes to a JSON object (for the bench/serve surfaces).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        obj.insert("policy", self.policy.to_json());
+        obj.insert(
+            "operators",
+            Value::Array(
+                self.operators
+                    .iter()
+                    .map(|o| {
+                        let mut row = serde_json::Map::new();
+                        row.insert("name", o.name);
+                        row.insert("attempts", o.attempts);
+                        row.insert("accepts", o.accepts);
+                        row.insert("improves", o.improves);
+                        row.insert("weight", o.weight);
+                        Value::Object(row)
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore as _;
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [
+            AdaptPolicy::Uniform,
+            AdaptPolicy::Weighted,
+            AdaptPolicy::Ucb1,
+        ] {
+            assert_eq!(AdaptPolicy::parse(p.name()), Ok(p));
+            assert_eq!(AdaptPolicy::from_json(&p.to_json()), Ok(p));
+        }
+        assert!(AdaptPolicy::parse("thompson").is_err());
+    }
+
+    #[test]
+    fn ucb1_explores_unseen_then_exploits_the_winner() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut stats = OperatorStats::default();
+        // Until every arm has credit, only unexplored arms are drawn.
+        let mut seen = [false; OPERATORS];
+        while seen.iter().any(|s| !s) {
+            let op = AdaptPolicy::Ucb1.choose(&stats, &mut rng);
+            assert!(
+                !seen[op],
+                "re-drew an explored arm during forced exploration"
+            );
+            seen[op] = true;
+            stats.record(op, true, false);
+        }
+        // Equal attempt counts (so exploration bonuses cancel) but only
+        // operator 4 keeps improving; exploitation must pick it.
+        for op in 0..OPERATORS {
+            for _ in 0..50 {
+                stats.record(op, op == 4, op == 4);
+            }
+        }
+        assert_eq!(AdaptPolicy::Ucb1.choose(&stats, &mut rng), 4);
+    }
+
+    #[test]
+    fn ucb1_breaks_ties_toward_the_lowest_index() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut stats = OperatorStats::default();
+        for op in 0..OPERATORS {
+            stats.record(op, true, false);
+        }
+        // Perfectly symmetric evidence: every arm scores identically.
+        assert_eq!(AdaptPolicy::Ucb1.choose(&stats, &mut rng), 0);
+    }
+
+    #[test]
+    fn decay_shrinks_the_window() {
+        let mut stats = OperatorStats::default();
+        stats.record(2, true, true);
+        stats.decay(DECAY);
+        assert!((stats.attempts[2] - DECAY).abs() < 1e-12);
+        assert!((stats.improves[2] - DECAY).abs() < 1e-12);
+        assert_eq!(stats.attempts[0], 0.0);
+    }
+
+    #[test]
+    fn weighted_draws_follow_the_evidence() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut stats = OperatorStats::default();
+        for _ in 0..40 {
+            stats.record(5, true, true);
+        }
+        let mut counts = [0usize; OPERATORS];
+        for _ in 0..2000 {
+            counts[AdaptPolicy::Weighted.choose(&stats, &mut rng)] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(
+            counts[5], max,
+            "the evidenced winner must dominate: {counts:?}"
+        );
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "smoothing keeps all arms live"
+        );
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut adapt = IslandAdapt::new(99);
+        adapt.stats.record(1, true, false);
+        adapt.stats.record(6, false, false);
+        adapt.stats.decay(DECAY);
+        let _ = adapt.rng.gen_range(0..7usize); // advance the stream
+        adapt.pending = vec![
+            None,
+            Some(PendingCredit {
+                op: 3,
+                parent_fitness: Some(123.5),
+            }),
+            Some(PendingCredit {
+                op: 0,
+                parent_fitness: None,
+            }),
+        ];
+        let snap = adapt.snapshot();
+        let text = snap.to_json().to_string();
+        let parsed: Value = serde_json::from_str(&text).expect("self-produced JSON parses");
+        let round = AdaptSnapshot::from_json(&parsed).expect("round-trips");
+        assert_eq!(round, snap);
+        // And restore gives back an equivalent scheduler.
+        let mut a = IslandAdapt::restore(&round);
+        let mut b = IslandAdapt::restore(&snap);
+        assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+    }
+
+    #[test]
+    fn report_weights_are_a_distribution() {
+        let mut stats = OperatorStats::default();
+        stats.record(0, true, true);
+        stats.record(1, false, false);
+        let report = AdaptReport::new(AdaptPolicy::Ucb1, &stats);
+        let sum: f64 = report.operators.iter().map(|o| o.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(report.operators[0].weight > report.operators[1].weight);
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"policy\":\"ucb1\""));
+        assert!(json.contains("\"name\":\"delete\""));
+    }
+}

@@ -40,6 +40,7 @@
 //! `<file>.1`, and rolls back to it when verification fails (DESIGN.md
 //! §3.9). Decode errors from here are what trigger that rollback.
 
+use crate::adapt::{AdaptPolicy, AdaptSnapshot};
 use crate::edit::{Edit, Patch};
 use crate::fitness::EvaluatorSnapshot;
 use crate::ga::{GaConfig, GenerationRecord, History, Individual};
@@ -70,6 +71,10 @@ pub struct IslandSnapshot {
     pub history: History,
     /// Best individual this island has seen.
     pub best: Individual,
+    /// The island's adaptive-scheduler state ([`crate::adapt`]):
+    /// `None` for uniform runs (whose snapshots stay byte-identical to
+    /// the pre-adapt format), `Some` whenever a scheduler runs.
+    pub adapt: Option<AdaptSnapshot>,
 }
 
 /// The complete state of a search session between two generations —
@@ -646,6 +651,12 @@ impl SearchSpec {
             Value::Array(self.objectives.iter().map(Objective::to_json).collect()),
         );
         obj.insert("selection", self.selection.to_json());
+        // Emitted only when a scheduler actually runs: uniform specs
+        // keep the exact pre-adapt byte stream (and old checkpoints,
+        // which lack the key, deserialize as uniform below).
+        if self.adapt != AdaptPolicy::Uniform {
+            obj.insert("adapt", self.adapt.to_json());
+        }
         Value::Object(obj)
     }
 
@@ -666,6 +677,10 @@ impl SearchSpec {
                 .map(Objective::from_json)
                 .collect::<Result<_, _>>()?,
             selection: Selection::from_json(want(v, "selection", CTX)?)?,
+            adapt: match v.get("adapt") {
+                None => AdaptPolicy::Uniform,
+                Some(a) => AdaptPolicy::from_json(a)?,
+            },
         })
     }
 }
@@ -794,6 +809,11 @@ impl IslandSnapshot {
         );
         obj.insert("history", self.history.to_json());
         obj.insert("best", self.best.to_json());
+        // Present only for adaptive runs: uniform snapshots keep the
+        // exact pre-adapt byte stream.
+        if let Some(adapt) = &self.adapt {
+            obj.insert("adapt", adapt.to_json());
+        }
         Value::Object(obj)
     }
 
@@ -834,6 +854,10 @@ impl IslandSnapshot {
             ranked,
             history: History::from_json(want(v, "history", CTX)?)?,
             best: Individual::from_json(want(v, "best", CTX)?)?,
+            adapt: match v.get("adapt") {
+                None => None,
+                Some(a) => Some(AdaptSnapshot::from_json(a)?),
+            },
         })
     }
 }
@@ -1052,9 +1076,16 @@ mod tests {
                 Objective::MemoryTraffic,
             ],
             selection: Selection::Nsga2,
+            adapt: AdaptPolicy::Ucb1,
         };
         let v = reparse(&spec.to_json());
         assert_eq!(SearchSpec::from_json(&v).unwrap(), spec);
+        // The uniform policy is elided from the byte stream entirely
+        // (old checkpoints lack the key and deserialize as uniform).
+        let uniform = SearchSpec::default();
+        assert!(!uniform.to_json().to_string().contains("adapt"));
+        let v = reparse(&uniform.to_json());
+        assert_eq!(SearchSpec::from_json(&v).unwrap(), uniform);
     }
 
     #[test]
@@ -1087,6 +1118,7 @@ mod tests {
                     patch: Patch::empty(),
                     fitness: Some(1234.5),
                 },
+                adapt: None,
             }],
             mig_rng: StreamState {
                 seed: [9; 32],

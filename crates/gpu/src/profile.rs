@@ -1,0 +1,159 @@
+//! Per-basic-block cycle attribution for launches (DESIGN.md §3.10).
+//!
+//! The simulator's [`crate::LaunchStats`] says *how many* cycles a
+//! launch cost; the adaptive mutation scheduler also needs to know
+//! *where* they went — which basic blocks dominate the kernel's
+//! critical path — to bias edit-site sampling toward hot regions.
+//!
+//! Attribution is **critical-path** accounting, consistent with how
+//! [`crate::LaunchStats::cycles`] itself is built: within each CTA the
+//! executor tallies every warp's cycles per block (each charge in
+//! `run_warp` and the barrier release lands on the warp's current
+//! block), then keeps the first warp whose total equals the CTA's
+//! latency — the critical warp, whose per-block row sums to the CTA
+//! latency exactly. Rows accumulate per SM, and the launch keeps the
+//! first SM whose cycle total equals the launch maximum. Everything
+//! the critical path does *not* explain — a CTA's throughput-bound
+//! residual, the fixed launch overhead — lands in
+//! [`LaunchProfile::other_cycles`], so the invariant
+//!
+//! ```text
+//! block_cycles.iter().sum() + other_cycles == LaunchStats::cycles
+//! ```
+//!
+//! holds **exactly** (pinned by `profile_diff`). Compiled block indices
+//! equal source block indices (the lowering flattens blocks in order
+//! and never adds or removes one), so `block_cycles[b]` is directly
+//! the cycle count of `kernel.blocks[b]` — and because the O2 passes
+//! are result-invisible per warp and per instruction, O0 and O2 images
+//! of the same kernel produce identical profiles (also pinned).
+//!
+//! Collection follows the `OPT_LEVEL` precedent: a **result-invisible
+//! process knob**, here a thread-local collector so concurrent
+//! evaluation workers never observe each other's launches. When no
+//! collector is armed (the default), the executor skips all
+//! attribution; [`collect_profiles`] arms it for the duration of one
+//! closure and returns whatever launches ran inside it. Not reentrant:
+//! nesting `collect_profiles` panics rather than silently splitting
+//! the stream.
+
+use std::cell::RefCell;
+
+/// Where one launch's cycles went: per-source-block critical-path
+/// cycles plus everything attribution does not localize (launch
+/// overhead, throughput-bound residuals).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchProfile {
+    /// Name of the launched kernel (ties the profile back to a
+    /// [`crate::CompiledKernel`] when several kernels launch under one
+    /// collector).
+    pub kernel: String,
+    /// Critical-path cycles attributed to each source basic block,
+    /// indexed like `Kernel::blocks`.
+    pub block_cycles: Vec<u64>,
+    /// Cycles of [`crate::LaunchStats::cycles`] not attributed to any
+    /// block: the fixed launch overhead plus each critical SM CTA's
+    /// throughput-bound residual.
+    pub other_cycles: u64,
+}
+
+impl LaunchProfile {
+    /// Sum of attributed and unattributed cycles — equals the launch's
+    /// [`crate::LaunchStats::cycles`] exactly.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.block_cycles.iter().sum::<u64>() + self.other_cycles
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Vec<LaunchProfile>>> = const { RefCell::new(None) };
+}
+
+/// Disarms the collector on drop, so a panicking closure cannot leave
+/// profiling armed for unrelated later launches on this thread.
+struct Armed;
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        COLLECTOR.with(|c| c.borrow_mut().take());
+    }
+}
+
+/// Runs `f` with per-block cycle attribution armed on this thread and
+/// returns its value plus one [`LaunchProfile`] per successful launch
+/// that ran inside it (in launch order).
+///
+/// # Panics
+/// Panics when called reentrantly from inside another
+/// `collect_profiles` closure on the same thread.
+pub fn collect_profiles<T>(f: impl FnOnce() -> T) -> (T, Vec<LaunchProfile>) {
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        assert!(slot.is_none(), "collect_profiles is not reentrant");
+        *slot = Some(Vec::new());
+    });
+    let guard = Armed;
+    let out = f();
+    let profiles = COLLECTOR
+        .with(|c| c.borrow_mut().take())
+        .unwrap_or_default();
+    std::mem::forget(guard);
+    (out, profiles)
+}
+
+/// True when this thread is inside a [`collect_profiles`] closure —
+/// the executor's once-per-launch check.
+pub(crate) fn profiling_active() -> bool {
+    COLLECTOR.with(|c| c.borrow().is_some())
+}
+
+/// Records one finished launch's profile (no-op when not armed).
+pub(crate) fn record(profile: LaunchProfile) {
+    COLLECTOR.with(|c| {
+        if let Some(v) = c.borrow_mut().as_mut() {
+            v.push(profile);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_is_off_by_default_and_scoped() {
+        assert!(!profiling_active());
+        record(LaunchProfile {
+            kernel: "ignored".into(),
+            block_cycles: vec![],
+            other_cycles: 0,
+        });
+        let ((), profiles) = collect_profiles(|| {
+            assert!(profiling_active());
+            record(LaunchProfile {
+                kernel: "k".into(),
+                block_cycles: vec![3, 4],
+                other_cycles: 5,
+            });
+        });
+        assert!(!profiling_active());
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].total(), 12);
+    }
+
+    #[test]
+    fn panicking_closure_disarms_the_collector() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = collect_profiles(|| panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!profiling_active(), "panic must disarm profiling");
+    }
+
+    #[test]
+    #[should_panic(expected = "not reentrant")]
+    fn nesting_panics() {
+        let _ = collect_profiles(|| collect_profiles(|| ()));
+    }
+}

@@ -22,11 +22,11 @@ pub use gevo_workloads as workloads;
 /// Convenience prelude for examples and tests.
 pub mod prelude {
     pub use gevo_engine::{
-        dependency_graph, minimize_weak_edits, split_independent, subset_analysis, Edit,
-        EvalOutcome, EvalStats, Evaluator, EvaluatorSnapshot, GaConfig, GaResult, IslandConfig,
-        IslandResult, IslandSnapshot, MigrationEvent, NoDelta, Objective, ParetoPoint, Patch,
-        Search, SearchObserver, SearchResult, SearchSpec, SearchState, Selection, StepStatus,
-        Topology, Workload,
+        dependency_graph, minimize_weak_edits, split_independent, subset_analysis, AdaptPolicy,
+        AdaptReport, Edit, EvalOutcome, EvalStats, Evaluator, EvaluatorSnapshot, GaConfig,
+        GaResult, IslandConfig, IslandResult, IslandSnapshot, MigrationEvent, NoDelta, Objective,
+        ParetoPoint, Patch, Search, SearchObserver, SearchResult, SearchSpec, SearchState,
+        Selection, StepStatus, Topology, Workload,
     };
     #[allow(deprecated)]
     pub use gevo_engine::{run_ga, run_islands};
